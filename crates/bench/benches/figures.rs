@@ -1,0 +1,69 @@
+//! Criterion versions of the figure experiments on representative
+//! benchmark/engine pairs (the full sweeps with timeout handling are
+//! the fig3/fig4/fig5 binaries; Criterion here tracks regressions on
+//! the solvable cells).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use engines::{Budget, Checker};
+use std::time::Duration;
+use swan::Analyzer;
+
+fn budget() -> Budget {
+    Budget {
+        timeout: Some(Duration::from_secs(30)),
+        max_depth: 4000,
+    }
+}
+
+fn fig3_cells(c: &mut Criterion) {
+    let vend = bmarks::by_name("Vending").expect("exists").compile().expect("ok");
+    c.bench_function("fig3/abc-kind/vending", |b| {
+        b.iter(|| {
+            let out = engines::kind::KInduction::new(budget()).check(&vend);
+            assert!(out.outcome.is_safe());
+        })
+    });
+    let daio = bmarks::by_name("DAIO").expect("exists").compile().expect("ok");
+    c.bench_function("fig3/cbmc-kind/daio", |b| {
+        let prog = v2c::SwProgram::from_ts(daio.clone());
+        b.iter(|| {
+            let out = swan::cbmc::CbmcKind::new(budget()).check(&prog);
+            assert!(out.outcome.is_unsafe());
+        })
+    });
+}
+
+fn fig4_cells(c: &mut Criterion) {
+    let heap = bmarks::by_name("Heap").expect("exists").compile().expect("ok");
+    c.bench_function("fig4/abc-itp/heap", |b| {
+        b.iter(|| {
+            let out = engines::itp::Interpolation::new(budget()).check(&heap);
+            assert!(out.outcome.is_safe());
+        })
+    });
+}
+
+fn fig5_cells(c: &mut Criterion) {
+    let fifo = bmarks::by_name("FIFOs").expect("exists").compile().expect("ok");
+    c.bench_function("fig5/abc-pdr/fifo", |b| {
+        b.iter(|| {
+            let out = engines::pdr::Pdr::new(budget()).check(&fifo);
+            assert!(out.outcome.is_safe());
+        })
+    });
+    let tictac = bmarks::by_name("TicTacToe").expect("exists").compile().expect("ok");
+    c.bench_function("fig5/2ls-kiki/tictactoe", |b| {
+        let prog = v2c::SwProgram::from_ts(tictac.clone());
+        b.iter(|| {
+            let out = swan::twols::TwoLs::new(budget()).check(&prog);
+            assert!(out.outcome.is_safe());
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_cells, fig4_cells, fig5_cells
+}
+criterion_main!(figures);

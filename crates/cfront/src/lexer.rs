@@ -1,0 +1,134 @@
+//! Lexer for the v2c C subset.
+
+use crate::CfrontError;
+
+/// A C token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (suffixes stripped).
+    Num(u64),
+    /// Operator / punctuation.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+const SYMBOLS: &[&str] = &[
+    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "{", "}", "(", ")", "[",
+    "]", ";", ",", "?", ":", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    ".",
+];
+
+/// Tokenizes the C text, skipping comments and preprocessor lines.
+///
+/// # Errors
+///
+/// Returns an error on characters outside the emitted subset.
+pub fn lex(src: &str) -> Result<Vec<CTok>, CfrontError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        if c == '\n' || c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < b.len() && !(b[i] == b'*' && b[i + 1] == b'/') {
+                i += 1;
+            }
+            i += 2;
+            continue;
+        }
+        if c == '/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '"' {
+            // String literal (printf formats in cosim mode): skip.
+            i += 1;
+            while i < b.len() && b[i] != b'"' {
+                if b[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push(CTok::Sym("\"str\""));
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push(CTok::Ident(src[start..i].to_string()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let radix = if c == '0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X')
+            {
+                i += 2;
+                16
+            } else {
+                10
+            };
+            let dstart = if radix == 16 { i } else { start };
+            while i < b.len() && (b[i] as char).is_ascii_hexdigit() {
+                i += 1;
+            }
+            let text = &src[dstart..i];
+            let value = u64::from_str_radix(text, radix)
+                .map_err(|_| CfrontError::new(format!("bad literal '{text}'")))?;
+            // Swallow integer suffixes.
+            while i < b.len() && matches!(b[i], b'u' | b'U' | b'l' | b'L') {
+                i += 1;
+            }
+            out.push(CTok::Num(value));
+            continue;
+        }
+        let rest = &src[i..];
+        let mut hit = false;
+        for &s in SYMBOLS {
+            if rest.starts_with(s) {
+                out.push(CTok::Sym(s));
+                i += s.len();
+                hit = true;
+                break;
+            }
+        }
+        if !hit {
+            return Err(CfrontError::new(format!("unexpected character '{c}'")));
+        }
+    }
+    out.push(CTok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("uint64_t x = 0xffULL; /* c */ s->mem[3] // y\n #include <x>\n + 10").unwrap();
+        assert!(t.contains(&CTok::Ident("uint64_t".into())));
+        assert!(t.contains(&CTok::Num(255)));
+        assert!(t.contains(&CTok::Sym("->")));
+        assert!(t.contains(&CTok::Num(10)));
+        assert!(!t.iter().any(|x| matches!(x, CTok::Ident(s) if s == "include")));
+    }
+}

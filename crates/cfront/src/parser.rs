@@ -1,0 +1,626 @@
+//! Parser for the v2c C subset: structs, functions, statements.
+
+use crate::lexer::{lex, CTok};
+use crate::CfrontError;
+
+/// A struct field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CField {
+    /// `uint64_t name;`
+    Scalar(String),
+    /// `uint64_t name[N];`
+    Array(String, u64),
+    /// `struct other_state name;`
+    Sub(String, String), // (struct type, field name)
+}
+
+/// A parsed struct.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CStruct {
+    /// Type name (without `_state` manipulation).
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<CField>,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExpr {
+    /// Integer literal.
+    Num(u64),
+    /// Local / parameter reference.
+    Ident(String),
+    /// `s->field`
+    SField(String),
+    /// `base[index]` (base is an lvalue-ish expression).
+    Index(Box<CExpr>, Box<CExpr>),
+    /// Unary `~ ! -` (minus only as `0 - x` normally).
+    Unary(&'static str, Box<CExpr>),
+    /// Binary operator.
+    Binary(&'static str, Box<CExpr>, Box<CExpr>),
+    /// `c ? a : b`
+    Ternary(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// `__builtin_parityll(e)`
+    Parity(Box<CExpr>),
+    /// `__VERIFIER_nondet_ulonglong()`
+    Nondet,
+    /// `&lv` (only as a call argument).
+    AddrOf(Box<CExpr>),
+}
+
+/// Statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CStmt {
+    /// `uint64_t name = e;` / `uint64_t name[N];` / `int name;`
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Array size, if declared as an array.
+        array: Option<u64>,
+        /// Initializer.
+        init: Option<CExpr>,
+    },
+    /// `lhs = rhs;` — lhs is Ident/SField/Index/Deref.
+    Assign(CExpr, CExpr),
+    /// `*name = rhs;`
+    DerefAssign(String, CExpr),
+    /// `if (c) {t} [else {e}]`
+    If(CExpr, Vec<CStmt>, Vec<CStmt>),
+    /// `for (var = 0; var < N; var++) body` (unrolled during lowering).
+    For(String, u64, Vec<CStmt>),
+    /// `name(args);`
+    Call(String, Vec<CExpr>),
+    /// `assert(e);`
+    Assert(CExpr),
+    /// `__VERIFIER_assume(e);`
+    Assume(CExpr),
+    /// `while (1) { body }`
+    Loop(Vec<CStmt>),
+    /// `{ body }`
+    Block(Vec<CStmt>),
+    /// `return e;` / bare expression statements — ignored.
+    Ignored,
+}
+
+/// A parsed function.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CFunction {
+    /// Function name.
+    pub name: String,
+    /// Parameters: `(name, is_pointer)`; the leading state pointer is
+    /// included.
+    pub params: Vec<(String, bool)>,
+    /// Body statements.
+    pub body: Vec<CStmt>,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct CUnitAst {
+    /// Structs by name.
+    pub structs: Vec<CStruct>,
+    /// Functions by name.
+    pub functions: Vec<CFunction>,
+}
+
+/// Parses the emitted C text.
+///
+/// # Errors
+///
+/// Returns a message for constructs outside the v2c output subset.
+pub fn parse_c(src: &str) -> Result<CUnitAst, CfrontError> {
+    let toks = lex(src)?;
+    let mut p = P { t: toks, i: 0 };
+    let mut unit = CUnitAst::default();
+    while !p.at(&CTok::Eof) {
+        if p.eat_ident("typedef") {
+            p.expect_ident("struct")?;
+            let _tag = p.ident()?;
+            p.expect_sym("{")?;
+            let mut fields = Vec::new();
+            while !p.eat_sym("}") {
+                if p.eat_ident("uint64_t") {
+                    let n = p.ident()?;
+                    if p.eat_sym("[") {
+                        let sz = p.num()?;
+                        p.expect_sym("]")?;
+                        p.expect_sym(";")?;
+                        fields.push(CField::Array(n, sz));
+                    } else {
+                        p.expect_sym(";")?;
+                        fields.push(CField::Scalar(n));
+                    }
+                } else if p.eat_ident("struct") {
+                    let ty = p.ident()?;
+                    let n = p.ident()?;
+                    p.expect_sym(";")?;
+                    fields.push(CField::Sub(ty, n));
+                } else {
+                    return p.err("unexpected struct field");
+                }
+            }
+            let name = p.ident()?;
+            p.expect_sym(";")?;
+            unit.structs.push(CStruct { name, fields });
+            continue;
+        }
+        if p.eat_ident("extern") {
+            p.skip_to_semi()?;
+            continue;
+        }
+        // `static int __bad[N];`
+        if p.peek_ident("static") && p.peek2_ident("int") {
+            p.skip_to_semi()?;
+            continue;
+        }
+        // Function: [static] void|int name(params) { body }
+        p.eat_ident("static");
+        if !(p.eat_ident("void") || p.eat_ident("int")) {
+            return p.err("expected function definition");
+        }
+        let name = p.ident()?;
+        p.expect_sym("(")?;
+        let mut params = Vec::new();
+        if !p.eat_sym(")") {
+            loop {
+                if p.eat_ident("void") {
+                    break;
+                }
+                // Types: uint64_t | const X_state * | X_state * | int
+                p.eat_ident("const");
+                let _ty = p.ident()?; // uint64_t / <x>_state / int
+                let is_ptr = p.eat_sym("*");
+                let pname = p.ident()?;
+                params.push((pname, is_ptr));
+                if !p.eat_sym(",") {
+                    break;
+                }
+            }
+            p.expect_sym(")")?;
+        }
+        let body = p.block()?;
+        unit.functions.push(CFunction { name, params, body });
+    }
+    Ok(unit)
+}
+
+struct P {
+    t: Vec<CTok>,
+    i: usize,
+}
+
+impl P {
+    fn peek(&self) -> &CTok {
+        &self.t[self.i]
+    }
+    fn at(&self, t: &CTok) -> bool {
+        self.peek() == t
+    }
+    fn bump(&mut self) -> CTok {
+        let t = self.t[self.i].clone();
+        if self.i + 1 < self.t.len() {
+            self.i += 1;
+        }
+        t
+    }
+    fn err<T>(&self, m: &str) -> Result<T, CfrontError> {
+        Err(CfrontError::new(format!("{m}, found {:?}", self.peek())))
+    }
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), CTok::Sym(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect_sym(&mut self, s: &str) -> Result<(), CfrontError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            self.err(&format!("expected '{s}'"))
+        }
+    }
+    fn peek_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), CTok::Ident(x) if x == s)
+    }
+    fn peek2_ident(&self, s: &str) -> bool {
+        matches!(self.t.get(self.i + 1), Some(CTok::Ident(x)) if x == s)
+    }
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if self.peek_ident(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect_ident(&mut self, s: &str) -> Result<(), CfrontError> {
+        if self.eat_ident(s) {
+            Ok(())
+        } else {
+            self.err(&format!("expected '{s}'"))
+        }
+    }
+    fn ident(&mut self) -> Result<String, CfrontError> {
+        match self.peek().clone() {
+            CTok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err("expected identifier"),
+        }
+    }
+    fn num(&mut self) -> Result<u64, CfrontError> {
+        match *self.peek() {
+            CTok::Num(n) => {
+                self.bump();
+                Ok(n)
+            }
+            _ => self.err("expected number"),
+        }
+    }
+    fn skip_to_semi(&mut self) -> Result<(), CfrontError> {
+        while !self.at(&CTok::Eof) {
+            if self.eat_sym(";") {
+                return Ok(());
+            }
+            self.bump();
+        }
+        self.err("unterminated declaration")
+    }
+
+    fn block(&mut self) -> Result<Vec<CStmt>, CfrontError> {
+        self.expect_sym("{")?;
+        let mut out = Vec::new();
+        while !self.eat_sym("}") {
+            if self.at(&CTok::Eof) {
+                return self.err("unterminated block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<CStmt, CfrontError> {
+        // Nested block (memory copy loops are wrapped in braces).
+        if matches!(self.peek(), CTok::Sym("{")) {
+            return Ok(CStmt::Block(self.block()?));
+        }
+        if self.eat_ident("uint64_t") || self.eat_ident("int") {
+            let name = self.ident()?;
+            if self.eat_sym("[") {
+                let sz = self.num()?;
+                self.expect_sym("]")?;
+                self.expect_sym(";")?;
+                return Ok(CStmt::Decl {
+                    name,
+                    array: Some(sz),
+                    init: None,
+                });
+            }
+            let init = if self.eat_sym("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_sym(";")?;
+            return Ok(CStmt::Decl {
+                name,
+                array: None,
+                init,
+            });
+        }
+        if self.eat_ident("unsigned") {
+            // `unsigned long long __in_x;` (cosim) — treat as decl.
+            while self.eat_ident("long") {}
+            let name = self.ident()?;
+            self.expect_sym(";")?;
+            return Ok(CStmt::Decl {
+                name,
+                array: None,
+                init: None,
+            });
+        }
+        if self.eat_ident("if") {
+            self.expect_sym("(")?;
+            let c = self.expr()?;
+            self.expect_sym(")")?;
+            let t = if matches!(self.peek(), CTok::Sym("{")) {
+                self.block()?
+            } else {
+                vec![self.stmt()?]
+            };
+            let e = if self.eat_ident("else") {
+                if self.peek_ident("if") {
+                    vec![self.stmt()?]
+                } else if matches!(self.peek(), CTok::Sym("{")) {
+                    self.block()?
+                } else {
+                    vec![self.stmt()?]
+                }
+            } else {
+                Vec::new()
+            };
+            return Ok(CStmt::If(c, t, e));
+        }
+        if self.eat_ident("for") {
+            // for (var = 0; var < N; var++) stmt|block
+            self.expect_sym("(")?;
+            let var = self.ident()?;
+            self.expect_sym("=")?;
+            let _ = self.num()?;
+            self.expect_sym(";")?;
+            let v2 = self.ident()?;
+            if v2 != var {
+                return self.err("irregular for loop");
+            }
+            self.expect_sym("<")?;
+            let bound = self.num()?;
+            self.expect_sym(";")?;
+            let v3 = self.ident()?;
+            if v3 != var {
+                return self.err("irregular for loop");
+            }
+            self.expect_sym("++")?;
+            self.expect_sym(")")?;
+            let body = if matches!(self.peek(), CTok::Sym("{")) {
+                self.block()?
+            } else {
+                vec![self.stmt()?]
+            };
+            return Ok(CStmt::For(var, bound, body));
+        }
+        if self.eat_ident("while") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let body = self.block()?;
+            // Only `while (1)` (verifier harness) is a real loop;
+            // anything else (cosim scanf loop) is also treated as the
+            // main loop.
+            let _ = cond;
+            return Ok(CStmt::Loop(body));
+        }
+        if self.eat_ident("return") {
+            self.skip_to_semi()?;
+            return Ok(CStmt::Ignored);
+        }
+        if self.eat_ident("assert") {
+            self.expect_sym("(")?;
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            return Ok(CStmt::Assert(e));
+        }
+        if self.eat_ident("__VERIFIER_assume") {
+            self.expect_sym("(")?;
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            return Ok(CStmt::Assume(e));
+        }
+        // `(void)(e);` — ignored.
+        if matches!(self.peek(), CTok::Sym("(")) {
+            self.skip_to_semi()?;
+            return Ok(CStmt::Ignored);
+        }
+        // `*o_x = e;`
+        if self.eat_sym("*") {
+            let name = self.ident()?;
+            self.expect_sym("=")?;
+            let e = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(CStmt::DerefAssign(name, e));
+        }
+        // Assignment or call, both start with an identifier.
+        let name = self.ident()?;
+        // `counter_state s;` — a struct variable declaration.
+        if matches!(self.peek(), CTok::Ident(_)) {
+            let _var = self.ident()?;
+            self.expect_sym(";")?;
+            let _ = name;
+            return Ok(CStmt::Ignored);
+        }
+        if matches!(self.peek(), CTok::Sym("(")) {
+            self.bump();
+            let mut args = Vec::new();
+            if !self.eat_sym(")") {
+                loop {
+                    args.push(self.expr()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+            self.expect_sym(";")?;
+            // printf/fflush/scanf calls in cosim mains are ignored.
+            if name == "printf" || name == "fflush" || name == "scanf" {
+                return Ok(CStmt::Ignored);
+            }
+            return Ok(CStmt::Call(name, args));
+        }
+        // lvalue: name | name->f | name[idx] | s->f[idx]
+        let mut lv = if self.eat_sym("->") {
+            let f = self.ident()?;
+            CExpr::SField(f)
+        } else {
+            CExpr::Ident(name.clone())
+        };
+        while self.eat_sym("[") {
+            let i = self.expr()?;
+            self.expect_sym("]")?;
+            lv = CExpr::Index(Box::new(lv), Box::new(i));
+        }
+        self.expect_sym("=")?;
+        let rhs = self.expr()?;
+        self.expect_sym(";")?;
+        Ok(CStmt::Assign(lv, rhs))
+    }
+
+    // ---- expressions (C precedence, the emitted subset) ----
+
+    fn expr(&mut self) -> Result<CExpr, CfrontError> {
+        self.ternary()
+    }
+    fn ternary(&mut self) -> Result<CExpr, CfrontError> {
+        let c = self.bin(0)?;
+        if self.eat_sym("?") {
+            let a = self.ternary()?;
+            self.expect_sym(":")?;
+            let b = self.ternary()?;
+            return Ok(CExpr::Ternary(Box::new(c), Box::new(a), Box::new(b)));
+        }
+        Ok(c)
+    }
+    fn level_ops(level: usize) -> &'static [&'static str] {
+        // C precedence, loosest first.
+        const TABLE: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        TABLE.get(level).copied().unwrap_or(&[])
+    }
+    fn bin(&mut self, level: usize) -> Result<CExpr, CfrontError> {
+        if level >= 10 {
+            return self.unary();
+        }
+        let mut lhs = self.bin(level + 1)?;
+        loop {
+            let op = match self.peek() {
+                CTok::Sym(s) if Self::level_ops(level).contains(s) => *s,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.bin(level + 1)?;
+            lhs = CExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+    fn unary(&mut self) -> Result<CExpr, CfrontError> {
+        for op in ["~", "!", "-"] {
+            if matches!(self.peek(), CTok::Sym(s) if *s == op) {
+                self.bump();
+                let a = self.unary()?;
+                return Ok(CExpr::Unary(
+                    match op {
+                        "~" => "~",
+                        "!" => "!",
+                        _ => "-",
+                    },
+                    Box::new(a),
+                ));
+            }
+        }
+        if self.eat_sym("&") {
+            let a = self.unary()?;
+            return Ok(CExpr::AddrOf(Box::new(a)));
+        }
+        self.postfix()
+    }
+    fn postfix(&mut self) -> Result<CExpr, CfrontError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat_sym("->") {
+                let f = self.ident()?;
+                // Only `s->field` appears; the base must be `s`.
+                match e {
+                    CExpr::Ident(ref n) if n == "s" => e = CExpr::SField(f),
+                    _ => {
+                        // `&s->u1` inside AddrOf: base handled there.
+                        e = CExpr::SField(f);
+                    }
+                }
+                continue;
+            }
+            if self.eat_sym("[") {
+                let i = self.expr()?;
+                self.expect_sym("]")?;
+                e = CExpr::Index(Box::new(e), Box::new(i));
+                continue;
+            }
+            break;
+        }
+        Ok(e)
+    }
+    fn primary(&mut self) -> Result<CExpr, CfrontError> {
+        match self.peek().clone() {
+            CTok::Num(n) => {
+                self.bump();
+                Ok(CExpr::Num(n))
+            }
+            CTok::Sym("(") => {
+                self.bump();
+                // Cast `(uint64_t)` / `(unsigned long long)`?
+                if self.peek_ident("uint64_t") {
+                    self.bump();
+                    self.expect_sym(")")?;
+                    return self.unary();
+                }
+                if self.peek_ident("unsigned") {
+                    while !self.eat_sym(")") {
+                        self.bump();
+                    }
+                    return self.unary();
+                }
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            CTok::Ident(name) => {
+                self.bump();
+                if name == "__builtin_parityll" {
+                    self.expect_sym("(")?;
+                    let e = self.expr()?;
+                    self.expect_sym(")")?;
+                    return Ok(CExpr::Parity(Box::new(e)));
+                }
+                if name == "__VERIFIER_nondet_ulonglong" {
+                    self.expect_sym("(")?;
+                    self.expect_sym(")")?;
+                    return Ok(CExpr::Nondet);
+                }
+                Ok(CExpr::Ident(name))
+            }
+            other => Err(CfrontError::new(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_emitted_counter() {
+        let src = r#"
+        module counter(input clk, input rst, output wrap);
+          reg [3:0] c;
+          initial c = 0;
+          always @(posedge clk) if (rst) c <= 0; else c <= c + 1;
+          assign wrap = (c == 4'hF);
+          assert property (c <= 4'hF);
+        endmodule
+        "#;
+        let mods = vfront::parse(src).expect("verilog");
+        let design = vfront::elaborate(&mods, "counter").expect("elab");
+        let c = v2c::emit_c(&design, v2c::MainStyle::Verifier).expect("emit");
+        let unit = parse_c(&c).unwrap_or_else(|e| panic!("parse failed: {e}\n{c}"));
+        assert_eq!(unit.structs.len(), 1);
+        assert!(unit.functions.iter().any(|f| f.name == "counter_step"));
+        assert!(unit.functions.iter().any(|f| f.name == "main"));
+        let main = unit.functions.iter().find(|f| f.name == "main").expect("main");
+        assert!(main.body.iter().any(|s| matches!(s, CStmt::Loop(_))));
+    }
+}

@@ -1,0 +1,368 @@
+//! Bounded model checking (bit-level, incremental).
+//!
+//! BMC is the bug-finding baseline every compared tool builds on: the
+//! transition relation is unrolled frame by frame into one incremental
+//! SAT solver, and the bad-state output is assumed at each depth.
+
+use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
+use aig::{AigLit, AigSystem, FrameEncoder};
+use rtlir::TransitionSystem;
+use satb::{Lit, Part, SolveResult, Solver};
+use std::time::Instant;
+
+/// An unrolled chain of time frames in one incremental solver.
+///
+/// Frame 0 holds fresh SAT variables for every latch (constrained to
+/// the reset values when `initialized`); frame `k+1`'s latch literals
+/// are the Tseitin outputs of frame `k`'s next-state cones. Constraints
+/// are asserted on every materialized frame.
+pub(crate) struct FrameChain<'s> {
+    sys: &'s AigSystem,
+    pub(crate) solver: Solver,
+    encoders: Vec<FrameEncoder>,
+    latch_lits: Vec<Vec<Lit>>,
+}
+
+impl<'s> FrameChain<'s> {
+    pub(crate) fn new(sys: &'s AigSystem, initialized: bool) -> FrameChain<'s> {
+        let mut solver = Solver::new();
+        let mut enc0 = FrameEncoder::new();
+        let mut lits0 = Vec::with_capacity(sys.latches.len());
+        for latch in &sys.latches {
+            let l = Lit::pos(solver.new_var());
+            enc0.bind(latch.output, l);
+            lits0.push(l);
+            if initialized {
+                if let Some(init) = latch.init {
+                    solver.add_clause(&[if init { l } else { !l }]);
+                }
+            }
+        }
+        let mut chain = FrameChain {
+            sys,
+            solver,
+            encoders: vec![enc0],
+            latch_lits: vec![lits0],
+        };
+        chain.assert_constraints(0);
+        chain
+    }
+
+    fn assert_constraints(&mut self, frame: usize) {
+        for &c in &self.sys.constraints {
+            let l = self.encoders[frame].encode(&self.sys.aig, &mut self.solver, c, Part::A);
+            self.solver.add_clause(&[l]);
+        }
+    }
+
+    /// Ensures frames `0..=k` are materialized.
+    pub(crate) fn ensure(&mut self, k: usize) {
+        while self.latch_lits.len() <= k {
+            let cur = self.latch_lits.len() - 1;
+            let mut next_lits = Vec::with_capacity(self.sys.latches.len());
+            for latch in &self.sys.latches {
+                let l = self.encoders[cur].encode(
+                    &self.sys.aig,
+                    &mut self.solver,
+                    latch.next,
+                    Part::A,
+                );
+                next_lits.push(l);
+            }
+            let mut enc = FrameEncoder::new();
+            for (latch, &l) in self.sys.latches.iter().zip(&next_lits) {
+                enc.bind(latch.output, l);
+            }
+            self.encoders.push(enc);
+            self.latch_lits.push(next_lits);
+            let new_frame = self.latch_lits.len() - 1;
+            self.assert_constraints(new_frame);
+        }
+    }
+
+    /// SAT literal for "some bad property fires at frame `k`".
+    pub(crate) fn any_bad(&mut self, k: usize, any_bad_lit: AigLit) -> Lit {
+        self.ensure(k);
+        self.encoders[k].encode(&self.sys.aig, &mut self.solver, any_bad_lit, Part::A)
+    }
+
+    /// SAT literal of an individual bad output at frame `k`.
+    pub(crate) fn bad_at(&mut self, k: usize, bad_index: usize) -> Lit {
+        self.ensure(k);
+        let b = self.sys.bads[bad_index];
+        self.encoders[k].encode(&self.sys.aig, &mut self.solver, b, Part::A)
+    }
+
+    /// The latch literals of frame `k`.
+    #[allow(dead_code)]
+    pub(crate) fn latch_lits(&mut self, k: usize) -> Vec<Lit> {
+        self.ensure(k);
+        self.latch_lits[k].clone()
+    }
+
+    /// Adds a pairwise-distinctness clause between the states of frames
+    /// `i` and `j` (the simple-path constraint of k-induction).
+    pub(crate) fn assert_distinct(&mut self, i: usize, j: usize) {
+        self.ensure(i.max(j));
+        let mut diff_lits = Vec::with_capacity(self.sys.latches.len());
+        for b in 0..self.sys.latches.len() {
+            let (a, c) = (self.latch_lits[i][b], self.latch_lits[j][b]);
+            // d <-> a xor c
+            let d = Lit::pos(self.solver.new_var());
+            self.solver.add_clause(&[!d, a, c]);
+            self.solver.add_clause(&[!d, !a, !c]);
+            self.solver.add_clause(&[d, !a, c]);
+            self.solver.add_clause(&[d, a, !c]);
+            diff_lits.push(d);
+        }
+        self.solver.add_clause(&diff_lits);
+    }
+
+    /// Extracts a counterexample trace of length `k` from the current
+    /// model. `bad_index` should be determined by the caller (e.g. by
+    /// probing individual bad literals).
+    pub(crate) fn extract_trace(&mut self, k: usize, bad_index: usize) -> Trace {
+        let mut states = Vec::with_capacity(k + 1);
+        let mut inputs = Vec::with_capacity(k + 1);
+        for f in 0..=k {
+            let st: Vec<bool> = self.latch_lits[f]
+                .iter()
+                .map(|&l| self.solver.value(l).unwrap_or(false))
+                .collect();
+            states.push(st);
+            let inp: Vec<bool> = self
+                .sys
+                .inputs
+                .iter()
+                .map(|&ci| {
+                    self.encoders[f]
+                        .mapped(ci)
+                        .and_then(|l| self.solver.value(l))
+                        .unwrap_or(false)
+                })
+                .collect();
+            inputs.push(inp);
+        }
+        Trace {
+            states,
+            inputs,
+            bad_index,
+        }
+    }
+
+    /// Picks the bad property that fired at frame `k` in the current
+    /// model (first one whose literal evaluates true).
+    pub(crate) fn fired_bad(&mut self, k: usize) -> usize {
+        for bi in 0..self.sys.bads.len() {
+            let l = self.bad_at(k, bi);
+            if self.solver.value(l) == Some(true) {
+                return bi;
+            }
+        }
+        0
+    }
+}
+
+/// Incremental bounded model checking.
+///
+/// Returns [`Verdict::Unsafe`] with a trace when a bad state is
+/// reachable within `budget.max_depth` steps;
+/// [`Verdict::Unknown`]`(BoundReached)` when the bound is exhausted (BMC
+/// alone never proves safety).
+#[derive(Clone, Debug, Default)]
+pub struct Bmc {
+    /// Resource limits.
+    pub budget: Budget,
+}
+
+impl Bmc {
+    /// Creates a BMC engine with the given budget.
+    pub fn new(budget: Budget) -> Bmc {
+        Bmc { budget }
+    }
+}
+
+impl Checker for Bmc {
+    fn name(&self) -> &'static str {
+        "bmc"
+    }
+
+    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let started = Instant::now();
+        let mut stats = EngineStats::default();
+        let mut sys = aig::blast_system(ts);
+        let bads = sys.bads.clone();
+        let any_bad = sys.aig.or_all(&bads);
+        let mut chain = FrameChain::new(&sys, true);
+        for k in 0..=self.budget.max_depth {
+            if self.budget.expired(started) {
+                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            }
+            stats.depth = k;
+            let bad = chain.any_bad(k as usize, any_bad);
+            stats.sat_queries += 1;
+            let r = chain
+                .solver
+                .solve_limited(&[bad], self.budget.sat_limits(started));
+            stats.conflicts = chain.solver.stats().conflicts;
+            match r {
+                SolveResult::Sat => {
+                    let bi = chain.fired_bad(k as usize);
+                    let trace = chain.extract_trace(k as usize, bi);
+                    return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
+                }
+                SolveResult::Unsat => {
+                    // No counterexample at this depth: pin it and go deeper.
+                    chain.solver.add_clause(&[!bad]);
+                }
+                SolveResult::Unknown => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    );
+                }
+            }
+        }
+        CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use rtlir::Sort;
+
+    pub(crate) fn counter_ts(bug_at: u64, width: u32) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("counter");
+        let s = ts.add_state("count", Sort::Bv(width));
+        let sv = ts.pool_mut().var(s);
+        let one = ts.pool_mut().constv(width, 1);
+        let next = ts.pool_mut().add(sv, one);
+        let zero = ts.pool_mut().constv(width, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let c = ts.pool_mut().constv(width, bug_at);
+        let bad = ts.pool_mut().eq(sv, c);
+        ts.add_bad(bad, "counter hits bound");
+        ts
+    }
+
+    #[test]
+    fn finds_bug_at_exact_depth() {
+        for depth in [0u64, 1, 7, 33] {
+            let ts = counter_ts(depth, 8);
+            let out = Bmc::default().check(&ts);
+            match out.outcome {
+                Verdict::Unsafe(trace) => {
+                    assert_eq!(trace.length() as u64, depth, "bug depth");
+                    let sys = aig::blast_system(&ts);
+                    assert!(trace.replays_on(&sys), "trace must replay");
+                }
+                other => panic!("expected Unsafe, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn input_driven_bug_with_trace() {
+        // Register accumulates input; bad when it exceeds 10.
+        let mut ts = TransitionSystem::new("acc");
+        let i = ts.add_input("in", Sort::Bv(4));
+        let s = ts.add_state("acc", Sort::Bv(4));
+        let (iv, sv) = {
+            let p = ts.pool_mut();
+            (p.var(i), p.var(s))
+        };
+        let next = ts.pool_mut().add(sv, iv);
+        let zero = ts.pool_mut().constv(4, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let ten = ts.pool_mut().constv(4, 10);
+        let bad = ts.pool_mut().ugt(sv, ten);
+        ts.add_bad(bad, "acc > 10");
+        let out = Bmc::default().check(&ts);
+        match out.outcome {
+            Verdict::Unsafe(trace) => {
+                let sys = aig::blast_system(&ts);
+                assert!(trace.replays_on(&sys), "trace must replay");
+                assert!(trace.length() >= 1);
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn safe_design_reaches_bound() {
+        // Counter wraps within 4 bits; bad value 200 is unreachable.
+        let mut ts = counter_ts(0, 4);
+        // Replace the bad with an unreachable one: count == 9 after the
+        // counter is forced to skip 9 (increment by 2 from even init).
+        let s = ts.states()[0].var;
+        let sv = ts.pool_mut().var(s);
+        let two = ts.pool_mut().constv(4, 2);
+        let next = ts.pool_mut().add(sv, two);
+        ts.set_next(s, next);
+        let mut ts2 = ts;
+        let nine = ts2.pool_mut().constv(4, 9);
+        let bad = ts2.pool_mut().eq(sv, nine);
+        // Note: the original bad (count == 0) fires at cycle 0; build a
+        // fresh system with only the odd-target property instead.
+        let mut ts3 = TransitionSystem::new("even");
+        let s3 = ts3.add_state("count", Sort::Bv(4));
+        let s3v = ts3.pool_mut().var(s3);
+        let two3 = ts3.pool_mut().constv(4, 2);
+        let nx = ts3.pool_mut().add(s3v, two3);
+        let z = ts3.pool_mut().constv(4, 0);
+        ts3.set_init(s3, z);
+        ts3.set_next(s3, nx);
+        let nine3 = ts3.pool_mut().constv(4, 9);
+        let b3 = ts3.pool_mut().eq(s3v, nine3);
+        ts3.add_bad(b3, "odd value reached");
+        let _ = (ts2, bad, nine);
+        let out = Bmc {
+            budget: Budget {
+                timeout: None,
+                max_depth: 40,
+            },
+        }
+        .check(&ts3);
+        assert_eq!(out.outcome, Verdict::Unknown(Unknown::BoundReached));
+        assert_eq!(out.stats.depth, 40);
+    }
+
+    #[test]
+    fn respects_constraints() {
+        // Input-incremented counter, but constraint forbids increments.
+        let mut ts = TransitionSystem::new("constrained");
+        let en = ts.add_input("en", Sort::BOOL);
+        let s = ts.add_state("c", Sort::Bv(4));
+        let (env_, sv) = {
+            let p = ts.pool_mut();
+            (p.var(en), p.var(s))
+        };
+        let one = ts.pool_mut().constv(4, 1);
+        let inc = ts.pool_mut().add(sv, one);
+        let next = ts.pool_mut().ite(env_, inc, sv);
+        let zero = ts.pool_mut().constv(4, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let three = ts.pool_mut().constv(4, 3);
+        let bad = ts.pool_mut().eq(sv, three);
+        ts.add_bad(bad, "c == 3");
+        let no_en = ts.pool_mut().not(env_);
+        ts.add_constraint(no_en);
+        let out = Bmc {
+            budget: Budget {
+                timeout: None,
+                max_depth: 12,
+            },
+        }
+        .check(&ts);
+        assert_eq!(
+            out.outcome,
+            Verdict::Unknown(Unknown::BoundReached),
+            "constraint keeps the design safe"
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! Interpolation-based model checking (McMillan, CAV 2003).
+//!
+//! The "ABC-interpolation" configuration of the paper's Figure 4.
+//! Iteratively over-approximates the reachable states: for the current
+//! over-approximation `R` and bound `k`, the formula
+//!
+//! ```text
+//!   A = R(s0) ∧ T(s0,s1)          B = T(s1,s2) … T(sk-1,sk) ∧ ⋁ Bad(si)
+//! ```
+//!
+//! is refuted; the Craig interpolant over the frame-1 state variables
+//! is an over-approximate image of `R` that still cannot reach a bad
+//! state within `k-1` steps. When the accumulated `R` stops growing,
+//! the property is proved; when `A ∧ B` becomes satisfiable for the
+//! *initial* `R`, a real counterexample of length ≤ `k` exists.
+
+use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
+use aig::{Aig, AigLit, AigSystem, FrameEncoder};
+use rtlir::TransitionSystem;
+use satb::{interp::ItpNode, Lit, Part, SolveResult, Solver};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Interpolation-based unbounded model checker.
+#[derive(Clone, Debug, Default)]
+pub struct Interpolation {
+    /// Resource limits (`max_depth` bounds the unrolling length `k`).
+    pub budget: Budget,
+}
+
+impl Interpolation {
+    /// Creates an interpolation engine with the given budget.
+    pub fn new(budget: Budget) -> Interpolation {
+        Interpolation { budget }
+    }
+}
+
+/// Converts an interpolant over frame-1 latch SAT variables into an AIG
+/// function over the latch-output CIs.
+fn itp_to_aig(
+    itp: &satb::Interpolant,
+    var_to_latch: &HashMap<satb::Var, AigLit>,
+    aig: &mut Aig,
+) -> AigLit {
+    let mut out: Vec<AigLit> = Vec::with_capacity(itp.nodes().len());
+    for node in itp.nodes() {
+        let l = match *node {
+            ItpNode::Const(c) => AigLit::constant(c),
+            ItpNode::Lit(sl) => {
+                let base = *var_to_latch
+                    .get(&sl.var())
+                    .expect("interpolant variable is a frame-1 latch");
+                if sl.is_positive() {
+                    base
+                } else {
+                    !base
+                }
+            }
+            ItpNode::And(a, b) => aig.and(out[a as usize], out[b as usize]),
+            ItpNode::Or(a, b) => aig.or(out[a as usize], out[b as usize]),
+        };
+        out.push(l);
+    }
+    out[itp.root()]
+}
+
+/// The AIG predicate "state equals the reset state" (over initialized
+/// latches; uninitialized latches are unconstrained).
+fn init_predicate(sys: &mut AigSystem) -> AigLit {
+    let lits: Vec<AigLit> = sys
+        .latches
+        .iter()
+        .filter_map(|l| l.init.map(|b| if b { l.output } else { !l.output }))
+        .collect();
+    sys.aig.and_all(&lits)
+}
+
+impl Checker for Interpolation {
+    fn name(&self) -> &'static str {
+        "abc-itp"
+    }
+
+    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let started = Instant::now();
+        let mut stats = EngineStats::default();
+        let mut sys = aig::blast_system(ts);
+        let bads = sys.bads.clone();
+        let any_bad = sys.aig.or_all(&bads);
+        let init_pred = init_predicate(&mut sys);
+
+        // Depth-0 check: Init ∧ Bad.
+        {
+            let mut solver = Solver::new();
+            let mut enc = FrameEncoder::new();
+            let ip = enc.encode(&sys.aig, &mut solver, init_pred, Part::A);
+            solver.add_clause(&[ip]);
+            for &c in &sys.constraints {
+                let cl = enc.encode(&sys.aig, &mut solver, c, Part::A);
+                solver.add_clause(&[cl]);
+            }
+            let b = enc.encode(&sys.aig, &mut solver, any_bad, Part::A);
+            stats.sat_queries += 1;
+            if solver.solve_limited(&[b], self.budget.sat_limits(started)) == SolveResult::Sat {
+                let state: Vec<bool> = sys
+                    .latches
+                    .iter()
+                    .map(|l| {
+                        enc.mapped(l.output)
+                            .and_then(|sl| solver.value(sl))
+                            .or(l.init)
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                let inputs: Vec<bool> = sys
+                    .inputs
+                    .iter()
+                    .map(|&ci| {
+                        enc.mapped(ci)
+                            .and_then(|sl| solver.value(sl))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                let bad_index = (0..bads.len())
+                    .find(|&bi| {
+                        let bl = enc.mapped(bads[bi]);
+                        bl.and_then(|x| solver.value(x)) == Some(true)
+                    })
+                    .unwrap_or(0);
+                let trace = Trace {
+                    states: vec![state],
+                    inputs: vec![inputs],
+                    bad_index,
+                };
+                return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
+            }
+        }
+
+        let mut k: u32 = 1;
+        loop {
+            if self.budget.expired(started) {
+                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            }
+            if k > self.budget.max_depth {
+                return CheckOutcome::finish(
+                    Verdict::Unknown(Unknown::BoundReached),
+                    stats,
+                    started,
+                );
+            }
+            stats.depth = k;
+
+            // Inner fixpoint loop at bound k.
+            let mut r_acc = init_pred;
+            let mut first = true;
+            'inner: loop {
+                if self.budget.expired(started) {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    );
+                }
+                match self.itp_query(&sys, r_acc, any_bad, &bads, k, started, &mut stats) {
+                    QueryResult::Timeout => {
+                        return CheckOutcome::finish(
+                            Verdict::Unknown(Unknown::Timeout),
+                            stats,
+                            started,
+                        );
+                    }
+                    QueryResult::Sat(trace) => {
+                        if first {
+                            return CheckOutcome::finish(
+                                Verdict::Unsafe(trace),
+                                stats,
+                                started,
+                            );
+                        }
+                        // Over-approximation too coarse: deepen.
+                        k += 1;
+                        break 'inner;
+                    }
+                    QueryResult::Unsat(itp, map) => {
+                        let itp_lit = itp_to_aig(&itp, &map, &mut sys.aig);
+                        // Fixpoint check: itp ⇒ r_acc?
+                        let mut solver = Solver::new();
+                        let mut enc = FrameEncoder::new();
+                        let il = enc.encode(&sys.aig, &mut solver, itp_lit, Part::A);
+                        let rl = enc.encode(&sys.aig, &mut solver, r_acc, Part::A);
+                        solver.add_clause(&[il]);
+                        solver.add_clause(&[!rl]);
+                        stats.sat_queries += 1;
+                        match solver.solve_limited(&[], self.budget.sat_limits(started)) {
+                            SolveResult::Unsat => {
+                                return CheckOutcome::finish(Verdict::Safe, stats, started);
+                            }
+                            SolveResult::Sat => {
+                                r_acc = sys.aig.or(r_acc, itp_lit);
+                                first = false;
+                            }
+                            SolveResult::Unknown => {
+                                return CheckOutcome::finish(
+                                    Verdict::Unknown(Unknown::Timeout),
+                                    stats,
+                                    started,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum QueryResult {
+    Sat(Trace),
+    Unsat(satb::Interpolant, HashMap<satb::Var, AigLit>),
+    Timeout,
+}
+
+impl Interpolation {
+    /// One interpolation query: refute `R(s0) ∧ T ∧ (bad within k)`.
+    #[allow(clippy::too_many_arguments)]
+    fn itp_query(
+        &self,
+        sys: &AigSystem,
+        r: AigLit,
+        any_bad: AigLit,
+        bads: &[AigLit],
+        k: u32,
+        started: Instant,
+        stats: &mut EngineStats,
+    ) -> QueryResult {
+        let mut solver = Solver::with_proof();
+
+        // Shared interface: frame-1 latch variables.
+        let f1: Vec<Lit> = sys.latches.iter().map(|_| Lit::pos(solver.new_var())).collect();
+
+        // --- A side: R(s0) ∧ T(s0, s1), output tied to f1. ---
+        let mut enc_a = FrameEncoder::new();
+        let f0: Vec<Lit> = sys.latches.iter().map(|_| Lit::pos(solver.new_var())).collect();
+        for (latch, &l) in sys.latches.iter().zip(&f0) {
+            enc_a.bind(latch.output, l);
+        }
+        let rl = enc_a.encode(&sys.aig, &mut solver, r, Part::A);
+        solver.add_clause_in(&[rl], Part::A);
+        for &c in &sys.constraints {
+            let cl = enc_a.encode(&sys.aig, &mut solver, c, Part::A);
+            solver.add_clause_in(&[cl], Part::A);
+        }
+        for (i, latch) in sys.latches.iter().enumerate() {
+            let nl = enc_a.encode(&sys.aig, &mut solver, latch.next, Part::A);
+            // nl <-> f1[i]
+            solver.add_clause_in(&[!nl, f1[i]], Part::A);
+            solver.add_clause_in(&[nl, !f1[i]], Part::A);
+        }
+
+        // --- B side: frames 1..k, bads at 1..=k. ---
+        let mut encs: Vec<FrameEncoder> = Vec::with_capacity(k as usize);
+        let mut frame_lits: Vec<Vec<Lit>> = Vec::with_capacity(k as usize + 1);
+        frame_lits.push(f0.clone());
+        let mut enc1 = FrameEncoder::new();
+        for (latch, &l) in sys.latches.iter().zip(&f1) {
+            enc1.bind(latch.output, l);
+        }
+        encs.push(enc1);
+        frame_lits.push(f1.clone());
+        let mut bad_lits: Vec<Lit> = Vec::new();
+        for f in 0..k as usize {
+            // Constraints and bad at frame f+1 (encoder index f).
+            for &c in &sys.constraints {
+                let cl = encs[f].encode(&sys.aig, &mut solver, c, Part::B);
+                solver.add_clause_in(&[cl], Part::B);
+            }
+            let bl = encs[f].encode(&sys.aig, &mut solver, any_bad, Part::B);
+            bad_lits.push(bl);
+            if f + 1 < k as usize {
+                // Next frame's latch lits are the encoded next functions.
+                let mut next_enc = FrameEncoder::new();
+                let mut lits = Vec::with_capacity(sys.latches.len());
+                for latch in &sys.latches {
+                    let nl = encs[f].encode(&sys.aig, &mut solver, latch.next, Part::B);
+                    next_enc.bind(latch.output, nl);
+                    lits.push(nl);
+                }
+                encs.push(next_enc);
+                frame_lits.push(lits);
+            }
+        }
+        solver.add_clause_in(&bad_lits, Part::B);
+
+        stats.sat_queries += 1;
+        match solver.solve_limited(&[], self.budget.sat_limits(started)) {
+            SolveResult::Unknown => QueryResult::Timeout,
+            SolveResult::Unsat => {
+                let itp = solver.interpolant().expect("proof-logged refutation");
+                let map: HashMap<satb::Var, AigLit> = f1
+                    .iter()
+                    .zip(&sys.latches)
+                    .map(|(&l, latch)| (l.var(), latch.output))
+                    .collect();
+                QueryResult::Unsat(itp, map)
+            }
+            SolveResult::Sat => {
+                // Extract the counterexample path: frames 0..=j where j
+                // is the first frame whose bad literal is true.
+                let j = bad_lits
+                    .iter()
+                    .position(|&b| solver.value(b) == Some(true))
+                    .map(|p| p + 1)
+                    .unwrap_or(k as usize);
+                let mut states = Vec::with_capacity(j + 1);
+                let mut inputs = Vec::with_capacity(j + 1);
+                for (f, lits) in frame_lits.iter().take(j + 1).enumerate() {
+                    let st: Vec<bool> = lits
+                        .iter()
+                        .map(|&l| solver.value(l).unwrap_or(false))
+                        .collect();
+                    states.push(st);
+                    let enc: &FrameEncoder = if f == 0 { &enc_a } else { &encs[f - 1] };
+                    let inp: Vec<bool> = sys
+                        .inputs
+                        .iter()
+                        .map(|&ci| {
+                            enc.mapped(ci).and_then(|l| solver.value(l)).unwrap_or(false)
+                        })
+                        .collect();
+                    inputs.push(inp);
+                }
+                // Identify the fired bad property at frame j.
+                let bad_index = (0..bads.len())
+                    .find(|&bi| {
+                        encs[j - 1]
+                            .mapped(bads[bi])
+                            .and_then(|l| solver.value(l))
+                            == Some(true)
+                    })
+                    .unwrap_or(0);
+                QueryResult::Sat(Trace {
+                    states,
+                    inputs,
+                    bad_index,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::Sort;
+
+    #[test]
+    fn proves_saturating_counter() {
+        // count saturates at 10; bad: count > 10. Interpolation should
+        // converge without unrolling to the full diameter.
+        let mut ts = TransitionSystem::new("sat-counter");
+        let s = ts.add_state("count", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let lim = ts.pool_mut().constv(8, 10);
+        let one = ts.pool_mut().constv(8, 1);
+        let at = ts.pool_mut().uge(sv, lim);
+        let inc = ts.pool_mut().add(sv, one);
+        let next = ts.pool_mut().ite(at, sv, inc);
+        let zero = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let bad = ts.pool_mut().ugt(sv, lim);
+        ts.add_bad(bad, "overflow");
+        let out = Interpolation::default().check(&ts);
+        assert_eq!(out.outcome, Verdict::Safe);
+    }
+
+    #[test]
+    fn finds_shallow_and_deep_bugs() {
+        for depth in [0u64, 1, 9, 21] {
+            let ts = crate::bmc::tests::counter_ts(depth, 8);
+            let out = Interpolation::default().check(&ts);
+            match out.outcome {
+                Verdict::Unsafe(trace) => {
+                    assert_eq!(trace.length() as u64, depth, "depth {depth}");
+                    let sys = aig::blast_system(&ts);
+                    assert!(trace.replays_on(&sys), "trace replays, depth {depth}");
+                }
+                other => panic!("expected Unsafe at depth {depth}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn proves_trap_design() {
+        // The unreachable-loop design that defeats plain k-induction:
+        // interpolation proves it because the reachable set { a=0 } has
+        // a tiny over-approximation.
+        let mut ts = TransitionSystem::new("trap");
+        let jump = ts.add_input("jump", Sort::BOOL);
+        let a = ts.add_state("a", Sort::BOOL);
+        let c = ts.add_state("c", Sort::Bv(2));
+        let (jv, av, cv) = {
+            let p = ts.pool_mut();
+            (p.var(jump), p.var(a), p.var(c))
+        };
+        let p = ts.pool_mut();
+        let two = p.constv(2, 2);
+        let three = p.constv(2, 3);
+        let one = p.constv(2, 1);
+        let zero2 = p.constv(2, 0);
+        let zero1 = p.constv(1, 0);
+        let at2 = p.eq(cv, two);
+        let inc = p.add(cv, one);
+        let cyc = p.ite(at2, zero2, inc);
+        let jumped = p.ite(jv, three, cyc);
+        let c_next = p.ite(av, jumped, zero2);
+        let at3 = p.eq(cv, three);
+        let bad = p.and(av, at3);
+        ts.set_init(a, zero1);
+        ts.set_init(c, zero2);
+        ts.set_next(a, av);
+        ts.set_next(c, c_next);
+        ts.add_bad(bad, "trap");
+        let out = Interpolation::default().check(&ts);
+        assert_eq!(out.outcome, Verdict::Safe);
+    }
+}

@@ -1,0 +1,53 @@
+//! Hardware model-checking engines.
+//!
+//! These are the "hardware tool" configurations of the DATE 2016
+//! comparison, operating on the bit-level netlist (like ABC) or on
+//! word-level unrollings (like EBMC):
+//!
+//! | paper tool          | engine here            |
+//! |---------------------|------------------------|
+//! | ABC `kind`          | [`kind::KInduction`]   |
+//! | EBMC k-induction    | [`word::WordKInduction`] |
+//! | ABC interpolation   | [`itp::Interpolation`] |
+//! | ABC `pdr`           | [`pdr::Pdr`]           |
+//! | (bug finding base)  | [`bmc::Bmc`]           |
+//!
+//! All engines implement [`Checker`] over a word-level
+//! [`rtlir::TransitionSystem`] and return a [`CheckOutcome`] — verdict
+//! plus statistics — under a configurable resource [`Budget`], which
+//! stands in for the paper's 5-hour / 32 GB per-benchmark limits.
+//!
+//! # Example
+//!
+//! ```
+//! use engines::{bmc::Bmc, Checker, Verdict};
+//! use rtlir::{Sort, TransitionSystem};
+//!
+//! // A counter that reaches 5 after five steps.
+//! let mut ts = TransitionSystem::new("c");
+//! let s = ts.add_state("count", Sort::Bv(8));
+//! let sv = ts.pool_mut().var(s);
+//! let one = ts.pool_mut().constv(8, 1);
+//! let next = ts.pool_mut().add(sv, one);
+//! let zero = ts.pool_mut().constv(8, 0);
+//! ts.set_init(s, zero);
+//! ts.set_next(s, next);
+//! let five = ts.pool_mut().constv(8, 5);
+//! let bad = ts.pool_mut().eq(sv, five);
+//! ts.add_bad(bad, "reaches 5");
+//!
+//! let out = Bmc::default().check(&ts);
+//! match out.outcome {
+//!     Verdict::Unsafe(trace) => assert_eq!(trace.states.len(), 6),
+//!     other => panic!("expected a counterexample, got {other:?}"),
+//! }
+//! ```
+
+pub mod bmc;
+pub mod itp;
+pub mod kind;
+pub mod pdr;
+pub mod result;
+pub mod word;
+
+pub use result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};

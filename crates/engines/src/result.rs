@@ -1,0 +1,278 @@
+//! Shared result, trace and resource-budget types for all verification
+//! engines (hardware-level in this crate, software-level in `swan`).
+
+use rtlir::TransitionSystem;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why an engine gave up without an answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Unknown {
+    /// The wall-clock budget ran out.
+    Timeout,
+    /// The bound (k, frame count) limit was reached without an answer.
+    BoundReached,
+    /// The technique is inherently incomplete here (e.g. abstract
+    /// interpretation raising a possible false alarm). Carries a short
+    /// explanation.
+    Inconclusive(String),
+}
+
+impl fmt::Display for Unknown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Unknown::Timeout => write!(f, "timeout"),
+            Unknown::BoundReached => write!(f, "bound reached"),
+            Unknown::Inconclusive(why) => write!(f, "inconclusive: {why}"),
+        }
+    }
+}
+
+/// A bit-level counterexample trace.
+///
+/// `states[i]` is the latch assignment at cycle `i` and `inputs[i]` the
+/// primary-input assignment applied in cycle `i`; the final state
+/// satisfies the violated bad property. Bit order matches
+/// [`aig::AigSystem`]'s latch/input order for the checked design.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Latch values per cycle (length = cycles + 1).
+    pub states: Vec<Vec<bool>>,
+    /// Input values per cycle (length = cycles + 1; the last entry is
+    /// the input vector under which the property fires, when it is
+    /// input-dependent).
+    pub inputs: Vec<Vec<bool>>,
+    /// Index of the violated bad property.
+    pub bad_index: usize,
+}
+
+impl Trace {
+    /// Number of clock cycles from reset to the violation.
+    pub fn length(&self) -> usize {
+        self.states.len().saturating_sub(1)
+    }
+
+    /// Replays the trace on the bit-level netlist and checks that it
+    /// ends in the reported bad state. Returns `false` for traces that
+    /// do not actually witness a violation — engines are tested with
+    /// this, closing the loop on counterexample soundness.
+    pub fn replays_on(&self, sys: &aig::AigSystem) -> bool {
+        if self.states.is_empty() {
+            return false;
+        }
+        // Initial state must agree with initialized latches.
+        for (i, latch) in sys.latches.iter().enumerate() {
+            if let Some(init) = latch.init {
+                if self.states[0][i] != init {
+                    return false;
+                }
+            }
+        }
+        let mut state = self.states[0].clone();
+        for c in 0..self.states.len() {
+            let empty = Vec::new();
+            let inp = self.inputs.get(c).unwrap_or(&empty);
+            if state != self.states[c] {
+                return false;
+            }
+            if c + 1 == self.states.len() {
+                let bads = sys.bads_in(&state, inp);
+                return bads.get(self.bad_index).copied().unwrap_or(false);
+            }
+            state = sys.step(&state, inp);
+        }
+        false
+    }
+}
+
+/// The answer of a verification engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// All bad states are unreachable.
+    Safe,
+    /// A bad state is reachable; the trace witnesses it.
+    Unsafe(Trace),
+    /// No answer within the budget.
+    Unknown(Unknown),
+}
+
+impl Verdict {
+    /// Whether the verdict is [`Verdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe)
+    }
+    /// Whether the verdict is [`Verdict::Unsafe`].
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, Verdict::Unsafe(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Safe => write!(f, "SAFE"),
+            Verdict::Unsafe(t) => write!(f, "UNSAFE (cycle {})", t.length()),
+            Verdict::Unknown(u) => write!(f, "UNKNOWN ({u})"),
+        }
+    }
+}
+
+/// Statistics reported by every engine.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Final bound: the k of k-induction/BMC, frame count of PDR, or
+    /// iteration count of fixpoint engines.
+    pub depth: u32,
+    /// Number of SAT solver queries issued.
+    pub sat_queries: u64,
+    /// Total conflicts across all SAT queries.
+    pub conflicts: u64,
+    /// Wall-clock time spent in `check`.
+    pub time: Duration,
+}
+
+/// Verdict plus statistics.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The verdict.
+    pub outcome: Verdict,
+    /// Run statistics.
+    pub stats: EngineStats,
+}
+
+impl CheckOutcome {
+    /// Builds an outcome, stamping elapsed time from `started`.
+    pub fn finish(outcome: Verdict, mut stats: EngineStats, started: Instant) -> CheckOutcome {
+        stats.time = started.elapsed();
+        CheckOutcome { outcome, stats }
+    }
+}
+
+/// Resource budget for one `check` call: the reproduction-scale
+/// stand-in for the paper's 5 h / 32 GB per-benchmark limits.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Wall-clock limit (`None` = unlimited).
+    pub timeout: Option<Duration>,
+    /// Bound limit: maximum k / frame count.
+    pub max_depth: u32,
+}
+
+impl Default for Budget {
+    fn default() -> Budget {
+        Budget {
+            timeout: Some(Duration::from_secs(60)),
+            max_depth: 4000,
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with the given wall-clock limit in seconds.
+    pub fn with_timeout_secs(secs: u64) -> Budget {
+        Budget {
+            timeout: Some(Duration::from_secs(secs)),
+            ..Budget::default()
+        }
+    }
+
+    /// Computes the absolute deadline for a run starting now.
+    pub fn deadline_from(&self, started: Instant) -> Option<Instant> {
+        self.timeout.map(|t| started + t)
+    }
+
+    /// SAT limits for one query of a run started at `started`.
+    pub fn sat_limits(&self, started: Instant) -> satb::Limits {
+        satb::Limits {
+            max_conflicts: None,
+            deadline: self.deadline_from(started),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self, started: Instant) -> bool {
+        match self.deadline_from(started) {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+}
+
+/// A verification engine over word-level transition systems.
+pub trait Checker {
+    /// Short machine-readable engine name, e.g. `"abc-pdr"`.
+    fn name(&self) -> &'static str;
+    /// Checks all bad-state properties of `ts`.
+    fn check(&self, ts: &TransitionSystem) -> CheckOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Safe.to_string(), "SAFE");
+        let t = Trace {
+            states: vec![vec![false], vec![true]],
+            inputs: vec![vec![], vec![]],
+            bad_index: 0,
+        };
+        assert_eq!(Verdict::Unsafe(t).to_string(), "UNSAFE (cycle 1)");
+        assert_eq!(
+            Verdict::Unknown(Unknown::Timeout).to_string(),
+            "UNKNOWN (timeout)"
+        );
+    }
+
+    #[test]
+    fn budget_deadline() {
+        let b = Budget {
+            timeout: Some(Duration::from_millis(1)),
+            max_depth: 10,
+        };
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.expired(t0));
+        let unlimited = Budget {
+            timeout: None,
+            max_depth: 10,
+        };
+        assert!(!unlimited.expired(t0));
+    }
+
+    #[test]
+    fn trace_replay_rejects_garbage() {
+        use rtlir::{Sort, TransitionSystem};
+        let mut ts = TransitionSystem::new("t");
+        let s = ts.add_state("s", Sort::BOOL);
+        let z = ts.pool_mut().constv(1, 0);
+        let o = ts.pool_mut().constv(1, 1);
+        ts.set_init(s, z);
+        ts.set_next(s, o);
+        let sv = ts.pool_mut().var(s);
+        ts.add_bad(sv, "s set");
+        let sys = aig::blast_system(&ts);
+        // Valid trace: 0 -> 1 (bad).
+        let good = Trace {
+            states: vec![vec![false], vec![true]],
+            inputs: vec![vec![], vec![]],
+            bad_index: 0,
+        };
+        assert!(good.replays_on(&sys));
+        // Wrong initial state.
+        let bad_init = Trace {
+            states: vec![vec![true]],
+            inputs: vec![vec![]],
+            bad_index: 0,
+        };
+        assert!(!bad_init.replays_on(&sys));
+        // Non-bad final state.
+        let not_bad = Trace {
+            states: vec![vec![false]],
+            inputs: vec![vec![]],
+            bad_index: 0,
+        };
+        assert!(!not_bad.replays_on(&sys));
+    }
+}

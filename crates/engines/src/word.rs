@@ -1,0 +1,336 @@
+//! Word-level k-induction (the paper's "EBMC-kind" configuration).
+//!
+//! Unlike the bit-level engine, the unrolling happens at the *word
+//! level* using [`rtlir::Unroller`]: constants propagate through whole
+//! words, ites collapse, and each bound's verification condition is
+//! bit-blasted and solved from scratch. This mirrors how EBMC's
+//! word-level engine behaves — cheaper formulas on data-path designs,
+//! but no incremental solver reuse between bounds.
+
+use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
+use aig::Blaster;
+use rtlir::unroll::{InitMode, Unroller};
+use rtlir::TransitionSystem;
+use satb::{Part, SolveResult, Solver};
+use std::time::Instant;
+
+/// Word-level k-induction engine.
+#[derive(Clone, Debug)]
+pub struct WordKInduction {
+    /// Resource limits.
+    pub budget: Budget,
+    /// Add pairwise state-distinctness (simple path) constraints.
+    pub simple_path: bool,
+}
+
+impl Default for WordKInduction {
+    fn default() -> WordKInduction {
+        WordKInduction {
+            budget: Budget::default(),
+            simple_path: true,
+        }
+    }
+}
+
+impl WordKInduction {
+    /// Creates an engine with the given budget.
+    pub fn new(budget: Budget) -> WordKInduction {
+        WordKInduction {
+            budget,
+            ..WordKInduction::default()
+        }
+    }
+
+    /// Solves a single-bit word-level formula built in `unroller`'s
+    /// pool. Returns the solver (for model extraction) and the result.
+    fn solve_formula<'u>(
+        &self,
+        unroller: &'u Unroller<'_>,
+        roots: &[rtlir::ExprId],
+        started: Instant,
+    ) -> (SolveResult, Option<WordModel<'u>>) {
+        let mut blaster = Blaster::new(unroller.pool());
+        let bits: Vec<aig::AigLit> = roots.iter().map(|&r| blaster.blast_bit(r)).collect();
+        let aig = blaster.aig();
+        let mut solver = Solver::new();
+        let mut enc = aig::FrameEncoder::new();
+        for &b in &bits {
+            let l = enc.encode(aig, &mut solver, b, Part::A);
+            solver.add_clause(&[l]);
+        }
+        let r = solver.solve_limited(&[], self.budget.sat_limits(started));
+        if r == SolveResult::Sat {
+            // Capture CI values so the caller can evaluate word-level
+            // expressions of the model.
+            let mut ci_vals = vec![false; aig.num_cis()];
+            for (ci, al) in aig.ci_lits().into_iter().enumerate() {
+                ci_vals[ci] = enc
+                    .mapped(al)
+                    .and_then(|sl| solver.value(sl))
+                    .unwrap_or(false);
+            }
+            let model = WordModel { blaster, ci_vals };
+            return (r, Some(model));
+        }
+        (r, None)
+    }
+}
+
+/// A satisfying assignment at the word level: CI values plus the
+/// blaster that maps word expressions to bits.
+struct WordModel<'p> {
+    blaster: Blaster<'p>,
+    ci_vals: Vec<bool>,
+}
+
+impl WordModel<'_> {
+    /// Evaluates a word-level expression under the model. Expressions
+    /// outside the solved cone may introduce fresh CIs (don't-cares),
+    /// which read as zero.
+    fn eval_word(&mut self, e: rtlir::ExprId) -> u64 {
+        let bits = self.blaster.blast(e).bits().to_vec();
+        if self.ci_vals.len() < self.blaster.aig().num_cis() {
+            self.ci_vals.resize(self.blaster.aig().num_cis(), false);
+        }
+        let mut out = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            if self.blaster.aig().eval(b, &self.ci_vals) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+}
+
+impl Checker for WordKInduction {
+    fn name(&self) -> &'static str {
+        "ebmc-kind"
+    }
+
+    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let started = Instant::now();
+        let mut stats = EngineStats::default();
+
+        for k in 0..=self.budget.max_depth {
+            if self.budget.expired(started) {
+                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            }
+            stats.depth = k;
+
+            // Base case: fresh initialized unrolling, bad at frame k,
+            // constraints on all frames, no bad before k.
+            let mut base = Unroller::new(ts, InitMode::Initialized);
+            let mut roots = Vec::new();
+            for f in 0..=k as usize {
+                let c = base.constraint(f);
+                roots.push(c);
+                if f < k as usize {
+                    let b = base.bad(f);
+                    let nb = base.pool_mut().not(b);
+                    roots.push(nb);
+                }
+            }
+            let bk = base.bad(k as usize);
+            roots.push(bk);
+            // Pre-materialize everything a trace needs, because model
+            // extraction borrows the unroller's pool immutably.
+            // Per frame, per state: the word expressions to evaluate
+            // (one for a bit-vector, one read per index for an array).
+            let mut state_words: Vec<Vec<Vec<rtlir::ExprId>>> = Vec::new();
+            let mut input_words: Vec<Vec<rtlir::ExprId>> = Vec::new();
+            for f in 0..=k as usize {
+                let mut per_state = Vec::new();
+                for (si, s) in ts.states().iter().enumerate() {
+                    let sort = ts.pool().var_sort(s.var);
+                    let e = base.state(f, si);
+                    let words = match sort {
+                        rtlir::Sort::Bv(_) => vec![e],
+                        rtlir::Sort::Array { index_width, .. } => (0..(1u64 << index_width))
+                            .map(|idx| {
+                                let ie = base.pool_mut().constv(index_width, idx);
+                                base.pool_mut().read(e, ie)
+                            })
+                            .collect(),
+                    };
+                    per_state.push(words);
+                }
+                state_words.push(per_state);
+                let inps = (0..ts.inputs().len())
+                    .map(|ii| base.input(f, ii))
+                    .collect();
+                input_words.push(inps);
+            }
+            let bad_words: Vec<rtlir::ExprId> = (0..ts.bads().len())
+                .map(|bi| base.bad_at(k as usize, bi))
+                .collect();
+            stats.sat_queries += 1;
+            let (r, model) = self.solve_formula(&base, &roots, started);
+            match r {
+                SolveResult::Sat => {
+                    let mut model = model.expect("sat model");
+                    // Flatten the word-level model to the bit order of
+                    // AigSystem (state-major, LSB first).
+                    let mut states = Vec::new();
+                    let mut inputs = Vec::new();
+                    for f in 0..=k as usize {
+                        let mut st = Vec::new();
+                        for (si, s) in ts.states().iter().enumerate() {
+                            let sort = ts.pool().var_sort(s.var);
+                            let width = match sort {
+                                rtlir::Sort::Bv(w) => w,
+                                rtlir::Sort::Array { elem_width, .. } => elem_width,
+                            };
+                            for &e in &state_words[f][si] {
+                                let v = model.eval_word(e);
+                                for b in 0..width {
+                                    st.push((v >> b) & 1 == 1);
+                                }
+                            }
+                        }
+                        states.push(st);
+                        let mut inp = Vec::new();
+                        for (ii, &ivar) in ts.inputs().iter().enumerate() {
+                            let w = ts.pool().var_sort(ivar).width();
+                            let v = model.eval_word(input_words[f][ii]);
+                            for b in 0..w {
+                                inp.push((v >> b) & 1 == 1);
+                            }
+                        }
+                        inputs.push(inp);
+                    }
+                    let bad_index = bad_words
+                        .iter()
+                        .position(|&e| model.eval_word(e) == 1)
+                        .unwrap_or(0);
+                    let trace = Trace {
+                        states,
+                        inputs,
+                        bad_index,
+                    };
+                    return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
+                }
+                SolveResult::Unknown => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    );
+                }
+                SolveResult::Unsat => {}
+            }
+
+            // Inductive step: free initial state, property holds for
+            // frames 0..k-1, fails at k, simple path.
+            let mut step = Unroller::new(ts, InitMode::Free);
+            let mut roots = Vec::new();
+            for f in 0..=k as usize {
+                let c = step.constraint(f);
+                roots.push(c);
+                if f < k as usize {
+                    let b = step.bad(f);
+                    let nb = step.pool_mut().not(b);
+                    roots.push(nb);
+                }
+            }
+            let bk = step.bad(k as usize);
+            roots.push(bk);
+            if self.simple_path {
+                for i in 0..k as usize {
+                    for j in (i + 1)..=k as usize {
+                        let d = step.frames_distinct(i, j);
+                        roots.push(d);
+                    }
+                }
+            }
+            stats.sat_queries += 1;
+            let (r, _) = self.solve_formula(&step, &roots, started);
+            match r {
+                SolveResult::Unsat => {
+                    return CheckOutcome::finish(Verdict::Safe, stats, started);
+                }
+                SolveResult::Unknown => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    );
+                }
+                SolveResult::Sat => {}
+            }
+        }
+        CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::Sort;
+
+    #[test]
+    fn finds_counter_bug_at_word_level() {
+        for depth in [0u64, 3, 12] {
+            let ts = crate::bmc::tests::counter_ts(depth, 8);
+            let out = WordKInduction::default().check(&ts);
+            match out.outcome {
+                Verdict::Unsafe(trace) => {
+                    assert_eq!(trace.length() as u64, depth);
+                    let sys = aig::blast_system(&ts);
+                    assert!(trace.replays_on(&sys), "word-level trace replays on bit-level model");
+                }
+                other => panic!("expected Unsafe at {depth}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn proves_saturating_counter() {
+        let mut ts = TransitionSystem::new("sat-counter");
+        let s = ts.add_state("count", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let lim = ts.pool_mut().constv(8, 10);
+        let one = ts.pool_mut().constv(8, 1);
+        let at = ts.pool_mut().uge(sv, lim);
+        let inc = ts.pool_mut().add(sv, one);
+        let next = ts.pool_mut().ite(at, sv, inc);
+        let zero = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let bad = ts.pool_mut().ugt(sv, lim);
+        ts.add_bad(bad, "overflow");
+        let out = WordKInduction::default().check(&ts);
+        assert_eq!(out.outcome, Verdict::Safe);
+        assert!(out.stats.depth <= 2);
+    }
+
+    #[test]
+    fn agrees_with_bit_level_kind() {
+        use crate::kind::KInduction;
+        // Input-gated saturating counter.
+        let mut ts = TransitionSystem::new("gated");
+        let en = ts.add_input("en", Sort::BOOL);
+        let s = ts.add_state("c", Sort::Bv(6));
+        let (env_, sv) = {
+            let p = ts.pool_mut();
+            (p.var(en), p.var(s))
+        };
+        let lim = ts.pool_mut().constv(6, 30);
+        let one = ts.pool_mut().constv(6, 1);
+        let zero = ts.pool_mut().constv(6, 0);
+        let lt = ts.pool_mut().ult(sv, lim);
+        let inc = ts.pool_mut().add(sv, one);
+        let can = ts.pool_mut().and(env_, lt);
+        let next = ts.pool_mut().ite(can, inc, sv);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let bad = ts.pool_mut().ugt(sv, lim);
+        ts.add_bad(bad, "c > 30");
+
+        let word = WordKInduction::default().check(&ts);
+        let bit = KInduction::default().check(&ts);
+        assert_eq!(word.outcome, Verdict::Safe);
+        assert_eq!(bit.outcome, Verdict::Safe);
+        // Section III-C of the paper: same k on both representations.
+        assert_eq!(word.stats.depth, bit.stats.depth, "same inductive k");
+    }
+}

@@ -1,0 +1,262 @@
+//! Reference evaluator: the golden semantics of the expression language.
+
+use crate::expr::{BinOp, ExprId, Node, UnOp, VarId};
+use crate::pool::ExprPool;
+use crate::value::{ops, ArrayValue, Value};
+use std::collections::HashMap;
+
+/// An assignment of values to (some of) a pool's variables.
+///
+/// The evaluator queries this for every variable it encounters.
+pub trait EvalEnv {
+    /// The value of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `v` is not covered by the
+    /// environment; the evaluator only asks for variables that actually
+    /// occur in the evaluated expression.
+    fn value_of(&self, v: VarId) -> Value;
+}
+
+impl EvalEnv for HashMap<VarId, Value> {
+    fn value_of(&self, v: VarId) -> Value {
+        self.get(&v)
+            .unwrap_or_else(|| panic!("no value for {v}"))
+            .clone()
+    }
+}
+
+impl<F: Fn(VarId) -> Value> EvalEnv for F {
+    fn value_of(&self, v: VarId) -> Value {
+        self(v)
+    }
+}
+
+/// Evaluates `root` under `env`, sharing work across the expression DAG.
+///
+/// Iterative (explicit work list), so deeply nested expressions from
+/// long combinational chains cannot overflow the stack.
+///
+/// # Example
+///
+/// ```
+/// use rtlir::{eval, ExprPool, Sort, Value};
+/// use std::collections::HashMap;
+///
+/// let mut p = ExprPool::new();
+/// let x = p.new_var("x", Sort::Bv(8));
+/// let xv = p.var(x);
+/// let e = p.mul(xv, xv);
+/// let mut env = HashMap::new();
+/// env.insert(x, Value::bv(8, 20));
+/// assert_eq!(eval(&p, e, &env), Value::bv(8, 144)); // 400 mod 256
+/// ```
+pub fn eval(pool: &ExprPool, root: ExprId, env: &impl EvalEnv) -> Value {
+    let mut cache: HashMap<ExprId, Value> = HashMap::new();
+    eval_with_cache(pool, root, env, &mut cache)
+}
+
+/// Like [`eval`] but reuses a caller-provided cache, so several
+/// expressions over the same variable assignment (e.g. all next-state
+/// functions of one step) share sub-expression work.
+pub fn eval_with_cache(
+    pool: &ExprPool,
+    root: ExprId,
+    env: &impl EvalEnv,
+    cache: &mut HashMap<ExprId, Value>,
+) -> Value {
+    // Work list of (expr, expanded?) pairs: post-order evaluation.
+    let mut stack: Vec<(ExprId, bool)> = vec![(root, false)];
+    while let Some((e, expanded)) = stack.pop() {
+        if cache.contains_key(&e) {
+            continue;
+        }
+        let node = pool.node(e).clone();
+        if !expanded {
+            stack.push((e, true));
+            match &node {
+                Node::Const { .. } | Node::Var(_) | Node::ConstArray { .. } => {}
+                Node::Un(_, a) | Node::Extract { arg: a, .. } => stack.push((*a, false)),
+                Node::Zext { arg, .. } | Node::Sext { arg, .. } => stack.push((*arg, false)),
+                Node::Bin(_, a, b) => {
+                    stack.push((*a, false));
+                    stack.push((*b, false));
+                }
+                Node::Ite(c, t, f) => {
+                    stack.push((*c, false));
+                    stack.push((*t, false));
+                    stack.push((*f, false));
+                }
+                Node::Read { array, index } => {
+                    stack.push((*array, false));
+                    stack.push((*index, false));
+                }
+                Node::Write {
+                    array,
+                    index,
+                    value,
+                } => {
+                    stack.push((*array, false));
+                    stack.push((*index, false));
+                    stack.push((*value, false));
+                }
+            }
+            continue;
+        }
+        let get = |cache: &HashMap<ExprId, Value>, id: ExprId| cache[&id].clone();
+        let value = match node {
+            Node::Const { width, bits } => Value::bv(width, bits),
+            Node::ConstArray {
+                index_width,
+                elem_width,
+                bits,
+            } => Value::Array(ArrayValue::filled(index_width, elem_width, bits)),
+            Node::Var(v) => {
+                let val = env.value_of(v);
+                debug_assert_eq!(
+                    val.sort(),
+                    pool.var_sort(v),
+                    "environment returned wrong sort for {v}"
+                );
+                val
+            }
+            Node::Un(op, a) => {
+                let av = get(cache, a);
+                let w = pool.width(a);
+                let bits = av.bits();
+                let out = match op {
+                    UnOp::Not => ops::not(w, bits),
+                    UnOp::Neg => ops::neg(w, bits),
+                    UnOp::RedAnd => ops::redand(w, bits),
+                    UnOp::RedOr => ops::redor(w, bits),
+                    UnOp::RedXor => ops::redxor(w, bits),
+                };
+                Value::bv(pool.width(e), out)
+            }
+            Node::Bin(op, a, b) => {
+                let (av, bv) = (get(cache, a).bits(), get(cache, b).bits());
+                let (wa, wb) = (pool.width(a), pool.width(b));
+                let out = match op {
+                    BinOp::And => av & bv,
+                    BinOp::Or => av | bv,
+                    BinOp::Xor => av ^ bv,
+                    BinOp::Add => ops::add(wa, av, bv),
+                    BinOp::Sub => ops::sub(wa, av, bv),
+                    BinOp::Mul => ops::mul(wa, av, bv),
+                    BinOp::Udiv => ops::udiv(wa, av, bv),
+                    BinOp::Urem => ops::urem(wa, av, bv),
+                    BinOp::Shl => ops::shl(wa, av, bv),
+                    BinOp::Lshr => ops::lshr(wa, av, bv),
+                    BinOp::Ashr => ops::ashr(wa, av, bv),
+                    BinOp::Eq => ops::eq(av, bv),
+                    BinOp::Ult => ops::ult(av, bv),
+                    BinOp::Ule => ops::ule(av, bv),
+                    BinOp::Slt => ops::slt(wa, av, bv),
+                    BinOp::Sle => ops::sle(wa, av, bv),
+                    BinOp::Concat => ops::concat(av, wb, bv),
+                };
+                Value::bv(pool.width(e), out)
+            }
+            Node::Ite(c, t, f) => {
+                if get(cache, c).as_bool() {
+                    get(cache, t)
+                } else {
+                    get(cache, f)
+                }
+            }
+            Node::Extract { hi, lo, arg } => {
+                Value::bv(hi - lo + 1, ops::extract(hi, lo, get(cache, arg).bits()))
+            }
+            Node::Zext { arg, width } => Value::bv(width, get(cache, arg).bits()),
+            Node::Sext { arg, width } => Value::bv(
+                width,
+                ops::sext(pool.width(arg), width, get(cache, arg).bits()),
+            ),
+            Node::Read { array, index } => {
+                let a = get(cache, array);
+                let i = get(cache, index).bits();
+                Value::bv(a.as_array().elem_width, a.as_array().read(i))
+            }
+            Node::Write {
+                array,
+                index,
+                value,
+            } => {
+                let a = get(cache, array);
+                let i = get(cache, index).bits();
+                let v = get(cache, value).bits();
+                Value::Array(a.as_array().write(i, v))
+            }
+        };
+        cache.insert(e, value);
+    }
+    cache[&root].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn dag_sharing() {
+        let mut p = ExprPool::new();
+        let x = p.new_var("x", Sort::Bv(32));
+        let xv = p.var(x);
+        // Build a deep chain: ((x+x)+(x+x))+... — shared nodes.
+        let mut e = xv;
+        for _ in 0..1000 {
+            e = p.add(e, e);
+        }
+        let mut env = HashMap::new();
+        env.insert(x, Value::bv(32, 1));
+        // 2^1000 mod 2^32 == 0.
+        assert_eq!(eval(&p, e, &env), Value::bv(32, 0));
+    }
+
+    #[test]
+    fn ite_and_memory() {
+        let mut p = ExprPool::new();
+        let mem = p.new_var("mem", Sort::array(4, 8));
+        let sel = p.new_var("sel", Sort::BOOL);
+        let mv = p.var(mem);
+        let sv = p.var(sel);
+        let i3 = p.constv(4, 3);
+        let v9 = p.constv(8, 9);
+        let updated = p.write(mv, i3, v9);
+        let chosen = p.ite(sv, updated, mv);
+        let read = p.read(chosen, i3);
+
+        let mut env = HashMap::new();
+        env.insert(mem, Value::Array(ArrayValue::filled(4, 8, 0)));
+        env.insert(sel, Value::bit(true));
+        assert_eq!(eval(&p, read, &env), Value::bv(8, 9));
+        env.insert(sel, Value::bit(false));
+        assert_eq!(eval(&p, read, &env), Value::bv(8, 0));
+    }
+
+    #[test]
+    fn closure_env() {
+        let mut p = ExprPool::new();
+        let x = p.new_var("x", Sort::Bv(8));
+        let xv = p.var(x);
+        let two = p.constv(8, 2);
+        let e = p.shl(xv, two);
+        let v = eval(&p, e, &|_v: VarId| Value::bv(8, 3));
+        assert_eq!(v, Value::bv(8, 12));
+    }
+
+    #[test]
+    fn extensions() {
+        let mut p = ExprPool::new();
+        let x = p.new_var("x", Sort::Bv(4));
+        let xv = p.var(x);
+        let z = p.zext(xv, 8);
+        let s = p.sext(xv, 8);
+        let mut env = HashMap::new();
+        env.insert(x, Value::bv(4, 0b1010));
+        assert_eq!(eval(&p, z, &env), Value::bv(8, 0x0A));
+        assert_eq!(eval(&p, s, &env), Value::bv(8, 0xFA));
+    }
+}

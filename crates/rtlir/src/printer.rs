@@ -1,0 +1,176 @@
+//! Human-readable printing of expressions and transition systems.
+//!
+//! The format is BTOR-flavoured and intended for debugging, golden
+//! tests and the `--dump-ir` options of the command-line harnesses.
+
+use crate::expr::{ExprId, Node};
+use crate::pool::ExprPool;
+use crate::ts::TransitionSystem;
+use std::fmt::Write as _;
+
+/// Renders a single expression as an S-expression-like string.
+///
+/// Shared sub-expressions are expanded in place, so this is meant for
+/// small expressions; use [`print_ts`] for whole systems.
+///
+/// # Example
+///
+/// ```
+/// use rtlir::{ExprPool, Sort};
+/// use rtlir::printer::print_expr;
+///
+/// let mut p = ExprPool::new();
+/// let x = p.new_var("x", Sort::Bv(8));
+/// let xv = p.var(x);
+/// let c = p.constv(8, 1);
+/// let e = p.add(xv, c);
+/// assert_eq!(print_expr(&p, e), "(+ 8'd1 x)");
+/// ```
+pub fn print_expr(pool: &ExprPool, e: ExprId) -> String {
+    let mut s = String::new();
+    write_expr(pool, e, &mut s);
+    s
+}
+
+fn write_expr(pool: &ExprPool, e: ExprId, out: &mut String) {
+    match pool.node(e) {
+        Node::Const { width, bits } => {
+            let _ = write!(out, "{width}'d{bits}");
+        }
+        Node::ConstArray { bits, .. } => {
+            let _ = write!(out, "(const-array {bits})");
+        }
+        Node::Var(v) => {
+            let _ = write!(out, "{}", pool.var_decl(*v).name);
+        }
+        Node::Un(op, a) => {
+            let _ = write!(out, "({op} ");
+            write_expr(pool, *a, out);
+            out.push(')');
+        }
+        Node::Bin(op, a, b) => {
+            let _ = write!(out, "({op} ");
+            write_expr(pool, *a, out);
+            out.push(' ');
+            write_expr(pool, *b, out);
+            out.push(')');
+        }
+        Node::Ite(c, t, f) => {
+            out.push_str("(ite ");
+            write_expr(pool, *c, out);
+            out.push(' ');
+            write_expr(pool, *t, out);
+            out.push(' ');
+            write_expr(pool, *f, out);
+            out.push(')');
+        }
+        Node::Extract { hi, lo, arg } => {
+            out.push('(');
+            write_expr(pool, *arg, out);
+            let _ = write!(out, ")[{hi}:{lo}]");
+        }
+        Node::Zext { arg, width } => {
+            let _ = write!(out, "(zext{width} ");
+            write_expr(pool, *arg, out);
+            out.push(')');
+        }
+        Node::Sext { arg, width } => {
+            let _ = write!(out, "(sext{width} ");
+            write_expr(pool, *arg, out);
+            out.push(')');
+        }
+        Node::Read { array, index } => {
+            out.push_str("(read ");
+            write_expr(pool, *array, out);
+            out.push(' ');
+            write_expr(pool, *index, out);
+            out.push(')');
+        }
+        Node::Write {
+            array,
+            index,
+            value,
+        } => {
+            out.push_str("(write ");
+            write_expr(pool, *array, out);
+            out.push(' ');
+            write_expr(pool, *index, out);
+            out.push(' ');
+            write_expr(pool, *value, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Renders a whole transition system: inputs, states with init/next,
+/// constraints and bad properties.
+pub fn print_ts(ts: &TransitionSystem) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "system {} {{", ts.name());
+    for &i in ts.inputs() {
+        let d = ts.pool().var_decl(i);
+        let _ = writeln!(out, "  input {} : {}", d.name, d.sort);
+    }
+    for s in ts.states() {
+        let d = ts.pool().var_decl(s.var);
+        let _ = writeln!(out, "  state {} : {}", d.name, d.sort);
+        if let Some(init) = s.init {
+            let _ = writeln!(out, "    init {}", print_expr(ts.pool(), init));
+        }
+        if let Some(next) = s.next {
+            let _ = writeln!(out, "    next {}", print_expr(ts.pool(), next));
+        }
+    }
+    for &c in ts.constraints() {
+        let _ = writeln!(out, "  constraint {}", print_expr(ts.pool(), c));
+    }
+    for b in ts.bads() {
+        let _ = writeln!(
+            out,
+            "  bad \"{}\" {}",
+            b.name,
+            print_expr(ts.pool(), b.expr)
+        );
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::Sort;
+
+    #[test]
+    fn expr_rendering() {
+        let mut p = ExprPool::new();
+        let x = p.new_var("x", Sort::Bv(8));
+        let xv = p.var(x);
+        let c = p.constv(8, 3);
+        let add = p.add(xv, c);
+        let hi = p.extract(add, 7, 4);
+        // Commutative operands are normalized constants-first.
+        assert_eq!(print_expr(&p, hi), "((+ 8'd3 x))[7:4]");
+        let r = p.redor(xv);
+        assert_eq!(print_expr(&p, r), "(| x)");
+    }
+
+    #[test]
+    fn ts_rendering_contains_sections() {
+        let mut ts = TransitionSystem::new("demo");
+        ts.add_input("go", Sort::BOOL);
+        let s = ts.add_state("r", Sort::Bv(2));
+        let z = ts.pool_mut().constv(2, 0);
+        let sv = ts.pool_mut().var(s);
+        ts.set_init(s, z);
+        ts.set_next(s, sv);
+        let bad = ts.pool_mut().redor(sv);
+        ts.add_bad(bad, "r nonzero");
+        let text = print_ts(&ts);
+        assert!(text.contains("system demo {"));
+        assert!(text.contains("input go : bv1"));
+        assert!(text.contains("state r : bv2"));
+        assert!(text.contains("init 2'd0"));
+        assert!(text.contains("bad \"r nonzero\""));
+    }
+}

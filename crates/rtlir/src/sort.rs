@@ -1,0 +1,128 @@
+//! Sorts (types) of word-level expressions.
+
+use std::fmt;
+
+/// The sort of a word-level expression.
+///
+/// Bit-vector widths are limited to 64 bits, which covers every design in
+/// the DATE 2016 benchmark suite with room to spare and lets values live
+/// in a single machine word. Arrays model Verilog memories
+/// (`reg [e-1:0] mem [0:2^i - 1]`).
+///
+/// # Example
+///
+/// ```
+/// use rtlir::Sort;
+/// assert_eq!(Sort::Bv(8).width(), 8);
+/// assert!(Sort::array(4, 8).is_array());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// A bit-vector of the given width, `1..=64`.
+    Bv(u32),
+    /// An array from `Bv(index_width)` to `Bv(elem_width)`.
+    Array {
+        /// Width of the index bit-vector.
+        index_width: u32,
+        /// Width of each element.
+        elem_width: u32,
+    },
+}
+
+impl Sort {
+    /// The single-bit (boolean) sort.
+    pub const BOOL: Sort = Sort::Bv(1);
+
+    /// Creates an array sort. Convenience over the struct literal.
+    pub fn array(index_width: u32, elem_width: u32) -> Sort {
+        Sort::Array {
+            index_width,
+            elem_width,
+        }
+    }
+
+    /// Returns the bit-vector width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is an array; callers branch on
+    /// [`is_array`](Sort::is_array) first when arrays are possible.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::Bv(w) => w,
+            Sort::Array { .. } => panic!("width() called on array sort {self}"),
+        }
+    }
+
+    /// Whether this is a single-bit sort.
+    pub fn is_bool(self) -> bool {
+        self == Sort::BOOL
+    }
+
+    /// Whether this is an array sort.
+    pub fn is_array(self) -> bool {
+        matches!(self, Sort::Array { .. })
+    }
+
+    /// Whether this is a bit-vector sort of any width.
+    pub fn is_bv(self) -> bool {
+        matches!(self, Sort::Bv(_))
+    }
+
+    /// Validates the sort: bit-vector widths must be in `1..=64`.
+    pub fn is_valid(self) -> bool {
+        match self {
+            Sort::Bv(w) => (1..=64).contains(&w),
+            Sort::Array {
+                index_width,
+                elem_width,
+            } => (1..=32).contains(&index_width) && (1..=64).contains(&elem_width),
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bv(w) => write!(f, "bv{w}"),
+            Sort::Array {
+                index_width,
+                elem_width,
+            } => write!(f, "bv{index_width} -> bv{elem_width}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Sort::Bv(13).width(), 13);
+        assert!(Sort::BOOL.is_bool());
+        assert!(!Sort::Bv(2).is_bool());
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Sort::Bv(1).is_valid());
+        assert!(Sort::Bv(64).is_valid());
+        assert!(!Sort::Bv(0).is_valid());
+        assert!(!Sort::Bv(65).is_valid());
+        assert!(Sort::array(4, 8).is_valid());
+        assert!(!Sort::array(0, 8).is_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "array sort")]
+    fn width_of_array_panics() {
+        let _ = Sort::array(2, 4).width();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::Bv(8).to_string(), "bv8");
+        assert_eq!(Sort::array(4, 16).to_string(), "bv4 -> bv16");
+    }
+}

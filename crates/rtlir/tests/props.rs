@@ -1,0 +1,246 @@
+//! Property-based tests for the rtlir expression language.
+//!
+//! Strategy: generate random expression trees over a small set of
+//! variables, then check that (a) constant folding in the pool agrees
+//! with the evaluator, and (b) algebraic identities hold under the
+//! evaluator for random assignments.
+
+use proptest::prelude::*;
+use rtlir::{eval, ExprId, ExprPool, Sort, Value, VarId};
+use std::collections::HashMap;
+
+const WIDTH: u32 = 8;
+
+/// A recipe for building an expression; interpreted against a pool.
+#[derive(Clone, Debug)]
+enum Recipe {
+    Var(usize),
+    Const(u64),
+    Not(Box<Recipe>),
+    Neg(Box<Recipe>),
+    And(Box<Recipe>, Box<Recipe>),
+    Or(Box<Recipe>, Box<Recipe>),
+    Xor(Box<Recipe>, Box<Recipe>),
+    Add(Box<Recipe>, Box<Recipe>),
+    Sub(Box<Recipe>, Box<Recipe>),
+    Mul(Box<Recipe>, Box<Recipe>),
+    Shl(Box<Recipe>, Box<Recipe>),
+    Lshr(Box<Recipe>, Box<Recipe>),
+    Ite(Box<Recipe>, Box<Recipe>, Box<Recipe>),
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    let leaf = prop_oneof![
+        (0usize..3).prop_map(Recipe::Var),
+        (0u64..256).prop_map(Recipe::Const),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|a| Recipe::Not(Box::new(a))),
+            inner.clone().prop_map(|a| Recipe::Neg(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Shl(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Recipe::Lshr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(c, a, b)| Recipe::Ite(Box::new(c), Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(pool: &mut ExprPool, vars: &[VarId], r: &Recipe) -> ExprId {
+    match r {
+        Recipe::Var(i) => pool.var(vars[i % vars.len()]),
+        Recipe::Const(c) => pool.constv(WIDTH, *c),
+        Recipe::Not(a) => {
+            let e = build(pool, vars, a);
+            pool.not(e)
+        }
+        Recipe::Neg(a) => {
+            let e = build(pool, vars, a);
+            pool.neg(e)
+        }
+        Recipe::And(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.and(x, y)
+        }
+        Recipe::Or(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.or(x, y)
+        }
+        Recipe::Xor(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.xor(x, y)
+        }
+        Recipe::Add(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.add(x, y)
+        }
+        Recipe::Sub(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.sub(x, y)
+        }
+        Recipe::Mul(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.mul(x, y)
+        }
+        Recipe::Shl(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.shl(x, y)
+        }
+        Recipe::Lshr(a, b) => {
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.lshr(x, y)
+        }
+        Recipe::Ite(c, a, b) => {
+            let cv = build(pool, vars, c);
+            let cb = pool.redor(cv); // make a 1-bit condition
+            let (x, y) = (build(pool, vars, a), build(pool, vars, b));
+            pool.ite(cb, x, y)
+        }
+    }
+}
+
+/// Reference interpretation of a recipe directly on u64s, independent of
+/// the pool (no hash-consing, no simplification).
+fn interp(r: &Recipe, vals: &[u64; 3]) -> u64 {
+    let m = (1u64 << WIDTH) - 1;
+    match r {
+        Recipe::Var(i) => vals[i % 3],
+        Recipe::Const(c) => c & m,
+        Recipe::Not(a) => !interp(a, vals) & m,
+        Recipe::Neg(a) => interp(a, vals).wrapping_neg() & m,
+        Recipe::And(a, b) => interp(a, vals) & interp(b, vals),
+        Recipe::Or(a, b) => interp(a, vals) | interp(b, vals),
+        Recipe::Xor(a, b) => interp(a, vals) ^ interp(b, vals),
+        Recipe::Add(a, b) => interp(a, vals).wrapping_add(interp(b, vals)) & m,
+        Recipe::Sub(a, b) => interp(a, vals).wrapping_sub(interp(b, vals)) & m,
+        Recipe::Mul(a, b) => interp(a, vals).wrapping_mul(interp(b, vals)) & m,
+        Recipe::Shl(a, b) => {
+            let sh = interp(b, vals);
+            if sh >= WIDTH as u64 {
+                0
+            } else {
+                (interp(a, vals) << sh) & m
+            }
+        }
+        Recipe::Lshr(a, b) => {
+            let sh = interp(b, vals);
+            if sh >= WIDTH as u64 {
+                0
+            } else {
+                interp(a, vals) >> sh
+            }
+        }
+        Recipe::Ite(c, a, b) => {
+            if interp(c, vals) != 0 {
+                interp(a, vals)
+            } else {
+                interp(b, vals)
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The pool's smart constructors (with folding and normalization)
+    /// never change the meaning of an expression.
+    #[test]
+    fn folding_preserves_semantics(r in recipe(), v0 in 0u64..256, v1 in 0u64..256, v2 in 0u64..256) {
+        let mut pool = ExprPool::new();
+        let vars: Vec<VarId> = (0..3)
+            .map(|i| pool.new_var(format!("x{i}"), Sort::Bv(WIDTH)))
+            .collect();
+        let e = build(&mut pool, &vars, &r);
+        let mut env = HashMap::new();
+        env.insert(vars[0], Value::bv(WIDTH, v0));
+        env.insert(vars[1], Value::bv(WIDTH, v1));
+        env.insert(vars[2], Value::bv(WIDTH, v2));
+        let got = eval(&pool, e, &env).bits();
+        let want = interp(&r, &[v0, v1, v2]);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Hash-consing: building the same recipe twice yields the same id.
+    #[test]
+    fn hash_consing_is_deterministic(r in recipe()) {
+        let mut pool = ExprPool::new();
+        let vars: Vec<VarId> = (0..3)
+            .map(|i| pool.new_var(format!("x{i}"), Sort::Bv(WIDTH)))
+            .collect();
+        let e1 = build(&mut pool, &vars, &r);
+        let e2 = build(&mut pool, &vars, &r);
+        prop_assert_eq!(e1, e2);
+    }
+
+    /// Extract/concat roundtrip: concat(hi, lo) then extracting both
+    /// halves returns the originals.
+    #[test]
+    fn concat_extract_roundtrip(a in 0u64..256, b in 0u64..256) {
+        let mut pool = ExprPool::new();
+        let x = pool.new_var("x", Sort::Bv(WIDTH));
+        let y = pool.new_var("y", Sort::Bv(WIDTH));
+        let (xe, ye) = (pool.var(x), pool.var(y));
+        let c = pool.concat(xe, ye);
+        let hi = pool.extract(c, 15, 8);
+        let lo = pool.extract(c, 7, 0);
+        let mut env = HashMap::new();
+        env.insert(x, Value::bv(WIDTH, a));
+        env.insert(y, Value::bv(WIDTH, b));
+        prop_assert_eq!(eval(&pool, hi, &env).bits(), a);
+        prop_assert_eq!(eval(&pool, lo, &env).bits(), b);
+    }
+
+    /// Unsigned comparisons agree with Rust integer comparisons.
+    #[test]
+    fn comparison_semantics(a in 0u64..256, b in 0u64..256) {
+        let mut pool = ExprPool::new();
+        let x = pool.new_var("x", Sort::Bv(WIDTH));
+        let y = pool.new_var("y", Sort::Bv(WIDTH));
+        let (xe, ye) = (pool.var(x), pool.var(y));
+        let lt = pool.ult(xe, ye);
+        let le = pool.ule(xe, ye);
+        let gt = pool.ugt(xe, ye);
+        let eq = pool.eq(xe, ye);
+        let mut env = HashMap::new();
+        env.insert(x, Value::bv(WIDTH, a));
+        env.insert(y, Value::bv(WIDTH, b));
+        prop_assert_eq!(eval(&pool, lt, &env).as_bool(), a < b);
+        prop_assert_eq!(eval(&pool, le, &env).as_bool(), a <= b);
+        prop_assert_eq!(eval(&pool, gt, &env).as_bool(), a > b);
+        prop_assert_eq!(eval(&pool, eq, &env).as_bool(), a == b);
+    }
+
+    /// Array writes then reads behave like a store.
+    #[test]
+    fn array_store_semantics(writes in prop::collection::vec((0u64..16, 0u64..256), 0..12), probe in 0u64..16) {
+        let mut pool = ExprPool::new();
+        let mem = pool.new_var("mem", Sort::array(4, 8));
+        let mut arr = pool.var(mem);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (i, v) in &writes {
+            let ie = pool.constv(4, *i);
+            let ve = pool.constv(8, *v);
+            arr = pool.write(arr, ie, ve);
+            model.insert(*i, *v);
+        }
+        let pe = pool.constv(4, probe);
+        let red = pool.read(arr, pe);
+        let mut env = HashMap::new();
+        env.insert(mem, Value::Array(rtlir::ArrayValue::filled(4, 8, 0)));
+        let got = eval(&pool, red, &env).bits();
+        let want = model.get(&probe).copied().unwrap_or(0);
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,381 @@
+//! Craig interpolation from resolution proofs (McMillan's system).
+//!
+//! Given a refutation of `A ∧ B`, McMillan's labelling computes, per
+//! proof clause, a *partial interpolant*:
+//!
+//! * original clause in `A`: the disjunction of its literals over
+//!   variables shared with `B`;
+//! * original clause in `B`: `true`;
+//! * resolution on pivot `v`: `or` of the partial interpolants when `v`
+//!   is local to `A`, `and` otherwise.
+//!
+//! The partial interpolant of the empty clause is a Craig interpolant:
+//! `A ⇒ I`, `I ∧ B` unsatisfiable, and `I` only mentions shared
+//! variables. Interpolation is what powers the interpolation-based
+//! model checker (McMillan 2003) and IMPACT-style analyzers the paper
+//! evaluates.
+
+use crate::lit::{Lit, Var};
+use crate::proof::{Part, Proof, ProofClause};
+use std::collections::{HashMap, HashSet};
+
+/// A node of an interpolant formula DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ItpNode {
+    /// Constant true/false.
+    Const(bool),
+    /// A literal over a shared variable.
+    Lit(Lit),
+    /// Conjunction of two nodes.
+    And(u32, u32),
+    /// Disjunction of two nodes.
+    Or(u32, u32),
+}
+
+/// An interpolant: a boolean formula DAG over SAT variables shared
+/// between the `A` and `B` clause partitions.
+///
+/// # Example
+///
+/// ```
+/// use satb::{Lit, Part, SolveResult, Solver};
+///
+/// let mut s = Solver::with_proof();
+/// let x = s.new_var();
+/// let y = s.new_var();
+/// // A: x, x -> y     B: !y
+/// s.add_clause_in(&[Lit::pos(x)], Part::A);
+/// s.add_clause_in(&[Lit::neg(x), Lit::pos(y)], Part::A);
+/// s.add_clause_in(&[Lit::neg(y)], Part::B);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// let itp = s.interpolant().expect("unsat with proof");
+/// // The interpolant speaks only about y (the shared variable) and is
+/// // implied by A while contradicting B — here it is simply `y`.
+/// assert!(itp.eval(|v| v == y));
+/// assert!(!itp.eval(|_| false));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interpolant {
+    nodes: Vec<ItpNode>,
+    root: u32,
+}
+
+impl Interpolant {
+    /// Computes the interpolant of a recorded refutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof has no empty-clause derivation (callers go
+    /// through [`Solver::interpolant`](crate::Solver::interpolant),
+    /// which checks this).
+    pub fn from_proof(proof: &Proof) -> Interpolant {
+        Interpolant::from_proof_with(proof, &|_| true)
+    }
+
+    /// Like [`from_proof`](Interpolant::from_proof) but overrides each
+    /// original clause's partition by its tag: clauses whose tag maps
+    /// to `true` keep/are assigned [`Part::A`]; others [`Part::B`].
+    /// Untagged semantics: the stored part is used only when the tag
+    /// function assigns `A`; callers using tags should tag everything.
+    pub fn from_proof_with(proof: &Proof, is_a: &impl Fn(u32) -> bool) -> Interpolant {
+        let mut b = ItpBuilder::default();
+
+        let part_of = |i: usize, stored: Part| -> Part {
+            let tag = proof.tags.get(i).copied().unwrap_or(u32::MAX);
+            if tag == u32::MAX {
+                stored
+            } else if is_a(tag) {
+                // Tag decides; clauses added through the untagged API
+                // carry tag 0 and their stored label.
+                if tag == 0 { stored } else { Part::A }
+            } else {
+                Part::B
+            }
+        };
+
+        // Classify variables by occurrence in original clauses.
+        let mut in_a: HashSet<Var> = HashSet::new();
+        let mut in_b: HashSet<Var> = HashSet::new();
+        for (i, pc) in proof.clauses.iter().enumerate() {
+            if let ProofClause::Original { part, lits } = pc {
+                let set = match part_of(i, *part) {
+                    Part::A => &mut in_a,
+                    Part::B => &mut in_b,
+                };
+                for l in lits {
+                    set.insert(l.var());
+                }
+            }
+        }
+        let is_global = |v: Var| in_a.contains(&v) && in_b.contains(&v);
+        let a_local = |v: Var| in_a.contains(&v) && !in_b.contains(&v);
+
+        // Partial interpolants per proof clause, in derivation order.
+        let mut partial: Vec<u32> = Vec::with_capacity(proof.clauses.len());
+        for (i, pc) in proof.clauses.iter().enumerate() {
+            let node = match pc {
+                ProofClause::Original { part, lits }
+                    if part_of(i, *part) == Part::A =>
+                {
+                    let mut acc = b.constant(false);
+                    for &l in lits {
+                        if is_global(l.var()) {
+                            let ln = b.literal(l);
+                            acc = b.or(acc, ln);
+                        }
+                    }
+                    acc
+                }
+                ProofClause::Original { .. } => b.constant(true),
+                ProofClause::Derived { start, steps } => {
+                    let mut cur = partial[start.index()];
+                    for st in steps {
+                        let other = partial[st.other.index()];
+                        cur = if a_local(st.pivot) {
+                            b.or(cur, other)
+                        } else {
+                            b.and(cur, other)
+                        };
+                    }
+                    cur
+                }
+            };
+            partial.push(node);
+        }
+
+        let (start, steps) = proof
+            .empty_clause()
+            .expect("interpolation requires a refutation");
+        let mut root = partial[start.index()];
+        for st in steps {
+            let other = partial[st.other.index()];
+            root = if a_local(st.pivot) {
+                b.or(root, other)
+            } else {
+                b.and(root, other)
+            };
+        }
+        Interpolant {
+            nodes: b.nodes,
+            root,
+        }
+    }
+
+    /// Evaluates the interpolant under a variable assignment.
+    pub fn eval(&self, assign: impl Fn(Var) -> bool) -> bool {
+        let mut vals: Vec<bool> = Vec::with_capacity(self.nodes.len());
+        for n in &self.nodes {
+            let v = match *n {
+                ItpNode::Const(c) => c,
+                ItpNode::Lit(l) => assign(l.var()) == l.is_positive(),
+                ItpNode::And(a, b) => vals[a as usize] && vals[b as usize],
+                ItpNode::Or(a, b) => vals[a as usize] || vals[b as usize],
+            };
+            vals.push(v);
+        }
+        vals[self.root as usize]
+    }
+
+    /// The set of variables the interpolant mentions.
+    pub fn vars(&self) -> HashSet<Var> {
+        let mut out = HashSet::new();
+        for n in &self.nodes {
+            if let ItpNode::Lit(l) = n {
+                out.insert(l.var());
+            }
+        }
+        out
+    }
+
+    /// Whether the interpolant is the constant `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self.nodes[self.root as usize], ItpNode::Const(true))
+    }
+
+    /// Whether the interpolant is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self.nodes[self.root as usize], ItpNode::Const(false))
+    }
+
+    /// The nodes of the formula DAG in topological order (children
+    /// before parents); used to convert interpolants into other circuit
+    /// representations (e.g. AIGs).
+    pub fn nodes(&self) -> &[ItpNode] {
+        &self.nodes
+    }
+
+    /// Index of the root node in [`nodes`](Interpolant::nodes).
+    pub fn root(&self) -> usize {
+        self.root as usize
+    }
+}
+
+#[derive(Default)]
+struct ItpBuilder {
+    nodes: Vec<ItpNode>,
+    dedup: HashMap<ItpNode, u32>,
+}
+
+impl ItpBuilder {
+    fn intern(&mut self, n: ItpNode) -> u32 {
+        if let Some(&i) = self.dedup.get(&n) {
+            return i;
+        }
+        let i = self.nodes.len() as u32;
+        self.nodes.push(n);
+        self.dedup.insert(n, i);
+        i
+    }
+    fn constant(&mut self, c: bool) -> u32 {
+        self.intern(ItpNode::Const(c))
+    }
+    fn literal(&mut self, l: Lit) -> u32 {
+        self.intern(ItpNode::Lit(l))
+    }
+    fn and(&mut self, a: u32, b: u32) -> u32 {
+        match (self.nodes[a as usize], self.nodes[b as usize]) {
+            (ItpNode::Const(false), _) | (_, ItpNode::Const(false)) => self.constant(false),
+            (ItpNode::Const(true), _) => b,
+            (_, ItpNode::Const(true)) => a,
+            _ if a == b => a,
+            _ => self.intern(ItpNode::And(a.min(b), a.max(b))),
+        }
+    }
+    fn or(&mut self, a: u32, b: u32) -> u32 {
+        match (self.nodes[a as usize], self.nodes[b as usize]) {
+            (ItpNode::Const(true), _) | (_, ItpNode::Const(true)) => self.constant(true),
+            (ItpNode::Const(false), _) => b,
+            (_, ItpNode::Const(false)) => a,
+            _ if a == b => a,
+            _ => self.intern(ItpNode::Or(a.min(b), a.max(b))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{SolveResult, Solver};
+
+    #[test]
+    fn unit_contradiction() {
+        let mut s = Solver::with_proof();
+        let x = s.new_var();
+        s.add_clause_in(&[Lit::pos(x)], Part::A);
+        s.add_clause_in(&[Lit::neg(x)], Part::B);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let itp = s.interpolant().expect("interpolant");
+        // x is shared; A implies x, so the interpolant is x.
+        assert!(itp.eval(|_| true));
+        assert!(!itp.eval(|_| false));
+        assert!(itp.vars().contains(&x));
+    }
+
+    #[test]
+    fn a_inconsistent_alone_gives_false() {
+        let mut s = Solver::with_proof();
+        let x = s.new_var();
+        s.add_clause_in(&[Lit::pos(x)], Part::A);
+        s.add_clause_in(&[Lit::neg(x)], Part::A);
+        // B is empty; refutation uses only A.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let itp = s.interpolant().expect("interpolant");
+        assert!(itp.is_false(), "A alone is unsat, interpolant is false");
+    }
+
+    #[test]
+    fn b_inconsistent_alone_gives_true() {
+        let mut s = Solver::with_proof();
+        let x = s.new_var();
+        s.add_clause_in(&[Lit::pos(x)], Part::B);
+        s.add_clause_in(&[Lit::neg(x)], Part::B);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let itp = s.interpolant().expect("interpolant");
+        assert!(itp.is_true(), "B alone is unsat, interpolant is true");
+    }
+
+    /// Exhaustively validates the interpolant contract on random
+    /// partitioned CNFs: A ⇒ I, I ∧ B unsat, vars(I) ⊆ shared.
+    #[test]
+    fn random_interpolants_satisfy_contract() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x17E9);
+        let mut tested = 0;
+        for _round in 0..400 {
+            let nvars = rng.gen_range(2..=7usize);
+            let gen_cnf = |rng: &mut StdRng, n: usize| {
+                let m = rng.gen_range(1..=8usize);
+                (0..m)
+                    .map(|_| {
+                        let len = rng.gen_range(1..=3usize);
+                        (0..len)
+                            .map(|_| {
+                                Lit::new(Var::from_index(rng.gen_range(0..n)), rng.gen_bool(0.5))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let a_cnf = gen_cnf(&mut rng, nvars);
+            let b_cnf = gen_cnf(&mut rng, nvars);
+            let holds = |cnf: &[Vec<Lit>], m: u32| {
+                cnf.iter().all(|cl| {
+                    cl.iter()
+                        .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
+                })
+            };
+            // Only keep pairs where A ∧ B is unsat but each side alone
+            // may be anything.
+            let joint_sat = (0u32..(1 << nvars)).any(|m| holds(&a_cnf, m) && holds(&b_cnf, m));
+            if joint_sat {
+                continue;
+            }
+            tested += 1;
+            let mut s = Solver::with_proof();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &a_cnf {
+                s.add_clause_in(cl, Part::A);
+            }
+            for cl in &b_cnf {
+                s.add_clause_in(cl, Part::B);
+            }
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            s.debug_verify_proof().expect("valid proof");
+            let itp = s.interpolant().expect("interpolant");
+
+            // vars(I) ⊆ shared(A, B).
+            let mut in_a = HashSet::new();
+            let mut in_b = HashSet::new();
+            for cl in &a_cnf {
+                for l in cl {
+                    in_a.insert(l.var());
+                }
+            }
+            for cl in &b_cnf {
+                for l in cl {
+                    in_b.insert(l.var());
+                }
+            }
+            for v in itp.vars() {
+                assert!(
+                    in_a.contains(&v) && in_b.contains(&v),
+                    "interpolant mentions non-shared {v}"
+                );
+            }
+            // A ⇒ I and I ∧ B unsat, over all assignments.
+            for m in 0u32..(1 << nvars) {
+                let iv = itp.eval(|v| (m >> v.index()) & 1 == 1);
+                if holds(&a_cnf, m) {
+                    assert!(iv, "A holds but interpolant is false under {m:b}");
+                }
+                if iv {
+                    assert!(!holds(&b_cnf, m), "I ∧ B satisfiable under {m:b}");
+                }
+            }
+        }
+        assert!(tested > 20, "want enough unsat pairs, got {tested}");
+    }
+}

@@ -1,0 +1,41 @@
+//! A CDCL SAT solver with proof logging and Craig interpolation.
+//!
+//! This crate stands in for the MiniSAT-class back-ends inside the tools
+//! the DATE 2016 paper compares (ABC, EBMC, CBMC, IMPARA, …). It
+//! provides:
+//!
+//! * a [`Solver`] with two-literal watching, VSIDS decision heuristics,
+//!   first-UIP clause learning with minimization, phase saving and Luby
+//!   restarts;
+//! * incremental solving under **assumptions** with failed-assumption
+//!   cores ([`Solver::failed_assumptions`]), the workhorse of the
+//!   IC3/PDR and k-induction engines;
+//! * optional **resolution proof logging** and McMillan **interpolant**
+//!   extraction ([`Solver::interpolant`]), used by the interpolation-
+//!   based model checker and the IMPACT-style software analyzer.
+//!
+//! # Example
+//!
+//! ```
+//! use satb::{Lit, SolveResult, Solver};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause(&[Lit::neg(a)]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.value(Lit::pos(b)), Some(true));
+//! s.add_clause(&[Lit::neg(b)]);
+//! assert_eq!(s.solve(), SolveResult::Unsat);
+//! ```
+
+pub mod interp;
+pub mod lit;
+pub mod proof;
+pub mod solver;
+
+pub use interp::Interpolant;
+pub use lit::{Lit, Var};
+pub use proof::{ClauseId, Part};
+pub use solver::{Limits, SolveResult, Solver, Stats};

@@ -1,0 +1,136 @@
+//! Resolution proof logging.
+//!
+//! When proof logging is enabled, the solver records, for every learned
+//! clause, the chain of resolution steps that derived it (the conflict
+//! clause resolved against the reason clauses of trail literals, in
+//! order, plus the extra resolutions performed during clause
+//! minimization). After an UNSAT answer, a final chain deriving the
+//! empty clause is recorded. The interpolation module replays these
+//! chains with McMillan's labelling.
+
+use crate::lit::Var;
+
+/// Identifier of a clause in the proof: original clauses and learned
+/// clauses share one id space, in creation order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClauseId(pub(crate) u32);
+
+impl ClauseId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interpolation partition label of an original clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Part {
+    /// The clause belongs to the `A` part (the interpolant
+    /// over-approximates `A`'s consequences on shared variables).
+    A,
+    /// The clause belongs to the `B` part.
+    B,
+}
+
+/// One resolution step: resolve the running clause with `other` on
+/// `pivot` (the pivot occurs positively in one side, negatively in the
+/// other).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResStep {
+    /// The pivot variable eliminated by this resolution.
+    pub pivot: Var,
+    /// The clause resolved against.
+    pub other: ClauseId,
+}
+
+/// How a proof clause came to be.
+#[derive(Clone, Debug)]
+pub enum ProofClause {
+    /// An original clause added by the user, with its partition label
+    /// and literals (literals are stored for interpolant base cases).
+    Original {
+        /// Partition label.
+        part: Part,
+        /// The clause's literals.
+        lits: Vec<crate::lit::Lit>,
+    },
+    /// A clause derived by a resolution chain starting from `start`.
+    Derived {
+        /// The first clause of the chain.
+        start: ClauseId,
+        /// The resolution steps applied in order.
+        steps: Vec<ResStep>,
+    },
+}
+
+/// The recorded proof: a list of clauses in derivation order plus,
+/// after UNSAT, the chain deriving the empty clause.
+#[derive(Clone, Debug, Default)]
+pub struct Proof {
+    pub(crate) clauses: Vec<ProofClause>,
+    /// Caller-supplied tag per clause (originals only; derived clauses
+    /// get `u32::MAX`). Tags let one refutation be re-partitioned for
+    /// sequence interpolants.
+    pub(crate) tags: Vec<u32>,
+    /// Chain deriving the empty clause (set on UNSAT).
+    pub(crate) empty: Option<(ClauseId, Vec<ResStep>)>,
+}
+
+impl Proof {
+    /// Number of clauses recorded.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the proof is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The derivation of the empty clause, if UNSAT was derived.
+    pub fn empty_clause(&self) -> Option<(ClauseId, &[ResStep])> {
+        self.empty.as_ref().map(|(s, v)| (*s, v.as_slice()))
+    }
+
+    pub(crate) fn add_original(
+        &mut self,
+        part: Part,
+        lits: Vec<crate::lit::Lit>,
+        tag: u32,
+    ) -> ClauseId {
+        let id = ClauseId(self.clauses.len() as u32);
+        self.clauses.push(ProofClause::Original { part, lits });
+        self.tags.push(tag);
+        id
+    }
+
+    pub(crate) fn add_derived(&mut self, start: ClauseId, steps: Vec<ResStep>) -> ClauseId {
+        let id = ClauseId(self.clauses.len() as u32);
+        self.clauses.push(ProofClause::Derived { start, steps });
+        self.tags.push(u32::MAX);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Lit;
+
+    #[test]
+    fn proof_recording() {
+        let mut p = Proof::default();
+        let v = Var::from_index(0);
+        let c0 = p.add_original(Part::A, vec![Lit::pos(v)], 0);
+        let c1 = p.add_original(Part::B, vec![Lit::neg(v)], 0);
+        assert_eq!(p.len(), 2);
+        let steps = vec![ResStep {
+            pivot: v,
+            other: c1,
+        }];
+        p.empty = Some((c0, steps));
+        let (start, chain) = p.empty_clause().expect("empty clause set");
+        assert_eq!(start, c0);
+        assert_eq!(chain.len(), 1);
+    }
+}

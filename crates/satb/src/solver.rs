@@ -1,0 +1,1347 @@
+//! The CDCL solver.
+
+use crate::lit::{LBool, Lit, Var};
+use crate::proof::{ClauseId, Part, Proof, ProofClause, ResStep};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// A resource limit was hit before an answer was derived.
+    Unknown,
+}
+
+/// Resource limits for a single `solve` call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Limits {
+    /// Give up after this many conflicts (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Give up once this wall-clock instant has passed.
+    pub deadline: Option<Instant>,
+}
+
+/// Cumulative solver statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of conflicts analyzed.
+    pub conflicts: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learned clauses.
+    pub learned: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// Max-heap over variables ordered by VSIDS activity.
+#[derive(Clone, Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<i32>, // -1 if absent
+}
+
+impl VarHeap {
+    fn ensure(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(-1);
+        }
+    }
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] >= 0
+    }
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+    fn bump(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            let i = self.pos[v.index()] as usize;
+            self.sift_up(i, act);
+        }
+    }
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top.index()] = -1;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[p].index()] {
+                break;
+            }
+            self.swap(i, p);
+            i = p;
+        }
+    }
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i as i32;
+        self.pos[self.heap[j].index()] = j as i32;
+    }
+}
+
+/// A CDCL SAT solver (see the [crate docs](crate) for an overview).
+///
+/// The solver is incremental: clauses may be added between `solve`
+/// calls, and [`solve_with`](Solver::solve_with) accepts assumption
+/// literals whose inconsistent subset is available afterwards via
+/// [`failed_assumptions`](Solver::failed_assumptions).
+///
+/// Proof logging (enabled with [`with_proof`](Solver::with_proof))
+/// records resolution chains for interpolant extraction; learned-clause
+/// deletion is not performed, so recorded chains stay valid (the
+/// verification workloads in this workspace are small enough that
+/// clause-database growth is not a concern).
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    proof_ids: Vec<ClauseId>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<u32>>,
+    trail_pos: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    ok: bool,
+    proof: Option<Proof>,
+    model: Vec<LBool>,
+    failed: Vec<Lit>,
+    stats: Stats,
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver without proof logging.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            proof_ids: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail_pos: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: VarHeap::default(),
+            phase: Vec::new(),
+            ok: true,
+            proof: None,
+            model: Vec::new(),
+            failed: Vec::new(),
+            stats: Stats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Creates a solver that records a resolution proof, enabling
+    /// [`interpolant`](Solver::interpolant) after an UNSAT answer.
+    pub fn with_proof() -> Solver {
+        let mut s = Solver::new();
+        s.proof = Some(Proof::default());
+        s
+    }
+
+    /// Whether proof logging is enabled.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// The recorded proof (`None` when proof logging is off).
+    pub fn proof(&self) -> Option<&Proof> {
+        self.proof.as_ref()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> Stats {
+        self.stats
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.trail_pos.push(0);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.ensure(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the clause set is still possibly consistent (`false`
+    /// once a top-level contradiction has been derived).
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// The value of `l` in the model of the last `Sat` answer.
+    ///
+    /// Returns `None` if the last answer was not `Sat` or the variable
+    /// was created afterwards.
+    pub fn value(&self, l: Lit) -> Option<bool> {
+        match self.model.get(l.var().index()) {
+            Some(LBool::True) => Some(l.is_positive()),
+            Some(LBool::False) => Some(!l.is_positive()),
+            _ => None,
+        }
+    }
+
+    /// The inconsistent subset of the assumptions of the last
+    /// [`solve_with`](Solver::solve_with) call that returned `Unsat`.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Adds a clause, defaulting to partition [`Part::A`] for proofs.
+    ///
+    /// Returns `false` if the solver is now known inconsistent.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.add_clause_in(lits, Part::A)
+    }
+
+    /// Adds a clause with an interpolation partition label.
+    ///
+    /// Returns `false` if the solver is now known inconsistent.
+    pub fn add_clause_in(&mut self, lits: &[Lit], part: Part) -> bool {
+        self.add_clause_tagged(lits, part, 0)
+    }
+
+    /// Adds a clause with a partition label and a caller tag; tags let
+    /// [`interpolant_with`](Solver::interpolant_with) re-partition one
+    /// refutation into a whole *sequence* of interpolants (one per
+    /// time-frame cut), which is how the IMPACT-style analyzer gets
+    /// chained interpolants.
+    ///
+    /// Returns `false` if the solver is now known inconsistent.
+    pub fn add_clause_tagged(&mut self, lits: &[Lit], part: Part, tag: u32) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedupe, detect tautology.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        for w in ls.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true; // tautology: x | !x
+            }
+        }
+        // Drop literals already false at level 0 only when proofs are
+        // off (with proofs the drop would need extra resolution steps,
+        // so we keep the clause intact and let analysis handle it).
+        if self.proof.is_none() {
+            if ls.iter().any(|&l| self.lit_value(l) == LBool::True) {
+                return true; // satisfied at top level
+            }
+            ls.retain(|&l| self.lit_value(l) != LBool::False);
+        }
+
+        let pid = match &mut self.proof {
+            Some(p) => p.add_original(part, ls.clone(), tag),
+            None => ClauseId(0),
+        };
+
+        if ls.is_empty() {
+            self.ok = false;
+            if let Some(p) = &mut self.proof {
+                p.empty = Some((pid, Vec::new()));
+            }
+            return false;
+        }
+
+        let cref = self.clauses.len() as u32;
+        // Choose watch positions: prefer non-false literals.
+        let mut nonfalse: Vec<usize> = Vec::new();
+        for (i, &l) in ls.iter().enumerate() {
+            if self.lit_value(l) != LBool::False {
+                nonfalse.push(i);
+                if nonfalse.len() == 2 {
+                    break;
+                }
+            }
+        }
+        match nonfalse.len() {
+            0 => {
+                // All literals false at level 0: top-level conflict.
+                self.clauses.push(Clause {
+                    lits: ls,
+                    learnt: false,
+                });
+                self.proof_ids.push(pid);
+                self.derive_empty_from(cref);
+                self.ok = false;
+                false
+            }
+            1 => {
+                // Exactly one non-false literal: a top-level implication.
+                let unit = ls[nonfalse[0]];
+                self.clauses.push(Clause {
+                    lits: ls,
+                    learnt: false,
+                });
+                self.proof_ids.push(pid);
+                if self.lit_value(unit) == LBool::Undef {
+                    self.enqueue(unit, Some(cref));
+                    if let Some(confl) = self.propagate() {
+                        self.derive_empty_from(confl);
+                        self.ok = false;
+                        return false;
+                    }
+                }
+                true
+            }
+            _ => {
+                ls.swap(0, nonfalse[0]);
+                // The first swap may have moved the second pick.
+                let j = if nonfalse[1] == 0 {
+                    nonfalse[0]
+                } else {
+                    nonfalse[1]
+                };
+                ls.swap(1, j);
+                let (l0, l1) = (ls[0], ls[1]);
+                self.clauses.push(Clause {
+                    lits: ls,
+                    learnt: false,
+                });
+                self.proof_ids.push(pid);
+                self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+                self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.trail_pos[v] = self.trail.len();
+        self.trail.push(l);
+    }
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.phase[v] = l.is_positive();
+            self.assigns[v] = LBool::Undef;
+            self.reasons[v] = None;
+            self.heap.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = bound;
+    }
+
+    /// Unit propagation; returns the conflicting clause index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict: Option<u32> = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                // Make sure the false literal is at position 1.
+                let false_lit = !p;
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: copy back remaining watchers and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(w.cref);
+                } else {
+                    self.enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bump(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns `(learned clause, backtrack
+    /// level)`; the asserting literal is at position 0 and the
+    /// highest-level remaining literal at position 1. Records a proof
+    /// chain when logging is enabled.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for UIP
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut clause = confl;
+        let mut steps: Vec<ResStep> = Vec::new();
+        let start_id = self.proof_ids.get(confl as usize).copied();
+        // Level-0 variables whose literals were dropped; each needs a
+        // resolution step against its reason clause in the proof.
+        let mut level0: HashSet<Var> = HashSet::new();
+
+        loop {
+            let lits = self.clauses[clause as usize].lits.clone();
+            for &q in &lits {
+                if Some(q) == p {
+                    continue; // the literal resolved on
+                }
+                let v = q.var();
+                if self.seen[v.index()] {
+                    continue;
+                }
+                if self.levels[v.index()] == 0 {
+                    if self.proof.is_some() {
+                        level0.insert(v);
+                    }
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.bump_var(v);
+                if self.levels[v.index()] >= self.decision_level() {
+                    path_count += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            // Select next literal to resolve on (latest seen on trail).
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            clause = self.reasons[pl.var().index()].expect("non-UIP literal has a reason");
+            if self.proof.is_some() {
+                steps.push(ResStep {
+                    pivot: pl.var(),
+                    other: self.proof_ids[clause as usize],
+                });
+            }
+            p = Some(pl);
+        }
+
+        // Clause minimization: drop literals whose reason clause is
+        // subsumed by the learned clause (plus level-0 literals).
+        for &q in &learnt[1..] {
+            self.seen[q.var().index()] = true;
+        }
+        let mut kept: Vec<Lit> = vec![learnt[0]];
+        // (trail position, pivot var, reason cref) of removed literals,
+        // recorded so proof steps can be emitted in a valid order.
+        let mut removed: Vec<(usize, Var, u32)> = Vec::new();
+        for &q in &learnt[1..] {
+            let vi = q.var().index();
+            let removable = match self.reasons[vi] {
+                None => false,
+                Some(r) => self.clauses[r as usize].lits.iter().all(|&w| {
+                    w == !q || self.seen[w.var().index()] || self.levels[w.var().index()] == 0
+                }),
+            };
+            if removable {
+                let r = self.reasons[vi].expect("checked above");
+                removed.push((self.trail_pos[vi], q.var(), r));
+            } else {
+                kept.push(q);
+            }
+        }
+        for &q in &learnt[1..] {
+            self.seen[q.var().index()] = false;
+        }
+
+        if self.proof.is_some() {
+            // Minimization resolutions must run latest-assigned first so
+            // no resolved literal is ever re-introduced.
+            removed.sort_by(|a, b| b.0.cmp(&a.0));
+            for &(_, v, r) in &removed {
+                steps.push(ResStep {
+                    pivot: v,
+                    other: self.proof_ids[r as usize],
+                });
+                for &w in &self.clauses[r as usize].lits {
+                    if self.levels[w.var().index()] == 0 {
+                        level0.insert(w.var());
+                    }
+                }
+            }
+            // Resolve away dropped level-0 literals, transitively,
+            // also latest-assigned first.
+            let mut l0: Vec<Var> = level0.iter().copied().collect();
+            let mut qi = 0;
+            while qi < l0.len() {
+                let v = l0[qi];
+                qi += 1;
+                let r = self.reasons[v.index()].expect("level-0 assignment has a clause reason");
+                for &w in &self.clauses[r as usize].lits {
+                    let wv = w.var();
+                    if self.lit_value(w) == LBool::False
+                        && self.levels[wv.index()] == 0
+                        && level0.insert(wv)
+                    {
+                        l0.push(wv);
+                    }
+                }
+            }
+            l0.sort_by(|a, b| self.trail_pos[b.index()].cmp(&self.trail_pos[a.index()]));
+            for v in l0 {
+                let r = self.reasons[v.index()].expect("level-0 assignment has a clause reason");
+                steps.push(ResStep {
+                    pivot: v,
+                    other: self.proof_ids[r as usize],
+                });
+            }
+            if let (Some(proof), Some(sid)) = (&mut self.proof, start_id) {
+                proof.add_derived(sid, steps);
+            }
+        }
+
+        let mut learnt = kept;
+        // Backtrack level: second-highest level in the clause; move that
+        // literal to position 1 (it becomes the second watch).
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.levels[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    /// Derives the empty clause from a conflict at decision level 0.
+    fn derive_empty_from(&mut self, confl: u32) {
+        if self.proof.is_none() {
+            return;
+        }
+        let start = self.proof_ids[confl as usize];
+        let mut set: HashSet<Var> = HashSet::new();
+        let mut queue: Vec<Var> = Vec::new();
+        for &l in &self.clauses[confl as usize].lits {
+            if set.insert(l.var()) {
+                queue.push(l.var());
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            let r = self.reasons[v.index()].expect("level-0 assignment has a clause reason");
+            for &w in &self.clauses[r as usize].lits {
+                if self.lit_value(w) == LBool::False && set.insert(w.var()) {
+                    queue.push(w.var());
+                }
+            }
+        }
+        queue.sort_by(|a, b| self.trail_pos[b.index()].cmp(&self.trail_pos[a.index()]));
+        let steps: Vec<ResStep> = queue
+            .into_iter()
+            .map(|v| ResStep {
+                pivot: v,
+                other: self.proof_ids
+                    [self.reasons[v.index()].expect("has reason") as usize],
+            })
+            .collect();
+        if let Some(p) = &mut self.proof {
+            p.empty = Some((start, steps));
+        }
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>, proof_id: ClauseId) -> u32 {
+        let cref = self.clauses.len() as u32;
+        if learnt.len() >= 2 {
+            let (l0, l1) = (learnt[0], learnt[1]);
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
+        self.clauses.push(Clause {
+            lits: learnt,
+            learnt: true,
+        });
+        self.proof_ids.push(proof_id);
+        self.stats.learned += 1;
+        cref
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Collects the subset of assumptions responsible for forcing `p`
+    /// false (`p` itself is included).
+    fn analyze_final(&mut self, p: Lit) {
+        self.failed.clear();
+        self.failed.push(p);
+        if self.decision_level() == 0 {
+            return;
+        }
+        self.seen[p.var().index()] = true;
+        let bound = self.trail_lim[0];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reasons[v.index()] {
+                None => {
+                    // A decision in the assumption prefix is an assumption.
+                    if l != p {
+                        self.failed.push(l);
+                    }
+                }
+                Some(r) => {
+                    let lits = self.clauses[r as usize].lits.clone();
+                    for w in lits {
+                        if self.levels[w.var().index()] > 0 {
+                            self.seen[w.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+    }
+
+    /// Solves the current formula without assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_limited(&[], Limits::default())
+    }
+
+    /// Solves under the given assumption literals.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, Limits::default())
+    }
+
+    /// Solves under assumptions with resource limits.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: Limits) -> SolveResult {
+        self.backtrack(0);
+        self.model.clear();
+        self.failed.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if let Some(confl) = self.propagate() {
+            self.derive_empty_from(confl);
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+
+        let limit_base = self.stats.conflicts;
+        let mut restart_base = self.stats.conflicts;
+        let mut restart_count = 0u64;
+        let mut restart_budget = luby(restart_count) * 100;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.derive_empty_from(confl);
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                let pid = self
+                    .proof
+                    .as_ref()
+                    .map(|p| ClauseId((p.len() - 1) as u32))
+                    .unwrap_or(ClauseId(0));
+                self.backtrack(bt);
+                let asserting = learnt[0];
+                let cref = self.learn(learnt, pid);
+                debug_assert_eq!(self.lit_value(asserting), LBool::Undef);
+                self.enqueue(asserting, Some(cref));
+                self.var_inc /= 0.95;
+
+                if self.stats.conflicts - restart_base >= restart_budget {
+                    restart_count += 1;
+                    restart_budget = luby(restart_count) * 100;
+                    restart_base = self.stats.conflicts;
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                }
+                if let Some(mc) = limits.max_conflicts {
+                    if self.stats.conflicts - limit_base >= mc {
+                        self.backtrack(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if self.stats.conflicts % 64 == 0 {
+                    if let Some(d) = limits.deadline {
+                        if Instant::now() >= d {
+                            self.backtrack(0);
+                            return SolveResult::Unknown;
+                        }
+                    }
+                }
+            } else {
+                // No conflict: place assumptions first, then decide.
+                let next = loop {
+                    let dl = self.decision_level() as usize;
+                    if dl < assumptions.len() {
+                        let a = assumptions[dl];
+                        match self.lit_value(a) {
+                            LBool::True => {
+                                self.new_decision_level();
+                                continue;
+                            }
+                            LBool::False => {
+                                self.analyze_final(a);
+                                self.backtrack(0);
+                                return SolveResult::Unsat;
+                            }
+                            LBool::Undef => break Some(a),
+                        }
+                    } else {
+                        break None;
+                    }
+                };
+                let decision = match next {
+                    Some(a) => Some(a),
+                    None => {
+                        self.stats.decisions += 1;
+                        self.pick_branch()
+                    }
+                };
+                match decision {
+                    None => {
+                        // All variables assigned: SAT.
+                        self.model = self.assigns.clone();
+                        self.backtrack(0);
+                        return SolveResult::Sat;
+                    }
+                    Some(l) => {
+                        self.new_decision_level();
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes a Craig interpolant after an UNSAT answer of a
+    /// proof-logging solver: a formula `I` over the variables shared by
+    /// the `A`- and `B`-labelled clauses with `A ⇒ I` and `I ∧ B`
+    /// unsatisfiable.
+    ///
+    /// Returns `None` if proof logging is off or no UNSAT answer has
+    /// been derived. Interpolants are only meaningful for solves
+    /// without assumptions.
+    pub fn interpolant(&self) -> Option<crate::interp::Interpolant> {
+        let proof = self.proof.as_ref()?;
+        proof.empty_clause()?;
+        Some(crate::interp::Interpolant::from_proof(proof))
+    }
+
+    /// Like [`interpolant`](Solver::interpolant), but re-partitions the
+    /// original clauses by their tags: `is_a(tag)` assigns each tagged
+    /// clause to the `A` side. Extracting interpolants for successive
+    /// cuts of one unrolled refutation this way yields *sequence
+    /// interpolants* satisfying `I_c ∧ T_c ⇒ I_{c+1}`.
+    pub fn interpolant_with(
+        &self,
+        is_a: impl Fn(u32) -> bool,
+    ) -> Option<crate::interp::Interpolant> {
+        let proof = self.proof.as_ref()?;
+        proof.empty_clause()?;
+        Some(crate::interp::Interpolant::from_proof_with(proof, &is_a))
+    }
+
+    /// Replays all recorded resolution chains and checks that each
+    /// derived clause matches the corresponding learned clause, and
+    /// that the empty-clause chain actually derives the empty clause.
+    ///
+    /// This is an internal consistency check used by the test suite; it
+    /// is cheap relative to solving and requires proof logging.
+    #[doc(hidden)]
+    pub fn debug_verify_proof(&self) -> Result<(), String> {
+        let proof = match &self.proof {
+            Some(p) => p,
+            None => return Ok(()),
+        };
+        // Resolve chains, computing literal sets per proof clause.
+        let mut sets: Vec<HashSet<Lit>> = Vec::with_capacity(proof.clauses.len());
+        for (i, pc) in proof.clauses.iter().enumerate() {
+            let set = match pc {
+                ProofClause::Original { lits, .. } => lits.iter().copied().collect(),
+                ProofClause::Derived { start, steps } => {
+                    if start.index() >= i {
+                        return Err(format!("derived clause {i} references future start"));
+                    }
+                    let mut cur: HashSet<Lit> = sets[start.index()].clone();
+                    for st in steps {
+                        if st.other.index() >= i {
+                            return Err(format!("derived clause {i} references future step"));
+                        }
+                        resolve_into(&mut cur, &sets[st.other.index()], st.pivot)?;
+                    }
+                    cur
+                }
+            };
+            sets.push(set);
+        }
+        // Learned clauses correspond 1:1 to Derived proof clauses.
+        let mut derived_iter = proof
+            .clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, pc)| matches!(pc, ProofClause::Derived { .. }));
+        for cl in self.clauses.iter().filter(|c| c.learnt) {
+            let (di, _) = derived_iter
+                .next()
+                .ok_or_else(|| "more learned clauses than derivations".to_string())?;
+            let want: HashSet<Lit> = cl.lits.iter().copied().collect();
+            if sets[di] != want {
+                return Err(format!(
+                    "derivation {di} produced {:?}, learned clause is {:?}",
+                    sets[di], cl.lits
+                ));
+            }
+        }
+        if let Some((start, steps)) = proof.empty_clause() {
+            let mut cur = sets[start.index()].clone();
+            for st in steps {
+                resolve_into(&mut cur, &sets[st.other.index()], st.pivot)?;
+            }
+            if !cur.is_empty() {
+                return Err(format!("empty-clause chain left literals {cur:?}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn resolve_into(cur: &mut HashSet<Lit>, other: &HashSet<Lit>, pivot: Var) -> Result<(), String> {
+    let pos = Lit::pos(pivot);
+    let neg = Lit::neg(pivot);
+    let in_cur = (cur.contains(&pos), cur.contains(&neg));
+    let in_other = (other.contains(&pos), other.contains(&neg));
+    let ok = (in_cur.0 && in_other.1) || (in_cur.1 && in_other.0);
+    if !ok {
+        return Err(format!(
+            "invalid resolution on {pivot}: cur={in_cur:?} other={in_other:?}"
+        ));
+    }
+    cur.remove(&pos);
+    cur.remove(&neg);
+    for &l in other {
+        if l.var() != pivot {
+            cur.insert(l);
+        }
+    }
+    Ok(())
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+fn luby(i: u64) -> u64 {
+    // MiniSAT's formulation: find the finite subsequence containing
+    // index i (0-based) and the position within it.
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, i: usize, pos: bool) -> Lit {
+        while s.num_vars() <= i {
+            s.new_var();
+        }
+        Lit::new(Var::from_index(i), pos)
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        assert!(s.add_clause(&[a]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        s.add_clause(&[!a]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        assert!(s.add_clause(&[a, !a]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        let mut s = Solver::new();
+        let x: Vec<Lit> = (0..3).map(|i| lit(&mut s, i, true)).collect();
+        // Odd parity of three variables.
+        s.add_clause(&[x[0], x[1], x[2]]);
+        s.add_clause(&[x[0], !x[1], !x[2]]);
+        s.add_clause(&[!x[0], x[1], !x[2]]);
+        s.add_clause(&[!x[0], !x[1], x[2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let ones = x.iter().filter(|&&l| s.value(l) == Some(true)).count();
+        assert_eq!(ones % 2, 1);
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): always UNSAT, forces real
+    /// clause learning and restarts.
+    fn pigeonhole(s: &mut Solver, holes: usize) {
+        let pigeons = holes + 1;
+        let var = |p: usize, h: usize| p * holes + h;
+        while s.num_vars() < pigeons * holes {
+            s.new_var();
+        }
+        for p in 0..pigeons {
+            let c: Vec<Lit> = (0..holes)
+                .map(|h| Lit::pos(Var::from_index(var(p, h))))
+                .collect();
+            s.add_clause(&c);
+        }
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    s.add_clause(&[
+                        Lit::neg(Var::from_index(var(p1, h))),
+                        Lit::neg(Var::from_index(var(p2, h))),
+                    ]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=6 {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, holes);
+            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({},{})", holes + 1, holes);
+        }
+    }
+
+    #[test]
+    fn pigeonhole_proof_is_valid() {
+        for holes in 2..=5 {
+            let mut s = Solver::with_proof();
+            pigeonhole(&mut s, holes);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            assert!(s.proof().expect("proof").empty_clause().is_some());
+            s.debug_verify_proof().expect("proof replays correctly");
+        }
+    }
+
+    #[test]
+    fn sat_proof_mode_clauses_replay() {
+        // Even in SAT instances, the recorded derivations of learned
+        // clauses must replay exactly.
+        let mut s = Solver::with_proof();
+        let x: Vec<Lit> = (0..6).map(|i| lit(&mut s, i, true)).collect();
+        for i in 0..4 {
+            s.add_clause(&[x[i], x[i + 1], !x[(i + 2) % 6]]);
+            s.add_clause(&[!x[i], !x[i + 1], x[(i + 3) % 6]]);
+        }
+        let _ = s.solve();
+        s.debug_verify_proof().expect("derivations replay");
+    }
+
+    #[test]
+    fn assumptions_and_core() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        let c = lit(&mut s, 2, true);
+        s.add_clause(&[!a, !b]); // a & b inconsistent
+        assert_eq!(s.solve_with(&[a, c, b]), SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.iter().all(|l| [a, b, c].contains(l)));
+        assert!(core.contains(&b) || core.contains(&a));
+        // Without the conflicting pair it is satisfiable.
+        assert_eq!(s.solve_with(&[a, c]), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(false));
+        // The solver stays usable without assumptions.
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumption_conflicts_with_unit() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        s.add_clause(&[!a]);
+        assert_eq!(s.solve_with(&[a]), SolveResult::Unsat);
+        assert_eq!(s.failed_assumptions(), &[a]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn failed_assumption_core_is_unsat_core() {
+        // chain: a -> b -> c, assume a and !c: core must contain both.
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        let c = lit(&mut s, 2, true);
+        s.add_clause(&[!a, b]);
+        s.add_clause(&[!b, c]);
+        assert_eq!(s.solve_with(&[a, !c]), SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&a) && core.contains(&!c), "core: {core:?}");
+    }
+
+    #[test]
+    fn conflict_limit_returns_unknown() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8);
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                max_conflicts: Some(5),
+                deadline: None,
+            },
+        );
+        assert_eq!(r, SolveResult::Unknown);
+        let r2 = s.solve_limited(&[], Limits::default());
+        assert_eq!(r2, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(luby(i as u64), w, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn random_cnf_cross_check() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xDA7E2016);
+        for round in 0..300 {
+            let nvars = rng.gen_range(1..=8usize);
+            let nclauses = rng.gen_range(1..=24usize);
+            let mut cnf: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..nclauses {
+                let len = rng.gen_range(1..=3usize);
+                let mut cl = Vec::new();
+                for _ in 0..len {
+                    let v = rng.gen_range(0..nvars);
+                    cl.push(Lit::new(Var::from_index(v), rng.gen_bool(0.5)));
+                }
+                cnf.push(cl);
+            }
+            let mut brute_sat = false;
+            'outer: for m in 0u32..(1 << nvars) {
+                for cl in &cnf {
+                    let ok = cl.iter().any(|l| {
+                        let bit = (m >> l.var().index()) & 1 == 1;
+                        bit == l.is_positive()
+                    });
+                    if !ok {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            let mut s = if round % 2 == 0 {
+                Solver::new()
+            } else {
+                Solver::with_proof()
+            };
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &cnf {
+                s.add_clause(cl);
+            }
+            let got = s.solve();
+            let want = if brute_sat {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
+            assert_eq!(got, want, "round {round}, cnf {cnf:?}");
+            if got == SolveResult::Sat {
+                for cl in &cnf {
+                    assert!(
+                        cl.iter().any(|&l| s.value(l) == Some(true)),
+                        "model violates clause {cl:?}"
+                    );
+                }
+            }
+            if s.proof_logging() {
+                s.debug_verify_proof().expect("valid proof");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_with_assumptions_cross_check() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let nvars = rng.gen_range(2..=7usize);
+            let mut s = Solver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            let mut cnf: Vec<Vec<Lit>> = Vec::new();
+            for _round in 0..4 {
+                // Add a batch of clauses, then solve under random
+                // assumptions, cross-checking against brute force.
+                for _ in 0..rng.gen_range(1..=6usize) {
+                    let len = rng.gen_range(1..=3usize);
+                    let cl: Vec<Lit> = (0..len)
+                        .map(|_| {
+                            Lit::new(
+                                Var::from_index(rng.gen_range(0..nvars)),
+                                rng.gen_bool(0.5),
+                            )
+                        })
+                        .collect();
+                    cnf.push(cl.clone());
+                    s.add_clause(&cl);
+                }
+                let nassum = rng.gen_range(0..=2usize);
+                let assumptions: Vec<Lit> = (0..nassum)
+                    .map(|_| {
+                        Lit::new(
+                            Var::from_index(rng.gen_range(0..nvars)),
+                            rng.gen_bool(0.5),
+                        )
+                    })
+                    .collect();
+                let mut brute_sat = false;
+                'outer: for m in 0u32..(1 << nvars) {
+                    let holds = |l: &Lit| ((m >> l.var().index()) & 1 == 1) == l.is_positive();
+                    if !assumptions.iter().all(holds) {
+                        continue;
+                    }
+                    for cl in &cnf {
+                        if !cl.iter().any(holds) {
+                            continue 'outer;
+                        }
+                    }
+                    brute_sat = true;
+                    break;
+                }
+                let got = s.solve_with(&assumptions);
+                let want = if brute_sat {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                };
+                assert_eq!(got, want, "cnf {cnf:?} assumptions {assumptions:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! CBMC-style k-induction on the software-netlist (Figure 3's
+//! "CBMC-kind" series).
+//!
+//! CBMC symbolically executes the unwound program and bit-blasts to
+//! SAT — operationally the same word-level unrolling our
+//! [`rtlir::Unroller`] performs on the software-netlist's loop. Unlike
+//! the hardware engines, CBMC's k-induction (as run in the paper via
+//! the wrapper script) does not add simple-path constraints, so
+//! properties that need them are out of reach — visible on the hard
+//! benchmarks.
+
+use crate::util::{solve_word, TraceExtractor};
+use crate::Analyzer;
+use engines::{Budget, CheckOutcome, EngineStats, Unknown, Verdict};
+use rtlir::unroll::{InitMode, Unroller};
+use satb::SolveResult;
+use std::time::Instant;
+use v2c::SwProgram;
+
+/// CBMC-style k-induction analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct CbmcKind {
+    /// Resource limits.
+    pub budget: Budget,
+}
+
+impl CbmcKind {
+    /// Creates the analyzer with a budget.
+    pub fn new(budget: Budget) -> CbmcKind {
+        CbmcKind { budget }
+    }
+}
+
+impl Analyzer for CbmcKind {
+    fn name(&self) -> &'static str {
+        "cbmc-kind"
+    }
+
+    fn check(&self, prog: &SwProgram) -> CheckOutcome {
+        let started = Instant::now();
+        let mut stats = EngineStats::default();
+        let ts = &prog.ts;
+        let deadline = self.budget.deadline_from(started);
+
+        for k in 0..=self.budget.max_depth {
+            if self.budget.expired(started) {
+                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            }
+            stats.depth = k;
+
+            // Base case (the unwound program with an assertion at
+            // iteration k).
+            let mut base = Unroller::new(ts, InitMode::Initialized);
+            let mut roots = Vec::new();
+            for f in 0..=k as usize {
+                let c = base.constraint(f);
+                roots.push(c);
+                if f < k as usize {
+                    let b = base.bad(f);
+                    let nb = base.pool_mut().not(b);
+                    roots.push(nb);
+                }
+            }
+            let bk = base.bad(k as usize);
+            roots.push(bk);
+            let extractor = TraceExtractor::prepare(&mut base, k as usize);
+            stats.sat_queries += 1;
+            let q = solve_word(base.pool(), &roots, deadline);
+            match q.result {
+                SolveResult::Sat => {
+                    let mut model = q.model.expect("model");
+                    let trace = extractor.extract(ts, &mut model);
+                    return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
+                }
+                SolveResult::Unknown => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    );
+                }
+                SolveResult::Unsat => {}
+            }
+
+            // Step case, without simple-path constraints.
+            let mut step = Unroller::new(ts, InitMode::Free);
+            let mut roots = Vec::new();
+            for f in 0..=k as usize {
+                let c = step.constraint(f);
+                roots.push(c);
+                if f < k as usize {
+                    let b = step.bad(f);
+                    let nb = step.pool_mut().not(b);
+                    roots.push(nb);
+                }
+            }
+            let bk = step.bad(k as usize);
+            roots.push(bk);
+            stats.sat_queries += 1;
+            let q = solve_word(step.pool(), &roots, deadline);
+            match q.result {
+                SolveResult::Unsat => {
+                    return CheckOutcome::finish(Verdict::Safe, stats, started);
+                }
+                SolveResult::Unknown => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    );
+                }
+                SolveResult::Sat => {}
+            }
+        }
+        CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::{Sort, TransitionSystem};
+
+    fn prog_counter(bug_at: u64) -> SwProgram {
+        let mut ts = TransitionSystem::new("c");
+        let s = ts.add_state("count", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let one = ts.pool_mut().constv(8, 1);
+        let nx = ts.pool_mut().add(sv, one);
+        let z = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, z);
+        ts.set_next(s, nx);
+        let c = ts.pool_mut().constv(8, bug_at);
+        let bad = ts.pool_mut().eq(sv, c);
+        ts.add_bad(bad, "hit");
+        SwProgram::from_ts(ts)
+    }
+
+    #[test]
+    fn finds_bug_with_replayable_trace() {
+        let prog = prog_counter(7);
+        let out = CbmcKind::default().check(&prog);
+        match out.outcome {
+            Verdict::Unsafe(trace) => {
+                assert_eq!(trace.length(), 7);
+                let sys = aig::blast_system(&prog.ts);
+                assert!(trace.replays_on(&sys));
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn proves_saturating_counter() {
+        let mut ts = TransitionSystem::new("sat");
+        let s = ts.add_state("c", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let lim = ts.pool_mut().constv(8, 10);
+        let one = ts.pool_mut().constv(8, 1);
+        let at = ts.pool_mut().uge(sv, lim);
+        let inc = ts.pool_mut().add(sv, one);
+        let nx = ts.pool_mut().ite(at, sv, inc);
+        let z = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, z);
+        ts.set_next(s, nx);
+        let bad = ts.pool_mut().ugt(sv, lim);
+        ts.add_bad(bad, "overflow");
+        let out = CbmcKind::default().check(&SwProgram::from_ts(ts));
+        assert_eq!(out.outcome, Verdict::Safe);
+    }
+}

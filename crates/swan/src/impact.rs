@@ -1,0 +1,442 @@
+//! IMPARA-style IMPACT: lazy abstraction with interpolants
+//! (McMillan 2006; Wachter, Kroening, Ouaknine FMCAD 2013).
+//!
+//! The software-netlist's single loop makes the abstract reachability
+//! tree a chain of unwinding nodes. Each round checks the path formula
+//! `Init ∧ T^k ∧ Bad(k)`; if infeasible, Craig interpolants at every
+//! cut strengthen the node labels, and a *covering* check looks for a
+//! node whose label is implied by a predecessor's — at which point the
+//! disjunction of labels is a candidate invariant. Before answering
+//! Safe, the candidate is independently certified (inductive, initial,
+//! excludes bad), so the engine stays sound regardless of labelling
+//! subtleties.
+
+use crate::Analyzer;
+use engines::{bmc::Bmc, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
+use satb::{interp::ItpNode, Lit, Part, SolveResult, Solver};
+use std::collections::HashMap;
+use std::time::Instant;
+use v2c::SwProgram;
+
+/// The IMPACT analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct Impact {
+    /// Resource limits (`max_depth` bounds the unwinding).
+    pub budget: Budget,
+}
+
+impl Impact {
+    /// Creates the analyzer with a budget.
+    pub fn new(budget: Budget) -> Impact {
+        Impact { budget }
+    }
+}
+
+fn itp_to_aig(
+    itp: &satb::Interpolant,
+    map: &HashMap<satb::Var, aig::AigLit>,
+    g: &mut aig::Aig,
+) -> aig::AigLit {
+    let mut out: Vec<aig::AigLit> = Vec::with_capacity(itp.nodes().len());
+    for n in itp.nodes() {
+        let l = match *n {
+            ItpNode::Const(c) => aig::AigLit::constant(c),
+            ItpNode::Lit(sl) => {
+                let base = *map.get(&sl.var()).expect("shared var is a latch");
+                if sl.is_positive() {
+                    base
+                } else {
+                    !base
+                }
+            }
+            ItpNode::And(a, b) => g.and(out[a as usize], out[b as usize]),
+            ItpNode::Or(a, b) => g.or(out[a as usize], out[b as usize]),
+        };
+        out.push(l);
+    }
+    out[itp.root()]
+}
+
+
+/// Encodes a cone with all Tseitin clauses tagged (for sequence
+/// interpolation). The encoder caches nodes, so a node is tagged with
+/// the frame that first encodes it — exactly the frame its variables
+/// belong to, since encoders are per-frame.
+fn tagged_encode(
+    enc: &mut aig::FrameEncoder,
+    g: &aig::Aig,
+    solver: &mut Solver,
+    root: aig::AigLit,
+    tag: u32,
+) -> Lit {
+    enc.encode_tagged(g, solver, root, Part::A, tag)
+}
+
+impl Analyzer for Impact {
+    fn name(&self) -> &'static str {
+        "impara-impact"
+    }
+
+    fn check(&self, prog: &SwProgram) -> CheckOutcome {
+        let started = Instant::now();
+        let mut stats = EngineStats::default();
+        let mut sys = aig::blast_system(&prog.ts);
+        let bads = sys.bads.clone();
+        let any_bad = sys.aig.or_all(&bads);
+        let init_lits: Vec<aig::AigLit> = sys
+            .latches
+            .iter()
+            .filter_map(|l| l.init.map(|b| if b { l.output } else { !l.output }))
+            .collect();
+        let init_pred = sys.aig.and_all(&init_lits);
+        let limits = |started: Instant, budget: &Budget| satb::Limits {
+            max_conflicts: None,
+            deadline: budget.deadline_from(started),
+        };
+
+        // Depth-0 check: Init ∧ Bad.
+        {
+            let mut solver = Solver::new();
+            let mut enc = aig::FrameEncoder::new();
+            let ip = enc.encode(&sys.aig, &mut solver, init_pred, Part::A);
+            solver.add_clause(&[ip]);
+            for &c in &sys.constraints {
+                let cl = enc.encode(&sys.aig, &mut solver, c, Part::A);
+                solver.add_clause(&[cl]);
+            }
+            let b = enc.encode(&sys.aig, &mut solver, any_bad, Part::A);
+            stats.sat_queries += 1;
+            match solver.solve_limited(&[b], limits(started, &self.budget)) {
+                SolveResult::Sat => {
+                    let bmc = Bmc::new(Budget {
+                        timeout: self.budget.timeout,
+                        max_depth: 0,
+                    });
+                    let out = bmc.check(&prog.ts);
+                    return CheckOutcome::finish(out.outcome, stats, started);
+                }
+                SolveResult::Unknown => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    )
+                }
+                SolveResult::Unsat => {}
+            }
+        }
+
+        // Whether the bad outputs are state predicates (no primary
+        // input in their cones); if so, ¬bad can strengthen the
+        // invariant candidate.
+        let bad_is_state_pred = {
+            let cone = sys.aig.cone(&[any_bad]);
+            let mut input_free = true;
+            let mut reachable: std::collections::HashSet<u32> =
+                cone.iter().copied().collect();
+            reachable.insert(any_bad.node());
+            for n in &cone {
+                if let Some((a, b)) = sys.aig.and_fanins_of_node(*n) {
+                    reachable.insert(a.node());
+                    reachable.insert(b.node());
+                }
+            }
+            for &i in &sys.inputs {
+                if reachable.contains(&i.node()) {
+                    input_free = false;
+                }
+            }
+            input_free
+        };
+
+        // Node labels; labels[i] over-approximates states reachable in
+        // exactly i iterations (conjunction of sequence interpolants
+        // across rounds, so the chain property L_i ∧ T ⇒ L_{i+1}
+        // holds by construction).
+        let mut labels: Vec<aig::AigLit> = vec![init_pred];
+
+        for k in 1..=self.budget.max_depth {
+            if self.budget.expired(started) {
+                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            }
+            stats.depth = k;
+            labels.push(aig::AigLit::TRUE);
+            let k = k as usize;
+
+            // One proof-logged solve of Init ∧ T^k ∧ ¬Bad(<k) ∧ Bad(k),
+            // with clauses tagged by frame so every cut's interpolant
+            // comes from the same refutation (sequence interpolants).
+            let mut solver = Solver::with_proof();
+            let mut frame_lits: Vec<Vec<Lit>> = Vec::new();
+            let mut encs: Vec<aig::FrameEncoder> = Vec::new();
+            for _f in 0..=k {
+                let lits: Vec<Lit> = sys
+                    .latches
+                    .iter()
+                    .map(|_| Lit::pos(solver.new_var()))
+                    .collect();
+                let mut enc = aig::FrameEncoder::new();
+                for (latch, &l) in sys.latches.iter().zip(&lits) {
+                    enc.bind(latch.output, l);
+                }
+                frame_lits.push(lits);
+                encs.push(enc);
+            }
+            let tag = |f: usize| (f + 1) as u32;
+            for (latch, &l) in sys.latches.iter().zip(&frame_lits[0]) {
+                if let Some(init) = latch.init {
+                    solver.add_clause_tagged(&[if init { l } else { !l }], Part::A, tag(0));
+                }
+            }
+            for f in 0..k {
+                for (i, latch) in sys.latches.iter().enumerate() {
+                    let nl =
+                        tagged_encode(&mut encs[f], &sys.aig, &mut solver, latch.next, tag(f));
+                    let tgt = frame_lits[f + 1][i];
+                    solver.add_clause_tagged(&[!nl, tgt], Part::A, tag(f));
+                    solver.add_clause_tagged(&[nl, !tgt], Part::A, tag(f));
+                }
+                for &c in &sys.constraints {
+                    let cl = tagged_encode(&mut encs[f], &sys.aig, &mut solver, c, tag(f));
+                    solver.add_clause_tagged(&[cl], Part::A, tag(f));
+                }
+                // No counterexample shorter than k exists (established
+                // by earlier rounds): pin ¬bad at every inner frame.
+                let bf = tagged_encode(&mut encs[f], &sys.aig, &mut solver, any_bad, tag(f));
+                if f > 0 {
+                    solver.add_clause_tagged(&[!bf], Part::A, tag(f));
+                }
+            }
+            let bl = tagged_encode(&mut encs[k], &sys.aig, &mut solver, any_bad, tag(k));
+            solver.add_clause_tagged(&[bl], Part::A, tag(k));
+            stats.sat_queries += 1;
+            match solver.solve_limited(&[], limits(started, &self.budget)) {
+                SolveResult::Sat => {
+                    let bmc = Bmc::new(Budget {
+                        timeout: self.budget.timeout,
+                        max_depth: k as u32,
+                    });
+                    let out = bmc.check(&prog.ts);
+                    return CheckOutcome::finish(out.outcome, stats, started);
+                }
+                SolveResult::Unknown => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    )
+                }
+                SolveResult::Unsat => {
+                    // Sequence interpolants: cut c puts frames < c in A.
+                    for cut in 1..=k {
+                        if let Some(itp) =
+                            solver.interpolant_with(|t| t <= cut as u32)
+                        {
+                            let map: HashMap<satb::Var, aig::AigLit> = frame_lits[cut]
+                                .iter()
+                                .zip(&sys.latches)
+                                .map(|(&l, latch)| (l.var(), latch.output))
+                                .collect();
+                            let il = itp_to_aig(&itp, &map, &mut sys.aig);
+                            labels[cut] = sys.aig.and(labels[cut], il);
+                        }
+                    }
+                }
+            }
+
+            // Certification attempt: the disjunction of all labels is
+            // the IMPACT invariant candidate (coverage of the chain's
+            // frontier by construction of sequence interpolants makes
+            // this the natural candidate; certification keeps the
+            // engine sound even when labels are not yet closed).
+            let all = labels[..=k].to_vec();
+            let r0 = sys.aig.or_all(&all);
+            let mut candidates = vec![r0];
+            if bad_is_state_pred {
+                let r1 = sys.aig.and(r0, !any_bad);
+                candidates.insert(0, r1);
+            }
+            for r in candidates {
+                match self.certify(&mut sys, r, any_bad, init_pred, started, &mut stats) {
+                    Some(true) => {
+                        return CheckOutcome::finish(Verdict::Safe, stats, started)
+                    }
+                    Some(false) => {}
+                    None => {
+                        return CheckOutcome::finish(
+                            Verdict::Unknown(Unknown::Timeout),
+                            stats,
+                            started,
+                        )
+                    }
+                }
+            }
+        }
+        CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
+    }
+}
+
+/// `a ⇒ b` over latch CIs (None on timeout).
+fn implies(
+    sys: &mut aig::AigSystem,
+    a: aig::AigLit,
+    b: aig::AigLit,
+    started: Instant,
+    budget: &Budget,
+) -> Option<bool> {
+    let q = sys.aig.and(a, !b);
+    let mut solver = Solver::new();
+    let mut enc = aig::FrameEncoder::new();
+    let l = enc.encode(&sys.aig, &mut solver, q, Part::A);
+    solver.add_clause(&[l]);
+    match solver.solve_limited(
+        &[],
+        satb::Limits {
+            max_conflicts: None,
+            deadline: budget.deadline_from(started),
+        },
+    ) {
+        SolveResult::Unsat => Some(true),
+        SolveResult::Sat => Some(false),
+        SolveResult::Unknown => None,
+    }
+}
+
+impl Impact {
+    /// Certifies `r` as a safe inductive invariant: `init ⇒ r`,
+    /// `r ∧ T ⇒ r'`, and `r ∧ bad` unsatisfiable.
+    fn certify(
+        &self,
+        sys: &mut aig::AigSystem,
+        r: aig::AigLit,
+        any_bad: aig::AigLit,
+        init_pred: aig::AigLit,
+        started: Instant,
+        stats: &mut EngineStats,
+    ) -> Option<bool> {
+        stats.sat_queries += 3;
+        if implies(sys, init_pred, r, started, &self.budget) != Some(true) {
+            return Some(false);
+        }
+        // r ∧ bad unsat.
+        let rb = sys.aig.and(r, any_bad);
+        let mut solver = Solver::new();
+        let mut enc = aig::FrameEncoder::new();
+        let l = enc.encode(&sys.aig, &mut solver, rb, Part::A);
+        solver.add_clause(&[l]);
+        for &c in &sys.constraints {
+            let cl = enc.encode(&sys.aig, &mut solver, c, Part::A);
+            solver.add_clause(&[cl]);
+        }
+        let lim = satb::Limits {
+            max_conflicts: None,
+            deadline: self.budget.deadline_from(started),
+        };
+        match solver.solve_limited(&[], lim) {
+            SolveResult::Sat => return Some(false),
+            SolveResult::Unknown => return None,
+            SolveResult::Unsat => {}
+        }
+        // Consecution: r(s) ∧ T(s, s') ∧ ¬r(s') unsat. Encode r twice:
+        // once over the latch CIs, once with latch CIs bound to the
+        // next-state literals.
+        let mut solver = Solver::new();
+        let mut enc = aig::FrameEncoder::new();
+        let rl = enc.encode(&sys.aig, &mut solver, r, Part::A);
+        solver.add_clause(&[rl]);
+        for &c in &sys.constraints {
+            let cl = enc.encode(&sys.aig, &mut solver, c, Part::A);
+            solver.add_clause(&[cl]);
+        }
+        let mut enc_next = aig::FrameEncoder::new();
+        for latch in &sys.latches {
+            let nl = enc.encode(&sys.aig, &mut solver, latch.next, Part::A);
+            enc_next.bind(latch.output, nl);
+        }
+        let rn = enc_next.encode(&sys.aig, &mut solver, r, Part::A);
+        solver.add_clause(&[!rn]);
+        match solver.solve_limited(&[], lim) {
+            SolveResult::Unsat => Some(true),
+            SolveResult::Sat => Some(false),
+            SolveResult::Unknown => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::{Sort, TransitionSystem};
+
+    fn saturating(limit: u64, bad_at: u64) -> SwProgram {
+        let mut ts = TransitionSystem::new("sat");
+        let s = ts.add_state("c", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let lim = ts.pool_mut().constv(8, limit);
+        let one = ts.pool_mut().constv(8, 1);
+        let lt = ts.pool_mut().ult(sv, lim);
+        let inc = ts.pool_mut().add(sv, one);
+        let nx = ts.pool_mut().ite(lt, inc, sv);
+        let z = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, z);
+        ts.set_next(s, nx);
+        let b = ts.pool_mut().constv(8, bad_at);
+        let bad = ts.pool_mut().eq(sv, b);
+        ts.add_bad(bad, "hit");
+        SwProgram::from_ts(ts)
+    }
+
+    #[test]
+    fn proves_small_safe_design() {
+        let out = Impact::default().check(&saturating(4, 200));
+        assert_eq!(out.outcome, Verdict::Safe);
+    }
+
+    #[test]
+    fn finds_bug_with_replayable_trace() {
+        let prog = saturating(200, 5);
+        let out = Impact::default().check(&prog);
+        match out.outcome {
+            Verdict::Unsafe(t) => {
+                assert_eq!(t.length(), 5);
+                let sys = aig::blast_system(&prog.ts);
+                assert!(t.replays_on(&sys));
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn certification_rejects_bogus_invariants() {
+        let prog = saturating(4, 200);
+        let mut sys = aig::blast_system(&prog.ts);
+        let bads = sys.bads.clone();
+        let any_bad = sys.aig.or_all(&bads);
+        let init_lits: Vec<aig::AigLit> = sys
+            .latches
+            .iter()
+            .filter_map(|l| l.init.map(|b| if b { l.output } else { !l.output }))
+            .collect();
+        let init_pred = sys.aig.and_all(&init_lits);
+        let engine = Impact::default();
+        let mut stats = EngineStats::default();
+        let started = Instant::now();
+        // TRUE is not safe (it includes bad states).
+        assert_eq!(
+            engine.certify(
+                &mut sys,
+                aig::AigLit::TRUE,
+                any_bad,
+                init_pred,
+                started,
+                &mut stats
+            ),
+            Some(false)
+        );
+        // init alone is not inductive (counter moves on).
+        assert_eq!(
+            engine.certify(&mut sys, init_pred, any_bad, init_pred, started, &mut stats),
+            Some(false)
+        );
+    }
+}

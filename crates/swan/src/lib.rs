@@ -1,0 +1,44 @@
+//! Software analyzers for software-netlists.
+//!
+//! Reimplementations of the algorithm cores of the software
+//! verification tools the DATE 2016 paper runs on v2c output:
+//!
+//! | paper tool (SV-COMP)     | analyzer here                  |
+//! |--------------------------|--------------------------------|
+//! | CBMC 5.2 k-induction     | [`cbmc::CbmcKind`]             |
+//! | 2LS 0.3.4 kIkI           | [`twols::TwoLs`]               |
+//! | CPAChecker pred. abs.    | [`predabs::PredAbs`] (WP mode) |
+//! | CPAChecker interpolation | [`predabs::PredAbs`] (ITP mode)|
+//! | IMPARA (IMPACT)          | [`impact::Impact`]             |
+//! | SeaHorn PDR              | [`seahorn::SeaHorn`]           |
+//! | Astrée                   | [`absint::IntervalAi`]         |
+//!
+//! All analyzers consume a [`v2c::SwProgram`] (the software-netlist)
+//! and report [`engines::CheckOutcome`]s, so hardware engines and
+//! software analyzers are directly comparable — the whole point of the
+//! paper's unified framework.
+//!
+//! Two analyzers intentionally reproduce *imprecision* the paper
+//! observed: [`seahorn::SeaHorn`] over-approximates bit-level
+//! operators the way a linear-arithmetic encoding does (yielding the
+//! paper's "wrong" results on bit-heavy designs), and
+//! [`absint::IntervalAi`] raises false alarms on most safe designs, as
+//! the paper reports for Astrée without manual partitioning.
+
+pub mod absint;
+pub mod cbmc;
+pub mod impact;
+pub mod predabs;
+pub mod seahorn;
+pub mod twols;
+pub mod util;
+
+pub use engines::{Budget, CheckOutcome, Trace, Unknown, Verdict};
+
+/// A software analyzer over software-netlist programs.
+pub trait Analyzer {
+    /// Short machine-readable name, e.g. `"2ls-kiki"`.
+    fn name(&self) -> &'static str;
+    /// Checks all assertions of the program.
+    fn check(&self, prog: &v2c::SwProgram) -> CheckOutcome;
+}

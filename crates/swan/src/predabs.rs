@@ -1,0 +1,602 @@
+//! CPAChecker-style predicate abstraction with CEGAR.
+//!
+//! Cartesian predicate abstraction over a growing set of word-level
+//! predicates: the abstract post of an abstract state is computed with
+//! two SAT queries per predicate, reachability explores the (finite)
+//! abstract state space, abstract counterexample paths are concretized
+//! by bounded model checking, and infeasible paths refine the predicate
+//! set. Two refinement modes mirror the two CPAChecker configurations
+//! the paper plots:
+//!
+//! * [`RefineMode::Wp`] — syntactic weakest-precondition atoms
+//!   ("CPA-predabs" in Figure 5);
+//! * [`RefineMode::Interpolant`] — Craig interpolants computed at the
+//!   bit level and folded back into word-level predicates over state
+//!   bits ("CPA-interpolation" in Figure 4). Bit-granular predicates
+//!   are precise but converge slowly on bit-heavy designs — the
+//!   behaviour the paper observes.
+
+use crate::util::{collect_atoms, solve_word, substitute_next, vars_of, TraceExtractor};
+use crate::Analyzer;
+use engines::{Budget, CheckOutcome, EngineStats, Unknown, Verdict};
+use rtlir::unroll::{InitMode, Unroller};
+use rtlir::{ExprId, Sort, TransitionSystem, Value, VarId};
+use satb::{Lit, Part, SolveResult, Solver};
+use std::collections::HashMap;
+use std::time::Instant;
+use v2c::SwProgram;
+
+/// How infeasible abstract paths refine the predicate set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefineMode {
+    /// Weakest-precondition atoms.
+    Wp,
+    /// Bit-level Craig interpolants.
+    Interpolant,
+}
+
+/// The predicate-abstraction analyzer.
+#[derive(Clone, Debug)]
+pub struct PredAbs {
+    /// Resource limits.
+    pub budget: Budget,
+    /// Refinement strategy.
+    pub refine: RefineMode,
+    /// Hard cap on the predicate set size.
+    pub max_predicates: usize,
+}
+
+impl Default for PredAbs {
+    fn default() -> PredAbs {
+        PredAbs {
+            budget: Budget::default(),
+            refine: RefineMode::Wp,
+            max_predicates: 64,
+        }
+    }
+}
+
+impl PredAbs {
+    /// Creates the analyzer with a budget.
+    pub fn new(budget: Budget, refine: RefineMode) -> PredAbs {
+        PredAbs {
+            budget,
+            refine,
+            ..PredAbs::default()
+        }
+    }
+}
+
+/// Three-valued abstract state over the predicate set.
+type AbsState = Vec<Option<bool>>;
+
+enum ReachResult {
+    /// The abstract reachable set excludes all bad states.
+    Proof,
+    /// Chain of abstract states ending in one that intersects bad.
+    Path(Vec<AbsState>),
+    Timeout,
+}
+
+impl Analyzer for PredAbs {
+    fn name(&self) -> &'static str {
+        match self.refine {
+            RefineMode::Wp => "cpa-predabs",
+            RefineMode::Interpolant => "cpa-itp",
+        }
+    }
+
+    fn check(&self, prog: &SwProgram) -> CheckOutcome {
+        let started = Instant::now();
+        let mut stats = EngineStats::default();
+        let mut ts = prog.ts.clone();
+        let is_state = state_var_set(&ts);
+
+        // Seed predicates: atoms of the bad expressions (over state
+        // variables only) plus atoms of named program locals.
+        let mut preds: Vec<ExprId> = Vec::new();
+        let bads: Vec<ExprId> = ts.bads().iter().map(|b| b.expr).collect();
+        for b in &bads {
+            for a in collect_atoms(ts.pool(), *b, &|v| is_state.contains(&v)) {
+                push_pred(&mut preds, a);
+            }
+        }
+        for (_, l) in &prog.locals {
+            if ts.pool().sort(*l).is_bool() {
+                for a in collect_atoms(ts.pool(), *l, &|v| is_state.contains(&v)) {
+                    push_pred(&mut preds, a);
+                }
+            }
+        }
+
+        for round in 0..self.budget.max_depth {
+            if self.budget.expired(started) {
+                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            }
+            stats.depth = round;
+
+            match self.abstract_reach(&ts, &preds, started, &mut stats) {
+                ReachResult::Timeout => {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(Unknown::Timeout),
+                        stats,
+                        started,
+                    )
+                }
+                ReachResult::Proof => {
+                    return CheckOutcome::finish(Verdict::Safe, stats, started)
+                }
+                ReachResult::Path(path) => {
+                    // Concretize.
+                    let n = path.len() - 1;
+                    let mut u = Unroller::new(&ts, InitMode::Initialized);
+                    let mut roots = Vec::new();
+                    for (f, a) in path.iter().enumerate() {
+                        let c = u.constraint(f);
+                        roots.push(c);
+                        for (j, val) in a.iter().enumerate() {
+                            if let Some(v) = val {
+                                let p = u.translate(f as u32, preds[j]);
+                                let lit = if *v {
+                                    p
+                                } else {
+                                    u.pool_mut().not(p)
+                                };
+                                roots.push(lit);
+                            }
+                        }
+                    }
+                    let bn = u.bad(n);
+                    roots.push(bn);
+                    let extractor = TraceExtractor::prepare(&mut u, n);
+                    stats.sat_queries += 1;
+                    let q = solve_word(u.pool(), &roots, self.budget.deadline_from(started));
+                    match q.result {
+                        SolveResult::Sat => {
+                            let mut model = q.model.expect("model");
+                            let trace = extractor.extract(&ts, &mut model);
+                            return CheckOutcome::finish(
+                                Verdict::Unsafe(trace),
+                                stats,
+                                started,
+                            );
+                        }
+                        SolveResult::Unknown => {
+                            return CheckOutcome::finish(
+                                Verdict::Unknown(Unknown::Timeout),
+                                stats,
+                                started,
+                            )
+                        }
+                        SolveResult::Unsat => {
+                            // The abstract path is spurious under its
+                            // state constraints — but a *different*
+                            // real path of the same depth may exist;
+                            // check with plain BMC before refining
+                            // (CPAChecker's counterexample check).
+                            let bmc = engines::bmc::Bmc::new(engines::Budget {
+                                timeout: self.budget.timeout,
+                                max_depth: n as u32,
+                            });
+                            let bout = engines::Checker::check(&bmc, &ts);
+                            if let Verdict::Unsafe(trace) = bout.outcome {
+                                stats.sat_queries += bout.stats.sat_queries;
+                                return CheckOutcome::finish(
+                                    Verdict::Unsafe(trace),
+                                    stats,
+                                    started,
+                                );
+                            }
+                            // Spurious: refine.
+                            let before = preds.len();
+                            match self.refine {
+                                RefineMode::Wp => {
+                                    refine_wp(&mut ts, &mut preds, &is_state, self.max_predicates);
+                                    // Like CPAChecker, fall back to
+                                    // interpolation when syntactic WP
+                                    // yields nothing new (input-laden
+                                    // atoms are unusable).
+                                    if preds.len() == before {
+                                        refine_itp(
+                                            &mut ts,
+                                            &mut preds,
+                                            &path,
+                                            started,
+                                            self.budget,
+                                            &mut stats,
+                                            self.max_predicates,
+                                        );
+                                    }
+                                }
+                                RefineMode::Interpolant => refine_itp(
+                                    &mut ts,
+                                    &mut preds,
+                                    &path,
+                                    started,
+                                    self.budget,
+                                    &mut stats,
+                                    self.max_predicates,
+                                ),
+                            }
+                            if preds.len() == before {
+                                return CheckOutcome::finish(
+                                    Verdict::Unknown(Unknown::Inconclusive(
+                                        "predicate refinement exhausted".to_string(),
+                                    )),
+                                    stats,
+                                    started,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
+    }
+}
+
+fn state_var_set(ts: &TransitionSystem) -> std::collections::HashSet<VarId> {
+    ts.states().iter().map(|s| s.var).collect()
+}
+
+fn push_pred(preds: &mut Vec<ExprId>, p: ExprId) {
+    if !preds.contains(&p) {
+        preds.push(p);
+    }
+}
+
+impl PredAbs {
+    /// Cartesian abstract reachability. The cartesian post is a
+    /// function, so the abstract reachable set is a chain that either
+    /// closes (lasso: proof) or reaches an abstract state intersecting
+    /// bad (candidate path).
+    fn abstract_reach(
+        &self,
+        ts: &TransitionSystem,
+        preds: &[ExprId],
+        started: Instant,
+        stats: &mut EngineStats,
+    ) -> ReachResult {
+        // Abstract initial state: evaluate predicates on the constant
+        // initial assignment; nondeterministic parts become Unknown.
+        let mut init_env: HashMap<VarId, Value> = HashMap::new();
+        let mut nondet: std::collections::HashSet<VarId> = std::collections::HashSet::new();
+        for s in ts.states() {
+            match s.init {
+                Some(init) => {
+                    let env: HashMap<VarId, Value> = HashMap::new();
+                    init_env.insert(s.var, rtlir::eval(ts.pool(), init, &env));
+                }
+                None => {
+                    nondet.insert(s.var);
+                }
+            }
+        }
+        let a0: AbsState = preds
+            .iter()
+            .map(|&p| {
+                if vars_of(ts.pool(), p).iter().any(|v| nondet.contains(v)) {
+                    None
+                } else {
+                    Some(rtlir::eval(ts.pool(), p, &init_env).as_bool())
+                }
+            })
+            .collect();
+
+        let mut path = vec![a0.clone()];
+        let mut visited: Vec<AbsState> = vec![a0];
+        loop {
+            if self.budget.expired(started) {
+                return ReachResult::Timeout;
+            }
+            let cur = path.last().expect("nonempty").clone();
+            // Bad intersection and post, via one incremental solver.
+            let mut u = Unroller::new(ts, InitMode::Free);
+            let mut premises = vec![u.constraint(0)];
+            for (j, v) in cur.iter().enumerate() {
+                if let Some(v) = v {
+                    let p = u.translate(0, preds[j]);
+                    premises.push(if *v { p } else { u.pool_mut().not(p) });
+                }
+            }
+            let bad0 = u.bad(0);
+            let pred_next: Vec<ExprId> =
+                preds.iter().map(|&p| u.translate(1, p)).collect();
+
+            let mut blaster = aig::Blaster::new(u.pool());
+            let premise_bits: Vec<aig::AigLit> =
+                premises.iter().map(|&r| blaster.blast_bit(r)).collect();
+            let bad_bit = blaster.blast_bit(bad0);
+            let pn_bits: Vec<aig::AigLit> =
+                pred_next.iter().map(|&r| blaster.blast_bit(r)).collect();
+            let mut solver = Solver::new();
+            let mut enc = aig::FrameEncoder::new();
+            for &b in &premise_bits {
+                let l = enc.encode(blaster.aig(), &mut solver, b, Part::A);
+                solver.add_clause(&[l]);
+            }
+            let bad_lit = enc.encode(blaster.aig(), &mut solver, bad_bit, Part::A);
+            let limits = satb::Limits {
+                max_conflicts: None,
+                deadline: self.budget.deadline_from(started),
+            };
+            stats.sat_queries += 1;
+            match solver.solve_limited(&[bad_lit], limits) {
+                SolveResult::Sat => return ReachResult::Path(path),
+                SolveResult::Unknown => return ReachResult::Timeout,
+                SolveResult::Unsat => {}
+            }
+            // Successor via two queries per predicate.
+            let mut succ: AbsState = Vec::with_capacity(preds.len());
+            for &pb in &pn_bits {
+                let pl = enc.encode(blaster.aig(), &mut solver, pb, Part::A);
+                stats.sat_queries += 2;
+                let can_true = solver.solve_limited(&[pl], limits);
+                let can_false = solver.solve_limited(&[!pl], limits);
+                let v = match (can_true, can_false) {
+                    (SolveResult::Sat, SolveResult::Unsat) => Some(true),
+                    (SolveResult::Unsat, SolveResult::Sat) => Some(false),
+                    (SolveResult::Unknown, _) | (_, SolveResult::Unknown) => {
+                        return ReachResult::Timeout
+                    }
+                    (SolveResult::Unsat, SolveResult::Unsat) => {
+                        // No successor at all (dead abstract state).
+                        return ReachResult::Proof;
+                    }
+                    _ => None,
+                };
+                succ.push(v);
+            }
+            if visited.contains(&succ) {
+                return ReachResult::Proof;
+            }
+            visited.push(succ.clone());
+            path.push(succ);
+            if path.len() > 4096 {
+                return ReachResult::Timeout;
+            }
+        }
+    }
+}
+
+/// WP refinement: add atoms of the one-step weakest preconditions of
+/// the current predicates and of the bad conditions.
+fn refine_wp(
+    ts: &mut TransitionSystem,
+    preds: &mut Vec<ExprId>,
+    is_state: &std::collections::HashSet<VarId>,
+    cap: usize,
+) {
+    let sources: Vec<ExprId> = preds
+        .iter()
+        .copied()
+        .chain(ts.bads().iter().map(|b| b.expr))
+        .collect();
+    for src in sources {
+        if preds.len() >= cap {
+            return;
+        }
+        let wp = substitute_next(ts, src);
+        for a in collect_atoms(ts.pool(), wp, &|v| is_state.contains(&v)) {
+            if preds.len() >= cap {
+                return;
+            }
+            push_pred(preds, a);
+        }
+    }
+}
+
+/// Interpolant refinement: compute a bit-level Craig interpolant for
+/// the infeasible abstract path at a middle cut and fold it back into
+/// a word-level predicate over individual state bits.
+#[allow(clippy::too_many_arguments)]
+fn refine_itp(
+    ts: &mut TransitionSystem,
+    preds: &mut Vec<ExprId>,
+    path: &[AbsState],
+    started: Instant,
+    budget: Budget,
+    stats: &mut EngineStats,
+    cap: usize,
+) {
+    if preds.len() >= cap {
+        return;
+    }
+    let n = path.len() - 1;
+    if n == 0 {
+        return;
+    }
+    // Blast the system once; predicates of the path are re-blasted per
+    // frame below.
+    let sys = aig::blast_system(ts);
+    let bads = sys.bads.clone();
+    let mut sys = sys;
+    let any_bad = sys.aig.or_all(&bads);
+
+    // Try every cut until one yields a new predicate.
+    for cut in (1..=n).rev() {
+        if budget.expired(started) {
+            return;
+        }
+        let mut solver = Solver::with_proof();
+        // Frame variable literals; frame `cut` is the shared interface.
+        let mut frame_lits: Vec<Vec<Lit>> = Vec::new();
+        let mut encs: Vec<aig::FrameEncoder> = Vec::new();
+        for _f in 0..=n {
+            let lits: Vec<Lit> = sys
+                .latches
+                .iter()
+                .map(|_| Lit::pos(solver.new_var()))
+                .collect();
+            let mut enc = aig::FrameEncoder::new();
+            for (latch, &l) in sys.latches.iter().zip(&lits) {
+                enc.bind(latch.output, l);
+            }
+            frame_lits.push(lits);
+            encs.push(enc);
+        }
+        let part_of = |f: usize| if f < cut { Part::A } else { Part::B };
+        // Init in A.
+        for (latch, &l) in sys.latches.iter().zip(&frame_lits[0]) {
+            if let Some(init) = latch.init {
+                solver.add_clause_in(&[if init { l } else { !l }], Part::A);
+            }
+        }
+        // Transitions f -> f+1, in the partition of frame f.
+        for f in 0..n {
+            for (i, latch) in sys.latches.iter().enumerate() {
+                let nl = encs[f].encode(&sys.aig, &mut solver, latch.next, part_of(f));
+                let tgt = frame_lits[f + 1][i];
+                solver.add_clause_in(&[!nl, tgt], part_of(f));
+                solver.add_clause_in(&[nl, !tgt], part_of(f));
+            }
+            for &c in &sys.constraints {
+                let cl = encs[f].encode(&sys.aig, &mut solver, c, part_of(f));
+                solver.add_clause_in(&[cl], part_of(f));
+            }
+        }
+        // Bad at frame n (B side).
+        let bl = encs[n].encode(&sys.aig, &mut solver, any_bad, Part::B);
+        solver.add_clause_in(&[bl], Part::B);
+        stats.sat_queries += 1;
+        let limits = satb::Limits {
+            max_conflicts: None,
+            deadline: budget.deadline_from(started),
+        };
+        match solver.solve_limited(&[], limits) {
+            SolveResult::Unsat => {
+                if let Some(itp) = solver.interpolant() {
+                    // Map shared SAT variables back to (state, bit).
+                    let mut bit_expr: HashMap<satb::Var, ExprId> = HashMap::new();
+                    let mut li = 0usize;
+                    let state_vars: Vec<VarId> = ts.states().iter().map(|s| s.var).collect();
+                    for var in state_vars {
+                        let var_e = ts.pool_mut().var(var);
+                        match ts.pool().var_sort(var) {
+                            Sort::Bv(w) => {
+                                for b in 0..w {
+                                    let e = ts.pool_mut().extract(var_e, b, b);
+                                    bit_expr.insert(frame_lits[cut][li].var(), e);
+                                    li += 1;
+                                }
+                            }
+                            Sort::Array {
+                                index_width,
+                                elem_width,
+                            } => {
+                                for idx in 0..(1u64 << index_width) {
+                                    let ie = ts.pool_mut().constv(index_width, idx);
+                                    let re = ts.pool_mut().read(var_e, ie);
+                                    for b in 0..elem_width {
+                                        let e = ts.pool_mut().extract(re, b, b);
+                                        bit_expr.insert(frame_lits[cut][li].var(), e);
+                                        li += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let pe = itp_to_word(ts, &itp, &bit_expr);
+                    if ts.pool().const_bits(pe).is_none() && !preds.contains(&pe) {
+                        preds.push(pe);
+                        return;
+                    }
+                }
+            }
+            SolveResult::Sat => {
+                // The raw path (without abstract-state constraints) is
+                // feasible at this depth, so interpolants do not exist;
+                // the caller's next concretization will find the bug.
+                return;
+            }
+            SolveResult::Unknown => return,
+        }
+    }
+}
+
+/// Rebuilds an interpolant as a word-level single-bit expression.
+fn itp_to_word(
+    ts: &mut TransitionSystem,
+    itp: &satb::Interpolant,
+    bit_expr: &HashMap<satb::Var, ExprId>,
+) -> ExprId {
+    use satb::interp::ItpNode;
+    let mut out: Vec<ExprId> = Vec::with_capacity(itp.nodes().len());
+    for n in itp.nodes() {
+        let e = match *n {
+            ItpNode::Const(c) => ts.pool_mut().bool_const(c),
+            ItpNode::Lit(l) => {
+                let base = *bit_expr.get(&l.var()).expect("shared var is a state bit");
+                if l.is_positive() {
+                    base
+                } else {
+                    ts.pool_mut().not(base)
+                }
+            }
+            ItpNode::And(a, b) => {
+                let (x, y) = (out[a as usize], out[b as usize]);
+                ts.pool_mut().and(x, y)
+            }
+            ItpNode::Or(a, b) => {
+                let (x, y) = (out[a as usize], out[b as usize]);
+                ts.pool_mut().or(x, y)
+            }
+        };
+        out.push(e);
+    }
+    out[itp.root()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gated_counter(limit: u64, bad_at: u64) -> SwProgram {
+        let mut ts = TransitionSystem::new("gated");
+        let s = ts.add_state("c", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let lim = ts.pool_mut().constv(8, limit);
+        let one = ts.pool_mut().constv(8, 1);
+        let lt = ts.pool_mut().ult(sv, lim);
+        let inc = ts.pool_mut().add(sv, one);
+        let nx = ts.pool_mut().ite(lt, inc, sv);
+        let z = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, z);
+        ts.set_next(s, nx);
+        let b = ts.pool_mut().constv(8, bad_at);
+        let bad = ts.pool_mut().eq(sv, b);
+        ts.add_bad(bad, "hit");
+        SwProgram::from_ts(ts)
+    }
+
+    #[test]
+    fn proves_safe_gated_counter_wp() {
+        // c saturates at 10; bad at 200 unreachable.
+        let out = PredAbs::default().check(&gated_counter(10, 200));
+        assert_eq!(out.outcome, Verdict::Safe);
+    }
+
+    #[test]
+    fn proves_safe_gated_counter_itp() {
+        let out = PredAbs {
+            refine: RefineMode::Interpolant,
+            ..PredAbs::default()
+        }
+        .check(&gated_counter(10, 200));
+        assert_eq!(out.outcome, Verdict::Safe);
+    }
+
+    #[test]
+    fn finds_real_bug_with_trace() {
+        let prog = gated_counter(200, 9);
+        let out = PredAbs::default().check(&prog);
+        match out.outcome {
+            Verdict::Unsafe(t) => {
+                let sys = aig::blast_system(&prog.ts);
+                assert!(t.replays_on(&sys), "trace must replay");
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+    }
+}

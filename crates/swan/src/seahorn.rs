@@ -1,0 +1,364 @@
+//! SeaHorn-style PDR over a numerically abstracted software-netlist.
+//!
+//! SeaHorn encodes C programs into constrained Horn clauses over
+//! *linear integer arithmetic*; the paper observes that its "limited
+//! support for bitvectors" makes it solve half the benchmarks but
+//! produce **false negatives** (wrong "unsafe" verdicts) on the other
+//! half. We reproduce exactly that failure mode: before running PDR,
+//! the transition relation is rewritten so that every operator a
+//! linear-arithmetic encoding cannot express precisely — bitwise
+//! and/or/xor on words, shifts by non-constant amounts, multiplication
+//! of two variables, concatenations and reductions — is replaced by a
+//! fresh nondeterministic input (a sound over-approximation).
+//! Counterexamples found on the abstracted system are reported
+//! *without concretization*, as SeaHorn did.
+
+use crate::Analyzer;
+use engines::{pdr::Pdr, Budget, CheckOutcome, Checker, Verdict};
+use rtlir::{BinOp, ExprId, Node, Sort, TransitionSystem, UnOp};
+use std::collections::HashMap;
+use v2c::SwProgram;
+
+/// SeaHorn-style analyzer: LIA-grade abstraction + PDR.
+#[derive(Clone, Debug, Default)]
+pub struct SeaHorn {
+    /// Resource limits.
+    pub budget: Budget,
+}
+
+impl SeaHorn {
+    /// Creates the analyzer with a budget.
+    pub fn new(budget: Budget) -> SeaHorn {
+        SeaHorn { budget }
+    }
+}
+
+/// Rewrites a transition system, havocking the operators a linear
+/// integer arithmetic encoding loses. Returns the abstracted system
+/// and the number of havocked operator instances.
+pub fn abstract_bitvector_ops(ts: &TransitionSystem) -> (TransitionSystem, usize) {
+    let mut out = TransitionSystem::new(format!("{}#lia", ts.name()));
+    let mut havocked = 0usize;
+
+    // Recreate inputs and states.
+    let mut var_map: HashMap<rtlir::VarId, rtlir::VarId> = HashMap::new();
+    for &iv in ts.inputs() {
+        let d = ts.pool().var_decl(iv).clone();
+        let nv = out.add_input(d.name, d.sort);
+        var_map.insert(iv, nv);
+    }
+    for s in ts.states() {
+        let d = ts.pool().var_decl(s.var).clone();
+        let nv = out.add_state(d.name, d.sort);
+        var_map.insert(s.var, nv);
+    }
+
+    // Translate expressions bottom-up, havocking lossy operators.
+    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+    let exprs_to_translate: Vec<ExprId> = ts
+        .states()
+        .iter()
+        .flat_map(|s| s.init.into_iter().chain(s.next))
+        .chain(ts.bads().iter().map(|b| b.expr))
+        .chain(ts.constraints().iter().copied())
+        .collect();
+
+    fn walk(
+        ts: &TransitionSystem,
+        out: &mut TransitionSystem,
+        var_map: &HashMap<rtlir::VarId, rtlir::VarId>,
+        memo: &mut HashMap<ExprId, ExprId>,
+        havocked: &mut usize,
+        root: ExprId,
+    ) -> ExprId {
+        if let Some(&t) = memo.get(&root) {
+            return t;
+        }
+        let mut order = Vec::new();
+        let mut stack = vec![(root, false)];
+        while let Some((e, expanded)) = stack.pop() {
+            if memo.contains_key(&e) {
+                continue;
+            }
+            if expanded {
+                order.push(e);
+                continue;
+            }
+            stack.push((e, true));
+            match ts.pool().node(e) {
+                Node::Const { .. } | Node::Var(_) | Node::ConstArray { .. } => {}
+                Node::Un(_, a) | Node::Extract { arg: a, .. } => stack.push((*a, false)),
+                Node::Zext { arg, .. } | Node::Sext { arg, .. } => stack.push((*arg, false)),
+                Node::Bin(_, a, b) => {
+                    stack.push((*a, false));
+                    stack.push((*b, false));
+                }
+                Node::Ite(c, t, f) => {
+                    stack.push((*c, false));
+                    stack.push((*t, false));
+                    stack.push((*f, false));
+                }
+                Node::Read { array, index } => {
+                    stack.push((*array, false));
+                    stack.push((*index, false));
+                }
+                Node::Write {
+                    array,
+                    index,
+                    value,
+                } => {
+                    stack.push((*array, false));
+                    stack.push((*index, false));
+                    stack.push((*value, false));
+                }
+            }
+        }
+        for e in order {
+            let node = ts.pool().node(e).clone();
+            let sort = ts.pool().sort(e);
+
+            let t = match node {
+                Node::Const { width, bits } => out.pool_mut().constv(width, bits),
+                Node::ConstArray {
+                    index_width,
+                    elem_width,
+                    bits,
+                } => out.pool_mut().const_array(index_width, elem_width, bits),
+                Node::Var(v) => {
+                    let nv = var_map[&v];
+                    out.pool_mut().var(nv)
+                }
+                Node::Un(op, a) => {
+                    let ta = memo[&a];
+                    match op {
+                        UnOp::Neg => out.pool_mut().neg(ta),
+                        // Bitwise complement on a word and reductions
+                        // are not linear: havoc unless single-bit.
+                        UnOp::Not => {
+                            if sort == Sort::BOOL {
+                                out.pool_mut().not(ta)
+                            } else {
+                                havoc(out, havocked, sort)
+                            }
+                        }
+                        UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => {
+                            havoc(out, havocked, sort)
+                        }
+                    }
+                }
+                Node::Bin(op, a, b) => {
+                    let (ta, tb) = (memo[&a], memo[&b]);
+                    let a_const = out.pool().const_bits(ta).is_some();
+                    let b_const = out.pool().const_bits(tb).is_some();
+                    match op {
+                        BinOp::Add => out.pool_mut().add(ta, tb),
+                        BinOp::Sub => out.pool_mut().sub(ta, tb),
+                        BinOp::Eq => out.pool_mut().eq(ta, tb),
+                        BinOp::Ult => out.pool_mut().ult(ta, tb),
+                        BinOp::Ule => out.pool_mut().ule(ta, tb),
+                        BinOp::Slt => out.pool_mut().slt(ta, tb),
+                        BinOp::Sle => out.pool_mut().sle(ta, tb),
+                        // Linear only with a constant operand.
+                        BinOp::Mul | BinOp::Udiv | BinOp::Urem => {
+                            if a_const || b_const {
+                                match op {
+                                    BinOp::Mul => out.pool_mut().mul(ta, tb),
+                                    BinOp::Udiv => out.pool_mut().udiv(ta, tb),
+                                    _ => out.pool_mut().urem(ta, tb),
+                                }
+                            } else {
+                                havoc(out, havocked, sort)
+                            }
+                        }
+                        // Single-bit and/or/xor are boolean structure
+                        // (Horn encodings keep them); wider ones are
+                        // bit-level and lost.
+                        BinOp::And | BinOp::Or | BinOp::Xor => {
+                            if sort == Sort::BOOL {
+                                match op {
+                                    BinOp::And => out.pool_mut().and(ta, tb),
+                                    BinOp::Or => out.pool_mut().or(ta, tb),
+                                    _ => out.pool_mut().xor(ta, tb),
+                                }
+                            } else {
+                                havoc(out, havocked, sort)
+                            }
+                        }
+                        BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
+                            if b_const {
+                                match op {
+                                    BinOp::Shl => out.pool_mut().shl(ta, tb),
+                                    BinOp::Lshr => out.pool_mut().lshr(ta, tb),
+                                    _ => out.pool_mut().ashr(ta, tb),
+                                }
+                            } else {
+                                havoc(out, havocked, sort)
+                            }
+                        }
+                        BinOp::Concat => havoc(out, havocked, sort),
+                    }
+                }
+                Node::Ite(c, tt, ff) => {
+                    let (tc, t1, t0) = (memo[&c], memo[&tt], memo[&ff]);
+                    out.pool_mut().ite(tc, t1, t0)
+                }
+                // Selecting bits out of words is bit-level: havoc
+                // unless the operand is single-bit already.
+                Node::Extract { hi, lo, arg } => {
+                    let ta = memo[&arg];
+                    if out.pool().const_bits(ta).is_some() {
+                        out.pool_mut().extract(ta, hi, lo)
+                    } else if hi == lo && lo == 0 && out.pool().sort(ta) == Sort::BOOL {
+                        ta
+                    } else {
+                        havoc(out, havocked, sort)
+                    }
+                }
+                Node::Zext { arg, width } => {
+                    let ta = memo[&arg];
+                    out.pool_mut().zext(ta, width)
+                }
+                Node::Sext { arg, width } => {
+                    let ta = memo[&arg];
+                    out.pool_mut().sext(ta, width)
+                }
+                Node::Read { array, index } => {
+                    let (ta, ti) = (memo[&array], memo[&index]);
+                    out.pool_mut().read(ta, ti)
+                }
+                Node::Write {
+                    array,
+                    index,
+                    value,
+                } => {
+                    let (ta, ti, tv) = (memo[&array], memo[&index], memo[&value]);
+                    out.pool_mut().write(ta, ti, tv)
+                }
+            };
+            memo.insert(e, t);
+        }
+        memo[&root]
+    }
+
+    fn havoc(out: &mut TransitionSystem, havocked: &mut usize, sort: Sort) -> ExprId {
+        *havocked += 1;
+        let v = out.add_input(format!("__havoc{}", *havocked), sort);
+        out.pool_mut().var(v)
+    }
+
+    for e in exprs_to_translate {
+        walk(ts, &mut out, &var_map, &mut memo, &mut havocked, e);
+    }
+    for s in ts.states() {
+        let nv = var_map[&s.var];
+        if let Some(init) = s.init {
+            // Init expressions are constant: translate preserves them.
+            let t = memo[&init];
+            out.set_init(nv, t);
+        }
+        if let Some(next) = s.next {
+            let t = memo[&next];
+            out.set_next(nv, t);
+        }
+    }
+    for b in ts.bads() {
+        let t = memo[&b.expr];
+        out.add_bad(t, b.name.clone());
+    }
+    for &c in ts.constraints() {
+        let t = memo[&c];
+        out.add_constraint(t);
+    }
+    (out, havocked)
+}
+
+impl Analyzer for SeaHorn {
+    fn name(&self) -> &'static str {
+        "seahorn-pdr"
+    }
+
+    fn check(&self, prog: &SwProgram) -> CheckOutcome {
+        let (abs_ts, _havocked) = abstract_bitvector_ops(&prog.ts);
+        let out = Pdr::new(self.budget).check(&abs_ts);
+        match out.outcome {
+            // Safe on the over-approximation is sound.
+            Verdict::Safe => out,
+            // SeaHorn reports abstract counterexamples as final
+            // results — the paper's observed false negatives.
+            Verdict::Unsafe(t) => CheckOutcome {
+                outcome: Verdict::Unsafe(t),
+                stats: out.stats,
+            },
+            Verdict::Unknown(u) => CheckOutcome {
+                outcome: Verdict::Unknown(u),
+                stats: out.stats,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::Sort;
+
+    #[test]
+    fn control_only_design_is_exact() {
+        // Pure control logic (no bitwise word ops): abstraction is a
+        // no-op and PDR proves it.
+        let mut ts = TransitionSystem::new("ctrl");
+        let s = ts.add_state("st", Sort::Bv(2));
+        let sv = ts.pool_mut().var(s);
+        let z = ts.pool_mut().constv(2, 0);
+        let one = ts.pool_mut().constv(2, 1);
+        let two = ts.pool_mut().constv(2, 2);
+        let is0 = ts.pool_mut().eq(sv, z);
+        let is1 = ts.pool_mut().eq(sv, one);
+        let nx1 = ts.pool_mut().ite(is1, two, z);
+        let nx = ts.pool_mut().ite(is0, one, nx1);
+        ts.set_init(s, z);
+        ts.set_next(s, nx);
+        let three = ts.pool_mut().constv(2, 3);
+        let bad = ts.pool_mut().eq(sv, three);
+        ts.add_bad(bad, "unreachable state");
+        let (abs, havocked) = abstract_bitvector_ops(&ts);
+        assert_eq!(havocked, 0, "control design needs no havoc");
+        assert_eq!(abs.states().len(), 1);
+        let out = SeaHorn::default().check(&SwProgram::from_ts(ts));
+        assert_eq!(out.outcome, Verdict::Safe);
+    }
+
+    #[test]
+    fn bit_heavy_design_gives_false_negative() {
+        // Safe design whose safety depends on an xor identity the LIA
+        // abstraction loses: SeaHorn-mode reports a (spurious) bug —
+        // the paper's "wrong" column.
+        let mut ts = TransitionSystem::new("xorid");
+        let s = ts.add_state("c", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let k = ts.pool_mut().constv(8, 0xAA);
+        let x1 = ts.pool_mut().xor(sv, k);
+        let x2 = ts.pool_mut().xor(x1, k); // x2 == c, always
+        let zero = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, zero);
+        let one = ts.pool_mut().constv(8, 1);
+        let inc = ts.pool_mut().add(sv, one);
+        ts.set_next(s, inc);
+        let ne = ts.pool_mut().ne(x2, sv);
+        ts.add_bad(ne, "xor roundtrip broken");
+        let (_, havocked) = abstract_bitvector_ops(&ts);
+        assert!(havocked > 0, "xor ops must be havocked");
+        let out = SeaHorn::default().check(&SwProgram::from_ts(ts.clone()));
+        // The abstraction cannot prove it; PDR on the havocked system
+        // finds a spurious counterexample.
+        assert!(
+            out.outcome.is_unsafe(),
+            "expected the documented false negative, got {:?}",
+            out.outcome
+        );
+        // The concrete design is actually safe (witness: bit-precise
+        // PDR).
+        let exact = Pdr::default().check(&ts);
+        assert_eq!(exact.outcome, Verdict::Safe);
+    }
+}

@@ -1,0 +1,482 @@
+//! Shared machinery for the software analyzers: word-level query
+//! solving, model evaluation, substitution and atom collection.
+
+use rtlir::{ExprId, ExprPool, Node, TransitionSystem, Unroller, VarId};
+use satb::{Part, SolveResult, Solver};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Result of solving a conjunction of single-bit word-level roots.
+pub struct WordQuery<'p> {
+    /// The SAT result.
+    pub result: SolveResult,
+    /// Model access on SAT.
+    pub model: Option<WordModel<'p>>,
+}
+
+/// A satisfying assignment over a formula pool.
+pub struct WordModel<'p> {
+    blaster: aig::Blaster<'p>,
+    ci_vals: Vec<bool>,
+}
+
+impl WordModel<'_> {
+    /// Evaluates any expression of the pool under the model
+    /// (expressions outside the solved cone read as zero).
+    pub fn eval_word(&mut self, e: ExprId) -> u64 {
+        let bits = self.blaster.blast(e).bits().to_vec();
+        if self.ci_vals.len() < self.blaster.aig().num_cis() {
+            self.ci_vals.resize(self.blaster.aig().num_cis(), false);
+        }
+        let mut out = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            if self.blaster.aig().eval(b, &self.ci_vals) {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+}
+
+/// Solves `⋀ roots` (all single-bit) over `pool` by bit-blasting.
+pub fn solve_word<'p>(
+    pool: &'p ExprPool,
+    roots: &[ExprId],
+    deadline: Option<Instant>,
+) -> WordQuery<'p> {
+    let mut blaster = aig::Blaster::new(pool);
+    let bits: Vec<aig::AigLit> = roots.iter().map(|&r| blaster.blast_bit(r)).collect();
+    let mut solver = Solver::new();
+    let mut enc = aig::FrameEncoder::new();
+    for &b in &bits {
+        let l = enc.encode(blaster.aig(), &mut solver, b, Part::A);
+        solver.add_clause(&[l]);
+    }
+    let result = solver.solve_limited(
+        &[],
+        satb::Limits {
+            max_conflicts: None,
+            deadline,
+        },
+    );
+    if result == SolveResult::Sat {
+        let mut ci_vals = vec![false; blaster.aig().num_cis()];
+        for (ci, al) in blaster.aig().ci_lits().into_iter().enumerate() {
+            ci_vals[ci] = enc
+                .mapped(al)
+                .and_then(|sl| solver.value(sl))
+                .unwrap_or(false);
+        }
+        return WordQuery {
+            result,
+            model: Some(WordModel { blaster, ci_vals }),
+        };
+    }
+    WordQuery {
+        result,
+        model: None,
+    }
+}
+
+/// Substitutes state variables by their next-state functions in `e`
+/// (the strongest-postcondition/weakest-precondition workhorse).
+/// Input variables are left untouched.
+pub fn substitute_next(ts: &mut TransitionSystem, e: ExprId) -> ExprId {
+    let next_of: HashMap<VarId, ExprId> = ts
+        .states()
+        .iter()
+        .filter_map(|s| s.next.map(|n| (s.var, n)))
+        .collect();
+    substitute(ts, e, &next_of)
+}
+
+/// Substitutes variables by expressions in `e` (bottom-up, memoized).
+pub fn substitute(
+    ts: &mut TransitionSystem,
+    root: ExprId,
+    map: &HashMap<VarId, ExprId>,
+) -> ExprId {
+    let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
+    let mut order: Vec<ExprId> = Vec::new();
+    let mut stack = vec![(root, false)];
+    while let Some((e, expanded)) = stack.pop() {
+        if memo.contains_key(&e) {
+            continue;
+        }
+        if expanded {
+            order.push(e);
+            continue;
+        }
+        stack.push((e, true));
+        match ts.pool().node(e) {
+            Node::Const { .. } | Node::Var(_) | Node::ConstArray { .. } => {}
+            Node::Un(_, a) | Node::Extract { arg: a, .. } => stack.push((*a, false)),
+            Node::Zext { arg, .. } | Node::Sext { arg, .. } => stack.push((*arg, false)),
+            Node::Bin(_, a, b) => {
+                stack.push((*a, false));
+                stack.push((*b, false));
+            }
+            Node::Ite(c, t, f) => {
+                stack.push((*c, false));
+                stack.push((*t, false));
+                stack.push((*f, false));
+            }
+            Node::Read { array, index } => {
+                stack.push((*array, false));
+                stack.push((*index, false));
+            }
+            Node::Write {
+                array,
+                index,
+                value,
+            } => {
+                stack.push((*array, false));
+                stack.push((*index, false));
+                stack.push((*value, false));
+            }
+        }
+    }
+    for e in order {
+        let node = ts.pool().node(e).clone();
+        let p = ts.pool_mut();
+        let out = match node {
+            Node::Const { .. } | Node::ConstArray { .. } => e,
+            Node::Var(v) => map.get(&v).copied().unwrap_or(e),
+            Node::Un(op, a) => {
+                let ta = memo[&a];
+                match op {
+                    rtlir::UnOp::Not => p.not(ta),
+                    rtlir::UnOp::Neg => p.neg(ta),
+                    rtlir::UnOp::RedAnd => p.redand(ta),
+                    rtlir::UnOp::RedOr => p.redor(ta),
+                    rtlir::UnOp::RedXor => p.redxor(ta),
+                }
+            }
+            Node::Bin(op, a, b) => {
+                let (ta, tb) = (memo[&a], memo[&b]);
+                use rtlir::BinOp as B;
+                match op {
+                    B::And => p.and(ta, tb),
+                    B::Or => p.or(ta, tb),
+                    B::Xor => p.xor(ta, tb),
+                    B::Add => p.add(ta, tb),
+                    B::Sub => p.sub(ta, tb),
+                    B::Mul => p.mul(ta, tb),
+                    B::Udiv => p.udiv(ta, tb),
+                    B::Urem => p.urem(ta, tb),
+                    B::Shl => p.shl(ta, tb),
+                    B::Lshr => p.lshr(ta, tb),
+                    B::Ashr => p.ashr(ta, tb),
+                    B::Eq => p.eq(ta, tb),
+                    B::Ult => p.ult(ta, tb),
+                    B::Ule => p.ule(ta, tb),
+                    B::Slt => p.slt(ta, tb),
+                    B::Sle => p.sle(ta, tb),
+                    B::Concat => p.concat(ta, tb),
+                }
+            }
+            Node::Ite(c, t, f) => {
+                let (tc, tt, tf) = (memo[&c], memo[&t], memo[&f]);
+                p.ite(tc, tt, tf)
+            }
+            Node::Extract { hi, lo, arg } => {
+                let ta = memo[&arg];
+                p.extract(ta, hi, lo)
+            }
+            Node::Zext { arg, width } => {
+                let ta = memo[&arg];
+                p.zext(ta, width)
+            }
+            Node::Sext { arg, width } => {
+                let ta = memo[&arg];
+                p.sext(ta, width)
+            }
+            Node::Read { array, index } => {
+                let (ta, ti) = (memo[&array], memo[&index]);
+                p.read(ta, ti)
+            }
+            Node::Write {
+                array,
+                index,
+                value,
+            } => {
+                let (ta, ti, tv) = (memo[&array], memo[&index], memo[&value]);
+                p.write(ta, ti, tv)
+            }
+        };
+        memo.insert(e, out);
+    }
+    memo[&root]
+}
+
+/// The variables occurring in an expression.
+pub fn vars_of(pool: &ExprPool, root: ExprId) -> HashSet<VarId> {
+    let mut out = HashSet::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(e) = stack.pop() {
+        if !seen.insert(e) {
+            continue;
+        }
+        match pool.node(e) {
+            Node::Var(v) => {
+                out.insert(*v);
+            }
+            Node::Const { .. } | Node::ConstArray { .. } => {}
+            Node::Un(_, a) | Node::Extract { arg: a, .. } => stack.push(*a),
+            Node::Zext { arg, .. } | Node::Sext { arg, .. } => stack.push(*arg),
+            Node::Bin(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Node::Ite(c, t, f) => {
+                stack.push(*c);
+                stack.push(*t);
+                stack.push(*f);
+            }
+            Node::Read { array, index } => {
+                stack.push(*array);
+                stack.push(*index);
+            }
+            Node::Write {
+                array,
+                index,
+                value,
+            } => {
+                stack.push(*array);
+                stack.push(*index);
+                stack.push(*value);
+            }
+        }
+    }
+    out
+}
+
+/// Collects predicate atoms (single-bit comparison or reduction
+/// sub-expressions) of `root` whose variables all satisfy `keep`.
+pub fn collect_atoms(
+    pool: &ExprPool,
+    root: ExprId,
+    keep: &impl Fn(VarId) -> bool,
+) -> Vec<ExprId> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(e) = stack.pop() {
+        if !seen.insert(e) {
+            continue;
+        }
+        let is_atom = pool.sort(e).is_bool()
+            && matches!(
+                pool.node(e),
+                Node::Bin(
+                    rtlir::BinOp::Eq
+                        | rtlir::BinOp::Ult
+                        | rtlir::BinOp::Ule
+                        | rtlir::BinOp::Slt
+                        | rtlir::BinOp::Sle,
+                    _,
+                    _
+                ) | Node::Un(rtlir::UnOp::RedAnd | rtlir::UnOp::RedOr, _)
+                    | Node::Extract { .. }
+                    | Node::Var(_)
+            );
+        if is_atom && vars_of(pool, e).iter().all(|&v| keep(v)) && pool.const_bits(e).is_none()
+        {
+            out.push(e);
+        }
+        match pool.node(e) {
+            Node::Var(_) | Node::Const { .. } | Node::ConstArray { .. } => {}
+            Node::Un(_, a) | Node::Extract { arg: a, .. } => stack.push(*a),
+            Node::Zext { arg, .. } | Node::Sext { arg, .. } => stack.push(*arg),
+            Node::Bin(_, a, b) => {
+                stack.push(*a);
+                stack.push(*b);
+            }
+            Node::Ite(c, t, f) => {
+                stack.push(*c);
+                stack.push(*t);
+                stack.push(*f);
+            }
+            Node::Read { array, index } => {
+                stack.push(*array);
+                stack.push(*index);
+            }
+            Node::Write {
+                array,
+                index,
+                value,
+            } => {
+                stack.push(*array);
+                stack.push(*index);
+                stack.push(*value);
+            }
+        }
+    }
+    out
+}
+
+/// Extracts a bit-level trace from a SAT word model of an unrolled
+/// formula: states and inputs flattened in [`aig::AigSystem`] order.
+pub struct TraceExtractor {
+    /// Per frame, per state: expressions to evaluate.
+    pub state_words: Vec<Vec<Vec<ExprId>>>,
+    /// Per frame: input expressions.
+    pub input_words: Vec<Vec<ExprId>>,
+    /// Bad expressions at the final frame.
+    pub bad_words: Vec<ExprId>,
+}
+
+impl TraceExtractor {
+    /// Pre-materializes the expressions a trace of length `k` needs
+    /// (must run before solving: model extraction borrows the pool).
+    pub fn prepare(u: &mut Unroller<'_>, k: usize) -> TraceExtractor {
+        let ts = u.ts();
+        let nstates = ts.states().len();
+        let ninputs = ts.inputs().len();
+        let state_sorts: Vec<rtlir::Sort> = ts
+            .states()
+            .iter()
+            .map(|s| ts.pool().var_sort(s.var))
+            .collect();
+        let nbads = ts.bads().len();
+        let mut state_words = Vec::new();
+        let mut input_words = Vec::new();
+        for f in 0..=k {
+            let mut per_state = Vec::new();
+            for (si, sort) in state_sorts.iter().enumerate() {
+                let e = u.state(f, si);
+                let words = match sort {
+                    rtlir::Sort::Bv(_) => vec![e],
+                    rtlir::Sort::Array { index_width, .. } => (0..(1u64 << index_width))
+                        .map(|idx| {
+                            let ie = u.pool_mut().constv(*index_width, idx);
+                            u.pool_mut().read(e, ie)
+                        })
+                        .collect(),
+                };
+                per_state.push(words);
+            }
+            let _ = nstates;
+            state_words.push(per_state);
+            input_words.push((0..ninputs).map(|ii| u.input(f, ii)).collect());
+        }
+        let bad_words = (0..nbads).map(|bi| u.bad_at(k, bi)).collect();
+        TraceExtractor {
+            state_words,
+            input_words,
+            bad_words,
+        }
+    }
+
+    /// Builds the trace from a model.
+    pub fn extract(
+        &self,
+        ts: &TransitionSystem,
+        model: &mut WordModel<'_>,
+    ) -> engines::Trace {
+        let mut states = Vec::new();
+        let mut inputs = Vec::new();
+        for f in 0..self.state_words.len() {
+            let mut st = Vec::new();
+            for (si, s) in ts.states().iter().enumerate() {
+                let width = match ts.pool().var_sort(s.var) {
+                    rtlir::Sort::Bv(w) => w,
+                    rtlir::Sort::Array { elem_width, .. } => elem_width,
+                };
+                for &e in &self.state_words[f][si] {
+                    let v = model.eval_word(e);
+                    for b in 0..width {
+                        st.push((v >> b) & 1 == 1);
+                    }
+                }
+            }
+            states.push(st);
+            let mut inp = Vec::new();
+            for (ii, &ivar) in ts.inputs().iter().enumerate() {
+                let w = ts.pool().var_sort(ivar).width();
+                let v = model.eval_word(self.input_words[f][ii]);
+                for b in 0..w {
+                    inp.push((v >> b) & 1 == 1);
+                }
+            }
+            inputs.push(inp);
+        }
+        let mut bad_index = 0;
+        for (i, &e) in self.bad_words.iter().enumerate() {
+            if model.eval_word(e) == 1 {
+                bad_index = i;
+                break;
+            }
+        }
+        engines::Trace {
+            states,
+            inputs,
+            bad_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtlir::Sort;
+
+    fn counter(bug_at: u64) -> TransitionSystem {
+        let mut ts = TransitionSystem::new("c");
+        let s = ts.add_state("count", Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let one = ts.pool_mut().constv(8, 1);
+        let nx = ts.pool_mut().add(sv, one);
+        let z = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, z);
+        ts.set_next(s, nx);
+        let c = ts.pool_mut().constv(8, bug_at);
+        let bad = ts.pool_mut().eq(sv, c);
+        ts.add_bad(bad, "hit");
+        ts
+    }
+
+    #[test]
+    fn solve_word_sat_and_model() {
+        let ts = counter(5);
+        let mut u = Unroller::new(&ts, rtlir::unroll::InitMode::Free);
+        let b0 = u.bad(0);
+        let s0 = u.state(0, 0);
+        let q = solve_word(u.pool(), &[b0], None);
+        assert_eq!(q.result, SolveResult::Sat);
+        let mut m = q.model.expect("model");
+        assert_eq!(m.eval_word(s0), 5, "state must be the bad value");
+    }
+
+    #[test]
+    fn substitute_next_is_wp() {
+        let mut ts = counter(5);
+        let bad = ts.bads()[0].expr;
+        let wp = substitute_next(&mut ts, bad);
+        // wp(bad) = (count + 1 == 5) = (count == 4): check by eval.
+        let var = ts.states()[0].var;
+        let mut env = HashMap::new();
+        env.insert(var, rtlir::Value::bv(8, 4));
+        assert!(rtlir::eval(ts.pool(), wp, &env).as_bool());
+        env.insert(var, rtlir::Value::bv(8, 5));
+        assert!(!rtlir::eval(ts.pool(), wp, &env).as_bool());
+    }
+
+    #[test]
+    fn atoms_collected() {
+        let ts = counter(5);
+        let bad = ts.bads()[0].expr;
+        let atoms = collect_atoms(ts.pool(), bad, &|_| true);
+        assert!(!atoms.is_empty());
+        assert!(atoms.contains(&bad));
+    }
+
+    #[test]
+    fn vars_found() {
+        let ts = counter(5);
+        let bad = ts.bads()[0].expr;
+        let vs = vars_of(ts.pool(), bad);
+        assert_eq!(vs.len(), 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Abstract syntax tree for the supported Verilog subset.
+
+/// Port direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// Net kind of a declaration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetKind {
+    /// `wire`
+    Wire,
+    /// `reg`
+    Reg,
+}
+
+/// A `[hi:lo]` range (both bounds are constant expressions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Range {
+    /// High bound expression.
+    pub hi: Expr,
+    /// Low bound expression.
+    pub lo: Expr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `~`
+    Not,
+    /// `-`
+    Neg,
+    /// `!`
+    LogicNot,
+    /// `&`
+    RedAnd,
+    /// `|`
+    RedOr,
+    /// `^`
+    RedXor,
+    /// `~&`
+    RedNand,
+    /// `~|`
+    RedNor,
+    /// `~^` / `^~`
+    RedXnor,
+    /// unary `+` (no-op)
+    Plus,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `~^` / `^~`
+    Xnor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<<<`
+    Sshl,
+    /// `>>>`
+    Sshr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LogicAnd,
+    /// `||`
+    LogicOr,
+}
+
+/// Expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Identifier reference.
+    Ident(String),
+    /// Number literal.
+    Number {
+        /// Explicit size, if given.
+        size: Option<u32>,
+        /// Value (masked to size when given).
+        value: u64,
+    },
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? a : b`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Concatenation `{a, b, c}`.
+    Concat(Vec<Expr>),
+    /// Replication `{n{a, b}}`.
+    Repl(Box<Expr>, Vec<Expr>),
+    /// Bit-select or memory read `x[i]`.
+    Index(String, Box<Expr>),
+    /// Part-select `x[hi:lo]` (constant bounds).
+    Part(String, Box<Expr>, Box<Expr>),
+}
+
+/// Assignment targets.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Bit-select or memory element `x[i]`.
+    Index(String, Expr),
+    /// Part-select `x[hi:lo]` (constant bounds).
+    Part(String, Expr, Expr),
+    /// Concatenation `{a, b}` of lvalues.
+    Concat(Vec<LValue>),
+}
+
+/// Statements inside processes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `begin ... end`
+    Block(Vec<Stmt>),
+    /// `if (c) s [else s]`
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `case/casez (e) items endcase`; `wildcard` is true for `casez`.
+    Case {
+        /// Scrutinee.
+        expr: Expr,
+        /// `(labels, body)` arms.
+        arms: Vec<(Vec<Expr>, Stmt)>,
+        /// `default:` body.
+        default: Option<Box<Stmt>>,
+        /// Whether `?`/`z` bits in labels act as wildcards (`casez`).
+        wildcard: bool,
+    },
+    /// Blocking assignment `lhs = rhs`.
+    Blocking(LValue, Expr),
+    /// Non-blocking assignment `lhs <= rhs`.
+    NonBlocking(LValue, Expr),
+    /// Empty statement `;`.
+    Nop,
+}
+
+/// Sensitivity of an always block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Sensitivity {
+    /// `@*`, `@(*)` or an explicit level-sensitive list.
+    Comb,
+    /// `@(posedge clk)` — single-clock synchronous logic.
+    Posedge(String),
+}
+
+/// A module-level item.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    /// Signal declaration(s).
+    Decl {
+        /// `wire` or `reg`.
+        kind: NetKind,
+        /// Optional `[hi:lo]` packed range.
+        range: Option<Range>,
+        /// Declared names with optional memory range and initializer.
+        names: Vec<DeclName>,
+    },
+    /// `parameter` / `localparam`.
+    Param {
+        /// Parameter name.
+        name: String,
+        /// Default/assigned value.
+        value: Expr,
+    },
+    /// `assign lhs = rhs;`
+    ContAssign(LValue, Expr),
+    /// `always @(...) body`
+    Always(Sensitivity, Stmt),
+    /// `initial body` (reset values only).
+    Initial(Stmt),
+    /// Module instantiation.
+    Instance {
+        /// Instantiated module name.
+        module: String,
+        /// Instance name.
+        name: String,
+        /// `#(...)` parameter overrides (named or positional).
+        params: Vec<(Option<String>, Expr)>,
+        /// Port connections (named or positional).
+        conns: Vec<(Option<String>, Option<Expr>)>,
+    },
+    /// `assert property (expr);`
+    AssertProperty {
+        /// The asserted condition.
+        cond: Expr,
+        /// Optional label.
+        label: Option<String>,
+    },
+    /// `assume property (expr);` — environment constraint.
+    AssumeProperty {
+        /// The assumed condition.
+        cond: Expr,
+    },
+}
+
+/// One declared name within a `Decl` item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeclName {
+    /// Signal name.
+    pub name: String,
+    /// `[lo:hi]` memory (unpacked) range, if any.
+    pub memory: Option<Range>,
+    /// Declaration initializer (`reg r = 0;`).
+    pub init: Option<Expr>,
+}
+
+/// A port in the module header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Packed range, if any.
+    pub range: Option<Range>,
+    /// Whether the header declared it `reg` (output regs).
+    pub is_reg: bool,
+}
+
+/// A parsed module.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SourceModule {
+    /// Module name.
+    pub name: String,
+    /// Ports in header order.
+    pub ports: Vec<Port>,
+    /// Body items in source order.
+    pub items: Vec<Item>,
+    /// 1-based line of the `module` keyword.
+    pub line: u32,
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized number.
+    pub fn num(value: u64) -> Expr {
+        Expr::Number { size: None, value }
+    }
+}

@@ -1,0 +1,60 @@
+//! Frontend error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from parsing, elaborating or synthesizing Verilog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerilogError {
+    /// 1-based source line, when known (0 = no location).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl VerilogError {
+    /// Creates an error with a source line.
+    pub fn at(line: u32, message: impl Into<String>) -> VerilogError {
+        VerilogError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error without location information.
+    pub fn general(message: impl Into<String>) -> VerilogError {
+        VerilogError {
+            line: 0,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl Error for VerilogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        assert_eq!(
+            VerilogError::at(3, "unexpected token").to_string(),
+            "line 3: unexpected token"
+        );
+        assert_eq!(
+            VerilogError::general("no top module").to_string(),
+            "no top module"
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! Verilog lexer.
+
+use crate::error::VerilogError;
+use std::fmt;
+
+/// A lexical token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// A number literal: optional size, base and value.
+    Number {
+        /// Explicit size in bits (`8'hFF` → `Some(8)`).
+        size: Option<u32>,
+        /// The value, masked to 64 bits.
+        value: u64,
+        /// Whether a base was given (`'b`, `'h`, `'d`, `'o`).
+        based: bool,
+    },
+    /// Punctuation / operator.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Number { value, .. } => write!(f, "{value}"),
+            Tok::Sym(s) => write!(f, "{s}"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Multi-character operators, longest first (order matters).
+const SYMBOLS: &[&str] = &[
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "~&", "~|", "~^",
+    "^~", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":", ";", ",",
+    ".", "(", ")", "[", "]", "{", "}", "@", "#",
+];
+
+/// Tokenizes Verilog source text.
+///
+/// # Errors
+///
+/// Returns an error for malformed number literals or characters
+/// outside the supported subset.
+pub fn lex(src: &str) -> Result<Vec<Token>, VerilogError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(VerilogError::at(line, "unterminated block comment"));
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '\\' {
+            let start = if c == '\\' { i + 1 } else { i };
+            let mut j = start;
+            while j < bytes.len() {
+                let cj = bytes[j] as char;
+                if cj.is_ascii_alphanumeric() || cj == '_' || cj == '$' {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                kind: Tok::Ident(src[start..j].to_string()),
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers: plain decimal, or [size]'[base]digits.
+        if c.is_ascii_digit() || c == '\'' {
+            let (tok, len) = lex_number(&src[i..], line)?;
+            out.push(Token { kind: tok, line });
+            i += len;
+            continue;
+        }
+        // Symbols.
+        let rest = &src[i..];
+        let mut matched = false;
+        for &s in SYMBOLS {
+            if rest.starts_with(s) {
+                out.push(Token {
+                    kind: Tok::Sym(s),
+                    line,
+                });
+                i += s.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(VerilogError::at(line, format!("unexpected character '{c}'")));
+        }
+    }
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
+    Ok(out)
+}
+
+fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), VerilogError> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    // Optional size (decimal digits, underscores allowed).
+    let mut size_digits = String::new();
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        if bytes[i] != b'_' {
+            size_digits.push(bytes[i] as char);
+        }
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        // Based literal.
+        i += 1;
+        if i >= bytes.len() {
+            return Err(VerilogError::at(line, "truncated based literal"));
+        }
+        let mut signed = false;
+        if bytes[i] == b's' || bytes[i] == b'S' {
+            signed = true;
+            i += 1;
+        }
+        let _ = signed;
+        let base = bytes[i] as char;
+        i += 1;
+        let radix = match base {
+            'b' | 'B' => 2,
+            'o' | 'O' => 8,
+            'd' | 'D' => 10,
+            'h' | 'H' => 16,
+            other => {
+                return Err(VerilogError::at(line, format!("unknown number base '{other}'")))
+            }
+        };
+        let mut value: u64 = 0;
+        let mut ndigits = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            if c == '_' {
+                i += 1;
+                continue;
+            }
+            let d = match c.to_digit(radix) {
+                Some(d) => d as u64,
+                None => {
+                    // x/z digits are not supported in the synthesizable
+                    // subset (two-valued semantics).
+                    if c == 'x' || c == 'X' || c == 'z' || c == 'Z' || c == '?' {
+                        return Err(VerilogError::at(
+                            line,
+                            "x/z digits are not supported (two-valued subset)",
+                        ));
+                    }
+                    break;
+                }
+            };
+            value = value.wrapping_mul(radix as u64).wrapping_add(d);
+            ndigits += 1;
+            i += 1;
+        }
+        if ndigits == 0 {
+            return Err(VerilogError::at(line, "based literal has no digits"));
+        }
+        let size = if size_digits.is_empty() {
+            None
+        } else {
+            Some(size_digits.parse::<u32>().map_err(|_| {
+                VerilogError::at(line, "bad literal size")
+            })?)
+        };
+        if let Some(sz) = size {
+            if sz == 0 || sz > 64 {
+                return Err(VerilogError::at(line, "literal size out of range 1..=64"));
+            }
+            value &= rtlir::value::mask(sz);
+        }
+        Ok((
+            Tok::Number {
+                size,
+                value,
+                based: true,
+            },
+            i,
+        ))
+    } else {
+        // Plain decimal.
+        if size_digits.is_empty() {
+            return Err(VerilogError::at(line, "malformed number"));
+        }
+        let value = size_digits
+            .parse::<u64>()
+            .map_err(|_| VerilogError::at(line, "decimal literal too large"))?;
+        Ok((
+            Tok::Number {
+                size: None,
+                value,
+                based: false,
+            },
+            i,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        let ks = kinds("module foo_bar \\escaped! endmodule");
+        assert_eq!(ks[0], Tok::Ident("module".into()));
+        assert_eq!(ks[1], Tok::Ident("foo_bar".into()));
+        assert_eq!(ks[2], Tok::Ident("escaped".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42")[0],
+            Tok::Number {
+                size: None,
+                value: 42,
+                based: false
+            }
+        );
+        assert_eq!(
+            kinds("4'b1010")[0],
+            Tok::Number {
+                size: Some(4),
+                value: 10,
+                based: true
+            }
+        );
+        assert_eq!(
+            kinds("8'hFF")[0],
+            Tok::Number {
+                size: Some(8),
+                value: 255,
+                based: true
+            }
+        );
+        assert_eq!(
+            kinds("16'd1_000")[0],
+            Tok::Number {
+                size: Some(16),
+                value: 1000,
+                based: true
+            }
+        );
+        assert_eq!(
+            kinds("'h1F")[0],
+            Tok::Number {
+                size: None,
+                value: 31,
+                based: true
+            }
+        );
+        // Truncation to size.
+        assert_eq!(
+            kinds("4'hFF")[0],
+            Tok::Number {
+                size: Some(4),
+                value: 15,
+                based: true
+            }
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        let ks = kinds("a <= b <<< 2 >= c != d");
+        assert_eq!(ks[1], Tok::Sym("<="));
+        assert_eq!(ks[3], Tok::Sym("<<<"));
+        assert_eq!(ks[5], Tok::Sym(">="));
+        assert_eq!(ks[7], Tok::Sym("!="));
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").expect("lexes");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_x_digits() {
+        assert!(lex("4'bxx10").is_err());
+        assert!(lex("4'bzz10").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("a $ b\"").is_err() || lex("\"str\"").is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Synthesizable Verilog 2005 frontend.
+//!
+//! Implements the paper's front half of Figure 2: parsing Verilog RTL,
+//! elaborating the module hierarchy (parameters, memories, port
+//! connections), performing the §III-B *intra- and inter-modular
+//! dependency analysis* that orders combinational logic, and
+//! synthesizing a word-level [`rtlir::TransitionSystem`].
+//!
+//! ## Supported subset
+//!
+//! Modules with ports/parameters, `wire`/`reg` declarations (including
+//! memories `reg [w-1:0] m [0:d-1]`), continuous `assign`,
+//! `always @(posedge clk)` with synchronous reset, combinational
+//! `always @*` / `always @(a or b)`, `if`/`case`/`casez`, blocking and
+//! non-blocking assignment, full expression operators (reduction,
+//! concatenation, replication, part-/bit-select, ternary), module
+//! instantiation (named and positional), `initial` reset blocks and
+//! declaration initializers, and SVA-style immediate safety properties
+//! `assert property (expr);` / `assume property (expr);`.
+//!
+//! Deliberately *not* supported, mirroring the v2c tool's documented
+//! restrictions: combinational loops, transparent latches, multiple
+//! clocks, `inout` ports and delays. These are reported as
+//! [`VerilogError`]s rather than silently mis-synthesized.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), vfront::VerilogError> {
+//! let src = r#"
+//! module top(input clk, input rst, output full);
+//!   reg [1:0] count;
+//!   initial count = 0;
+//!   always @(posedge clk)
+//!     if (rst) count <= 0;
+//!     else if (count < 3) count <= count + 1;
+//!   assign full = (count == 3);
+//!   assert property (count <= 3);
+//! endmodule
+//! "#;
+//! let ts = vfront::compile(src, "top")?;
+//! assert_eq!(ts.states().len(), 1);
+//! assert_eq!(ts.bads().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ast;
+pub mod elab;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod synth;
+
+pub use ast::SourceModule;
+pub use elab::{elaborate, Design};
+pub use error::VerilogError;
+pub use parser::parse;
+pub use synth::synthesize;
+
+use rtlir::TransitionSystem;
+
+/// One-shot pipeline: parse, elaborate and synthesize a Verilog source
+/// into a word-level transition system.
+///
+/// # Errors
+///
+/// Returns a [`VerilogError`] for syntax errors, unsupported
+/// constructs (combinational loops, latches, multiple clocks),
+/// width violations, or when `top` does not name a module.
+pub fn compile(src: &str, top: &str) -> Result<TransitionSystem, VerilogError> {
+    let modules = parse(src)?;
+    let design = elaborate(&modules, top)?;
+    synthesize(&design)
+}

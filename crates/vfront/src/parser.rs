@@ -1,0 +1,847 @@
+//! Recursive-descent parser for the supported Verilog subset.
+
+use crate::ast::*;
+use crate::error::VerilogError;
+use crate::lexer::{lex, Tok, Token};
+
+/// Parses Verilog source text into a list of modules.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered, with its source line.
+pub fn parse(src: &str) -> Result<Vec<SourceModule>, VerilogError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut modules = Vec::new();
+    while !p.at_eof() {
+        modules.push(p.module()?);
+    }
+    Ok(modules)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, VerilogError> {
+        Err(VerilogError::at(self.line(), msg))
+    }
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Tok::Sym(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect_sym(&mut self, s: &str) -> Result<(), VerilogError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{s}', found '{}'", self.peek()))
+        }
+    }
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+    fn expect_kw(&mut self, kw: &str) -> Result<(), VerilogError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{kw}', found '{}'", self.peek()))
+        }
+    }
+    fn ident(&mut self) -> Result<String, VerilogError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                if KEYWORDS.contains(&s.as_str()) {
+                    self.err(format!("unexpected keyword '{s}'"))
+                } else {
+                    self.bump();
+                    Ok(s)
+                }
+            }
+            other => self.err(format!("expected identifier, found '{other}'")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Modules
+    // ------------------------------------------------------------------
+
+    fn module(&mut self) -> Result<SourceModule, VerilogError> {
+        let line = self.line();
+        self.expect_kw("module")?;
+        let name = self.ident()?;
+        let mut items: Vec<Item> = Vec::new();
+        // Header parameters: #(parameter X = 1, ...)
+        if self.eat_sym("#") {
+            self.expect_sym("(")?;
+            loop {
+                self.eat_kw("parameter");
+                let pname = self.ident()?;
+                // Optional range on parameter: ignored for value params.
+                self.expect_sym("=")?;
+                let value = self.expr()?;
+                items.push(Item::Param { name: pname, value });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        let mut ports: Vec<Port> = Vec::new();
+        if self.eat_sym("(") {
+            if !self.eat_sym(")") {
+                let mut last_dir: Option<Dir> = None;
+                let mut last_range: Option<Range> = None;
+                let mut last_reg = false;
+                loop {
+                    // ANSI port: dir [reg] [range] name; or bare name
+                    // (non-ANSI, direction supplied in the body); or a
+                    // continuation of the previous ANSI group.
+                    let dir = if self.eat_kw("input") {
+                        Some(Dir::Input)
+                    } else if self.eat_kw("output") {
+                        Some(Dir::Output)
+                    } else if self.at_kw("inout") {
+                        return self.err("inout ports are not supported");
+                    } else {
+                        None
+                    };
+                    if let Some(d) = dir {
+                        last_dir = Some(d);
+                        last_reg = self.eat_kw("reg");
+                        last_range = if matches!(self.peek(), Tok::Sym("[")) {
+                            Some(self.range()?)
+                        } else {
+                            None
+                        };
+                    }
+                    let pname = self.ident()?;
+                    ports.push(Port {
+                        name: pname,
+                        dir: last_dir.unwrap_or(Dir::Input),
+                        range: if dir.is_some() || last_dir.is_some() {
+                            last_range.clone()
+                        } else {
+                            None
+                        },
+                        is_reg: last_reg && last_dir == Some(Dir::Output),
+                    });
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+        }
+        self.expect_sym(";")?;
+        while !self.eat_kw("endmodule") {
+            if self.at_eof() {
+                return self.err(format!("missing endmodule for '{name}'"));
+            }
+            self.item(&mut items, &mut ports)?;
+        }
+        Ok(SourceModule {
+            name,
+            ports,
+            items,
+            line,
+        })
+    }
+
+    fn range(&mut self) -> Result<Range, VerilogError> {
+        self.expect_sym("[")?;
+        let hi = self.expr()?;
+        self.expect_sym(":")?;
+        let lo = self.expr()?;
+        self.expect_sym("]")?;
+        Ok(Range { hi, lo })
+    }
+
+    fn item(&mut self, items: &mut Vec<Item>, ports: &mut Vec<Port>) -> Result<(), VerilogError> {
+        if self.at_kw("input") || self.at_kw("output") {
+            // Non-ANSI port direction declaration in the body.
+            let dir = if self.eat_kw("input") {
+                Dir::Input
+            } else {
+                self.expect_kw("output")?;
+                Dir::Output
+            };
+            let is_reg = self.eat_kw("reg");
+            let range = if matches!(self.peek(), Tok::Sym("[")) {
+                Some(self.range()?)
+            } else {
+                None
+            };
+            loop {
+                let name = self.ident()?;
+                match ports.iter_mut().find(|p| p.name == name) {
+                    Some(port) => {
+                        port.dir = dir;
+                        port.range = range.clone();
+                        port.is_reg = is_reg && dir == Dir::Output;
+                    }
+                    None => {
+                        return self.err(format!("'{name}' is not in the port list"));
+                    }
+                }
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(";")?;
+            return Ok(());
+        }
+        if self.at_kw("wire") || self.at_kw("reg") {
+            let kind = if self.eat_kw("wire") {
+                NetKind::Wire
+            } else {
+                self.expect_kw("reg")?;
+                NetKind::Reg
+            };
+            let range = if matches!(self.peek(), Tok::Sym("[")) {
+                Some(self.range()?)
+            } else {
+                None
+            };
+            let mut names = Vec::new();
+            loop {
+                let name = self.ident()?;
+                let memory = if matches!(self.peek(), Tok::Sym("[")) {
+                    Some(self.range()?)
+                } else {
+                    None
+                };
+                let init = if self.eat_sym("=") {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                names.push(DeclName { name, memory, init });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(";")?;
+            items.push(Item::Decl { kind, range, names });
+            return Ok(());
+        }
+        if self.eat_kw("parameter") || self.eat_kw("localparam") {
+            // Optional range, ignored.
+            if matches!(self.peek(), Tok::Sym("[")) {
+                let _ = self.range()?;
+            }
+            loop {
+                let name = self.ident()?;
+                self.expect_sym("=")?;
+                let value = self.expr()?;
+                items.push(Item::Param { name, value });
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(";")?;
+            return Ok(());
+        }
+        if self.eat_kw("assign") {
+            let lhs = self.lvalue()?;
+            self.expect_sym("=")?;
+            let rhs = self.expr()?;
+            self.expect_sym(";")?;
+            items.push(Item::ContAssign(lhs, rhs));
+            return Ok(());
+        }
+        if self.eat_kw("always") {
+            let sens = self.sensitivity()?;
+            let body = self.stmt()?;
+            items.push(Item::Always(sens, body));
+            return Ok(());
+        }
+        if self.eat_kw("initial") {
+            let body = self.stmt()?;
+            items.push(Item::Initial(body));
+            return Ok(());
+        }
+        if self.eat_kw("assert") {
+            self.expect_kw("property")?;
+            self.expect_sym("(")?;
+            self.skip_property_clock()?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            items.push(Item::AssertProperty { cond, label: None });
+            return Ok(());
+        }
+        if self.eat_kw("assume") {
+            self.expect_kw("property")?;
+            self.expect_sym("(")?;
+            self.skip_property_clock()?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            items.push(Item::AssumeProperty { cond });
+            return Ok(());
+        }
+        // Labelled assertion: `name : assert property (...)`.
+        if matches!(self.peek(), Tok::Ident(_)) && matches!(self.peek2(), Tok::Sym(":")) {
+            let label = self.ident()?;
+            self.expect_sym(":")?;
+            self.expect_kw("assert")?;
+            self.expect_kw("property")?;
+            self.expect_sym("(")?;
+            self.skip_property_clock()?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            self.expect_sym(";")?;
+            items.push(Item::AssertProperty {
+                cond,
+                label: Some(label),
+            });
+            return Ok(());
+        }
+        // Instance: module_name [#(params)] inst_name ( conns );
+        if matches!(self.peek(), Tok::Ident(_)) {
+            let module = self.ident()?;
+            let mut params = Vec::new();
+            if self.eat_sym("#") {
+                self.expect_sym("(")?;
+                if !self.eat_sym(")") {
+                    loop {
+                        if self.eat_sym(".") {
+                            let pname = self.ident()?;
+                            self.expect_sym("(")?;
+                            let v = self.expr()?;
+                            self.expect_sym(")")?;
+                            params.push((Some(pname), v));
+                        } else {
+                            let v = self.expr()?;
+                            params.push((None, v));
+                        }
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(")")?;
+                }
+            }
+            let name = self.ident()?;
+            self.expect_sym("(")?;
+            let mut conns = Vec::new();
+            if !self.eat_sym(")") {
+                loop {
+                    if self.eat_sym(".") {
+                        let pname = self.ident()?;
+                        self.expect_sym("(")?;
+                        if self.eat_sym(")") {
+                            conns.push((Some(pname), None));
+                        } else {
+                            let v = self.expr()?;
+                            self.expect_sym(")")?;
+                            conns.push((Some(pname), Some(v)));
+                        }
+                    } else {
+                        let v = self.expr()?;
+                        conns.push((None, Some(v)));
+                    }
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+            }
+            self.expect_sym(";")?;
+            items.push(Item::Instance {
+                module,
+                name,
+                params,
+                conns,
+            });
+            return Ok(());
+        }
+        self.err(format!("unexpected token '{}' in module body", self.peek()))
+    }
+
+    /// Skips an optional `@(posedge clk)` clocking event inside an
+    /// `assert property` (the property itself is immediate).
+    fn skip_property_clock(&mut self) -> Result<(), VerilogError> {
+        if self.eat_sym("@") {
+            self.expect_sym("(")?;
+            self.expect_kw("posedge")?;
+            let _clk = self.ident()?;
+            self.expect_sym(")")?;
+        }
+        Ok(())
+    }
+
+    fn sensitivity(&mut self) -> Result<Sensitivity, VerilogError> {
+        self.expect_sym("@")?;
+        if self.eat_sym("*") {
+            return Ok(Sensitivity::Comb);
+        }
+        self.expect_sym("(")?;
+        if self.eat_sym("*") {
+            self.expect_sym(")")?;
+            return Ok(Sensitivity::Comb);
+        }
+        if self.eat_kw("posedge") {
+            let clk = self.ident()?;
+            if self.eat_kw("or") || self.eat_sym(",") {
+                return self.err(
+                    "multiple edges in sensitivity list (async reset / multiple clocks) \
+                     are not supported",
+                );
+            }
+            self.expect_sym(")")?;
+            return Ok(Sensitivity::Posedge(clk));
+        }
+        if self.at_kw("negedge") {
+            return self.err("negedge clocks are not supported");
+        }
+        // Level-sensitive list: treated as combinational.
+        loop {
+            let _sig = self.ident()?;
+            if !(self.eat_kw("or") || self.eat_sym(",")) {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Sensitivity::Comb)
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, VerilogError> {
+        if self.eat_kw("begin") {
+            // Optional block label.
+            if self.eat_sym(":") {
+                let _ = self.ident()?;
+            }
+            let mut body = Vec::new();
+            while !self.eat_kw("end") {
+                if self.at_eof() {
+                    return self.err("missing 'end'");
+                }
+                body.push(self.stmt()?);
+            }
+            return Ok(Stmt::Block(body));
+        }
+        if self.eat_kw("if") {
+            self.expect_sym("(")?;
+            let cond = self.expr()?;
+            self.expect_sym(")")?;
+            let then = Box::new(self.stmt()?);
+            let els = if self.eat_kw("else") {
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If(cond, then, els));
+        }
+        if self.at_kw("case") || self.at_kw("casez") || self.at_kw("casex") {
+            let wildcard = self.at_kw("casez") || self.at_kw("casex");
+            self.bump();
+            self.expect_sym("(")?;
+            let expr = self.expr()?;
+            self.expect_sym(")")?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.eat_kw("endcase") {
+                if self.at_eof() {
+                    return self.err("missing 'endcase'");
+                }
+                if self.eat_kw("default") {
+                    self.eat_sym(":");
+                    default = Some(Box::new(self.stmt()?));
+                    continue;
+                }
+                let mut labels = vec![self.expr()?];
+                while self.eat_sym(",") {
+                    labels.push(self.expr()?);
+                }
+                self.expect_sym(":")?;
+                let body = self.stmt()?;
+                arms.push((labels, body));
+            }
+            return Ok(Stmt::Case {
+                expr,
+                arms,
+                default,
+                wildcard,
+            });
+        }
+        if self.eat_sym(";") {
+            return Ok(Stmt::Nop);
+        }
+        // Assignment.
+        let lhs = self.lvalue()?;
+        if self.eat_sym("=") {
+            let rhs = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::Blocking(lhs, rhs));
+        }
+        if self.eat_sym("<=") {
+            let rhs = self.expr()?;
+            self.expect_sym(";")?;
+            return Ok(Stmt::NonBlocking(lhs, rhs));
+        }
+        self.err("expected '=' or '<=' in assignment")
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, VerilogError> {
+        if self.eat_sym("{") {
+            let mut parts = vec![self.lvalue()?];
+            while self.eat_sym(",") {
+                parts.push(self.lvalue()?);
+            }
+            self.expect_sym("}")?;
+            return Ok(LValue::Concat(parts));
+        }
+        let name = self.ident()?;
+        if self.eat_sym("[") {
+            let first = self.expr()?;
+            if self.eat_sym(":") {
+                let lo = self.expr()?;
+                self.expect_sym("]")?;
+                return Ok(LValue::Part(name, first, lo));
+            }
+            self.expect_sym("]")?;
+            return Ok(LValue::Index(name, first));
+        }
+        Ok(LValue::Ident(name))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, VerilogError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, VerilogError> {
+        let cond = self.binary(0)?;
+        if self.eat_sym("?") {
+            let a = self.ternary()?;
+            self.expect_sym(":")?;
+            let b = self.ternary()?;
+            return Ok(Expr::Ternary(Box::new(cond), Box::new(a), Box::new(b)));
+        }
+        Ok(cond)
+    }
+
+    fn binop_at(&self, level: usize) -> Option<BinaryOp> {
+        let sym = match self.peek() {
+            Tok::Sym(s) => *s,
+            _ => return None,
+        };
+        let table: &[&[(&str, BinaryOp)]] = &[
+            &[("||", BinaryOp::LogicOr)],
+            &[("&&", BinaryOp::LogicAnd)],
+            &[("|", BinaryOp::Or)],
+            &[("^", BinaryOp::Xor), ("~^", BinaryOp::Xnor), ("^~", BinaryOp::Xnor)],
+            &[("&", BinaryOp::And)],
+            &[("==", BinaryOp::Eq), ("!=", BinaryOp::Ne)],
+            &[
+                ("<", BinaryOp::Lt),
+                ("<=", BinaryOp::Le),
+                (">", BinaryOp::Gt),
+                (">=", BinaryOp::Ge),
+            ],
+            &[
+                ("<<", BinaryOp::Shl),
+                (">>", BinaryOp::Shr),
+                ("<<<", BinaryOp::Sshl),
+                (">>>", BinaryOp::Sshr),
+            ],
+            &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
+            &[("*", BinaryOp::Mul), ("/", BinaryOp::Div), ("%", BinaryOp::Mod)],
+        ];
+        table
+            .get(level)?
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|(_, op)| *op)
+    }
+
+    fn binary(&mut self, level: usize) -> Result<Expr, VerilogError> {
+        if level >= 10 {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        while let Some(op) = self.binop_at(level) {
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, VerilogError> {
+        let op = match self.peek() {
+            Tok::Sym("~") => Some(UnaryOp::Not),
+            Tok::Sym("-") => Some(UnaryOp::Neg),
+            Tok::Sym("+") => Some(UnaryOp::Plus),
+            Tok::Sym("!") => Some(UnaryOp::LogicNot),
+            Tok::Sym("&") => Some(UnaryOp::RedAnd),
+            Tok::Sym("|") => Some(UnaryOp::RedOr),
+            Tok::Sym("^") => Some(UnaryOp::RedXor),
+            Tok::Sym("~&") => Some(UnaryOp::RedNand),
+            Tok::Sym("~|") => Some(UnaryOp::RedNor),
+            Tok::Sym("~^") | Tok::Sym("^~") => Some(UnaryOp::RedXnor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let arg = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(arg)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, VerilogError> {
+        match self.peek().clone() {
+            Tok::Number { size, value, .. } => {
+                self.bump();
+                Ok(Expr::Number { size, value })
+            }
+            Tok::Sym("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Tok::Sym("{") => {
+                self.bump();
+                let first = self.expr()?;
+                // Replication {n{...}}?
+                if self.eat_sym("{") {
+                    let mut parts = vec![self.expr()?];
+                    while self.eat_sym(",") {
+                        parts.push(self.expr()?);
+                    }
+                    self.expect_sym("}")?;
+                    self.expect_sym("}")?;
+                    return Ok(Expr::Repl(Box::new(first), parts));
+                }
+                let mut parts = vec![first];
+                while self.eat_sym(",") {
+                    parts.push(self.expr()?);
+                }
+                self.expect_sym("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            Tok::Ident(name) => {
+                if KEYWORDS.contains(&name.as_str()) {
+                    return self.err(format!("unexpected keyword '{name}' in expression"));
+                }
+                self.bump();
+                if self.eat_sym("[") {
+                    let first = self.expr()?;
+                    if self.eat_sym(":") {
+                        let lo = self.expr()?;
+                        self.expect_sym("]")?;
+                        return Ok(Expr::Part(name, Box::new(first), Box::new(lo)));
+                    }
+                    self.expect_sym("]")?;
+                    return Ok(Expr::Index(name, Box::new(first)));
+                }
+                Ok(Expr::Ident(name))
+            }
+            other => self.err(format!("unexpected token '{other}' in expression")),
+        }
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "inout", "wire", "reg", "parameter", "localparam",
+    "assign", "always", "initial", "begin", "end", "if", "else", "case", "casez", "casex",
+    "endcase", "default", "posedge", "negedge", "or", "assert", "assume", "property",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counter_module() {
+        let src = r#"
+        module counter #(parameter W = 4) (input clk, input rst, output wrap);
+          reg [W-1:0] c;
+          initial c = 0;
+          always @(posedge clk) begin
+            if (rst) c <= 0;
+            else c <= c + 1;
+          end
+          assign wrap = (c == {W{1'b1}});
+          assert property (c >= 0);
+        endmodule
+        "#;
+        let mods = parse(src).expect("parses");
+        assert_eq!(mods.len(), 1);
+        let m = &mods[0];
+        assert_eq!(m.name, "counter");
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[2].dir, Dir::Output);
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Param { name, .. } if name == "W")));
+        assert!(m.items.iter().any(|i| matches!(i, Item::Always(Sensitivity::Posedge(c), _) if c == "clk")));
+        assert!(m.items.iter().any(|i| matches!(i, Item::AssertProperty { .. })));
+    }
+
+    #[test]
+    fn parses_instances_and_hierarchy() {
+        let src = r#"
+        module sub(input a, output b);
+          assign b = ~a;
+        endmodule
+        module top(input x, output y);
+          wire t;
+          sub u1 (.a(x), .b(t));
+          sub u2 (t, y);
+        endmodule
+        "#;
+        let mods = parse(src).expect("parses");
+        assert_eq!(mods.len(), 2);
+        let top = &mods[1];
+        let insts: Vec<_> = top
+            .items
+            .iter()
+            .filter(|i| matches!(i, Item::Instance { .. }))
+            .collect();
+        assert_eq!(insts.len(), 2);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "module m(input a, input b, input c, output o); assign o = a | b & c; endmodule";
+        let mods = parse(src).expect("parses");
+        match &mods[0].items[0] {
+            Item::ContAssign(_, Expr::Binary(BinaryOp::Or, _, rhs)) => {
+                assert!(matches!(**rhs, Expr::Binary(BinaryOp::And, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_statement() {
+        let src = r#"
+        module m(input clk, input [1:0] s);
+          reg [3:0] r;
+          always @(posedge clk)
+            case (s)
+              2'd0: r <= 1;
+              2'd1, 2'd2: r <= 2;
+              default: r <= 0;
+            endcase
+        endmodule
+        "#;
+        let mods = parse(src).expect("parses");
+        let always = mods[0]
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Always(_, s) => Some(s),
+                _ => None,
+            })
+            .expect("always");
+        match always {
+            Stmt::Case { arms, default, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[1].0.len(), 2);
+                assert!(default.is_some());
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_ansi_ports() {
+        let src = r#"
+        module m(a, b);
+          input [3:0] a;
+          output b;
+          assign b = &a;
+        endmodule
+        "#;
+        let mods = parse(src).expect("parses");
+        assert_eq!(mods[0].ports[0].dir, Dir::Input);
+        assert!(mods[0].ports[0].range.is_some());
+        assert_eq!(mods[0].ports[1].dir, Dir::Output);
+    }
+
+    #[test]
+    fn concat_replication_selects() {
+        let src = r#"
+        module m(input [7:0] x, output [7:0] y, output [15:0] z);
+          assign y = {x[3:0], x[7:4]};
+          assign z = {2{x}};
+        endmodule
+        "#;
+        let mods = parse(src).expect("parses");
+        assert_eq!(mods[0].items.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(parse("module m(inout a); endmodule").is_err());
+        assert!(parse(
+            "module m(input clk, input r); reg q; always @(posedge clk or posedge r) q <= 1; endmodule"
+        )
+        .is_err());
+        assert!(parse("module m(input c); reg q; always @(negedge c) q <= 1; endmodule").is_err());
+    }
+
+    #[test]
+    fn sva_with_clocking_event() {
+        let src = r#"
+        module m(input clk, input a);
+          safe1: assert property (@(posedge clk) a == a);
+          assume property (a == 1'b0);
+        endmodule
+        "#;
+        let mods = parse(src).expect("parses");
+        assert!(mods[0].items.iter().any(
+            |i| matches!(i, Item::AssertProperty { label: Some(l), .. } if l == "safe1")
+        ));
+        assert!(mods[0]
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::AssumeProperty { .. })));
+    }
+}

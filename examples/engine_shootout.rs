@@ -1,0 +1,33 @@
+//! A miniature of the paper's Figures 3-5: every engine class on a
+//! selection of benchmarks. (The full sweeps live in the `bench`
+//! crate's fig3/fig4/fig5 binaries.)
+//!
+//! Run with: `cargo run --release --example engine_shootout`
+
+use hwsw::engines::{itp::Interpolation, kind::KInduction, pdr::Pdr, Budget, Checker};
+use hwsw::swan::Analyzer;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = Budget {
+        timeout: Some(Duration::from_secs(5)),
+        max_depth: 4000,
+    };
+    println!("{:<14}{:>12}{:>12}{:>12}{:>12}", "benchmark", "kind", "itp", "pdr", "2ls-kiki");
+    for name in ["Vending", "Dekker", "FIFOs", "DAIO"] {
+        let b = hwsw::bmarks::by_name(name).expect("exists");
+        let ts = b.compile()?;
+        let prog = hwsw::v2c::SwProgram::from_ts(ts.clone());
+        let r1 = KInduction::new(budget).check(&ts);
+        let r2 = Interpolation::new(budget).check(&ts);
+        let r3 = Pdr::new(budget).check(&ts);
+        let r4 = hwsw::swan::twols::TwoLs::new(budget).check(&prog);
+        let s = |o: &hwsw::engines::CheckOutcome| match &o.outcome {
+            hwsw::engines::Verdict::Safe => "safe".to_string(),
+            hwsw::engines::Verdict::Unsafe(t) => format!("bug@{}", t.length()),
+            hwsw::engines::Verdict::Unknown(_) => "t/o".to_string(),
+        };
+        println!("{:<14}{:>12}{:>12}{:>12}{:>12}", name, s(&r1), s(&r2), s(&r3), s(&r4));
+    }
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! The paper's headline comparison on one hard benchmark: the FIFO
+//! controller is not k-inductive, so k-induction engines diverge while
+//! PDR proves it.
+//!
+//! Run with: `cargo run --release --example verify_fifo`
+
+use hwsw::engines::{kind::KInduction, pdr::Pdr, Budget, Checker};
+use hwsw::swan::Analyzer;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let b = hwsw::bmarks::by_name("FIFOs").expect("benchmark exists");
+    let ts = b.compile()?;
+    let prog = hwsw::v2c::SwProgram::from_ts(ts.clone());
+    let budget = Budget {
+        timeout: Some(Duration::from_secs(5)),
+        max_depth: 4000,
+    };
+
+    let kind = KInduction::new(budget).check(&ts);
+    println!("ABC-style k-induction : {} (k reached {})", kind.outcome, kind.stats.depth);
+
+    let pdr = Pdr::new(budget).check(&ts);
+    println!("ABC-style PDR         : {} ({} frames, {} SAT queries)",
+        pdr.outcome, pdr.stats.depth, pdr.stats.sat_queries);
+
+    let kiki = hwsw::swan::twols::TwoLs::new(budget).check(&prog);
+    println!("2LS-style kIkI        : {}", kiki.outcome);
+    Ok(())
+}
