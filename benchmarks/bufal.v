@@ -1,0 +1,40 @@
+// Buffer allocation model (BufAl).
+//
+// Four buffer slots tracked by an allocation bitmap; a separate counter
+// mirrors the number of live buffers. The safety property bounds the
+// counter, which is only true because the counter stays coupled to the
+// bitmap's population count — a relational invariant that plain
+// k-induction does not find (the paper's "hard" trio).
+module bufal(input clk, input alloc, input free, input [1:0] slot);
+  reg [3:0] map;   // slot i allocated iff map[i]
+  reg [2:0] cnt;   // live-buffer counter (redundant, bounded by 4)
+  initial map = 0;
+  initial cnt = 0;
+
+  wire full;
+  assign full = (map == 4'b1111);
+  wire slotbusy;
+  assign slotbusy = (((map >> slot) & 4'b0001) != 4'd0);
+  wire do_free;
+  assign do_free = free && slotbusy;
+  wire do_alloc;
+  assign do_alloc = alloc && !full && !do_free;
+
+  // First-free priority encoder.
+  wire [1:0] ffree;
+  assign ffree = (!map[0]) ? 2'd0 :
+                 (!map[1]) ? 2'd1 :
+                 (!map[2]) ? 2'd2 : 2'd3;
+
+  always @(posedge clk) begin
+    if (do_alloc) begin
+      map <= map | (4'b0001 << ffree);
+      cnt <= cnt + 1;
+    end else if (do_free) begin
+      map <= map & (~(4'b0001 << slot));
+      cnt <= cnt - 1;
+    end
+  end
+
+  assert property (cnt <= 3'd4);
+endmodule

@@ -1,0 +1,33 @@
+// Digital Audio Input-Output serdes (DAIO).
+//
+// Serial bit stream is shifted into an 8-bit deserializer while a
+// 7-bit position counter tracks the frame. The frame-sync logic was
+// written for a 64-bit frame but the counter is 7 bits wide: when the
+// counter crosses from the first frame into the second (position 63 ->
+// 64) the sync comparator misfires and latches the error flag. The bug
+// manifests at cycle 64 under any stimulus.
+module daio(input clk, input din);
+  reg [6:0] bitpos;   // position within the (intended) 64-bit frame
+  reg [7:0] shreg;    // deserializer
+  reg parity;         // running frame parity
+  reg err;            // sticky frame-sync error
+  initial bitpos = 0;
+  initial shreg = 0;
+  initial parity = 0;
+  initial err = 0;
+
+  wire framesync;
+  assign framesync = (bitpos[5:0] == 6'd0);
+
+  always @(posedge clk) begin
+    bitpos <= bitpos + 1;
+    shreg <= {shreg[6:0], din};
+    if (framesync) parity <= din;
+    else parity <= parity ^ din;
+    // BUG: comparator checks the full 7-bit counter against 63, so the
+    // error latch fires on the first frame boundary instead of never.
+    if (bitpos == 7'd63) err <= 1;
+  end
+
+  assert property (!err);
+endmodule

@@ -1,0 +1,30 @@
+// Dekker-style mutual exclusion protocol.
+//
+// Two processes request the critical section; a turn bit arbitrates
+// simultaneous requests. Mutual exclusion is inductive with the flag
+// and turn structure, so every engine proves it quickly.
+module dekker(input clk, input req0, input req1);
+  reg flag0, flag1;   // published intent
+  reg turn;           // arbitration bit
+  reg crit0, crit1;   // in critical section
+  initial flag0 = 0;
+  initial flag1 = 0;
+  initial turn = 0;
+  initial crit0 = 0;
+  initial crit1 = 0;
+
+  wire enter0;
+  assign enter0 = req0 && !crit1 && !turn;
+  wire enter1;
+  assign enter1 = req1 && !crit0 && turn;
+
+  always @(posedge clk) begin
+    flag0 <= req0;
+    flag1 <= req1;
+    crit0 <= crit0 ? req0 : enter0;
+    crit1 <= crit1 ? req1 : enter1;
+    if (!crit0 && !crit1) turn <= !turn;
+  end
+
+  assert property (!(crit0 && crit1));
+endmodule

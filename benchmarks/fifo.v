@@ -1,0 +1,43 @@
+// FIFO controller (depth 8).
+//
+// Head/tail pointers with the classic "pointers equal means full or
+// empty, disambiguated by the last operation" flag scheme, plus a
+// redundant occupancy counter. The bounded-occupancy property needs
+// the relational invariant counter == occupancy(head, tail, lastpush),
+// which k-induction cannot derive for feasible k (the paper's FIFO row:
+// only invariant-generating engines prove it).
+module fifo(input clk, input push, input pop);
+  reg [2:0] head;
+  reg [2:0] tail;
+  reg [3:0] count;    // redundant occupancy counter, bounded by 8
+  reg lastpush;       // disambiguates head == tail
+  initial head = 0;
+  initial tail = 0;
+  initial count = 0;
+  initial lastpush = 0;
+
+  wire eqptr;
+  assign eqptr = (head == tail);
+  wire full;
+  assign full = eqptr && lastpush;
+  wire empty;
+  assign empty = eqptr && !lastpush;
+  wire do_push;
+  assign do_push = push && !full;
+  wire do_pop;
+  assign do_pop = pop && !empty && !do_push;
+
+  always @(posedge clk) begin
+    if (do_push) begin
+      tail <= tail + 1;
+      count <= count + 1;
+      lastpush <= 1;
+    end else if (do_pop) begin
+      head <= head + 1;
+      count <= count - 1;
+      lastpush <= 0;
+    end
+  end
+
+  assert property (count <= 4'd8);
+endmodule

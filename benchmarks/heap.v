@@ -1,0 +1,37 @@
+// Binary heap controller with one sift step per cycle.
+//
+// A two-slot min-heap head: inserts sift the new value against the
+// root in the same cycle, extracts promote the second slot. The
+// capacity property is guarded directly by the size register, so it is
+// inductive and easy for every engine.
+module heap(input clk, input ins, input ext, input [3:0] val);
+  reg [2:0] size;   // elements logically stored (bounded by 4)
+  reg [3:0] m0;     // root (minimum)
+  reg [3:0] m1;     // second slot
+  initial size = 0;
+  initial m0 = 0;
+  initial m1 = 0;
+
+  wire do_ins;
+  assign do_ins = ins && (size < 3'd4);
+  wire do_ext;
+  assign do_ext = ext && !do_ins && (size != 3'd0);
+
+  always @(posedge clk) begin
+    if (do_ins) begin
+      size <= size + 1;
+      // One sift step: keep the minimum at the root.
+      if (val < m0) begin
+        m0 <= val;
+        m1 <= m0;
+      end else begin
+        m1 <= val;
+      end
+    end else if (do_ext) begin
+      size <= size - 1;
+      m0 <= m1;
+    end
+  end
+
+  assert property (size <= 3'd4);
+endmodule

@@ -1,0 +1,34 @@
+// Huffman encoder/decoder round-trip.
+//
+// A 4-symbol prefix code (0, 10, 110, 111) is encoded into a
+// left-aligned 3-bit code register each cycle; the decoder walks the
+// code tree combinationally and must reproduce the symbol captured
+// alongside it. The encode and decode registers are written in the
+// same cycle from the same symbol, so the round-trip property is
+// inductive (data-path intensive, easy for every engine).
+module huffman(input clk, input [1:0] sym);
+  reg [2:0] code;    // left-aligned prefix code of the last symbol
+  reg [1:0] len;     // code length minus one
+  reg [1:0] sym_d;   // the symbol that produced `code`
+  initial code = 0;
+  initial len = 0;
+  initial sym_d = 0;
+
+  always @(posedge clk) begin
+    case (sym)
+      2'd0: begin code <= 3'b000; len <= 2'd0; end
+      2'd1: begin code <= 3'b100; len <= 2'd1; end
+      2'd2: begin code <= 3'b110; len <= 2'd2; end
+      2'd3: begin code <= 3'b111; len <= 2'd2; end
+    endcase
+    sym_d <= sym;
+  end
+
+  // Prefix-tree decoder over the registered code.
+  wire [1:0] dec;
+  assign dec = (code[2] == 1'b0) ? 2'd0 :
+               (code[1] == 1'b0) ? 2'd1 :
+               (code[0] == 1'b0) ? 2'd2 : 2'd3;
+
+  assert property (dec == sym_d);
+endmodule

@@ -1,0 +1,30 @@
+// Instruction queue controller (Ibuf).
+//
+// A two-entry instruction buffer: enqueue is guarded by the occupancy
+// register itself, so the capacity property is inductive and easy.
+module ibuf(input clk, input enq, input deq, input [3:0] instr);
+  reg [1:0] count;   // occupancy, bounded by 2
+  reg [3:0] i0;      // front instruction
+  reg [3:0] i1;      // back instruction
+  initial count = 0;
+  initial i0 = 0;
+  initial i1 = 0;
+
+  wire do_enq;
+  assign do_enq = enq && (count < 2'd2);
+  wire do_deq;
+  assign do_deq = deq && !do_enq && (count != 2'd0);
+
+  always @(posedge clk) begin
+    if (do_enq) begin
+      count <= count + 1;
+      if (count == 2'd0) i0 <= instr;
+      else i1 <= instr;
+    end else if (do_deq) begin
+      count <= count - 1;
+      i0 <= i1;
+    end
+  end
+
+  assert property (count <= 2'd2);
+endmodule

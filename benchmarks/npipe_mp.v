@@ -1,0 +1,38 @@
+// Non-pipelined 3-stage microprocessor (npipe_mp).
+//
+// Fetch, decode and execute occupy one cycle each; the stage register
+// cycles through exactly three values, so the control property is
+// inductive and easy for every engine.
+module npipe_mp(input clk, input [3:0] inst);
+  reg [1:0] stage;   // 0 fetch, 1 decode, 2 execute
+  reg [3:0] ir;      // instruction register
+  reg [3:0] acc;     // accumulator
+  reg [3:0] pc;      // program counter
+  initial stage = 0;
+  initial ir = 0;
+  initial acc = 0;
+  initial pc = 0;
+
+  always @(posedge clk) begin
+    case (stage)
+      2'd0: begin
+        ir <= inst;
+        stage <= 2'd1;
+      end
+      2'd1: stage <= 2'd2;
+      2'd2: begin
+        stage <= 2'd0;
+        pc <= pc + 1;
+        case (ir[3:2])
+          2'd0: acc <= acc + {2'b00, ir[1:0]};   // addi
+          2'd1: acc <= acc - {2'b00, ir[1:0]};   // subi
+          2'd2: acc <= {2'b00, ir[1:0]};         // li
+          2'd3: acc <= acc;                      // nop
+        endcase
+      end
+      default: stage <= 2'd0;
+    endcase
+  end
+
+  assert property (stage != 2'd3);
+endmodule

@@ -1,0 +1,42 @@
+// Read-Copy-Update grace-period protocol (RCU).
+//
+// Four reader slots hold references to the old epoch (a bitmap), and a
+// redundant counter mirrors the number of active readers. The writer's
+// grace-period machine waits for the counter to drain before freeing
+// the old copy. Both properties hinge on the relational invariant
+// counter == popcount(bitmap): plain k-induction diverges (the paper's
+// "hard" trio), while PDR finds the invariant.
+module rcu(input clk, input rin, input rout, input [1:0] rslot, input start);
+  reg [3:0] rmap;   // reader slot i holds the old epoch iff rmap[i]
+  reg [2:0] rcnt;   // redundant active-reader counter, bounded by 4
+  reg [1:0] gp;     // grace period: 0 idle, 1 sync, 2 free
+  initial rmap = 0;
+  initial rcnt = 0;
+  initial gp = 0;
+
+  wire slotbusy;
+  assign slotbusy = (((rmap >> rslot) & 4'b0001) != 4'd0);
+  wire enter_ok;
+  assign enter_ok = rin && (gp == 2'd0) && !slotbusy;
+  wire exit_ok;
+  assign exit_ok = rout && slotbusy && !enter_ok;
+
+  always @(posedge clk) begin
+    if (enter_ok) begin
+      rmap <= rmap | (4'b0001 << rslot);
+      rcnt <= rcnt + 1;
+    end else if (exit_ok) begin
+      rmap <= rmap & (~(4'b0001 << rslot));
+      rcnt <= rcnt - 1;
+    end
+    case (gp)
+      2'd0: if (start) gp <= 2'd1;
+      2'd1: if (rcnt == 3'd0) gp <= 2'd2;
+      2'd2: gp <= 2'd0;
+      default: gp <= 2'd0;
+    endcase
+  end
+
+  assert property (rcnt <= 3'd4);
+  assert property (!((gp == 2'd2) && (rmap != 4'd0)));
+endmodule

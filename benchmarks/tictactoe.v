@@ -1,0 +1,45 @@
+// Tic-tac-toe referee with win detection (2x2 board).
+//
+// Two ownership bitmaps record the cells claimed by each player; the
+// referee only accepts moves into free cells and alternates turns.
+// The no-double-claim property is inductive for exact engines, but its
+// proof runs through word-level bitwise operations and variable
+// shifts — exactly the operators a linear-arithmetic abstraction
+// (SeaHorn-style) havocs, reproducing that tool's false negative.
+module tictactoe(input clk, input mv, input [1:0] pos);
+  reg [3:0] xmask;   // cells claimed by X
+  reg [3:0] omask;   // cells claimed by O
+  reg turn;          // 0: X to move, 1: O to move
+  initial xmask = 0;
+  initial omask = 0;
+  initial turn = 0;
+
+  wire [3:0] occ;
+  assign occ = xmask | omask;
+  wire boardfull;
+  assign boardfull = (occ == 4'b1111);
+  wire freecell;
+  assign freecell = (((occ >> pos) & 4'b0001) == 4'd0);
+  wire do_mv;
+  assign do_mv = mv && freecell && !boardfull;
+
+  // Win detection: any row or column (cells 0|1, 2|3, 0|2, 1|3).
+  wire xwins;
+  assign xwins = (xmask[0] && xmask[1]) || (xmask[2] && xmask[3]) ||
+                 (xmask[0] && xmask[2]) || (xmask[1] && xmask[3]);
+  wire owins;
+  assign owins = (omask[0] && omask[1]) || (omask[2] && omask[3]) ||
+                 (omask[0] && omask[2]) || (omask[1] && omask[3]);
+  wire gameover;
+  assign gameover = xwins || owins || boardfull;
+
+  always @(posedge clk) begin
+    if (do_mv && !gameover) begin
+      if (turn == 1'b0) xmask <= xmask | (4'b0001 << pos);
+      else omask <= omask | (4'b0001 << pos);
+      turn <= !turn;
+    end
+  end
+
+  assert property ((xmask & omask) == 4'd0);
+endmodule

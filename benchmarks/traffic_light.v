@@ -1,0 +1,33 @@
+// Traffic light controller with a planted collision bug.
+//
+// The intersection cycles through north-south green, east-west green
+// and two all-red phases. A maintenance override was wired to the
+// wrong comparator: when the 7-bit tick counter reaches 65 it forces
+// the north-south light green while the east-west direction holds its
+// green phase — both directions green at cycle 65 under any stimulus.
+module traffic_light(input clk, input car_ns, input car_ew);
+  reg [6:0] tick;    // free-running controller tick
+  reg [1:0] phase;   // 0 NS-green, 1 EW-green, 2/3 all-red
+  reg ns_req;        // latched car sensors (do not affect the bug)
+  reg ew_req;
+  initial tick = 0;
+  initial phase = 0;
+  initial ns_req = 0;
+  initial ew_req = 0;
+
+  // BUG: the maintenance override compares against 65 instead of an
+  // unreachable service code.
+  wire ns_green;
+  assign ns_green = (phase == 2'd0) || (tick == 7'd65);
+  wire ew_green;
+  assign ew_green = (phase == 2'd1);
+
+  always @(posedge clk) begin
+    tick <= tick + 1;
+    phase <= phase + 1;
+    ns_req <= car_ns;
+    ew_req <= car_ew;
+  end
+
+  assert property (!(ns_green && ew_green));
+endmodule

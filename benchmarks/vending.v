@@ -1,0 +1,26 @@
+// Vending machine credit/change controller.
+//
+// Coins are accepted only while the stored credit is at most 9, so the
+// credit bound is inductive and easy for every engine.
+module vending(input clk, input [1:0] coin, input vendreq);
+  reg [3:0] credit;   // stored credit, bounded by 12
+  reg vended;         // a vend happened at least once
+  initial credit = 0;
+  initial vended = 0;
+
+  wire accept;
+  assign accept = (coin != 2'd0) && (credit <= 4'd9);
+  wire vend;
+  assign vend = vendreq && !accept && (credit >= 4'd3);
+
+  always @(posedge clk) begin
+    if (accept) begin
+      credit <= credit + {2'b00, coin};
+    end else if (vend) begin
+      credit <= credit - 4'd3;
+      vended <= 1;
+    end
+  end
+
+  assert property (credit <= 4'd12);
+endmodule

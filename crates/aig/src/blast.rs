@@ -155,9 +155,7 @@ impl<'p> Blaster<'p> {
     /// Creates fresh CIs for a variable (and binds them).
     pub fn fresh_var(&mut self, v: VarId) -> Bundle {
         let bundle = match self.pool.var_sort(v) {
-            Sort::Bv(w) => {
-                Bundle::Bits((0..w).map(|_| self.aig.new_ci()).collect())
-            }
+            Sort::Bv(w) => Bundle::Bits((0..w).map(|_| self.aig.new_ci()).collect()),
             Sort::Array {
                 index_width,
                 elem_width,
@@ -390,7 +388,12 @@ fn const_bits(width: u32, bits: u64) -> Vec<AigLit> {
         .collect()
 }
 
-fn zip_map(g: &mut Aig, a: &[AigLit], b: &[AigLit], f: fn(&mut Aig, AigLit, AigLit) -> AigLit) -> Vec<AigLit> {
+fn zip_map(
+    g: &mut Aig,
+    a: &[AigLit],
+    b: &[AigLit],
+    f: fn(&mut Aig, AigLit, AigLit) -> AigLit,
+) -> Vec<AigLit> {
     a.iter().zip(b).map(|(&x, &y)| f(g, x, y)).collect()
 }
 
@@ -416,9 +419,7 @@ fn adder(g: &mut Aig, a: &[AigLit], b: &[AigLit], carry_in: AigLit, extra: bool)
 }
 
 fn add_const_one(g: &mut Aig, a: &[AigLit]) -> Vec<AigLit> {
-    let one: Vec<AigLit> = (0..a.len())
-        .map(|i| AigLit::constant(i == 0))
-        .collect();
+    let one: Vec<AigLit> = (0..a.len()).map(|i| AigLit::constant(i == 0)).collect();
     adder(g, a, &one, AigLit::FALSE, false)
 }
 
@@ -507,9 +508,8 @@ fn shifter(g: &mut Aig, a: &[AigLit], sh: &[AigLit], kind: ShiftKind) -> Vec<Aig
                 }
             }
             ShiftKind::RightLogical | ShiftKind::RightArith => {
-                for j in 0..w.saturating_sub(amount) {
-                    shifted[j] = cur[j + amount];
-                }
+                let keep = w.saturating_sub(amount);
+                shifted[..keep].copy_from_slice(&cur[amount..amount + keep]);
             }
         }
         cur = cur
@@ -534,9 +534,7 @@ fn shifter(g: &mut Aig, a: &[AigLit], sh: &[AigLit], kind: ShiftKind) -> Vec<Aig
         let ge_w = !less_than(g, &low, &wconst, false);
         overflow = g.or(overflow, ge_w);
     }
-    cur.iter()
-        .map(|&l| g.mux(overflow, fill_top, l))
-        .collect()
+    cur.iter().map(|&l| g.mux(overflow, fill_top, l)).collect()
 }
 
 fn equality(g: &mut Aig, a: &[AigLit], b: &[AigLit]) -> AigLit {

@@ -235,12 +235,7 @@ impl Aig {
 
     /// Like [`eval`](Aig::eval) but reuses a caller-provided cache
     /// (`None`-initialized, one slot per node) across multiple roots.
-    pub fn eval_cached(
-        &self,
-        root: AigLit,
-        ci_values: &[bool],
-        vals: &mut [Option<bool>],
-    ) -> bool {
+    pub fn eval_cached(&self, root: AigLit, ci_values: &[bool], vals: &mut [Option<bool>]) -> bool {
         let mut stack = vec![root.node()];
         while let Some(n) = stack.pop() {
             if vals[n as usize].is_some() {

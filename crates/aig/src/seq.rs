@@ -70,7 +70,10 @@ impl AigSystem {
             cis[ci] = inputs.get(i).copied().unwrap_or(false);
         }
         for (i, latch) in self.latches.iter().enumerate() {
-            let ci = self.aig.ci_index(latch.output).expect("latch output is a CI");
+            let ci = self
+                .aig
+                .ci_index(latch.output)
+                .expect("latch output is a CI");
             cis[ci] = state[i];
         }
         cis
@@ -240,7 +243,11 @@ pub fn blast_system(ts: &TransitionSystem) -> AigSystem {
         .iter()
         .map(|&c| blaster.blast_bit(c))
         .collect();
-    let bads: Vec<AigLit> = ts.bads().iter().map(|b| blaster.blast_bit(b.expr)).collect();
+    let bads: Vec<AigLit> = ts
+        .bads()
+        .iter()
+        .map(|b| blaster.blast_bit(b.expr))
+        .collect();
     let bad_names: Vec<String> = ts.bads().iter().map(|b| b.name.clone()).collect();
 
     let aig = blaster.into_aig();
@@ -289,13 +296,8 @@ mod tests {
         let sum = ts.add_state("sum", Sort::Bv(4));
 
         let p = ts.pool_mut();
-        let (pushv, datav, ptrv, memv, sumv) = (
-            p.var(push),
-            p.var(data),
-            p.var(ptr),
-            p.var(mem),
-            p.var(sum),
-        );
+        let (pushv, datav, ptrv, memv, sumv) =
+            (p.var(push), p.var(data), p.var(ptr), p.var(mem), p.var(sum));
         let one3 = p.constv(3, 1);
         let inc = p.add(ptrv, one3);
         let ptr_next = p.ite(pushv, inc, ptrv);

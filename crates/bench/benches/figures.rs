@@ -16,14 +16,20 @@ fn budget() -> Budget {
 }
 
 fn fig3_cells(c: &mut Criterion) {
-    let vend = bmarks::by_name("Vending").expect("exists").compile().expect("ok");
+    let vend = bmarks::by_name("Vending")
+        .expect("exists")
+        .compile()
+        .expect("ok");
     c.bench_function("fig3/abc-kind/vending", |b| {
         b.iter(|| {
             let out = engines::kind::KInduction::new(budget()).check(&vend);
             assert!(out.outcome.is_safe());
         })
     });
-    let daio = bmarks::by_name("DAIO").expect("exists").compile().expect("ok");
+    let daio = bmarks::by_name("DAIO")
+        .expect("exists")
+        .compile()
+        .expect("ok");
     c.bench_function("fig3/cbmc-kind/daio", |b| {
         let prog = v2c::SwProgram::from_ts(daio.clone());
         b.iter(|| {
@@ -34,7 +40,10 @@ fn fig3_cells(c: &mut Criterion) {
 }
 
 fn fig4_cells(c: &mut Criterion) {
-    let heap = bmarks::by_name("Heap").expect("exists").compile().expect("ok");
+    let heap = bmarks::by_name("Heap")
+        .expect("exists")
+        .compile()
+        .expect("ok");
     c.bench_function("fig4/abc-itp/heap", |b| {
         b.iter(|| {
             let out = engines::itp::Interpolation::new(budget()).check(&heap);
@@ -44,14 +53,20 @@ fn fig4_cells(c: &mut Criterion) {
 }
 
 fn fig5_cells(c: &mut Criterion) {
-    let fifo = bmarks::by_name("FIFOs").expect("exists").compile().expect("ok");
+    let fifo = bmarks::by_name("FIFOs")
+        .expect("exists")
+        .compile()
+        .expect("ok");
     c.bench_function("fig5/abc-pdr/fifo", |b| {
         b.iter(|| {
             let out = engines::pdr::Pdr::new(budget()).check(&fifo);
             assert!(out.outcome.is_safe());
         })
     });
-    let tictac = bmarks::by_name("TicTacToe").expect("exists").compile().expect("ok");
+    let tictac = bmarks::by_name("TicTacToe")
+        .expect("exists")
+        .compile()
+        .expect("ok");
     c.bench_function("fig5/2ls-kiki/tictactoe", |b| {
         let prog = v2c::SwProgram::from_ts(tictac.clone());
         b.iter(|| {

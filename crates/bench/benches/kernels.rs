@@ -1,39 +1,37 @@
 //! Criterion micro-benchmarks on the verification kernels: the SAT
 //! solver, bit-blasting, CNF encoding and the Verilog frontend.
 
+use bench::pigeonhole_cnf;
 use criterion::{criterion_group, criterion_main, Criterion};
-use satb::{Lit, Solver, Var};
-
-fn pigeonhole(s: &mut Solver, holes: usize) {
-    let pigeons = holes + 1;
-    let var = |p: usize, h: usize| p * holes + h;
-    while s.num_vars() < pigeons * holes {
-        s.new_var();
-    }
-    for p in 0..pigeons {
-        let c: Vec<Lit> = (0..holes)
-            .map(|h| Lit::pos(Var::from_index(var(p, h))))
-            .collect();
-        s.add_clause(&c);
-    }
-    for h in 0..holes {
-        for p1 in 0..pigeons {
-            for p2 in (p1 + 1)..pigeons {
-                s.add_clause(&[
-                    Lit::neg(Var::from_index(var(p1, h))),
-                    Lit::neg(Var::from_index(var(p2, h))),
-                ]);
-            }
-        }
-    }
-}
+use satb::Solver;
 
 fn bench_sat(c: &mut Criterion) {
+    let (nvars, cnf) = pigeonhole_cnf(7);
     c.bench_function("sat/pigeonhole-7", |b| {
         b.iter(|| {
             let mut s = Solver::new();
-            pigeonhole(&mut s, 7);
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &cnf {
+                s.add_clause(cl);
+            }
             assert_eq!(s.solve(), satb::SolveResult::Unsat);
+        })
+    });
+    // The boxed-clause baseline on the same instance: the ratio of
+    // these two numbers is the arena speedup (see also the `satperf`
+    // binary for machine-readable output).
+    c.bench_function("sat/pigeonhole-7-boxed-baseline", |b| {
+        b.iter(|| {
+            let mut s = bench::baseline::BoxedSolver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &cnf {
+                s.add_clause(cl);
+            }
+            assert_eq!(s.solve(u64::MAX), bench::baseline::BoxedResult::Unsat);
         })
     });
 }

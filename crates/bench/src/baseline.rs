@@ -1,0 +1,545 @@
+//! Boxed-clause baseline solver for the propagation microbenchmark.
+//!
+//! This is the seed repository's clause representation — every clause a
+//! separately heap-allocated `Vec<Lit>` inside a `Vec<Clause>`, no
+//! learned-clause deletion — kept (stripped of proof logging and
+//! assumptions) as the measurement baseline that `satb`'s arena-backed
+//! [`satb::ClauseDb`] is compared against by the `satperf` binary and
+//! the criterion kernels. Do not use it for anything else; `satb` is
+//! the real solver.
+
+use satb::{Lit, Var};
+
+/// Verdict of [`BoxedSolver::solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoxedResult {
+    /// Satisfiable.
+    Sat,
+    /// Unsatisfiable.
+    Unsat,
+    /// Conflict budget exhausted.
+    Unknown,
+}
+
+/// Propagation/conflict counters of a baseline run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BoxedStats {
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// Max-heap over variables ordered by VSIDS activity (copied from the
+/// seed solver so decision cost matches).
+#[derive(Clone, Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<i32>, // -1 if absent
+}
+
+impl VarHeap {
+    fn ensure(&mut self, n: usize) {
+        while self.pos.len() < n {
+            self.pos.push(-1);
+        }
+    }
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] >= 0
+    }
+    fn insert(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as i32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+    fn bump(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            let i = self.pos[v.index()] as usize;
+            self.sift_up(i, act);
+        }
+    }
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.pos[top.index()] = -1;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.index()] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if act[self.heap[i].index()] <= act[self.heap[p].index()] {
+                break;
+            }
+            self.swap(i, p);
+            i = p;
+        }
+    }
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].index()] > act[self.heap[best].index()] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].index()] > act[self.heap[best].index()] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].index()] = i as i32;
+        self.pos[self.heap[j].index()] = j as i32;
+    }
+}
+
+/// The Luby restart sequence (as in the seed solver).
+fn luby(i: u64) -> u64 {
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    let mut i = i;
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+/// The seed's boxed-clause CDCL core.
+#[derive(Debug, Default)]
+pub struct BoxedSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    phase: Vec<bool>,
+    ok: bool,
+    seen: Vec<bool>,
+    stats: BoxedStats,
+}
+
+impl BoxedSolver {
+    /// Creates an empty solver.
+    pub fn new() -> BoxedSolver {
+        BoxedSolver {
+            var_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> BoxedStats {
+        self.stats
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.ensure(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    /// Adds a clause; returns `false` on immediate inconsistency.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        for w in ls.windows(2) {
+            if w[0].var() == w[1].var() {
+                return true;
+            }
+        }
+        if ls.iter().any(|&l| self.lit_value(l) == LBool::True) {
+            return true;
+        }
+        ls.retain(|&l| self.lit_value(l) != LBool::False);
+        match ls.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(ls[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let cref = self.clauses.len() as u32;
+                let (l0, l1) = (ls[0], ls[1]);
+                self.clauses.push(Clause { lits: ls });
+                self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+                self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+                true
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        let v = l.var().index();
+        self.assigns[v] = if l.is_positive() {
+            LBool::True
+        } else {
+            LBool::False
+        };
+        self.levels[v] = self.decision_level();
+        self.reasons[v] = reason;
+        self.trail.push(l);
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().index();
+            self.phase[v] = l.is_positive();
+            self.assigns[v] = LBool::Undef;
+            self.reasons[v] = None;
+            self.heap.insert(l.var(), &self.activity);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = bound;
+    }
+
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut j = 0;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut conflict: Option<u32> = None;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let cref = w.cref as usize;
+                let false_lit = !p;
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                let first = self.clauses[cref].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                let len = self.clauses[cref].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    conflict = Some(w.cref);
+                } else {
+                    self.enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bump(v, &self.activity);
+    }
+
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)];
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut clause = confl;
+        loop {
+            let lits = self.clauses[clause as usize].lits.clone();
+            for &q in &lits {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var();
+                if self.seen[v.index()] || self.levels[v.index()] == 0 {
+                    continue;
+                }
+                self.seen[v.index()] = true;
+                self.bump_var(v);
+                if self.levels[v.index()] >= self.decision_level() {
+                    path_count += 1;
+                } else {
+                    learnt.push(q);
+                }
+            }
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            clause = self.reasons[pl.var().index()].expect("reason");
+            p = Some(pl);
+        }
+        for &q in &learnt[1..] {
+            self.seen[q.var().index()] = false;
+        }
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.levels[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>) -> u32 {
+        let cref = self.clauses.len() as u32;
+        if learnt.len() >= 2 {
+            let (l0, l1) = (learnt[0], learnt[1]);
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
+        self.clauses.push(Clause { lits: learnt });
+        cref
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(Lit::new(v, self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Solves, giving up after `max_conflicts` conflicts.
+    pub fn solve(&mut self, max_conflicts: u64) -> BoxedResult {
+        if !self.ok {
+            return BoxedResult::Unsat;
+        }
+        let base = self.stats.conflicts;
+        let mut restart_base = self.stats.conflicts;
+        let mut restart_count = 0u64;
+        let mut restart_budget = luby(restart_count) * 100;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return BoxedResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt);
+                let asserting = learnt[0];
+                let cref = self.learn(learnt);
+                self.enqueue(asserting, Some(cref));
+                self.var_inc /= 0.95;
+                if self.stats.conflicts - restart_base >= restart_budget {
+                    restart_count += 1;
+                    restart_budget = luby(restart_count) * 100;
+                    restart_base = self.stats.conflicts;
+                    self.backtrack(0);
+                }
+                if self.stats.conflicts - base >= max_conflicts {
+                    self.backtrack(0);
+                    return BoxedResult::Unknown;
+                }
+            } else {
+                match self.pick_branch() {
+                    None => {
+                        self.backtrack(0);
+                        return BoxedResult::Sat;
+                    }
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_agrees_with_satb_on_small_instances() {
+        // The baseline exists to be timed, but it must at least answer
+        // correctly where satb does.
+        for holes in 2..=5 {
+            let pigeons = holes + 1;
+            let var = |p: usize, h: usize| p * holes + h;
+            let mut b = BoxedSolver::new();
+            let mut s = satb::Solver::new();
+            while b.num_vars() < pigeons * holes {
+                b.new_var();
+                s.new_var();
+            }
+            for p in 0..pigeons {
+                let c: Vec<Lit> = (0..holes)
+                    .map(|h| Lit::pos(Var::from_index(var(p, h))))
+                    .collect();
+                b.add_clause(&c);
+                s.add_clause(&c);
+            }
+            for h in 0..holes {
+                for p1 in 0..pigeons {
+                    for p2 in (p1 + 1)..pigeons {
+                        let c = [
+                            Lit::neg(Var::from_index(var(p1, h))),
+                            Lit::neg(Var::from_index(var(p2, h))),
+                        ];
+                        b.add_clause(&c);
+                        s.add_clause(&c);
+                    }
+                }
+            }
+            assert_eq!(b.solve(u64::MAX), BoxedResult::Unsat);
+            assert_eq!(s.solve(), satb::SolveResult::Unsat);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! SAT-solver propagation-throughput microbenchmark.
+//!
+//! Runs identical CNF workloads through `satb`'s arena-backed solver
+//! and through the boxed-clause baseline (the seed representation,
+//! `bench::baseline`) and emits machine-readable JSON on stdout:
+//! per-workload wall time, conflicts/sec, propagations/sec, the
+//! arena's peak footprint and reduction counters, plus the
+//! arena-vs-boxed throughput ratios. Future PRs compare against these
+//! numbers to keep a perf trajectory.
+//!
+//! Usage: `cargo run --release -p bench --bin satperf`
+
+use bench::baseline::{BoxedResult, BoxedSolver};
+use satb::{Lit, SolveResult, Solver, Var};
+use std::time::Instant;
+
+/// One CNF workload, generated deterministically.
+struct Workload {
+    name: &'static str,
+    clauses: Vec<Vec<Lit>>,
+    nvars: usize,
+    max_conflicts: u64,
+}
+
+use bench::pigeonhole_cnf as pigeonhole;
+
+/// Deterministic xorshift for reproducible random 3-SAT.
+struct XorShift(u64);
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn random_3sat(seed: u64, nvars: usize, nclauses: usize) -> Vec<Vec<Lit>> {
+    let mut rng = XorShift(seed | 1);
+    (0..nclauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| {
+                    Lit::new(
+                        Var::from_index(rng.below(nvars as u64) as usize),
+                        rng.below(2) == 0,
+                    )
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn workloads() -> Vec<Workload> {
+    let (php_vars, php) = pigeonhole(8);
+    let (php9_vars, php9) = pigeonhole(9);
+    vec![
+        Workload {
+            name: "pigeonhole-8",
+            clauses: php,
+            nvars: php_vars,
+            max_conflicts: 200_000,
+        },
+        Workload {
+            name: "pigeonhole-9",
+            clauses: php9,
+            nvars: php9_vars,
+            max_conflicts: 60_000,
+        },
+        Workload {
+            name: "random-3sat-150",
+            clauses: random_3sat(0xDA7E, 150, 630),
+            nvars: 150,
+            max_conflicts: 120_000,
+        },
+        Workload {
+            name: "random-3sat-200",
+            clauses: random_3sat(0x2016, 200, 850),
+            nvars: 200,
+            max_conflicts: 120_000,
+        },
+    ]
+}
+
+struct RunResult {
+    time_s: f64,
+    conflicts: u64,
+    propagations: u64,
+    verdict: &'static str,
+    arena_peak_bytes: u64,
+    reduces: u64,
+    deleted: u64,
+}
+
+fn run_arena(w: &Workload) -> RunResult {
+    let mut s = Solver::new();
+    for _ in 0..w.nvars {
+        s.new_var();
+    }
+    for c in &w.clauses {
+        s.add_clause(c);
+    }
+    let start = Instant::now();
+    let r = s.solve_limited(
+        &[],
+        satb::Limits {
+            max_conflicts: Some(w.max_conflicts),
+            deadline: None,
+        },
+    );
+    let time_s = start.elapsed().as_secs_f64();
+    let st = s.stats();
+    RunResult {
+        time_s,
+        conflicts: st.conflicts,
+        propagations: st.propagations,
+        verdict: match r {
+            SolveResult::Sat => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown => "unknown",
+        },
+        arena_peak_bytes: st.arena_peak_bytes,
+        reduces: st.reduces,
+        deleted: st.deleted,
+    }
+}
+
+fn run_boxed(w: &Workload) -> RunResult {
+    let mut s = BoxedSolver::new();
+    for _ in 0..w.nvars {
+        s.new_var();
+    }
+    for c in &w.clauses {
+        s.add_clause(c);
+    }
+    let start = Instant::now();
+    let r = s.solve(w.max_conflicts);
+    let time_s = start.elapsed().as_secs_f64();
+    let st = s.stats();
+    RunResult {
+        time_s,
+        conflicts: st.conflicts,
+        propagations: st.propagations,
+        verdict: match r {
+            BoxedResult::Sat => "sat",
+            BoxedResult::Unsat => "unsat",
+            BoxedResult::Unknown => "unknown",
+        },
+        arena_peak_bytes: 0,
+        reduces: 0,
+        deleted: 0,
+    }
+}
+
+fn emit(name: &str, solver: &str, r: &RunResult, first: bool) {
+    if !first {
+        print!(",");
+    }
+    let cps = r.conflicts as f64 / r.time_s.max(1e-9);
+    let pps = r.propagations as f64 / r.time_s.max(1e-9);
+    print!(
+        "\n    {{\"workload\":\"{name}\",\"solver\":\"{solver}\",\"verdict\":\"{}\",\
+         \"time_s\":{:.4},\"conflicts\":{},\"propagations\":{},\
+         \"conflicts_per_s\":{:.0},\"propagations_per_s\":{:.0},\
+         \"arena_peak_bytes\":{},\"reduces\":{},\"deleted\":{}}}",
+        r.verdict,
+        r.time_s,
+        r.conflicts,
+        r.propagations,
+        cps,
+        pps,
+        r.arena_peak_bytes,
+        r.reduces,
+        r.deleted
+    );
+}
+
+fn main() {
+    let ws = workloads();
+    println!("{{");
+    println!("  \"benchmark\": \"satperf\",");
+    println!("  \"runs\": [");
+    let mut ratios_props: Vec<(String, f64)> = Vec::new();
+    let mut ratios_time: Vec<(String, f64)> = Vec::new();
+    let mut first = true;
+    for w in &ws {
+        let arena = run_arena(w);
+        emit(w.name, "arena", &arena, first);
+        first = false;
+        let boxed = run_boxed(w);
+        emit(w.name, "boxed", &boxed, false);
+        let arena_pps = arena.propagations as f64 / arena.time_s.max(1e-9);
+        let boxed_pps = boxed.propagations as f64 / boxed.time_s.max(1e-9);
+        ratios_props.push((w.name.to_string(), arena_pps / boxed_pps.max(1e-9)));
+        ratios_time.push((w.name.to_string(), boxed.time_s / arena.time_s.max(1e-9)));
+    }
+    println!("\n  ],");
+    print!("  \"propagation_throughput_ratio\": {{");
+    for (i, (n, r)) in ratios_props.iter().enumerate() {
+        print!("{}\"{}\":{:.3}", if i == 0 { "" } else { "," }, n, r);
+    }
+    println!("}},");
+    print!("  \"wall_time_speedup\": {{");
+    for (i, (n, r)) in ratios_time.iter().enumerate() {
+        print!("{}\"{}\":{:.3}", if i == 0 { "" } else { "," }, n, r);
+    }
+    println!("}},");
+    let geo = |v: &[(String, f64)]| -> f64 {
+        (v.iter().map(|(_, r)| r.ln()).sum::<f64>() / v.len() as f64).exp()
+    };
+    println!(
+        "  \"geomean_propagation_ratio\": {:.3},",
+        geo(&ratios_props)
+    );
+    println!("  \"geomean_wall_time_speedup\": {:.3}", geo(&ratios_time));
+    println!("}}");
+}

@@ -7,10 +7,41 @@
 //! and `sec3c_equivalence` regenerate the corresponding figure/claim;
 //! see `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
 
+pub mod baseline;
+
 use bmarks::{Benchmark, Expected};
 use engines::{Budget, CheckOutcome, Checker, Unknown, Verdict};
+use satb::{Lit, Var};
 use std::time::Duration;
 use swan::Analyzer;
+
+/// Pigeonhole-principle CNF `PHP(holes+1, holes)` — always UNSAT,
+/// forces real clause learning. The single generator shared by the
+/// criterion kernels and the `satperf` binary, so the arena-vs-boxed
+/// comparison always measures the same instance.
+pub fn pigeonhole_cnf(holes: usize) -> (usize, Vec<Vec<Lit>>) {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| p * holes + h;
+    let mut clauses = Vec::new();
+    for p in 0..pigeons {
+        clauses.push(
+            (0..holes)
+                .map(|h| Lit::pos(Var::from_index(var(p, h))))
+                .collect(),
+        );
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                clauses.push(vec![
+                    Lit::neg(Var::from_index(var(p1, h))),
+                    Lit::neg(Var::from_index(var(p2, h))),
+                ]);
+            }
+        }
+    }
+    (pigeons * holes, clauses)
+}
 
 /// How a run is classified, mirroring the paper's figure annotations.
 #[derive(Clone, Debug, PartialEq)]

@@ -235,9 +235,9 @@ mod tests {
     #[test]
     fn all_compile() {
         for b in all() {
-            let ts = b.compile().unwrap_or_else(|e| {
-                panic!("benchmark {} failed to compile: {e}", b.name)
-            });
+            let ts = b
+                .compile()
+                .unwrap_or_else(|e| panic!("benchmark {} failed to compile: {e}", b.name));
             assert!(!ts.bads().is_empty(), "{} has no property", b.name);
             assert!(
                 ts.validate().is_empty(),
@@ -268,8 +268,7 @@ mod tests {
             let mut sim = Simulator::new(&ts);
             let hit = sim.run_until_bad(200, |_| random_inputs(&ts, &mut rng));
             assert_eq!(
-                hit,
-                b.bug_cycle,
+                hit, b.bug_cycle,
                 "{}: bug must manifest at the documented cycle",
                 b.name
             );

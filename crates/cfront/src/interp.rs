@@ -140,7 +140,10 @@ impl<'u> Lowerer<'u> {
         // Pre-loop declarations (output temporaries).
         let mut env = Env::default();
         for s in &main.body {
-            if let CStmt::Decl { name, array: None, .. } = s {
+            if let CStmt::Decl {
+                name, array: None, ..
+            } = s
+            {
                 let zero = lw.ts.pool_mut().constv(64, 0);
                 env.locals.insert(name.clone(), Slot::Val(zero));
             }
@@ -283,9 +286,7 @@ impl<'u> Lowerer<'u> {
                     let child_prefix = join(prefix, &inst);
                     self.interp_init(n, &child_prefix, out)?;
                 }
-                other => {
-                    return Err(err(format!("unsupported statement in init: {other:?}")))
-                }
+                other => return Err(err(format!("unsupported statement in init: {other:?}"))),
             }
         }
         Ok(())
@@ -307,12 +308,7 @@ impl<'u> Lowerer<'u> {
         Ok(())
     }
 
-    fn exec_stmt(
-        &mut self,
-        s: &CStmt,
-        env: &mut Env,
-        prefix: &str,
-    ) -> Result<(), CfrontError> {
+    fn exec_stmt(&mut self, s: &CStmt, env: &mut Env, prefix: &str) -> Result<(), CfrontError> {
         match s {
             CStmt::Ignored | CStmt::Loop(_) => Ok(()),
             CStmt::Block(b) => self.exec_block(b, env, prefix),
@@ -382,8 +378,7 @@ impl<'u> Lowerer<'u> {
 
                 // Merge.
                 *env = self.merge_env(cond, &then_env, &else_env, &base_env);
-                self.state_env =
-                    self.merge_map(cond, &then_state, &else_state, &base_state);
+                self.state_env = self.merge_map(cond, &then_state, &else_state, &base_state);
                 Ok(())
             }
             CStmt::Call(n, args) => self.inline_call(n, args, env, prefix),
@@ -718,9 +713,7 @@ fn const_eval(e: &CExpr, loop_env: &HashMap<String, u64>) -> Option<u64> {
         CExpr::Ident(n) => *loop_env.get(n)?,
         CExpr::Nondet => return None,
         CExpr::Binary("&", a, b) => const_eval(a, loop_env)? & const_eval(b, loop_env)?,
-        CExpr::Binary("+", a, b) => {
-            const_eval(a, loop_env)?.wrapping_add(const_eval(b, loop_env)?)
-        }
+        CExpr::Binary("+", a, b) => const_eval(a, loop_env)?.wrapping_add(const_eval(b, loop_env)?),
         _ => return None,
     })
 }
@@ -856,22 +849,10 @@ mod tests {
 
     fn bmarks_list() -> Vec<(&'static str, &'static str)> {
         vec![
-            (
-                include_str!("../../../benchmarks/fifo.v"),
-                "fifo",
-            ),
-            (
-                include_str!("../../../benchmarks/vending.v"),
-                "vending",
-            ),
-            (
-                include_str!("../../../benchmarks/daio.v"),
-                "daio",
-            ),
-            (
-                include_str!("../../../benchmarks/heap.v"),
-                "heap",
-            ),
+            (include_str!("../../../benchmarks/fifo.v"), "fifo"),
+            (include_str!("../../../benchmarks/vending.v"), "vending"),
+            (include_str!("../../../benchmarks/daio.v"), "daio"),
+            (include_str!("../../../benchmarks/heap.v"), "heap"),
         ]
     }
 }

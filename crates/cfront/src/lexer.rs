@@ -16,9 +16,8 @@ pub enum CTok {
 }
 
 const SYMBOLS: &[&str] = &[
-    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "{", "}", "(", ")", "[",
-    "]", ";", ",", "?", ":", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
-    ".",
+    "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "++", "--", "{", "}", "(", ")", "[", "]",
+    ";", ",", "?", ":", "=", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", ".",
 ];
 
 /// Tokenizes the C text, skipping comments and preprocessor lines.
@@ -79,8 +78,7 @@ pub fn lex(src: &str) -> Result<Vec<CTok>, CfrontError> {
         }
         if c.is_ascii_digit() {
             let start = i;
-            let radix = if c == '0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X')
-            {
+            let radix = if c == '0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X') {
                 i += 2;
                 16
             } else {
@@ -129,6 +127,8 @@ mod tests {
         assert!(t.contains(&CTok::Num(255)));
         assert!(t.contains(&CTok::Sym("->")));
         assert!(t.contains(&CTok::Num(10)));
-        assert!(!t.iter().any(|x| matches!(x, CTok::Ident(s) if s == "include")));
+        assert!(!t
+            .iter()
+            .any(|x| matches!(x, CTok::Ident(s) if s == "include")));
     }
 }

@@ -620,7 +620,11 @@ mod tests {
         assert_eq!(unit.structs.len(), 1);
         assert!(unit.functions.iter().any(|f| f.name == "counter_step"));
         assert!(unit.functions.iter().any(|f| f.name == "main"));
-        let main = unit.functions.iter().find(|f| f.name == "main").expect("main");
+        let main = unit
+            .functions
+            .iter()
+            .find(|f| f.name == "main")
+            .expect("main");
         assert!(main.body.iter().any(|s| matches!(s, CStmt::Loop(_))));
     }
 }

@@ -61,12 +61,8 @@ impl<'s> FrameChain<'s> {
             let cur = self.latch_lits.len() - 1;
             let mut next_lits = Vec::with_capacity(self.sys.latches.len());
             for latch in &self.sys.latches {
-                let l = self.encoders[cur].encode(
-                    &self.sys.aig,
-                    &mut self.solver,
-                    latch.next,
-                    Part::A,
-                );
+                let l =
+                    self.encoders[cur].encode(&self.sys.aig, &mut self.solver, latch.next, Part::A);
                 next_lits.push(l);
             }
             let mut enc = FrameEncoder::new();
@@ -204,7 +200,7 @@ impl Checker for Bmc {
             let r = chain
                 .solver
                 .solve_limited(&[bad], self.budget.sat_limits(started));
-            stats.conflicts = chain.solver.stats().conflicts;
+            stats.set_solver_stats([chain.solver.stats()]);
             match r {
                 SolveResult::Sat => {
                     let bi = chain.fired_bad(k as usize);

@@ -100,7 +100,9 @@ impl Checker for Interpolation {
             }
             let b = enc.encode(&sys.aig, &mut solver, any_bad, Part::A);
             stats.sat_queries += 1;
-            if solver.solve_limited(&[b], self.budget.sat_limits(started)) == SolveResult::Sat {
+            let r0 = solver.solve_limited(&[b], self.budget.sat_limits(started));
+            stats.absorb_solver(&solver.stats());
+            if r0 == SolveResult::Sat {
                 let state: Vec<bool> = sys
                     .latches
                     .iter()
@@ -170,11 +172,7 @@ impl Checker for Interpolation {
                     }
                     QueryResult::Sat(trace) => {
                         if first {
-                            return CheckOutcome::finish(
-                                Verdict::Unsafe(trace),
-                                stats,
-                                started,
-                            );
+                            return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                         }
                         // Over-approximation too coarse: deepen.
                         k += 1;
@@ -190,7 +188,9 @@ impl Checker for Interpolation {
                         solver.add_clause(&[il]);
                         solver.add_clause(&[!rl]);
                         stats.sat_queries += 1;
-                        match solver.solve_limited(&[], self.budget.sat_limits(started)) {
+                        let fr = solver.solve_limited(&[], self.budget.sat_limits(started));
+                        stats.absorb_solver(&solver.stats());
+                        match fr {
                             SolveResult::Unsat => {
                                 return CheckOutcome::finish(Verdict::Safe, stats, started);
                             }
@@ -235,11 +235,19 @@ impl Interpolation {
         let mut solver = Solver::with_proof();
 
         // Shared interface: frame-1 latch variables.
-        let f1: Vec<Lit> = sys.latches.iter().map(|_| Lit::pos(solver.new_var())).collect();
+        let f1: Vec<Lit> = sys
+            .latches
+            .iter()
+            .map(|_| Lit::pos(solver.new_var()))
+            .collect();
 
         // --- A side: R(s0) ∧ T(s0, s1), output tied to f1. ---
         let mut enc_a = FrameEncoder::new();
-        let f0: Vec<Lit> = sys.latches.iter().map(|_| Lit::pos(solver.new_var())).collect();
+        let f0: Vec<Lit> = sys
+            .latches
+            .iter()
+            .map(|_| Lit::pos(solver.new_var()))
+            .collect();
         for (latch, &l) in sys.latches.iter().zip(&f0) {
             enc_a.bind(latch.output, l);
         }
@@ -291,7 +299,9 @@ impl Interpolation {
         solver.add_clause_in(&bad_lits, Part::B);
 
         stats.sat_queries += 1;
-        match solver.solve_limited(&[], self.budget.sat_limits(started)) {
+        let qr = solver.solve_limited(&[], self.budget.sat_limits(started));
+        stats.absorb_solver(&solver.stats());
+        match qr {
             SolveResult::Unknown => QueryResult::Timeout,
             SolveResult::Unsat => {
                 let itp = solver.interpolant().expect("proof-logged refutation");
@@ -323,7 +333,9 @@ impl Interpolation {
                         .inputs
                         .iter()
                         .map(|&ci| {
-                            enc.mapped(ci).and_then(|l| solver.value(l)).unwrap_or(false)
+                            enc.mapped(ci)
+                                .and_then(|l| solver.value(l))
+                                .unwrap_or(false)
                         })
                         .collect();
                     inputs.push(inp);
@@ -331,10 +343,7 @@ impl Interpolation {
                 // Identify the fired bad property at frame j.
                 let bad_index = (0..bads.len())
                     .find(|&bi| {
-                        encs[j - 1]
-                            .mapped(bads[bi])
-                            .and_then(|l| solver.value(l))
-                            == Some(true)
+                        encs[j - 1].mapped(bads[bi]).and_then(|l| solver.value(l)) == Some(true)
                     })
                     .unwrap_or(0);
                 QueryResult::Sat(Trace {

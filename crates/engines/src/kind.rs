@@ -77,7 +77,7 @@ impl Checker for KInduction {
                 SolveResult::Sat => {
                     let bi = base.fired_bad(k as usize);
                     let trace = base.extract_trace(k as usize, bi);
-                    stats.conflicts = base.solver.stats().conflicts;
+                    stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
                     return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                 }
                 SolveResult::Unsat => {
@@ -107,8 +107,7 @@ impl Checker for KInduction {
                 .solve_limited(&[bad_step], self.budget.sat_limits(started))
             {
                 SolveResult::Unsat => {
-                    stats.conflicts =
-                        base.solver.stats().conflicts + step.solver.stats().conflicts;
+                    stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
                     return CheckOutcome::finish(Verdict::Safe, stats, started);
                 }
                 SolveResult::Sat => {
@@ -124,6 +123,7 @@ impl Checker for KInduction {
                 }
             }
         }
+        stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
         CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
     }
 }

@@ -18,6 +18,9 @@ use std::time::Instant;
 /// pairs sorted by index.
 type Cube = Vec<(usize, bool)>;
 
+/// A SAT predecessor: (latch state, input vector) driving into a cube.
+type Predecessor = (Vec<bool>, Vec<bool>);
+
 /// One frame's SAT solver: a single copy of the transition relation.
 struct FrameSolver {
     solver: Solver,
@@ -61,9 +64,8 @@ impl FrameSolver {
         }
     }
 
-    fn add_blocking_clause(&mut self, cube: &Cube) {
-        let clause: Vec<Lit> = cube
-            .iter()
+    fn blocking_clause(&self, cube: &Cube) -> Vec<Lit> {
+        cube.iter()
             .map(|&(i, v)| {
                 if v {
                     !self.latch_lits[i]
@@ -71,8 +73,23 @@ impl FrameSolver {
                     self.latch_lits[i]
                 }
             })
-            .collect();
+            .collect()
+    }
+
+    fn add_blocking_clause(&mut self, cube: &Cube) {
+        let clause = self.blocking_clause(cube);
         self.solver.add_clause(&clause);
+    }
+
+    /// Bulk-loads the blocking clauses of many cubes through the
+    /// solver's reserved-arena path (used when a new frame solver is
+    /// created and must absorb every clause valid at its level).
+    fn add_blocking_clauses<'c>(&mut self, cubes: impl IntoIterator<Item = &'c Cube>) {
+        let clauses: Vec<Vec<Lit>> = cubes.into_iter().map(|c| self.blocking_clause(c)).collect();
+        let lits: usize = clauses.iter().map(|c| c.len()).sum();
+        self.solver.reserve_clauses(clauses.len(), lits);
+        self.solver
+            .add_clauses(clauses.iter().map(|c| c.as_slice()));
     }
 
     fn model_state(&self, n: usize) -> Vec<bool> {
@@ -121,10 +138,7 @@ struct QueueEntry {
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Min-heap on (level, seq) via reversed comparison.
-        other
-            .level
-            .cmp(&self.level)
-            .then(other.seq.cmp(&self.seq))
+        other.level.cmp(&self.level).then(other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for QueueEntry {
@@ -187,17 +201,26 @@ impl<'s> PdrRun<'s> {
             let initialized = self.solvers.is_empty();
             let mut fs = FrameSolver::new(self.sys, self.any_bad, initialized);
             // New frame solvers must contain every clause valid at
-            // their level: F_i = ∪_{j>=i} frames[j].
+            // their level: F_i = ∪_{j>=i} frames[j]. The whole reload
+            // goes through the solver's bulk-add path.
             let lvl = self.solvers.len();
-            for (j, cubes) in self.frames.iter().enumerate() {
-                if j >= lvl {
-                    for c in cubes {
-                        fs.add_blocking_clause(c);
-                    }
-                }
-            }
+            fs.add_blocking_clauses(
+                self.frames
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j >= lvl)
+                    .flat_map(|(_, cubes)| cubes.iter()),
+            );
             self.solvers.push(fs);
         }
+    }
+
+    /// Stamps the final statistics (summing every frame solver) into an
+    /// outcome.
+    fn outcome(&mut self, verdict: Verdict, started: Instant) -> CheckOutcome {
+        self.stats
+            .set_solver_stats(self.solvers.iter().map(|f| f.solver.stats()));
+        CheckOutcome::finish(verdict, self.stats.clone(), started)
     }
 
     fn add_blocked(&mut self, cube: Cube, level: usize) {
@@ -213,11 +236,7 @@ impl<'s> PdrRun<'s> {
     /// Relative-induction query: is `cube` (as next-state) reachable
     /// from `F_{level-1} ∧ ¬cube`? On UNSAT returns the generalized
     /// core cube.
-    fn query_relative(
-        &mut self,
-        cube: &Cube,
-        level: usize,
-    ) -> Result<Option<(Vec<bool>, Vec<bool>)>, Cube> {
+    fn query_relative(&mut self, cube: &Cube, level: usize) -> Result<Option<Predecessor>, Cube> {
         let fs = &mut self.solvers[level - 1];
         // Temporary ¬cube clause guarded by an activation literal.
         let act = Lit::pos(fs.solver.new_var());
@@ -232,11 +251,7 @@ impl<'s> PdrRun<'s> {
         fs.solver.add_clause(&clause);
         let mut assumptions = vec![act];
         for &(i, v) in cube {
-            assumptions.push(if v {
-                fs.next_lits[i]
-            } else {
-                !fs.next_lits[i]
-            });
+            assumptions.push(if v { fs.next_lits[i] } else { !fs.next_lits[i] });
         }
         self.stats.sat_queries += 1;
         let limits = self.budget.sat_limits(self.started);
@@ -322,7 +337,13 @@ impl<'s> PdrRun<'s> {
         Some(cube)
     }
 
-    fn reconstruct_trace(&self, arena: &[Obligation], leaf: usize, init_state: Vec<bool>, init_inputs: Vec<bool>) -> Trace {
+    fn reconstruct_trace(
+        &self,
+        arena: &[Obligation],
+        leaf: usize,
+        init_state: Vec<bool>,
+        init_inputs: Vec<bool>,
+    ) -> Trace {
         // Path: init_state --init_inputs--> arena[leaf].state --...--> bad.
         let mut states = vec![init_state];
         let mut inputs = vec![init_inputs];
@@ -542,10 +563,10 @@ impl Checker for Pdr {
                     inputs: vec![inputs],
                     bad_index,
                 };
-                return CheckOutcome::finish(Verdict::Unsafe(trace), run.stats, started);
+                return run.outcome(Verdict::Unsafe(trace), started);
             }
             SolveResult::Unknown => {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), run.stats, started)
+                return run.outcome(Verdict::Unknown(Unknown::Timeout), started)
             }
             SolveResult::Unsat => {}
         }
@@ -553,14 +574,10 @@ impl Checker for Pdr {
         let mut max_level: usize = 1;
         loop {
             if run.budget.expired(started) {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), run.stats, started);
+                return run.outcome(Verdict::Unknown(Unknown::Timeout), started);
             }
             if max_level as u32 > self.budget.max_depth {
-                return CheckOutcome::finish(
-                    Verdict::Unknown(Unknown::BoundReached),
-                    run.stats,
-                    started,
-                );
+                return run.outcome(Verdict::Unknown(Unknown::BoundReached), started);
             }
             run.stats.depth = max_level as u32;
             run.ensure_solver(max_level);
@@ -591,11 +608,7 @@ impl Checker for Pdr {
                             inputs: vec![bad_inputs],
                             bad_index,
                         };
-                        return CheckOutcome::finish(
-                            Verdict::Unsafe(trace),
-                            run.stats,
-                            started,
-                        );
+                        return run.outcome(Verdict::Unsafe(trace), started);
                     }
                     let root = Obligation {
                         level: max_level as u32,
@@ -609,18 +622,10 @@ impl Checker for Pdr {
                     match run.block_obligations(root, max_level) {
                         BlockResult::Blocked => {}
                         BlockResult::Cex(trace) => {
-                            return CheckOutcome::finish(
-                                Verdict::Unsafe(trace),
-                                run.stats,
-                                started,
-                            );
+                            return run.outcome(Verdict::Unsafe(trace), started);
                         }
                         BlockResult::Timeout => {
-                            return CheckOutcome::finish(
-                                Verdict::Unknown(Unknown::Timeout),
-                                run.stats,
-                                started,
-                            );
+                            return run.outcome(Verdict::Unknown(Unknown::Timeout), started);
                         }
                     }
                 }
@@ -629,25 +634,13 @@ impl Checker for Pdr {
                     max_level += 1;
                     run.ensure_solver(max_level);
                     match run.propagate(max_level) {
-                        Some(true) => {
-                            return CheckOutcome::finish(Verdict::Safe, run.stats, started)
-                        }
+                        Some(true) => return run.outcome(Verdict::Safe, started),
                         Some(false) => {}
-                        None => {
-                            return CheckOutcome::finish(
-                                Verdict::Unknown(Unknown::Timeout),
-                                run.stats,
-                                started,
-                            )
-                        }
+                        None => return run.outcome(Verdict::Unknown(Unknown::Timeout), started),
                     }
                 }
                 SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        run.stats,
-                        started,
-                    );
+                    return run.outcome(Verdict::Unknown(Unknown::Timeout), started);
                 }
             }
         }

@@ -127,8 +127,41 @@ pub struct EngineStats {
     pub sat_queries: u64,
     /// Total conflicts across all SAT queries.
     pub conflicts: u64,
+    /// Learned-clause reduction passes across all SAT solvers used.
+    pub reduces: u64,
+    /// Learned clauses deleted by reduction across all SAT solvers.
+    pub deleted: u64,
+    /// Peak clause-arena footprint in bytes, summed over all SAT
+    /// solvers used.
+    pub arena_bytes: u64,
     /// Wall-clock time spent in `check`.
     pub time: Duration,
+}
+
+impl EngineStats {
+    /// Folds one solver's cumulative statistics into the engine totals.
+    /// Call once per solver (when it is retired, or via
+    /// [`set_solver_stats`](EngineStats::set_solver_stats) for solvers
+    /// that live to the end of the run).
+    pub fn absorb_solver(&mut self, s: &satb::Stats) {
+        self.conflicts += s.conflicts;
+        self.reduces += s.reduces;
+        self.deleted += s.deleted;
+        self.arena_bytes += s.arena_peak_bytes;
+    }
+
+    /// Replaces the solver-side totals with the (cumulative) statistics
+    /// of the given solvers. Engines whose solvers live for the whole
+    /// run call this before reporting.
+    pub fn set_solver_stats<I: IntoIterator<Item = satb::Stats>>(&mut self, solvers: I) {
+        self.conflicts = 0;
+        self.reduces = 0;
+        self.deleted = 0;
+        self.arena_bytes = 0;
+        for s in solvers {
+            self.absorb_solver(&s);
+        }
+    }
 }
 
 /// Verdict plus statistics.

@@ -155,9 +155,7 @@ impl Checker for WordKInduction {
                     per_state.push(words);
                 }
                 state_words.push(per_state);
-                let inps = (0..ts.inputs().len())
-                    .map(|ii| base.input(f, ii))
-                    .collect();
+                let inps = (0..ts.inputs().len()).map(|ii| base.input(f, ii)).collect();
                 input_words.push(inps);
             }
             let bad_words: Vec<rtlir::ExprId> = (0..ts.bads().len())
@@ -276,7 +274,10 @@ mod tests {
                 Verdict::Unsafe(trace) => {
                     assert_eq!(trace.length() as u64, depth);
                     let sys = aig::blast_system(&ts);
-                    assert!(trace.replays_on(&sys), "word-level trace replays on bit-level model");
+                    assert!(
+                        trace.replays_on(&sys),
+                        "word-level trace replays on bit-level model"
+                    );
                 }
                 other => panic!("expected Unsafe at {depth}, got {other:?}"),
             }

@@ -329,11 +329,8 @@ impl ExprPool {
                     return self.constv(wa, 0);
                 }
             }
-            BinOp::Add => {
-                if ac == Some(0) {
-                    return b;
-                }
-            }
+            BinOp::Add if ac == Some(0) => return b,
+            BinOp::Add => {}
             BinOp::Sub => {
                 if bc == Some(0) {
                     return a;
@@ -372,11 +369,8 @@ impl ExprPool {
                     return self.bool_const(true);
                 }
             }
-            BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {
-                if bc == Some(0) {
-                    return a;
-                }
-            }
+            BinOp::Shl | BinOp::Lshr | BinOp::Ashr if bc == Some(0) => return a,
+            BinOp::Shl | BinOp::Lshr | BinOp::Ashr => {}
             BinOp::Mul => {
                 if ac == Some(1) {
                     return b;
@@ -499,11 +493,7 @@ impl ExprPool {
             self.sort(cond)
         );
         let st = self.sort(then_e);
-        assert_eq!(
-            st,
-            self.sort(else_e),
-            "ite branches must have equal sorts"
-        );
+        assert_eq!(st, self.sort(else_e), "ite branches must have equal sorts");
         if let Some(c) = self.const_bits(cond) {
             return if c == 1 { then_e } else { else_e };
         }

@@ -97,9 +97,7 @@ impl<'a> Simulator<'a> {
         self.ts
             .bads()
             .iter()
-            .map(|b| {
-                eval_with_cache(self.ts.pool(), b.expr, &env, &mut cache).as_bool()
-            })
+            .map(|b| eval_with_cache(self.ts.pool(), b.expr, &env, &mut cache).as_bool())
             .collect()
     }
 
@@ -163,7 +161,11 @@ impl<'a> Simulator<'a> {
             }
             self.step(&inputs);
         }
-        if self.bad_states_with_inputs(&stimulus(self.cycle)).iter().any(|&b| b) {
+        if self
+            .bad_states_with_inputs(&stimulus(self.cycle))
+            .iter()
+            .any(|&b| b)
+        {
             return Some(self.cycle);
         }
         None

@@ -302,7 +302,8 @@ impl<'a> Unroller<'a> {
                     }
                 }
                 Node::Ite(c, tt, ff) => {
-                    let (tc, t1, t0) = (self.memo[&(k, c)], self.memo[&(k, tt)], self.memo[&(k, ff)]);
+                    let (tc, t1, t0) =
+                        (self.memo[&(k, c)], self.memo[&(k, tt)], self.memo[&(k, ff)]);
                     self.pool.ite(tc, t1, t0)
                 }
                 Node::Extract { hi, lo, arg } => {

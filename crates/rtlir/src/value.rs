@@ -217,10 +217,9 @@ pub mod ops {
     }
     /// Unsigned division; division by zero yields all-ones (SMT-LIB).
     pub fn udiv(w: u32, a: u64, b: u64) -> u64 {
-        if b == 0 {
-            mask(w)
-        } else {
-            (a / b) & mask(w)
+        match a.checked_div(b) {
+            Some(q) => q & mask(w),
+            None => mask(w),
         }
     }
     /// Unsigned remainder; remainder by zero yields the dividend (SMT-LIB).

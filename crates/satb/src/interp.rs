@@ -87,7 +87,11 @@ impl Interpolant {
             } else if is_a(tag) {
                 // Tag decides; clauses added through the untagged API
                 // carry tag 0 and their stored label.
-                if tag == 0 { stored } else { Part::A }
+                if tag == 0 {
+                    stored
+                } else {
+                    Part::A
+                }
             } else {
                 Part::B
             }
@@ -114,9 +118,7 @@ impl Interpolant {
         let mut partial: Vec<u32> = Vec::with_capacity(proof.clauses.len());
         for (i, pc) in proof.clauses.iter().enumerate() {
             let node = match pc {
-                ProofClause::Original { part, lits }
-                    if part_of(i, *part) == Part::A =>
-                {
+                ProofClause::Original { part, lits } if part_of(i, *part) == Part::A => {
                     let mut acc = b.constant(false);
                     for &l in lits {
                         if is_global(l.var()) {

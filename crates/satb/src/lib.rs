@@ -4,9 +4,11 @@
 //! the DATE 2016 paper compares (ABC, EBMC, CBMC, IMPARA, …). It
 //! provides:
 //!
-//! * a [`Solver`] with two-literal watching, VSIDS decision heuristics,
-//!   first-UIP clause learning with minimization, phase saving and Luby
-//!   restarts;
+//! * a [`Solver`] with two-literal watching over a flat clause arena
+//!   ([`cdb::ClauseDb`]) with inline binary-clause watchers, VSIDS
+//!   decision heuristics, first-UIP clause learning with minimization,
+//!   LBD-based learned-clause reduction with arena compaction
+//!   ([`ReduceConfig`]), phase saving and Luby restarts;
 //! * incremental solving under **assumptions** with failed-assumption
 //!   cores ([`Solver::failed_assumptions`]), the workhorse of the
 //!   IC3/PDR and k-induction engines;
@@ -30,12 +32,14 @@
 //! assert_eq!(s.solve(), SolveResult::Unsat);
 //! ```
 
+pub mod cdb;
 pub mod interp;
 pub mod lit;
 pub mod proof;
 pub mod solver;
 
+pub use cdb::{CRef, ClauseDb};
 pub use interp::Interpolant;
 pub use lit::{Lit, Var};
 pub use proof::{ClauseId, Part};
-pub use solver::{Limits, SolveResult, Solver, Stats};
+pub use solver::{Limits, ReduceConfig, SolveResult, Solver, Stats};

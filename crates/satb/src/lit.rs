@@ -27,8 +27,11 @@ impl fmt::Display for Var {
 /// A literal: a variable or its negation.
 ///
 /// Encoded as `var << 1 | sign` with `sign == 1` meaning *negated*,
-/// the MiniSAT convention.
+/// the MiniSAT convention. `repr(transparent)` is load-bearing: the
+/// clause arena ([`crate::cdb::ClauseDb`]) stores literals as raw
+/// `u32` words and reinterprets them as `Lit` slices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Lit(pub(crate) u32);
 
 impl Lit {

@@ -1,5 +1,6 @@
 //! The CDCL solver.
 
+use crate::cdb::{CRef, ClauseDb};
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::{ClauseId, Part, Proof, ProofClause, ResStep};
 use std::collections::HashSet;
@@ -38,18 +39,73 @@ pub struct Stats {
     pub restarts: u64,
     /// Number of learned clauses.
     pub learned: u64,
+    /// Number of learned-clause reduction passes.
+    pub reduces: u64,
+    /// Number of learned clauses deleted by reduction.
+    pub deleted: u64,
+    /// Number of arena compaction (garbage collection) passes.
+    pub gcs: u64,
+    /// Current clause-arena footprint in bytes.
+    pub arena_bytes: u64,
+    /// High-water clause-arena footprint in bytes.
+    pub arena_peak_bytes: u64,
 }
 
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
+/// Learned-clause reduction policy.
+///
+/// Reduction runs every time the conflict count passes a limit that
+/// starts at `first_conflicts` and grows by `conflicts_inc` after each
+/// pass. A pass keeps binary clauses, "glue" clauses (LBD at most
+/// `glue_keep`), locked clauses (currently the reason of an
+/// assignment), and the better-scoring half of the rest (low LBD, then
+/// high activity); everything else is deleted and the arena is
+/// compacted once a fifth of it is garbage.
+#[derive(Clone, Copy, Debug)]
+pub struct ReduceConfig {
+    /// Master switch; `false` keeps every learned clause forever.
+    pub enabled: bool,
+    /// Conflicts before the first reduction pass.
+    pub first_conflicts: u64,
+    /// Additional conflicts between passes.
+    pub conflicts_inc: u64,
+    /// Learned clauses with LBD at most this are never deleted.
+    pub glue_keep: u32,
 }
 
+impl Default for ReduceConfig {
+    fn default() -> ReduceConfig {
+        ReduceConfig {
+            enabled: true,
+            first_conflicts: 2000,
+            conflicts_inc: 1000,
+            glue_keep: 2,
+        }
+    }
+}
+
+/// A watch-list entry. The clause reference and the binary flag share
+/// one word (bit 0 is the flag): for binary clauses the blocker *is*
+/// the other literal, so propagation never touches the arena.
 #[derive(Clone, Copy, Debug)]
 struct Watcher {
-    cref: u32,
+    tag: u32,
     blocker: Lit,
+}
+
+impl Watcher {
+    fn new(cref: CRef, blocker: Lit, binary: bool) -> Watcher {
+        debug_assert!(cref.0 < u32::MAX / 2, "clause arena exceeds watcher range");
+        Watcher {
+            tag: (cref.0 << 1) | binary as u32,
+            blocker,
+        }
+    }
+    fn cref(self) -> CRef {
+        CRef(self.tag >> 1)
+    }
+    fn is_binary(self) -> bool {
+        self.tag & 1 != 0
+    }
 }
 
 /// Max-heap over variables ordered by VSIDS activity.
@@ -138,19 +194,28 @@ impl VarHeap {
 /// literals whose inconsistent subset is available afterwards via
 /// [`failed_assumptions`](Solver::failed_assumptions).
 ///
+/// Clauses live in a flat arena ([`ClauseDb`]): propagation walks one
+/// contiguous allocation, binary clauses propagate straight out of the
+/// watcher without touching the arena, and the database is kept small
+/// by periodic **learned-clause reduction** (see [`ReduceConfig`]):
+/// high-LBD, low-activity learned clauses are deleted and the arena is
+/// compacted, with watch lists and reason references remapped.
+///
 /// Proof logging (enabled with [`with_proof`](Solver::with_proof))
-/// records resolution chains for interpolant extraction; learned-clause
-/// deletion is not performed, so recorded chains stay valid (the
-/// verification workloads in this workspace are small enough that
-/// clause-database growth is not a concern).
+/// records resolution chains for interpolant extraction. Reduction is
+/// proof-aware: deleting a learned clause never touches the recorded
+/// chains (the [`Proof`] owns its data), locked clauses — including the
+/// reasons of all level-0 assignments, which the empty-clause
+/// derivation resolves against — are never deleted, and the proof-id of
+/// each clause travels with it through compaction, so interpolation
+/// keeps working across arbitrarily many reduce/GC cycles.
 #[derive(Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
-    proof_ids: Vec<ClauseId>,
+    cdb: ClauseDb,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     levels: Vec<u32>,
-    reasons: Vec<Option<u32>>,
+    reasons: Vec<Option<CRef>>,
     trail_pos: Vec<usize>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
@@ -165,6 +230,15 @@ pub struct Solver {
     failed: Vec<Lit>,
     stats: Stats,
     seen: Vec<bool>,
+    /// Clause-activity increment for reduction scoring.
+    cla_inc: f32,
+    /// Reduction policy.
+    reduce: ReduceConfig,
+    /// Conflict count that triggers the next reduction pass.
+    next_reduce: u64,
+    /// Scratch generation stamps for LBD computation, per level.
+    lbd_stamp: Vec<u64>,
+    lbd_gen: u64,
 }
 
 impl Default for Solver {
@@ -176,9 +250,9 @@ impl Default for Solver {
 impl Solver {
     /// Creates a solver without proof logging.
     pub fn new() -> Solver {
+        let reduce = ReduceConfig::default();
         Solver {
-            clauses: Vec::new(),
-            proof_ids: Vec::new(),
+            cdb: ClauseDb::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             levels: Vec::new(),
@@ -197,6 +271,11 @@ impl Solver {
             failed: Vec::new(),
             stats: Stats::default(),
             seen: Vec::new(),
+            cla_inc: 1.0,
+            reduce,
+            next_reduce: reduce.first_conflicts,
+            lbd_stamp: Vec::new(),
+            lbd_gen: 0,
         }
     }
 
@@ -220,7 +299,34 @@ impl Solver {
 
     /// Cumulative statistics.
     pub fn stats(&self) -> Stats {
-        self.stats
+        let mut s = self.stats;
+        s.arena_bytes = self.cdb.bytes() as u64;
+        s.arena_peak_bytes = self.cdb.peak_bytes() as u64;
+        s
+    }
+
+    /// The current learned-clause reduction policy.
+    pub fn reduce_config(&self) -> ReduceConfig {
+        self.reduce
+    }
+
+    /// Replaces the learned-clause reduction policy. Lower limits make
+    /// reduction (and arena compaction) happen sooner; disabling it
+    /// reproduces the historical keep-everything behaviour.
+    pub fn set_reduce_config(&mut self, cfg: ReduceConfig) {
+        self.reduce = cfg;
+        self.next_reduce = self
+            .stats
+            .conflicts
+            .saturating_add(cfg.first_conflicts.max(1));
+    }
+
+    /// Enables or disables learned-clause reduction, keeping the other
+    /// policy knobs.
+    pub fn set_reduce_enabled(&mut self, enabled: bool) {
+        let mut cfg = self.reduce;
+        cfg.enabled = enabled;
+        self.set_reduce_config(cfg);
     }
 
     /// Creates a fresh variable.
@@ -235,6 +341,7 @@ impl Solver {
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.lbd_stamp.push(0);
         self.heap.ensure(self.assigns.len());
         self.heap.insert(v, &self.activity);
         v
@@ -245,9 +352,9 @@ impl Solver {
         self.assigns.len()
     }
 
-    /// Number of clauses (original + learned).
+    /// Number of live clauses (original + learned).
     pub fn num_clauses(&self) -> usize {
-        self.clauses.len()
+        self.cdb.len()
     }
 
     /// Whether the clause set is still possibly consistent (`false`
@@ -292,6 +399,30 @@ impl Solver {
     /// [`solve_with`](Solver::solve_with) call that returned `Unsat`.
     pub fn failed_assumptions(&self) -> &[Lit] {
         &self.failed
+    }
+
+    /// Pre-sizes the clause arena for a batch of `clauses` clauses
+    /// totalling `lits` literals, so bulk loading (e.g. reloading the
+    /// blocked-cube clauses of a PDR frame) performs one allocation.
+    pub fn reserve_clauses(&mut self, clauses: usize, lits: usize) {
+        // 4 header words per clause; see `cdb`.
+        self.cdb.reserve_words(clauses * 4 + lits);
+    }
+
+    /// Bulk-adds clauses. Callers that know the batch size call
+    /// [`reserve_clauses`](Solver::reserve_clauses) first so the whole
+    /// batch lands in one arena allocation.
+    ///
+    /// Returns `false` if the solver became inconsistent.
+    pub fn add_clauses<'a, I>(&mut self, clauses: I) -> bool
+    where
+        I: IntoIterator<Item = &'a [Lit]>,
+    {
+        let mut ok = true;
+        for c in clauses {
+            ok = self.add_clause(c) && ok;
+        }
+        ok
     }
 
     /// Adds a clause, defaulting to partition [`Part::A`] for proofs.
@@ -352,7 +483,6 @@ impl Solver {
             return false;
         }
 
-        let cref = self.clauses.len() as u32;
         // Choose watch positions: prefer non-false literals.
         let mut nonfalse: Vec<usize> = Vec::new();
         for (i, &l) in ls.iter().enumerate() {
@@ -366,11 +496,7 @@ impl Solver {
         match nonfalse.len() {
             0 => {
                 // All literals false at level 0: top-level conflict.
-                self.clauses.push(Clause {
-                    lits: ls,
-                    learnt: false,
-                });
-                self.proof_ids.push(pid);
+                let cref = self.cdb.alloc(&ls, false, pid);
                 self.derive_empty_from(cref);
                 self.ok = false;
                 false
@@ -378,11 +504,7 @@ impl Solver {
             1 => {
                 // Exactly one non-false literal: a top-level implication.
                 let unit = ls[nonfalse[0]];
-                self.clauses.push(Clause {
-                    lits: ls,
-                    learnt: false,
-                });
-                self.proof_ids.push(pid);
+                let cref = self.cdb.alloc(&ls, false, pid);
                 if self.lit_value(unit) == LBool::Undef {
                     self.enqueue(unit, Some(cref));
                     if let Some(confl) = self.propagate() {
@@ -402,24 +524,28 @@ impl Solver {
                     nonfalse[1]
                 };
                 ls.swap(1, j);
-                let (l0, l1) = (ls[0], ls[1]);
-                self.clauses.push(Clause {
-                    lits: ls,
-                    learnt: false,
-                });
-                self.proof_ids.push(pid);
-                self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-                self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+                let cref = self.cdb.alloc(&ls, false, pid);
+                self.attach(cref);
                 true
             }
         }
+    }
+
+    /// Installs the two watchers of a clause (binary clauses get the
+    /// inline-blocker fast path).
+    fn attach(&mut self, cref: CRef) {
+        let l0 = self.cdb.lit(cref, 0);
+        let l1 = self.cdb.lit(cref, 1);
+        let binary = self.cdb.size(cref) == 2;
+        self.watches[(!l0).code()].push(Watcher::new(cref, l1, binary));
+        self.watches[(!l1).code()].push(Watcher::new(cref, l0, binary));
     }
 
     fn decision_level(&self) -> u32 {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+    fn enqueue(&mut self, l: Lit, reason: Option<CRef>) {
         debug_assert_eq!(self.lit_value(l), LBool::Undef);
         let v = l.var().index();
         self.assigns[v] = LBool::from_bool(l.is_positive());
@@ -451,8 +577,8 @@ impl Solver {
         self.qhead = bound;
     }
 
-    /// Unit propagation; returns the conflicting clause index, if any.
-    fn propagate(&mut self) -> Option<u32> {
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<CRef> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -460,49 +586,61 @@ impl Solver {
             let mut i = 0;
             let mut j = 0;
             let mut ws = std::mem::take(&mut self.watches[p.code()]);
-            let mut conflict: Option<u32> = None;
+            let mut conflict: Option<CRef> = None;
             'watchers: while i < ws.len() {
                 let w = ws[i];
                 i += 1;
-                if self.lit_value(w.blocker) == LBool::True {
+                let bval = self.lit_value(w.blocker);
+                if bval == LBool::True {
                     ws[j] = w;
                     j += 1;
                     continue;
                 }
-                let cref = w.cref as usize;
+                if w.is_binary() {
+                    // The blocker is the only other literal: propagate
+                    // or conflict without reading the arena.
+                    ws[j] = w;
+                    j += 1;
+                    if bval == LBool::False {
+                        while i < ws.len() {
+                            ws[j] = ws[i];
+                            j += 1;
+                            i += 1;
+                        }
+                        conflict = Some(w.cref());
+                    } else {
+                        self.enqueue(w.blocker, Some(w.cref()));
+                    }
+                    if conflict.is_some() {
+                        break 'watchers;
+                    }
+                    continue;
+                }
+                let cref = w.cref();
                 // Make sure the false literal is at position 1.
                 let false_lit = !p;
-                if self.clauses[cref].lits[0] == false_lit {
-                    self.clauses[cref].lits.swap(0, 1);
+                if self.cdb.lit(cref, 0) == false_lit {
+                    self.cdb.swap_lits(cref, 0, 1);
                 }
-                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
-                let first = self.clauses[cref].lits[0];
+                debug_assert_eq!(self.cdb.lit(cref, 1), false_lit);
+                let first = self.cdb.lit(cref, 0);
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    ws[j] = Watcher {
-                        cref: w.cref,
-                        blocker: first,
-                    };
+                    ws[j] = Watcher::new(cref, first, false);
                     j += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.clauses[cref].lits.len();
+                let len = self.cdb.size(cref);
                 for k in 2..len {
-                    let lk = self.clauses[cref].lits[k];
+                    let lk = self.cdb.lit(cref, k);
                     if self.lit_value(lk) != LBool::False {
-                        self.clauses[cref].lits.swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher {
-                            cref: w.cref,
-                            blocker: first,
-                        });
+                        self.cdb.swap_lits(cref, 1, k);
+                        self.watches[(!lk).code()].push(Watcher::new(cref, first, false));
                         continue 'watchers;
                     }
                 }
                 // No new watch: clause is unit or conflicting.
-                ws[j] = Watcher {
-                    cref: w.cref,
-                    blocker: first,
-                };
+                ws[j] = Watcher::new(cref, first, false);
                 j += 1;
                 if self.lit_value(first) == LBool::False {
                     // Conflict: copy back remaining watchers and stop.
@@ -511,9 +649,9 @@ impl Solver {
                         j += 1;
                         i += 1;
                     }
-                    conflict = Some(w.cref);
+                    conflict = Some(cref);
                 } else {
-                    self.enqueue(first, Some(w.cref));
+                    self.enqueue(first, Some(cref));
                 }
             }
             ws.truncate(j);
@@ -537,25 +675,57 @@ impl Solver {
         self.heap.bump(v, &self.activity);
     }
 
+    /// Bumps a learned clause's reduction activity.
+    fn bump_clause(&mut self, c: CRef) {
+        if !self.cdb.is_learnt(c) {
+            return;
+        }
+        let a = self.cdb.activity(c) + self.cla_inc;
+        self.cdb.set_activity(c, a);
+        if a > 1e20 {
+            for &lc in &self.cdb.learnts().to_vec() {
+                let v = self.cdb.activity(lc) * 1e-20;
+                self.cdb.set_activity(lc, v);
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Literal-block distance: number of distinct decision levels.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_gen += 1;
+        let mut lbd = 0;
+        for &l in lits {
+            let lvl = self.levels[l.var().index()] as usize;
+            if self.lbd_stamp[lvl] != self.lbd_gen {
+                self.lbd_stamp[lvl] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     /// First-UIP conflict analysis. Returns `(learned clause, backtrack
     /// level)`; the asserting literal is at position 0 and the
     /// highest-level remaining literal at position 1. Records a proof
     /// chain when logging is enabled.
-    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+    fn analyze(&mut self, confl: CRef) -> (Vec<Lit>, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for UIP
         let mut path_count = 0u32;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
         let mut clause = confl;
         let mut steps: Vec<ResStep> = Vec::new();
-        let start_id = self.proof_ids.get(confl as usize).copied();
+        let start_id = self.proof.as_ref().map(|_| self.cdb.proof_id(confl));
         // Level-0 variables whose literals were dropped; each needs a
         // resolution step against its reason clause in the proof.
         let mut level0: HashSet<Var> = HashSet::new();
 
         loop {
-            let lits = self.clauses[clause as usize].lits.clone();
-            for &q in &lits {
+            self.bump_clause(clause);
+            let n = self.cdb.size(clause);
+            for k in 0..n {
+                let q = self.cdb.lit(clause, k);
                 if Some(q) == p {
                     continue; // the literal resolved on
                 }
@@ -595,7 +765,7 @@ impl Solver {
             if self.proof.is_some() {
                 steps.push(ResStep {
                     pivot: pl.var(),
-                    other: self.proof_ids[clause as usize],
+                    other: self.cdb.proof_id(clause),
                 });
             }
             p = Some(pl);
@@ -609,12 +779,12 @@ impl Solver {
         let mut kept: Vec<Lit> = vec![learnt[0]];
         // (trail position, pivot var, reason cref) of removed literals,
         // recorded so proof steps can be emitted in a valid order.
-        let mut removed: Vec<(usize, Var, u32)> = Vec::new();
+        let mut removed: Vec<(usize, Var, CRef)> = Vec::new();
         for &q in &learnt[1..] {
             let vi = q.var().index();
             let removable = match self.reasons[vi] {
                 None => false,
-                Some(r) => self.clauses[r as usize].lits.iter().all(|&w| {
+                Some(r) => self.cdb.lits(r).iter().all(|&w| {
                     w == !q || self.seen[w.var().index()] || self.levels[w.var().index()] == 0
                 }),
             };
@@ -632,13 +802,14 @@ impl Solver {
         if self.proof.is_some() {
             // Minimization resolutions must run latest-assigned first so
             // no resolved literal is ever re-introduced.
-            removed.sort_by(|a, b| b.0.cmp(&a.0));
+            removed.sort_by_key(|r| std::cmp::Reverse(r.0));
             for &(_, v, r) in &removed {
                 steps.push(ResStep {
                     pivot: v,
-                    other: self.proof_ids[r as usize],
+                    other: self.cdb.proof_id(r),
                 });
-                for &w in &self.clauses[r as usize].lits {
+                for k in 0..self.cdb.size(r) {
+                    let w = self.cdb.lit(r, k);
                     if self.levels[w.var().index()] == 0 {
                         level0.insert(w.var());
                     }
@@ -652,7 +823,8 @@ impl Solver {
                 let v = l0[qi];
                 qi += 1;
                 let r = self.reasons[v.index()].expect("level-0 assignment has a clause reason");
-                for &w in &self.clauses[r as usize].lits {
+                for k in 0..self.cdb.size(r) {
+                    let w = self.cdb.lit(r, k);
                     let wv = w.var();
                     if self.lit_value(w) == LBool::False
                         && self.levels[wv.index()] == 0
@@ -667,7 +839,7 @@ impl Solver {
                 let r = self.reasons[v.index()].expect("level-0 assignment has a clause reason");
                 steps.push(ResStep {
                     pivot: v,
-                    other: self.proof_ids[r as usize],
+                    other: self.cdb.proof_id(r),
                 });
             }
             if let (Some(proof), Some(sid)) = (&mut self.proof, start_id) {
@@ -683,8 +855,7 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()]
-                {
+                if self.levels[learnt[i].var().index()] > self.levels[learnt[max_i].var().index()] {
                     max_i = i;
                 }
             }
@@ -695,14 +866,14 @@ impl Solver {
     }
 
     /// Derives the empty clause from a conflict at decision level 0.
-    fn derive_empty_from(&mut self, confl: u32) {
+    fn derive_empty_from(&mut self, confl: CRef) {
         if self.proof.is_none() {
             return;
         }
-        let start = self.proof_ids[confl as usize];
+        let start = self.cdb.proof_id(confl);
         let mut set: HashSet<Var> = HashSet::new();
         let mut queue: Vec<Var> = Vec::new();
-        for &l in &self.clauses[confl as usize].lits {
+        for &l in self.cdb.lits(confl) {
             if set.insert(l.var()) {
                 queue.push(l.var());
             }
@@ -712,7 +883,8 @@ impl Solver {
             let v = queue[qi];
             qi += 1;
             let r = self.reasons[v.index()].expect("level-0 assignment has a clause reason");
-            for &w in &self.clauses[r as usize].lits {
+            for k in 0..self.cdb.size(r) {
+                let w = self.cdb.lit(r, k);
                 if self.lit_value(w) == LBool::False && set.insert(w.var()) {
                     queue.push(w.var());
                 }
@@ -723,8 +895,9 @@ impl Solver {
             .into_iter()
             .map(|v| ResStep {
                 pivot: v,
-                other: self.proof_ids
-                    [self.reasons[v.index()].expect("has reason") as usize],
+                other: self
+                    .cdb
+                    .proof_id(self.reasons[v.index()].expect("has reason")),
             })
             .collect();
         if let Some(p) = &mut self.proof {
@@ -732,20 +905,124 @@ impl Solver {
         }
     }
 
-    fn learn(&mut self, learnt: Vec<Lit>, proof_id: ClauseId) -> u32 {
-        let cref = self.clauses.len() as u32;
+    fn learn(&mut self, learnt: Vec<Lit>, proof_id: ClauseId) -> CRef {
+        let lbd = self.compute_lbd(&learnt);
+        let cref = self.cdb.alloc(&learnt, true, proof_id);
+        self.cdb.set_lbd(cref, lbd);
+        self.cdb.set_activity(cref, self.cla_inc);
         if learnt.len() >= 2 {
-            let (l0, l1) = (learnt[0], learnt[1]);
-            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+            self.attach(cref);
         }
-        self.clauses.push(Clause {
-            lits: learnt,
-            learnt: true,
-        });
-        self.proof_ids.push(proof_id);
         self.stats.learned += 1;
         cref
+    }
+
+    /// Whether a clause is the reason of a current assignment (deleting
+    /// it would dangle the trail).
+    fn is_locked(&self, c: CRef) -> bool {
+        let l0 = self.cdb.lit(c, 0);
+        self.lit_value(l0) == LBool::True && self.reasons[l0.var().index()] == Some(c)
+    }
+
+    /// Learned-clause reduction: deletes the worse half of the
+    /// deletable learned clauses (high LBD, low activity), keeping
+    /// binary, glue and locked clauses, then compacts the arena when
+    /// enough of it is garbage. Proof records are untouched — see the
+    /// type-level docs.
+    fn reduce_db(&mut self) {
+        self.stats.reduces += 1;
+        let glue_keep = self.reduce.glue_keep;
+        let mut deletable: Vec<CRef> = Vec::new();
+        let mut kept: Vec<CRef> = Vec::new();
+        for &c in self.cdb.learnts() {
+            if self.cdb.size(c) <= 2 || self.cdb.lbd(c) <= glue_keep || self.is_locked(c) {
+                kept.push(c);
+            } else {
+                deletable.push(c);
+            }
+        }
+        // Delete the worse half: highest LBD first, lowest activity as
+        // the tie-break.
+        deletable.sort_by(|&a, &b| {
+            self.cdb.lbd(a).cmp(&self.cdb.lbd(b)).then(
+                self.cdb
+                    .activity(b)
+                    .partial_cmp(&self.cdb.activity(a))
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+        });
+        let keep_n = deletable.len() / 2;
+        for (i, &c) in deletable.iter().enumerate() {
+            if i < keep_n {
+                kept.push(c);
+            } else {
+                self.cdb.free(c);
+                self.stats.deleted += 1;
+            }
+        }
+        let deleted_any = kept.len() != self.cdb.learnts().len();
+        kept.sort_unstable(); // restore insertion (arena) order
+        self.cdb.set_learnts(kept);
+        if deleted_any {
+            // Drop watchers of deleted clauses in one sweep.
+            for ws in &mut self.watches {
+                ws.retain(|w| !self.cdb.is_deleted(w.cref()));
+            }
+        }
+        if self.cdb.should_collect() {
+            self.collect_garbage();
+        }
+    }
+
+    /// Compacts the clause arena and remaps every watcher and reason.
+    fn collect_garbage(&mut self) {
+        let reloc = self.cdb.collect();
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                *w = Watcher::new(reloc.forward(w.cref()), w.blocker, w.is_binary());
+            }
+        }
+        for c in self.reasons.iter_mut().flatten() {
+            *c = reloc.forward(*c);
+        }
+        self.stats.gcs += 1;
+    }
+
+    /// Runs a reduction pass immediately (test hook; normal operation
+    /// triggers reduction from the conflict count).
+    #[doc(hidden)]
+    pub fn debug_force_reduce(&mut self) {
+        self.reduce_db();
+    }
+
+    /// Compacts the arena immediately (test hook).
+    #[doc(hidden)]
+    pub fn debug_force_gc(&mut self) {
+        self.collect_garbage();
+    }
+
+    /// Replays every live clause against the current watch lists and
+    /// reasons, checking referential integrity (test hook).
+    #[doc(hidden)]
+    pub fn debug_check_integrity(&self) -> Result<(), String> {
+        for ws in &self.watches {
+            for w in ws {
+                if self.cdb.is_deleted(w.cref()) {
+                    return Err(format!("watcher references deleted clause {:?}", w.cref()));
+                }
+                if w.is_binary() != (self.cdb.size(w.cref()) == 2) {
+                    return Err("binary flag disagrees with clause size".into());
+                }
+            }
+        }
+        for (v, r) in self.reasons.iter().enumerate() {
+            if let Some(c) = r {
+                if self.cdb.is_deleted(*c) {
+                    return Err(format!("reason of var {v} references deleted clause"));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
@@ -781,8 +1058,8 @@ impl Solver {
                     }
                 }
                 Some(r) => {
-                    let lits = self.clauses[r as usize].lits.clone();
-                    for w in lits {
+                    for k in 0..self.cdb.size(r) {
+                        let w = self.cdb.lit(r, k);
                         if self.levels[w.var().index()] > 0 {
                             self.seen[w.var().index()] = true;
                         }
@@ -843,7 +1120,12 @@ impl Solver {
                 debug_assert_eq!(self.lit_value(asserting), LBool::Undef);
                 self.enqueue(asserting, Some(cref));
                 self.var_inc /= 0.95;
+                self.cla_inc *= 1.001;
 
+                if self.reduce.enabled && self.stats.conflicts >= self.next_reduce {
+                    self.reduce_db();
+                    self.next_reduce = self.stats.conflicts + self.reduce.conflicts_inc;
+                }
                 if self.stats.conflicts - restart_base >= restart_budget {
                     restart_count += 1;
                     restart_budget = luby(restart_count) * 100;
@@ -857,7 +1139,7 @@ impl Solver {
                         return SolveResult::Unknown;
                     }
                 }
-                if self.stats.conflicts % 64 == 0 {
+                if self.stats.conflicts.is_multiple_of(64) {
                     if let Some(d) = limits.deadline {
                         if Instant::now() >= d {
                             self.backtrack(0);
@@ -939,8 +1221,11 @@ impl Solver {
     }
 
     /// Replays all recorded resolution chains and checks that each
-    /// derived clause matches the corresponding learned clause, and
+    /// surviving learned clause matches its recorded derivation, and
     /// that the empty-clause chain actually derives the empty clause.
+    /// Learned clauses deleted by reduction keep their derivations in
+    /// the proof (the chains may be referenced by later derivations),
+    /// so deletion never invalidates this check.
     ///
     /// This is an internal consistency check used by the test suite; it
     /// is cheap relative to solving and requires proof logging.
@@ -971,21 +1256,24 @@ impl Solver {
             };
             sets.push(set);
         }
-        // Learned clauses correspond 1:1 to Derived proof clauses.
-        let mut derived_iter = proof
-            .clauses
-            .iter()
-            .enumerate()
-            .filter(|(_, pc)| matches!(pc, ProofClause::Derived { .. }));
-        for cl in self.clauses.iter().filter(|c| c.learnt) {
-            let (di, _) = derived_iter
-                .next()
-                .ok_or_else(|| "more learned clauses than derivations".to_string())?;
-            let want: HashSet<Lit> = cl.lits.iter().copied().collect();
-            if sets[di] != want {
+        // Each live learned clause carries the id of its derivation.
+        for &c in self.cdb.learnts() {
+            let pid = self.cdb.proof_id(c);
+            if !matches!(
+                proof.clauses.get(pid.index()),
+                Some(ProofClause::Derived { .. })
+            ) {
                 return Err(format!(
-                    "derivation {di} produced {:?}, learned clause is {:?}",
-                    sets[di], cl.lits
+                    "learned clause {c:?} does not point at a derivation"
+                ));
+            }
+            let want: HashSet<Lit> = self.cdb.lits(c).iter().copied().collect();
+            if sets[pid.index()] != want {
+                return Err(format!(
+                    "derivation {} produced {:?}, learned clause is {:?}",
+                    pid.index(),
+                    sets[pid.index()],
+                    self.cdb.lits(c)
                 ));
             }
         }
@@ -1095,7 +1383,7 @@ mod tests {
 
     /// Pigeonhole principle PHP(n+1, n): always UNSAT, forces real
     /// clause learning and restarts.
-    fn pigeonhole(s: &mut Solver, holes: usize) {
+    pub(crate) fn pigeonhole(s: &mut Solver, holes: usize) {
         let pigeons = holes + 1;
         let var = |p: usize, h: usize| p * holes + h;
         while s.num_vars() < pigeons * holes {
@@ -1124,7 +1412,13 @@ mod tests {
         for holes in 2..=6 {
             let mut s = Solver::new();
             pigeonhole(&mut s, holes);
-            assert_eq!(s.solve(), SolveResult::Unsat, "PHP({},{})", holes + 1, holes);
+            assert_eq!(
+                s.solve(),
+                SolveResult::Unsat,
+                "PHP({},{})",
+                holes + 1,
+                holes
+            );
         }
     }
 
@@ -1220,6 +1514,81 @@ mod tests {
     }
 
     #[test]
+    fn reduction_kicks_in_on_hard_instances() {
+        let mut s = Solver::new();
+        s.set_reduce_config(ReduceConfig {
+            enabled: true,
+            first_conflicts: 100,
+            conflicts_inc: 100,
+            glue_keep: 2,
+        });
+        pigeonhole(&mut s, 7);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.reduces > 0, "expected reduction passes: {st:?}");
+        assert!(st.deleted > 0, "expected deleted clauses: {st:?}");
+        assert!(st.arena_peak_bytes > 0);
+        s.debug_check_integrity().expect("intact after reduction");
+    }
+
+    #[test]
+    fn reduction_with_proof_keeps_interpolation_sound() {
+        let mut s = Solver::with_proof();
+        s.set_reduce_config(ReduceConfig {
+            enabled: true,
+            first_conflicts: 50,
+            conflicts_inc: 50,
+            glue_keep: 1,
+        });
+        pigeonhole(&mut s, 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().reduces > 0, "reduction must have run");
+        s.debug_verify_proof().expect("proof survives reduction");
+        assert!(s.interpolant().is_some());
+    }
+
+    #[test]
+    fn forced_gc_preserves_state() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        // Interleave solving (learning clauses) with forced reductions
+        // and compactions, then re-solve.
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                max_conflicts: Some(50),
+                deadline: None,
+            },
+        );
+        assert_eq!(r, SolveResult::Unknown);
+        s.debug_force_reduce();
+        s.debug_force_gc();
+        s.debug_check_integrity().expect("intact after GC");
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn bulk_add_matches_incremental() {
+        let cls: Vec<Vec<Lit>> = vec![
+            vec![Lit::pos(Var(0)), Lit::pos(Var(1))],
+            vec![Lit::neg(Var(0)), Lit::pos(Var(2))],
+            vec![Lit::neg(Var(1)), Lit::neg(Var(2))],
+        ];
+        let mut a = Solver::new();
+        let mut b = Solver::new();
+        for _ in 0..3 {
+            a.new_var();
+            b.new_var();
+        }
+        for c in &cls {
+            a.add_clause(c);
+        }
+        b.add_clauses(cls.iter().map(|c| c.as_slice()));
+        assert_eq!(a.solve(), b.solve());
+        assert_eq!(a.num_clauses(), b.num_clauses());
+    }
+
+    #[test]
     fn random_cnf_cross_check() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
@@ -1302,10 +1671,7 @@ mod tests {
                     let len = rng.gen_range(1..=3usize);
                     let cl: Vec<Lit> = (0..len)
                         .map(|_| {
-                            Lit::new(
-                                Var::from_index(rng.gen_range(0..nvars)),
-                                rng.gen_bool(0.5),
-                            )
+                            Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5))
                         })
                         .collect();
                     cnf.push(cl.clone());
@@ -1313,12 +1679,7 @@ mod tests {
                 }
                 let nassum = rng.gen_range(0..=2usize);
                 let assumptions: Vec<Lit> = (0..nassum)
-                    .map(|_| {
-                        Lit::new(
-                            Var::from_index(rng.gen_range(0..nvars)),
-                            rng.gen_bool(0.5),
-                        )
-                    })
+                    .map(|_| Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5)))
                     .collect();
                 let mut brute_sat = false;
                 'outer: for m in 0u32..(1 << nvars) {

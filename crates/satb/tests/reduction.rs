@@ -1,0 +1,232 @@
+//! Learned-clause reduction must never change an answer.
+//!
+//! These tests run the solver with reduction disabled and with an
+//! aggressively reducing configuration side by side on random CNFs —
+//! including under assumptions and across incremental
+//! `add_clause`/`solve_with` cycles — and assert the verdicts are
+//! identical. A separate test solves, reduces, compacts and re-solves
+//! to catch dangling `CRef` / watcher bugs after garbage collection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use satb::{Lit, ReduceConfig, SolveResult, Solver, Var};
+
+fn aggressive() -> ReduceConfig {
+    ReduceConfig {
+        enabled: true,
+        first_conflicts: 10,
+        conflicts_inc: 10,
+        glue_keep: 1,
+    }
+}
+
+fn random_cnf(rng: &mut StdRng, nvars: usize, nclauses: usize) -> Vec<Vec<Lit>> {
+    (0..nclauses)
+        .map(|_| {
+            let len = rng.gen_range(1..=3usize);
+            (0..len)
+                .map(|_| Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+fn pigeonhole(s: &mut Solver, holes: usize) {
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| p * holes + h;
+    while s.num_vars() < pigeons * holes {
+        s.new_var();
+    }
+    for p in 0..pigeons {
+        let c: Vec<Lit> = (0..holes)
+            .map(|h| Lit::pos(Var::from_index(var(p, h))))
+            .collect();
+        s.add_clause(&c);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(&[
+                    Lit::neg(Var::from_index(var(p1, h))),
+                    Lit::neg(Var::from_index(var(p2, h))),
+                ]);
+            }
+        }
+    }
+}
+
+/// Random CNFs: reduction on vs. off gives identical verdicts, and the
+/// reducing solver's models still satisfy the formula.
+#[test]
+fn fuzz_reduction_on_off_verdicts_agree() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0001);
+    for round in 0..200 {
+        let nvars = rng.gen_range(5..=25usize);
+        let nclauses = rng.gen_range(10..=(nvars * 5));
+        let cnf = random_cnf(&mut rng, nvars, nclauses);
+
+        let mut plain = Solver::new();
+        plain.set_reduce_enabled(false);
+        let mut reducing = if round % 3 == 0 {
+            Solver::with_proof()
+        } else {
+            Solver::new()
+        };
+        reducing.set_reduce_config(aggressive());
+        for s in [&mut plain, &mut reducing] {
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for c in &cnf {
+                s.add_clause(c);
+            }
+        }
+        let (a, b) = (plain.solve(), reducing.solve());
+        assert_eq!(a, b, "round {round}: verdict differs, cnf {cnf:?}");
+        if b == SolveResult::Sat {
+            for c in &cnf {
+                assert!(
+                    c.iter().any(|&l| reducing.value(l) == Some(true)),
+                    "round {round}: reducing solver's model violates {c:?}"
+                );
+            }
+        }
+        reducing
+            .debug_check_integrity()
+            .expect("clause database intact");
+        if reducing.proof_logging() {
+            reducing.debug_verify_proof().expect("proof replays");
+        }
+    }
+}
+
+/// Incremental rounds with assumptions: the verdict of every
+/// `solve_with` cycle agrees between reduction on and off.
+#[test]
+fn fuzz_incremental_assumption_cycles_agree() {
+    let mut rng = StdRng::seed_from_u64(0x5EED_0002);
+    for round in 0..80 {
+        let nvars = rng.gen_range(4..=16usize);
+        let mut plain = Solver::new();
+        plain.set_reduce_enabled(false);
+        let mut reducing = Solver::new();
+        reducing.set_reduce_config(aggressive());
+        for s in [&mut plain, &mut reducing] {
+            for _ in 0..nvars {
+                s.new_var();
+            }
+        }
+        for cycle in 0..6 {
+            let batch_n = rng.gen_range(1..=8usize);
+            let batch = random_cnf(&mut rng, nvars, batch_n);
+            for c in &batch {
+                plain.add_clause(c);
+                reducing.add_clause(c);
+            }
+            let nassum = rng.gen_range(0..=3usize);
+            let assumptions: Vec<Lit> = (0..nassum)
+                .map(|_| Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5)))
+                .collect();
+            let a = plain.solve_with(&assumptions);
+            let b = reducing.solve_with(&assumptions);
+            assert_eq!(
+                a, b,
+                "round {round} cycle {cycle}: verdicts differ under {assumptions:?}"
+            );
+            reducing.debug_check_integrity().expect("intact");
+            if a == SolveResult::Unsat && !assumptions.is_empty() {
+                // Failed assumptions must themselves be a sufficient
+                // reason: re-solving under just the failed subset (as
+                // assumptions) must still be UNSAT — on both solvers.
+                let core = reducing.failed_assumptions().to_vec();
+                assert!(core.iter().all(|l| assumptions.contains(l)));
+                assert_eq!(reducing.solve_with(&core), SolveResult::Unsat);
+            }
+            if !plain.is_ok() {
+                break; // formula is unconditionally UNSAT now
+            }
+        }
+    }
+}
+
+/// Solve → reduce → compact → re-solve: the verdict must be stable and
+/// the clause database referentially intact after every compaction.
+#[test]
+fn gc_compaction_between_solves() {
+    for holes in 4..=6 {
+        let mut s = Solver::new();
+        s.set_reduce_config(aggressive());
+        pigeonhole(&mut s, holes);
+        // Partial solve to populate the learnt database (small
+        // instances may finish within the conflict budget; the forced
+        // reduce/GC cycles below still exercise compaction).
+        let r = s.solve_limited(
+            &[],
+            satb::Limits {
+                max_conflicts: Some(40),
+                deadline: None,
+            },
+        );
+        assert_ne!(r, SolveResult::Sat, "pigeonhole is UNSAT");
+        for _ in 0..3 {
+            s.debug_force_reduce();
+            s.debug_force_gc();
+            s.debug_check_integrity().expect("intact after GC");
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat, "PHP({},{holes})", holes + 1);
+        let st = s.stats();
+        assert!(st.gcs >= 3, "forced GCs must be counted: {st:?}");
+        assert!(st.arena_peak_bytes >= st.arena_bytes);
+    }
+}
+
+/// Reduction with proof logging: the refutation and its interpolants
+/// stay valid even when most learned clauses are deleted.
+#[test]
+fn reduction_preserves_proofs_and_interpolants() {
+    use satb::Part;
+    let mut rng = StdRng::seed_from_u64(0x5EED_0003);
+    let mut checked = 0;
+    for _ in 0..120 {
+        let nvars = rng.gen_range(3..=7usize);
+        let a_n = rng.gen_range(2..=8usize);
+        let a_cnf = random_cnf(&mut rng, nvars, a_n);
+        let b_n = rng.gen_range(2..=8usize);
+        let b_cnf = random_cnf(&mut rng, nvars, b_n);
+        let holds = |cnf: &[Vec<Lit>], m: u32| {
+            cnf.iter().all(|cl| {
+                cl.iter()
+                    .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
+            })
+        };
+        let joint_sat = (0u32..(1 << nvars)).any(|m| holds(&a_cnf, m) && holds(&b_cnf, m));
+        if joint_sat {
+            continue;
+        }
+        checked += 1;
+        let mut s = Solver::with_proof();
+        s.set_reduce_config(aggressive());
+        for _ in 0..nvars {
+            s.new_var();
+        }
+        for c in &a_cnf {
+            s.add_clause_in(c, Part::A);
+        }
+        for c in &b_cnf {
+            s.add_clause_in(c, Part::B);
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        s.debug_verify_proof().expect("valid proof after reduction");
+        let itp = s.interpolant().expect("interpolant");
+        for m in 0u32..(1 << nvars) {
+            let iv = itp.eval(|v| (m >> v.index()) & 1 == 1);
+            if holds(&a_cnf, m) {
+                assert!(iv, "A ⇒ I violated");
+            }
+            if iv {
+                assert!(!holds(&b_cnf, m), "I ∧ B satisfiable");
+            }
+        }
+    }
+    assert!(checked > 10, "need enough unsat pairs, got {checked}");
+}

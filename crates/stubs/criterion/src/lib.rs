@@ -1,0 +1,108 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset the workspace benches use: `Criterion::default()`
+//! with `sample_size`, `bench_function` with `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is plain
+//! wall-clock around batches of iterations; results are printed as
+//! `name: median per-iteration time` lines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing a benchmarked value away.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters);
+            }
+        }
+        samples.sort_unstable();
+        let median = samples
+            .get(samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!("{name}: {median:?} / iter ({} samples)", samples.len());
+        self
+    }
+}
+
+/// Per-benchmark timing handle (stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup call, then a small fixed batch per sample.
+        black_box(f());
+        let batch = 3u32;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch;
+    }
+}
+
+/// Declares a benchmark group (stand-in for `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark entry point (stand-in for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the small slice of the rand 0.8 API the workspace's tests
+//! use: `StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen`, `gen_range` and `gen_bool`. The generator is a deterministic
+//! splitmix64 / xoshiro256** pair — statistically fine for fuzz tests,
+//! **not** cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling of a type from raw generator output.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn draw(next: &mut dyn FnMut() -> u64) -> $t {
+                next() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn draw(next: &mut dyn FnMut() -> u64) -> bool {
+        next() & 1 == 1
+    }
+}
+
+/// Integer types uniform sampling is implemented for (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`. Panics on empty ranges.
+    fn sample_exclusive(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+    /// Uniform draw from `[lo, hi]`. Panics on empty ranges.
+    fn sample_inclusive(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive(lo: $t, hi: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (next() as u128 % span) as i128) as $t
+            }
+            fn sample_inclusive(lo: $t, hi: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (next() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range a value can be uniformly sampled from. The sampled type `T`
+/// is a free parameter (as in rand) so integer-literal ranges infer
+/// their type from the caller's annotation.
+pub trait SampleRange<T> {
+    /// Draws one value in the range. Panics on empty ranges.
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_exclusive(self.start, self.end, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), next)
+    }
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(&mut || self.next_u64())
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_one(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for rand's
+    /// `StdRng`; same name, different — but fixed — stream).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..1000 {
+            let x = a.gen_range(3..10usize);
+            assert!((3..10).contains(&x));
+            let y = a.gen_range(1..=3usize);
+            assert!((1..=3).contains(&y));
+        }
+        assert!((0..1000).filter(|_| a.gen_bool(0.5)).count() > 300);
+        assert!(!a.gen_bool(0.0));
+        assert!(a.gen_bool(1.0));
+    }
+
+    #[test]
+    fn covers_range_uniformly_enough() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut seen = [0usize; 8];
+        for _ in 0..8000 {
+            seen[r.gen_range(0..8usize)] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!(c > 500, "bucket {i} undersampled: {c}");
+        }
+    }
+}

@@ -194,17 +194,14 @@ impl IntervalAi {
                             Interval::top(w)
                         }
                     }
-                    BinOp::Udiv => {
-                        if ib.lo > 0 {
-                            Interval {
-                                lo: ia.lo / ib.hi.max(1),
-                                hi: ia.hi / ib.lo,
-                                width: w,
-                            }
-                        } else {
-                            Interval::top(w)
-                        }
-                    }
+                    BinOp::Udiv => match ia.hi.checked_div(ib.lo) {
+                        Some(hi) => Interval {
+                            lo: ia.lo / ib.hi.max(1),
+                            hi,
+                            width: w,
+                        },
+                        None => Interval::top(w),
+                    },
                     BinOp::Urem => {
                         if ib.lo > 0 {
                             Interval {
@@ -341,10 +338,7 @@ impl IntervalAi {
             Node::Sext { arg, width } => {
                 let ia = Self::absev(ts, arg, state, cache);
                 if ia.lo == ia.hi {
-                    Interval::constant(
-                        width,
-                        rtlir::value::ops::sext(ia.width, width, ia.lo),
-                    )
+                    Interval::constant(width, rtlir::value::ops::sext(ia.width, width, ia.lo))
                 } else {
                     Interval::top(width)
                 }
@@ -468,7 +462,7 @@ impl Analyzer for IntervalAi {
                         Value::Array(a) => {
                             // Join default and all stored elements.
                             let mut i = Interval::constant(w, a.default);
-                            for (_, &v) in &a.store {
+                            for &v in a.store.values() {
                                 i = i.join(&Interval::constant(w, v));
                             }
                             i
@@ -591,10 +585,25 @@ mod tests {
     #[test]
     fn interval_ops() {
         let a = Interval::constant(8, 5);
-        let b = Interval { lo: 3, hi: 7, width: 8 };
-        assert_eq!(a.join(&b), Interval { lo: 3, hi: 7, width: 8 });
+        let b = Interval {
+            lo: 3,
+            hi: 7,
+            width: 8,
+        };
+        assert_eq!(
+            a.join(&b),
+            Interval {
+                lo: 3,
+                hi: 7,
+                width: 8
+            }
+        );
         assert!(Interval::top(8).is_top());
-        let w = b.widen(&Interval { lo: 2, hi: 7, width: 8 });
+        let w = b.widen(&Interval {
+            lo: 2,
+            hi: 7,
+            width: 8,
+        });
         assert_eq!(w.lo, 0, "unstable lower bound widens to 0");
         assert_eq!(w.hi, 7, "stable upper bound kept");
     }

@@ -57,7 +57,6 @@ fn itp_to_aig(
     out[itp.root()]
 }
 
-
 /// Encodes a cone with all Tseitin clauses tagged (for sequence
 /// interpolation). The encoder caches nodes, so a node is tagged with
 /// the frame that first encodes it — exactly the frame its variables
@@ -116,11 +115,7 @@ impl Analyzer for Impact {
                     return CheckOutcome::finish(out.outcome, stats, started);
                 }
                 SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    )
+                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
                 }
                 SolveResult::Unsat => {}
             }
@@ -132,8 +127,7 @@ impl Analyzer for Impact {
         let bad_is_state_pred = {
             let cone = sys.aig.cone(&[any_bad]);
             let mut input_free = true;
-            let mut reachable: std::collections::HashSet<u32> =
-                cone.iter().copied().collect();
+            let mut reachable: std::collections::HashSet<u32> = cone.iter().copied().collect();
             reachable.insert(any_bad.node());
             for n in &cone {
                 if let Some((a, b)) = sys.aig.and_fanins_of_node(*n) {
@@ -190,8 +184,7 @@ impl Analyzer for Impact {
             }
             for f in 0..k {
                 for (i, latch) in sys.latches.iter().enumerate() {
-                    let nl =
-                        tagged_encode(&mut encs[f], &sys.aig, &mut solver, latch.next, tag(f));
+                    let nl = tagged_encode(&mut encs[f], &sys.aig, &mut solver, latch.next, tag(f));
                     let tgt = frame_lits[f + 1][i];
                     solver.add_clause_tagged(&[!nl, tgt], Part::A, tag(f));
                     solver.add_clause_tagged(&[nl, !tgt], Part::A, tag(f));
@@ -220,18 +213,12 @@ impl Analyzer for Impact {
                     return CheckOutcome::finish(out.outcome, stats, started);
                 }
                 SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    )
+                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
                 }
                 SolveResult::Unsat => {
                     // Sequence interpolants: cut c puts frames < c in A.
                     for cut in 1..=k {
-                        if let Some(itp) =
-                            solver.interpolant_with(|t| t <= cut as u32)
-                        {
+                        if let Some(itp) = solver.interpolant_with(|t| t <= cut as u32) {
                             let map: HashMap<satb::Var, aig::AigLit> = frame_lits[cut]
                                 .iter()
                                 .zip(&sys.latches)
@@ -258,9 +245,7 @@ impl Analyzer for Impact {
             }
             for r in candidates {
                 match self.certify(&mut sys, r, any_bad, init_pred, started, &mut stats) {
-                    Some(true) => {
-                        return CheckOutcome::finish(Verdict::Safe, stats, started)
-                    }
+                    Some(true) => return CheckOutcome::finish(Verdict::Safe, stats, started),
                     Some(false) => {}
                     None => {
                         return CheckOutcome::finish(

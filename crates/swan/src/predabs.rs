@@ -117,15 +117,9 @@ impl Analyzer for PredAbs {
 
             match self.abstract_reach(&ts, &preds, started, &mut stats) {
                 ReachResult::Timeout => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    )
+                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
                 }
-                ReachResult::Proof => {
-                    return CheckOutcome::finish(Verdict::Safe, stats, started)
-                }
+                ReachResult::Proof => return CheckOutcome::finish(Verdict::Safe, stats, started),
                 ReachResult::Path(path) => {
                     // Concretize.
                     let n = path.len() - 1;
@@ -137,11 +131,7 @@ impl Analyzer for PredAbs {
                         for (j, val) in a.iter().enumerate() {
                             if let Some(v) = val {
                                 let p = u.translate(f as u32, preds[j]);
-                                let lit = if *v {
-                                    p
-                                } else {
-                                    u.pool_mut().not(p)
-                                };
+                                let lit = if *v { p } else { u.pool_mut().not(p) };
                                 roots.push(lit);
                             }
                         }
@@ -155,11 +145,7 @@ impl Analyzer for PredAbs {
                         SolveResult::Sat => {
                             let mut model = q.model.expect("model");
                             let trace = extractor.extract(&ts, &mut model);
-                            return CheckOutcome::finish(
-                                Verdict::Unsafe(trace),
-                                stats,
-                                started,
-                            );
+                            return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                         }
                         SolveResult::Unknown => {
                             return CheckOutcome::finish(
@@ -301,8 +287,7 @@ impl PredAbs {
                 }
             }
             let bad0 = u.bad(0);
-            let pred_next: Vec<ExprId> =
-                preds.iter().map(|&p| u.translate(1, p)).collect();
+            let pred_next: Vec<ExprId> = preds.iter().map(|&p| u.translate(1, p)).collect();
 
             let mut blaster = aig::Blaster::new(u.pool());
             let premise_bits: Vec<aig::AigLit> =

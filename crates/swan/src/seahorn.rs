@@ -141,9 +141,7 @@ pub fn abstract_bitvector_ops(ts: &TransitionSystem) -> (TransitionSystem, usize
                                 havoc(out, havocked, sort)
                             }
                         }
-                        UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => {
-                            havoc(out, havocked, sort)
-                        }
+                        UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => havoc(out, havocked, sort),
                     }
                 }
                 Node::Bin(op, a, b) => {

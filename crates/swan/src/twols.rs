@@ -197,9 +197,7 @@ impl Analyzer for TwoLs {
                         break;
                     }
                     Ok(false) => {}
-                    Err(u) => {
-                        return CheckOutcome::finish(Verdict::Unknown(u), stats, started)
-                    }
+                    Err(u) => return CheckOutcome::finish(Verdict::Unknown(u), stats, started),
                 }
             }
             // Quick win: invariant strong enough on its own?
@@ -248,11 +246,7 @@ impl Analyzer for TwoLs {
                     return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                 }
                 SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    )
+                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
                 }
                 SolveResult::Unsat => {}
             }
@@ -278,15 +272,9 @@ impl Analyzer for TwoLs {
             stats.sat_queries += 1;
             let q = solve_word(step.pool(), &roots, deadline);
             match q.result {
-                SolveResult::Unsat => {
-                    return CheckOutcome::finish(Verdict::Safe, stats, started)
-                }
+                SolveResult::Unsat => return CheckOutcome::finish(Verdict::Safe, stats, started),
                 SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    )
+                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
                 }
                 SolveResult::Sat => {}
             }

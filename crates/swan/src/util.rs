@@ -91,11 +91,7 @@ pub fn substitute_next(ts: &mut TransitionSystem, e: ExprId) -> ExprId {
 }
 
 /// Substitutes variables by expressions in `e` (bottom-up, memoized).
-pub fn substitute(
-    ts: &mut TransitionSystem,
-    root: ExprId,
-    map: &HashMap<VarId, ExprId>,
-) -> ExprId {
+pub fn substitute(ts: &mut TransitionSystem, root: ExprId, map: &HashMap<VarId, ExprId>) -> ExprId {
     let mut memo: HashMap<ExprId, ExprId> = HashMap::new();
     let mut order: Vec<ExprId> = Vec::new();
     let mut stack = vec![(root, false)];
@@ -254,11 +250,7 @@ pub fn vars_of(pool: &ExprPool, root: ExprId) -> HashSet<VarId> {
 
 /// Collects predicate atoms (single-bit comparison or reduction
 /// sub-expressions) of `root` whose variables all satisfy `keep`.
-pub fn collect_atoms(
-    pool: &ExprPool,
-    root: ExprId,
-    keep: &impl Fn(VarId) -> bool,
-) -> Vec<ExprId> {
+pub fn collect_atoms(pool: &ExprPool, root: ExprId, keep: &impl Fn(VarId) -> bool) -> Vec<ExprId> {
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     let mut stack = vec![root];
@@ -281,8 +273,7 @@ pub fn collect_atoms(
                     | Node::Extract { .. }
                     | Node::Var(_)
             );
-        if is_atom && vars_of(pool, e).iter().all(|&v| keep(v)) && pool.const_bits(e).is_none()
-        {
+        if is_atom && vars_of(pool, e).iter().all(|&v| keep(v)) && pool.const_bits(e).is_none() {
             out.push(e);
         }
         match pool.node(e) {
@@ -370,11 +361,7 @@ impl TraceExtractor {
     }
 
     /// Builds the trace from a model.
-    pub fn extract(
-        &self,
-        ts: &TransitionSystem,
-        model: &mut WordModel<'_>,
-    ) -> engines::Trace {
+    pub fn extract(&self, ts: &TransitionSystem, model: &mut WordModel<'_>) -> engines::Trace {
         let mut states = Vec::new();
         let mut inputs = Vec::new();
         for f in 0..self.state_words.len() {

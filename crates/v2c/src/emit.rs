@@ -16,7 +16,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use vfront::ast::{BinaryOp, Dir, Expr, LValue, NetKind, Stmt, UnaryOp};
-use vfront::elab::{ceil_log2, const_eval, Design, ElabModule, ESignal};
+use vfront::elab::{ceil_log2, const_eval, Design, ESignal, ElabModule};
 use vfront::synth::{expr_reads, lvalue_targets, stmt_reads, stmt_targets};
 use vfront::VerilogError;
 
@@ -94,9 +94,11 @@ impl<'d> Emitter<'d> {
             used_names.insert(cname.clone());
 
             let mut clock_ports: HashSet<String> = HashSet::new();
-            for (clk, _) in m.processes.iter().filter_map(|(c, s)| {
-                c.as_ref().map(|c| (c.clone(), s))
-            }) {
+            for (clk, _) in m
+                .processes
+                .iter()
+                .filter_map(|(c, s)| c.as_ref().map(|c| (c.clone(), s)))
+            {
                 clock_ports.insert(clk);
             }
             // Ports feeding child clock ports are clocks too.
@@ -233,9 +235,11 @@ impl<'d> Emitter<'d> {
                     && (clocked_targets.contains(&s.name) || s.port.is_none())
                     && !(s.port == Some(Dir::Input))
             })
-            .filter(|s| clocked_targets.contains(&s.name) || {
-                // frozen reg: not driven anywhere
-                !comb_targets.contains(&s.name)
+            .filter(|s| {
+                clocked_targets.contains(&s.name) || {
+                    // frozen reg: not driven anywhere
+                    !comb_targets.contains(&s.name)
+                }
             })
             .collect()
     }
@@ -364,10 +368,7 @@ impl<'d> Emitter<'d> {
             let n = sanitize(&sig.name);
             match sig.memory {
                 None => {
-                    let _ = writeln!(
-                        self.out,
-                        "  printf(\" %llx\", (unsigned long long)s->{n});"
-                    );
+                    let _ = writeln!(self.out, "  printf(\" %llx\", (unsigned long long)s->{n});");
                 }
                 Some((_, aw)) => {
                     let total = 1u64 << aw;
@@ -421,11 +422,7 @@ impl<'d> Emitter<'d> {
         }
         let mut body = FnBody::new(&m, &inf, self.style, self.design, &self.info);
         body.emit_body()?;
-        let _ = writeln!(
-            self.out,
-            "static void {cname}_step({}) {{",
-            args.join(", ")
-        );
+        let _ = writeln!(self.out, "static void {cname}_step({}) {{", args.join(", "));
         self.out.push_str(&body.text);
         // Outputs.
         for p in &out_ports {
@@ -490,10 +487,7 @@ impl<'d> Emitter<'d> {
                     .collect();
                 if ins.is_empty() {
                     let _ = writeln!(self.out, "  int __cycles;");
-                    let _ = writeln!(
-                        self.out,
-                        "  if (scanf(\"%d\", &__cycles) != 1) return 1;"
-                    );
+                    let _ = writeln!(self.out, "  if (scanf(\"%d\", &__cycles) != 1) return 1;");
                     let _ = writeln!(self.out, "  while (__cycles-- > 0) {{");
                 } else {
                     let _ = writeln!(
@@ -548,12 +542,12 @@ impl<'d> Emitter<'d> {
 /// Where a signal's current value lives in the generated C.
 #[derive(Clone, Debug, PartialEq)]
 enum Loc {
-    StructReg,       // s-><name>
-    StructMem,       // s-><name>[i]
-    InputParam,      // <name>
-    CombLocal,       // <name> (uint64_t local)
-    NextTemp,        // __next_<name> (inside clocked commit)
-    CurTemp,         // __cur_<name> (blocking reg shadow)
+    StructReg,  // s-><name>
+    StructMem,  // s-><name>[i]
+    InputParam, // <name>
+    CombLocal,  // <name> (uint64_t local)
+    NextTemp,   // __next_<name> (inside clocked commit)
+    CurTemp,    // __cur_<name> (blocking reg shadow)
 }
 
 struct FnBody<'a> {
@@ -625,9 +619,9 @@ impl<'a> FnBody<'a> {
             Some(Loc::CombLocal) => Ok(n),
             Some(Loc::CurTemp) => Ok(format!("__cur_{n}")),
             Some(Loc::NextTemp) => Ok(format!("s->{n}")), // reads see old value
-            Some(Loc::StructMem) => Err(Self::err(format!(
-                "memory '{name}' used without an index"
-            ))),
+            Some(Loc::StructMem) => {
+                Err(Self::err(format!("memory '{name}' used without an index")))
+            }
             None => Err(Self::err(format!(
                 "'{name}' read before it is computed (combinational ordering)"
             ))),
@@ -756,7 +750,14 @@ impl<'a> FnBody<'a> {
             Expr::Binary(op, a, b) => {
                 use BinaryOp as B;
                 match op {
-                    B::Add | B::Sub | B::Mul | B::Div | B::Mod | B::And | B::Or | B::Xor
+                    B::Add
+                    | B::Sub
+                    | B::Mul
+                    | B::Div
+                    | B::Mod
+                    | B::And
+                    | B::Or
+                    | B::Xor
                     | B::Xnor => {
                         let w = width.max(self.self_width(a)?).max(self.self_width(b)?);
                         let av = self.expr(a, w)?;
@@ -792,10 +793,8 @@ impl<'a> FnBody<'a> {
                         let bw = self.self_width(b)?;
                         let bv = self.expr(b, bw)?;
                         let bt = self.atom(&bv);
-                        let full = format!(
-                            "({bt} >= {w}ULL ? 0ULL : (({av} << {bt}) & {}))",
-                            cmask(w)
-                        );
+                        let full =
+                            format!("({bt} >= {w}ULL ? 0ULL : (({av} << {bt}) & {}))", cmask(w));
                         if w == width {
                             full
                         } else {
@@ -918,9 +917,7 @@ impl<'a> FnBody<'a> {
                     let base = match self.loc.get(n) {
                         Some(Loc::StructMem) => format!("s->{}", sanitize(n)),
                         Some(Loc::NextTemp) => format!("s->{}", sanitize(n)),
-                        _ => {
-                            return Err(Self::err(format!("'{n}' is not an accessible memory")))
-                        }
+                        _ => return Err(Self::err(format!("'{n}' is not an accessible memory"))),
                     };
                     let v = format!("{base}[{iv}]");
                     if sig.width <= width {
@@ -1139,10 +1136,7 @@ impl<'a> FnBody<'a> {
                     let lo = hi - w;
                     if let LValue::Ident(n) = p {
                         let t = self.write_target(n)?;
-                        self.line(&format!(
-                            "{t} = (({rt} >> {lo}ULL) & {});",
-                            cmask(*w)
-                        ));
+                        self.line(&format!("{t} = (({rt} >> {lo}ULL) & {});", cmask(*w)));
                     }
                     hi = lo;
                 }
@@ -1343,9 +1337,7 @@ impl<'a> FnBody<'a> {
                                 }
                             },
                             Some(Dir::Output) => match conn {
-                                Some(Expr::Ident(nm)) => {
-                                    args.push(format!("&{}", sanitize(&nm)))
-                                }
+                                Some(Expr::Ident(nm)) => args.push(format!("&{}", sanitize(&nm))),
                                 Some(_) => unreachable!("checked above"),
                                 None => {
                                     let t = self.fresh();
@@ -1560,7 +1552,9 @@ mod tests {
         assert!(c.contains("typedef struct counter_state"));
         assert!(c.contains("uint64_t c; /* 4 bits */"));
         assert!(c.contains("static void counter_init(counter_state *s)"));
-        assert!(c.contains("static void counter_step(counter_state *s, uint64_t rst, uint64_t *o_wrap)"));
+        assert!(c.contains(
+            "static void counter_step(counter_state *s, uint64_t rst, uint64_t *o_wrap)"
+        ));
         assert!(c.contains("__VERIFIER_nondet_ulonglong()"));
         assert!(c.contains("assert("));
         assert!(c.contains("while (1)"));

@@ -51,11 +51,7 @@ fn cosim(src: &str, top: &str, cycles: u64, seed: u64) {
 
     // Random stimulus.
     let mut rng = StdRng::seed_from_u64(seed);
-    let input_sorts: Vec<Sort> = ts
-        .inputs()
-        .iter()
-        .map(|&v| ts.pool().var_sort(v))
-        .collect();
+    let input_sorts: Vec<Sort> = ts.inputs().iter().map(|&v| ts.pool().var_sort(v)).collect();
     let mut stim_lines = String::new();
     let mut stim_values: Vec<Vec<Value>> = Vec::new();
     for _ in 0..cycles {
@@ -96,10 +92,7 @@ fn cosim(src: &str, top: &str, cycles: u64, seed: u64) {
     // Reference simulation, comparing every cycle.
     let mut sim = Simulator::new(&ts);
     for (cycle, line) in c_lines.iter().enumerate() {
-        let inputs = stim_values
-            .get(cycle)
-            .cloned()
-            .unwrap_or_default();
+        let inputs = stim_values.get(cycle).cloned().unwrap_or_default();
         let ref_bads = sim.bad_states_with_inputs(&inputs);
         sim.step(&inputs);
 

@@ -127,8 +127,7 @@ impl<'a> Elaborator<'a> {
         let mut param_order: Vec<String> = Vec::new();
         for item in &src.items {
             if let Item::Param { name: pname, value } = item {
-                let v = const_eval(value, &params)
-                    .map_err(|e| VerilogError::at(src.line, e))?;
+                let v = const_eval(value, &params).map_err(|e| VerilogError::at(src.line, e))?;
                 params.insert(pname.clone(), v);
                 param_order.push(pname.clone());
             }
@@ -136,12 +135,9 @@ impl<'a> Elaborator<'a> {
         for (pos, (oname, oval)) in overrides.iter().enumerate() {
             let key = match oname {
                 Some(n) => n.clone(),
-                None => param_order
-                    .get(pos)
-                    .cloned()
-                    .ok_or_else(|| {
-                        VerilogError::at(line, "too many positional parameter overrides")
-                    })?,
+                None => param_order.get(pos).cloned().ok_or_else(|| {
+                    VerilogError::at(line, "too many positional parameter overrides")
+                })?,
             };
             if !params.contains_key(&key) {
                 return Err(VerilogError::at(
@@ -184,7 +180,11 @@ impl<'a> Elaborator<'a> {
                 name: port.name.clone(),
                 width,
                 lsb,
-                kind: if port.is_reg { NetKind::Reg } else { NetKind::Wire },
+                kind: if port.is_reg {
+                    NetKind::Reg
+                } else {
+                    NetKind::Wire
+                },
                 memory: None,
                 port: Some(port.dir),
                 init: None,
@@ -315,15 +315,12 @@ impl<'a> Elaborator<'a> {
                                         format!("module '{module}' has no port '{n}'"),
                                     )
                                 })?,
-                            None => child_ports
-                                .get(pos)
-                                .map(|(_, i)| *i)
-                                .ok_or_else(|| {
-                                    VerilogError::at(
-                                        src.line,
-                                        format!("too many connections for '{module}'"),
-                                    )
-                                })?,
+                            None => child_ports.get(pos).map(|(_, i)| *i).ok_or_else(|| {
+                                VerilogError::at(
+                                    src.line,
+                                    format!("too many connections for '{module}'"),
+                                )
+                            })?,
                         };
                         if let Some(e) = cexpr {
                             econns.push((port_idx, subst_expr(e, &params)));
@@ -376,11 +373,17 @@ fn range_width(
             let hi = const_eval(&r.hi, params).map_err(|e| VerilogError::at(line, e))?;
             let lo = const_eval(&r.lo, params).map_err(|e| VerilogError::at(line, e))?;
             if lo > hi {
-                return Err(VerilogError::at(line, "descending ranges [lo:hi] not supported"));
+                return Err(VerilogError::at(
+                    line,
+                    "descending ranges [lo:hi] not supported",
+                ));
             }
             let width = (hi - lo + 1) as u32;
             if width == 0 || width > 64 {
-                return Err(VerilogError::at(line, "width out of supported range 1..=64"));
+                return Err(VerilogError::at(
+                    line,
+                    "width out of supported range 1..=64",
+                ));
             }
             Ok((width, lo as u32))
         }
@@ -484,9 +487,7 @@ fn subst_expr(e: &Expr, params: &HashMap<String, u64>) -> Expr {
             Box::new(subst_expr(a, params)),
             Box::new(subst_expr(b, params)),
         ),
-        Expr::Concat(parts) => {
-            Expr::Concat(parts.iter().map(|p| subst_expr(p, params)).collect())
-        }
+        Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| subst_expr(p, params)).collect()),
         Expr::Repl(n, parts) => Expr::Repl(
             Box::new(subst_expr(n, params)),
             parts.iter().map(|p| subst_expr(p, params)).collect(),
@@ -504,11 +505,9 @@ fn subst_lvalue(lv: &LValue, params: &HashMap<String, u64>) -> LValue {
     match lv {
         LValue::Ident(n) => LValue::Ident(n.clone()),
         LValue::Index(n, i) => LValue::Index(n.clone(), subst_expr(i, params)),
-        LValue::Part(n, hi, lo) => LValue::Part(
-            n.clone(),
-            subst_expr(hi, params),
-            subst_expr(lo, params),
-        ),
+        LValue::Part(n, hi, lo) => {
+            LValue::Part(n.clone(), subst_expr(hi, params), subst_expr(lo, params))
+        }
         LValue::Concat(parts) => {
             LValue::Concat(parts.iter().map(|p| subst_lvalue(p, params)).collect())
         }
@@ -542,9 +541,7 @@ fn subst_stmt(s: &Stmt, params: &HashMap<String, u64>) -> Stmt {
             default: default.as_ref().map(|d| Box::new(subst_stmt(d, params))),
             wildcard: *wildcard,
         },
-        Stmt::Blocking(lv, e) => {
-            Stmt::Blocking(subst_lvalue(lv, params), subst_expr(e, params))
-        }
+        Stmt::Blocking(lv, e) => Stmt::Blocking(subst_lvalue(lv, params), subst_expr(e, params)),
         Stmt::NonBlocking(lv, e) => {
             Stmt::NonBlocking(subst_lvalue(lv, params), subst_expr(e, params))
         }

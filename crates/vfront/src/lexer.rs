@@ -46,8 +46,8 @@ impl fmt::Display for Tok {
 /// Multi-character operators, longest first (order matters).
 const SYMBOLS: &[&str] = &[
     "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>", "~&", "~|", "~^",
-    "^~", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":", ";", ",",
-    ".", "(", ")", "[", "]", "{", "}", "@", "#",
+    "^~", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "?", ":", ";", ",", ".",
+    "(", ")", "[", "]", "{", "}", "@", "#",
 ];
 
 /// Tokenizes Verilog source text.
@@ -136,7 +136,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, VerilogError> {
             }
         }
         if !matched {
-            return Err(VerilogError::at(line, format!("unexpected character '{c}'")));
+            return Err(VerilogError::at(
+                line,
+                format!("unexpected character '{c}'"),
+            ));
         }
     }
     out.push(Token {
@@ -177,7 +180,10 @@ fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), VerilogError> {
             'd' | 'D' => 10,
             'h' | 'H' => 16,
             other => {
-                return Err(VerilogError::at(line, format!("unknown number base '{other}'")))
+                return Err(VerilogError::at(
+                    line,
+                    format!("unknown number base '{other}'"),
+                ))
             }
         };
         let mut value: u64 = 0;
@@ -212,9 +218,11 @@ fn lex_number(s: &str, line: u32) -> Result<(Tok, usize), VerilogError> {
         let size = if size_digits.is_empty() {
             None
         } else {
-            Some(size_digits.parse::<u32>().map_err(|_| {
-                VerilogError::at(line, "bad literal size")
-            })?)
+            Some(
+                size_digits
+                    .parse::<u32>()
+                    .map_err(|_| VerilogError::at(line, "bad literal size"))?,
+            )
         };
         if let Some(sz) = size {
             if sz == 0 || sz > 64 {
@@ -254,7 +262,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -120,8 +120,8 @@ impl Parser {
             self.expect_sym(")")?;
         }
         let mut ports: Vec<Port> = Vec::new();
-        if self.eat_sym("(") {
-            if !self.eat_sym(")") {
+        if self.eat_sym("(") && !self.eat_sym(")") {
+            {
                 let mut last_dir: Option<Dir> = None;
                 let mut last_range: Option<Range> = None;
                 let mut last_reg = false;
@@ -189,7 +189,7 @@ impl Parser {
         Ok(Range { hi, lo })
     }
 
-    fn item(&mut self, items: &mut Vec<Item>, ports: &mut Vec<Port>) -> Result<(), VerilogError> {
+    fn item(&mut self, items: &mut Vec<Item>, ports: &mut [Port]) -> Result<(), VerilogError> {
         if self.at_kw("input") || self.at_kw("output") {
             // Non-ANSI port direction declaration in the body.
             let dir = if self.eat_kw("input") {
@@ -571,7 +571,11 @@ impl Parser {
             &[("||", BinaryOp::LogicOr)],
             &[("&&", BinaryOp::LogicAnd)],
             &[("|", BinaryOp::Or)],
-            &[("^", BinaryOp::Xor), ("~^", BinaryOp::Xnor), ("^~", BinaryOp::Xnor)],
+            &[
+                ("^", BinaryOp::Xor),
+                ("~^", BinaryOp::Xnor),
+                ("^~", BinaryOp::Xnor),
+            ],
             &[("&", BinaryOp::And)],
             &[("==", BinaryOp::Eq), ("!=", BinaryOp::Ne)],
             &[
@@ -587,7 +591,11 @@ impl Parser {
                 (">>>", BinaryOp::Sshr),
             ],
             &[("+", BinaryOp::Add), ("-", BinaryOp::Sub)],
-            &[("*", BinaryOp::Mul), ("/", BinaryOp::Div), ("%", BinaryOp::Mod)],
+            &[
+                ("*", BinaryOp::Mul),
+                ("/", BinaryOp::Div),
+                ("%", BinaryOp::Mod),
+            ],
         ];
         table
             .get(level)?
@@ -686,9 +694,33 @@ impl Parser {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "parameter", "localparam",
-    "assign", "always", "initial", "begin", "end", "if", "else", "case", "casez", "casex",
-    "endcase", "default", "posedge", "negedge", "or", "assert", "assume", "property",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "parameter",
+    "localparam",
+    "assign",
+    "always",
+    "initial",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "casez",
+    "casex",
+    "endcase",
+    "default",
+    "posedge",
+    "negedge",
+    "or",
+    "assert",
+    "assume",
+    "property",
 ];
 
 #[cfg(test)]
@@ -719,8 +751,14 @@ mod tests {
             .items
             .iter()
             .any(|i| matches!(i, Item::Param { name, .. } if name == "W")));
-        assert!(m.items.iter().any(|i| matches!(i, Item::Always(Sensitivity::Posedge(c), _) if c == "clk")));
-        assert!(m.items.iter().any(|i| matches!(i, Item::AssertProperty { .. })));
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::Always(Sensitivity::Posedge(c), _) if c == "clk")));
+        assert!(m
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::AssertProperty { .. })));
     }
 
     #[test]
@@ -836,9 +874,10 @@ mod tests {
         endmodule
         "#;
         let mods = parse(src).expect("parses");
-        assert!(mods[0].items.iter().any(
-            |i| matches!(i, Item::AssertProperty { label: Some(l), .. } if l == "safe1")
-        ));
+        assert!(mods[0]
+            .items
+            .iter()
+            .any(|i| matches!(i, Item::AssertProperty { label: Some(l), .. } if l == "safe1")));
         assert!(mods[0]
             .items
             .iter()

@@ -9,7 +9,7 @@
 //! Combinational cycles and transparent latches are rejected, exactly
 //! the restrictions the paper states for v2c.
 
-use crate::ast::{BinaryOp, Expr, LValue, NetKind, Stmt, UnaryOp, Dir};
+use crate::ast::{BinaryOp, Dir, Expr, LValue, NetKind, Stmt, UnaryOp};
 use crate::elab::{ceil_log2, const_eval, Design, ElabModule};
 use crate::error::VerilogError;
 use rtlir::{ExprId, Sort, TransitionSystem, VarId};
@@ -100,9 +100,7 @@ fn prefix_expr(prefix: &str, e: &Expr) -> Expr {
             Box::new(prefix_expr(prefix, n)),
             p.iter().map(|x| prefix_expr(prefix, x)).collect(),
         ),
-        Expr::Index(n, i) => {
-            Expr::Index(flat_name(prefix, n), Box::new(prefix_expr(prefix, i)))
-        }
+        Expr::Index(n, i) => Expr::Index(flat_name(prefix, n), Box::new(prefix_expr(prefix, i))),
         Expr::Part(n, hi, lo) => Expr::Part(
             flat_name(prefix, n),
             Box::new(prefix_expr(prefix, hi)),
@@ -151,9 +149,7 @@ fn prefix_stmt(prefix: &str, s: &Stmt) -> Stmt {
             default: default.as_ref().map(|d| Box::new(prefix_stmt(prefix, d))),
             wildcard: *wildcard,
         },
-        Stmt::Blocking(lv, e) => {
-            Stmt::Blocking(prefix_lvalue(prefix, lv), prefix_expr(prefix, e))
-        }
+        Stmt::Blocking(lv, e) => Stmt::Blocking(prefix_lvalue(prefix, lv), prefix_expr(prefix, e)),
         Stmt::NonBlocking(lv, e) => {
             Stmt::NonBlocking(prefix_lvalue(prefix, lv), prefix_expr(prefix, e))
         }
@@ -177,7 +173,9 @@ fn flatten_module(
     for sig in &m.signals {
         let name = flat_name(prefix, &sig.name);
         if flat.index.contains_key(&name) {
-            return Err(VerilogError::general(format!("duplicate flat signal '{name}'")));
+            return Err(VerilogError::general(format!(
+                "duplicate flat signal '{name}'"
+            )));
         }
         flat.index.insert(name.clone(), flat.signals.len());
         flat.signals.push((
@@ -193,8 +191,10 @@ fn flatten_module(
         ));
     }
     for (lhs, rhs) in &m.assigns {
-        flat.units
-            .push(Unit::Assign(prefix_lvalue(prefix, lhs), prefix_expr(prefix, rhs)));
+        flat.units.push(Unit::Assign(
+            prefix_lvalue(prefix, lhs),
+            prefix_expr(prefix, rhs),
+        ));
     }
     for (clock, body) in &m.processes {
         match clock {
@@ -239,8 +239,7 @@ fn flatten_module(
                             port.name
                         ))
                     })?;
-                    flat.units
-                        .push(Unit::Assign(lhs, Expr::Ident(port_flat)));
+                    flat.units.push(Unit::Assign(lhs, Expr::Ident(port_flat)));
                 }
                 None => unreachable!("connection to non-port"),
             }
@@ -375,10 +374,8 @@ pub fn stmt_reads(s: &Stmt, assigned: &mut HashSet<String>, out: &mut HashSet<St
             }
             // Read-modify-write of bit/part selects reads the old value.
             match lv {
-                LValue::Index(n, _) | LValue::Part(n, _, _) => {
-                    if !assigned.contains(n) {
-                        out.insert(n.clone());
-                    }
+                LValue::Index(n, _) | LValue::Part(n, _, _) if !assigned.contains(n) => {
+                    out.insert(n.clone());
                 }
                 _ => {}
             }
@@ -398,10 +395,8 @@ pub fn stmt_reads(s: &Stmt, assigned: &mut HashSet<String>, out: &mut HashSet<St
                 expr_reads(i, assigned, out);
             }
             match lv {
-                LValue::Index(n, _) | LValue::Part(n, _, _) => {
-                    if !assigned.contains(n) {
-                        out.insert(n.clone());
-                    }
+                LValue::Index(n, _) | LValue::Part(n, _, _) if !assigned.contains(n) => {
+                    out.insert(n.clone());
                 }
                 _ => {}
             }
@@ -545,9 +540,7 @@ impl Synthesizer {
                         role.insert(t, Role::Comb(ui));
                     }
                     Some(Role::Comb(prev)) if *prev == ui => {}
-                    Some(_) => {
-                        return Err(Self::err(format!("signal '{t}' has multiple drivers")))
-                    }
+                    Some(_) => return Err(Self::err(format!("signal '{t}' has multiple drivers"))),
                 }
             }
         }
@@ -569,9 +562,7 @@ impl Synthesizer {
                     None | Some(Role::State) => {
                         role.insert(t, Role::State);
                     }
-                    Some(_) => {
-                        return Err(Self::err(format!("signal '{t}' has multiple drivers")))
-                    }
+                    Some(_) => return Err(Self::err(format!("signal '{t}' has multiple drivers"))),
                 }
             }
         }
@@ -597,8 +588,7 @@ impl Synthesizer {
         }
 
         // ---- create TS variables ----
-        let sorted_names: Vec<String> =
-            self.flat.signals.iter().map(|(n, _)| n.clone()).collect();
+        let sorted_names: Vec<String> = self.flat.signals.iter().map(|(n, _)| n.clone()).collect();
         for name in &sorted_names {
             let sig = self.flat.sig(name).expect("exists").clone();
             let sort = match sig.memory {
@@ -825,9 +815,9 @@ impl Synthesizer {
     fn self_width(&self, e: &Expr) -> Result<u32, VerilogError> {
         Ok(match e {
             Expr::Ident(n) => self.signal_width(n)?,
-            Expr::Number { size, value } => {
-                size.unwrap_or_else(|| 64 - value.leading_zeros().max(0)).max(1).min(64)
-            }
+            Expr::Number { size, value } => size
+                .unwrap_or_else(|| 64 - value.leading_zeros())
+                .clamp(1, 64),
             Expr::Unary(op, a) => match op {
                 UnaryOp::Not | UnaryOp::Neg | UnaryOp::Plus => self.self_width(a)?,
                 _ => 1,
@@ -856,8 +846,7 @@ impl Synthesizer {
                 w
             }
             Expr::Repl(n, parts) => {
-                let count =
-                    const_eval(n, &HashMap::new()).map_err(Self::err)? as u32;
+                let count = const_eval(n, &HashMap::new()).map_err(Self::err)? as u32;
                 let mut w = 0;
                 for p in parts {
                     w += self.self_width(p)?;
@@ -888,14 +877,11 @@ impl Synthesizer {
                     .sig(n)
                     .ok_or_else(|| Self::err(format!("unknown signal '{n}'")))?;
                 if sig.memory.is_some() {
-                    return Err(Self::err(format!(
-                        "memory '{n}' used without an index"
-                    )));
+                    return Err(Self::err(format!("memory '{n}' used without an index")));
                 }
-                let base = *self
-                    .sig_expr
-                    .get(n)
-                    .ok_or_else(|| Self::err(format!("'{n}' used before definition (is it a clock?)")))?;
+                let base = *self.sig_expr.get(n).ok_or_else(|| {
+                    Self::err(format!("'{n}' used before definition (is it a clock?)"))
+                })?;
                 p(self, base, width)
             }
             Expr::Unary(op, a) => match op {
@@ -956,7 +942,14 @@ impl Synthesizer {
             Expr::Binary(op, a, b) => {
                 use BinaryOp as B;
                 match op {
-                    B::Add | B::Sub | B::Mul | B::Div | B::Mod | B::And | B::Or | B::Xor
+                    B::Add
+                    | B::Sub
+                    | B::Mul
+                    | B::Div
+                    | B::Mod
+                    | B::And
+                    | B::Or
+                    | B::Xor
                     | B::Xnor => {
                         let aw = self.self_width(a)?;
                         let bw = self.self_width(b)?;
@@ -1077,7 +1070,9 @@ impl Synthesizer {
                     p(self, r, width)
                 } else {
                     // Dynamic bit select: (sig >> (idx - lsb)) & 1.
-                    let iw = self.self_width(idx)?.max(ceil_log2(sig.width as u64).max(1));
+                    let iw = self
+                        .self_width(idx)?
+                        .max(ceil_log2(sig.width as u64).max(1));
                     let mut iv = self.build(idx, iw)?;
                     if sig.lsb != 0 {
                         let off = self.ts.pool_mut().constv(iw, sig.lsb as u64);
@@ -1108,10 +1103,7 @@ impl Synthesizer {
                         "part select [{h}:{l}] out of range for '{n}'"
                     )));
                 }
-                let r = self
-                    .ts
-                    .pool_mut()
-                    .extract(base, h - sig.lsb, l - sig.lsb);
+                let r = self.ts.pool_mut().extract(base, h - sig.lsb, l - sig.lsb);
                 p(self, r, width)
             }
         })
@@ -1148,9 +1140,7 @@ impl Synthesizer {
                     match p {
                         LValue::Ident(n) => widths.push(self.signal_width(n)?),
                         _ => {
-                            return Err(Self::err(
-                                "nested selects in concatenated assign targets",
-                            ))
+                            return Err(Self::err("nested selects in concatenated assign targets"))
                         }
                     }
                 }
@@ -1285,7 +1275,9 @@ impl Synthesizer {
                             }
                         }
                     };
-                    let iw = self.self_width(idx)?.max(ceil_log2(sig.width as u64).max(1));
+                    let iw = self
+                        .self_width(idx)?
+                        .max(ceil_log2(sig.width as u64).max(1));
                     let mut iv = self.build_in_env(env, idx, iw)?;
                     if sig.lsb != 0 {
                         let off = self.ts.pool_mut().constv(iw, sig.lsb as u64);
@@ -1493,11 +1485,7 @@ impl Synthesizer {
         for (labels, body) in arms.iter().rev() {
             let mut cond: Option<Expr> = None;
             for l in labels {
-                let eq = Expr::Binary(
-                    BinaryOp::Eq,
-                    Box::new(expr.clone()),
-                    Box::new(l.clone()),
-                );
+                let eq = Expr::Binary(BinaryOp::Eq, Box::new(expr.clone()), Box::new(l.clone()));
                 cond = Some(match cond {
                     None => eq,
                     Some(c) => Expr::Binary(BinaryOp::LogicOr, Box::new(c), Box::new(eq)),
@@ -1648,9 +1636,7 @@ impl Synthesizer {
                             .ok_or_else(|| Self::err(format!("unknown signal '{n}'")))?
                             .clone();
                         if sig.memory.is_none() {
-                            return Err(Self::err(
-                                "bit-level initialization is not supported",
-                            ));
+                            return Err(Self::err("bit-level initialization is not supported"));
                         }
                         let i = Self::const_with(idx, scalars)?;
                         mems.entry(n.clone())
@@ -1672,7 +1658,6 @@ impl Synthesizer {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::compile;
     use rtlir::{Simulator, Value};
 

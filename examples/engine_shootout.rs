@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         timeout: Some(Duration::from_secs(5)),
         max_depth: 4000,
     };
-    println!("{:<14}{:>12}{:>12}{:>12}{:>12}", "benchmark", "kind", "itp", "pdr", "2ls-kiki");
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}{:>12}",
+        "benchmark", "kind", "itp", "pdr", "2ls-kiki"
+    );
     for name in ["Vending", "Dekker", "FIFOs", "DAIO"] {
         let b = hwsw::bmarks::by_name(name).expect("exists");
         let ts = b.compile()?;
@@ -27,7 +30,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hwsw::engines::Verdict::Unsafe(t) => format!("bug@{}", t.length()),
             hwsw::engines::Verdict::Unknown(_) => "t/o".to_string(),
         };
-        println!("{:<14}{:>12}{:>12}{:>12}{:>12}", name, s(&r1), s(&r2), s(&r3), s(&r4));
+        println!(
+            "{:<14}{:>12}{:>12}{:>12}{:>12}",
+            name,
+            s(&r1),
+            s(&r2),
+            s(&r3),
+            s(&r4)
+        );
     }
     Ok(())
 }

@@ -20,8 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Frontend: Verilog -> word-level transition system.
     let ts = hwsw::vfront::compile(verilog, "counter")?;
-    println!("synthesized: {} states, {} inputs, {} properties",
-        ts.states().len(), ts.inputs().len(), ts.bads().len());
+    println!(
+        "synthesized: {} states, {} inputs, {} properties",
+        ts.states().len(),
+        ts.inputs().len(),
+        ts.bads().len()
+    );
 
     // 2. v2c: the software-netlist, as ANSI-C text.
     let modules = hwsw::vfront::parse(verilog)?;

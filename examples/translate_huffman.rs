@@ -11,11 +11,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("huffman_netlist.c");
     std::fs::write(&path, &c_text)?;
     println!("software-netlist written to {}", path.display());
-    println!("{} lines of C, {} assertions", c_text.lines().count(),
-        c_text.matches("assert(").count());
+    println!(
+        "{} lines of C, {} assertions",
+        c_text.lines().count(),
+        c_text.matches("assert(").count()
+    );
     // Round-trip sanity: the C parses back into an equivalent program.
     let prog = hwsw::cfront::parse_software_netlist(&c_text)?;
-    println!("parsed back: {} state elements, {} properties",
-        prog.ts.states().len(), prog.ts.bads().len());
+    println!(
+        "parsed back: {} state elements, {} properties",
+        prog.ts.states().len(),
+        prog.ts.bads().len()
+    );
     Ok(())
 }

@@ -18,11 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let kind = KInduction::new(budget).check(&ts);
-    println!("ABC-style k-induction : {} (k reached {})", kind.outcome, kind.stats.depth);
+    println!(
+        "ABC-style k-induction : {} (k reached {})",
+        kind.outcome, kind.stats.depth
+    );
 
     let pdr = Pdr::new(budget).check(&ts);
-    println!("ABC-style PDR         : {} ({} frames, {} SAT queries)",
-        pdr.outcome, pdr.stats.depth, pdr.stats.sat_queries);
+    println!(
+        "ABC-style PDR         : {} ({} frames, {} SAT queries)",
+        pdr.outcome, pdr.stats.depth, pdr.stats.sat_queries
+    );
 
     let kiki = hwsw::swan::twols::TwoLs::new(budget).check(&prog);
     println!("2LS-style kIkI        : {}", kiki.outcome);

@@ -97,8 +97,7 @@ fn all_benchmarks_roundtrip_through_c() {
     for b in hwsw::bmarks::all() {
         let mods = hwsw::vfront::parse(b.source).expect("parses");
         let design = hwsw::vfront::elaborate(&mods, b.top).expect("elaborates");
-        let c_text =
-            hwsw::v2c::emit_c(&design, hwsw::v2c::MainStyle::Verifier).expect("emits");
+        let c_text = hwsw::v2c::emit_c(&design, hwsw::v2c::MainStyle::Verifier).expect("emits");
         let prog = hwsw::cfront::parse_software_netlist(&c_text)
             .unwrap_or_else(|e| panic!("{}: {e}", b.name));
         let direct = b.compile().expect("compiles");
