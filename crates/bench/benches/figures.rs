@@ -12,6 +12,7 @@ fn budget() -> Budget {
     Budget {
         timeout: Some(Duration::from_secs(30)),
         max_depth: 4000,
+        ..Budget::default()
     }
 }
 

@@ -110,7 +110,7 @@ fn run_arena(w: &Workload) -> RunResult {
         &[],
         satb::Limits {
             max_conflicts: Some(w.max_conflicts),
-            deadline: None,
+            ..satb::Limits::default()
         },
     );
     let time_s = start.elapsed().as_secs_f64();
@@ -122,7 +122,7 @@ fn run_arena(w: &Workload) -> RunResult {
         verdict: match r {
             SolveResult::Sat => "sat",
             SolveResult::Unsat => "unsat",
-            SolveResult::Unknown => "unknown",
+            SolveResult::Unknown(_) => "unknown",
         },
         arena_peak_bytes: st.arena_peak_bytes,
         reduces: st.reduces,

@@ -19,8 +19,8 @@ fn main() {
     for bm in &benchmarks {
         let ts = bm.compile().expect("compiles");
         let prog = v2c::SwProgram::from_ts(ts.clone());
-        let hw = engines::kind::KInduction::new(b).check(&ts);
-        let sw = swan::cbmc::CbmcKind::new(b).check(&prog);
+        let hw = engines::kind::KInduction::new(b.clone()).check(&ts);
+        let sw = swan::cbmc::CbmcKind::new(b.clone()).check(&prog);
         let fmt = |o: &engines::CheckOutcome| match &o.outcome {
             Verdict::Safe => format!("k={}", o.stats.depth),
             Verdict::Unsafe(t) => format!("cycle={}", t.length()),

@@ -130,6 +130,8 @@ pub fn run_and_classify(tool: &Tool, b: &Benchmark) -> (Classification, CheckOut
         }
         (Verdict::Unknown(Unknown::Timeout), _) => Classification::Timeout,
         (Verdict::Unknown(Unknown::BoundReached), _) => Classification::Timeout,
+        (Verdict::Unknown(Unknown::ConflictLimit), _) => Classification::Timeout,
+        (Verdict::Unknown(Unknown::Cancelled), _) => Classification::UnknownResult,
         (Verdict::Unknown(Unknown::Inconclusive(_)), _) => Classification::UnknownResult,
     };
     (class, out)
@@ -141,7 +143,18 @@ pub fn budget(timeout_secs: u64) -> Budget {
     Budget {
         timeout: Some(Duration::from_secs(timeout_secs)),
         max_depth: 4000,
+        ..Budget::default()
     }
+}
+
+/// The paper's best configuration as one tool: the parallel portfolio
+/// of BMC, k-induction, interpolation and PDR with cooperative
+/// cancellation (the `portfolio` mode of the benchmark runner).
+pub fn portfolio_tool(timeout_secs: u64) -> Tool {
+    Tool::hw(
+        "Portfolio",
+        engines::portfolio::Portfolio::with_default_engines(budget(timeout_secs)),
+    )
 }
 
 /// The Figure 3 tool set: k-induction at bit level (ABC), word level
@@ -149,9 +162,9 @@ pub fn budget(timeout_secs: u64) -> Budget {
 pub fn fig3_tools(timeout_secs: u64) -> Vec<Tool> {
     let b = budget(timeout_secs);
     vec![
-        Tool::hw("ABC-kind", engines::kind::KInduction::new(b)),
-        Tool::hw("EBMC-kind", engines::word::WordKInduction::new(b)),
-        Tool::sw("CBMC-kind", swan::cbmc::CbmcKind::new(b)),
+        Tool::hw("ABC-kind", engines::kind::KInduction::new(b.clone())),
+        Tool::hw("EBMC-kind", engines::word::WordKInduction::new(b.clone())),
+        Tool::sw("CBMC-kind", swan::cbmc::CbmcKind::new(b.clone())),
         Tool::sw(
             "2LS-kind",
             swan::twols::TwoLs {
@@ -168,10 +181,10 @@ pub fn fig3_tools(timeout_secs: u64) -> Vec<Tool> {
 pub fn fig4_tools(timeout_secs: u64) -> Vec<Tool> {
     let b = budget(timeout_secs);
     vec![
-        Tool::hw("ABC-itp", engines::itp::Interpolation::new(b)),
+        Tool::hw("ABC-itp", engines::itp::Interpolation::new(b.clone())),
         Tool::sw(
             "CPA-itp",
-            swan::predabs::PredAbs::new(b, swan::predabs::RefineMode::Interpolant),
+            swan::predabs::PredAbs::new(b.clone(), swan::predabs::RefineMode::Interpolant),
         ),
         Tool::sw("IMPARA", swan::impact::Impact::new(b)),
     ]
@@ -183,11 +196,11 @@ pub fn fig4_tools(timeout_secs: u64) -> Vec<Tool> {
 pub fn fig5_tools(timeout_secs: u64) -> Vec<Tool> {
     let b = budget(timeout_secs);
     vec![
-        Tool::hw("ABC-pdr", engines::pdr::Pdr::new(b)),
-        Tool::sw("SeaHorn-pdr", swan::seahorn::SeaHorn::new(b)),
+        Tool::hw("ABC-pdr", engines::pdr::Pdr::new(b.clone())),
+        Tool::sw("SeaHorn-pdr", swan::seahorn::SeaHorn::new(b.clone())),
         Tool::sw(
             "CPA-predabs",
-            swan::predabs::PredAbs::new(b, swan::predabs::RefineMode::Wp),
+            swan::predabs::PredAbs::new(b.clone(), swan::predabs::RefineMode::Wp),
         ),
         Tool::sw("2LS-kiki", swan::twols::TwoLs::new(b)),
     ]

@@ -191,8 +191,9 @@ impl Checker for Bmc {
         let any_bad = sys.aig.or_all(&bads);
         let mut chain = FrameChain::new(&sys, true);
         for k in 0..=self.budget.max_depth {
-            if self.budget.expired(started) {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            if let Some(u) = self.budget.interruption(started) {
+                stats.set_solver_stats([chain.solver.stats()]);
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             stats.depth = k;
             let bad = chain.any_bad(k as usize, any_bad);
@@ -211,15 +212,12 @@ impl Checker for Bmc {
                     // No counterexample at this depth: pin it and go deeper.
                     chain.solver.add_clause(&[!bad]);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
                 }
             }
         }
+        stats.set_solver_stats([chain.solver.stats()]);
         CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
     }
 }
@@ -320,6 +318,7 @@ pub(crate) mod tests {
             budget: Budget {
                 timeout: None,
                 max_depth: 40,
+                ..Budget::default()
             },
         }
         .check(&ts3);
@@ -352,6 +351,7 @@ pub(crate) mod tests {
             budget: Budget {
                 timeout: None,
                 max_depth: 12,
+                ..Budget::default()
             },
         }
         .check(&ts);

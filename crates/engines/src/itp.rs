@@ -102,6 +102,11 @@ impl Checker for Interpolation {
             stats.sat_queries += 1;
             let r0 = solver.solve_limited(&[b], self.budget.sat_limits(started));
             stats.absorb_solver(&solver.stats());
+            if let SolveResult::Unknown(why) = r0 {
+                // A depth-0 query that hit a limit must not be treated
+                // as "no counterexample at depth 0".
+                return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
+            }
             if r0 == SolveResult::Sat {
                 let state: Vec<bool> = sys
                     .latches
@@ -139,8 +144,8 @@ impl Checker for Interpolation {
 
         let mut k: u32 = 1;
         loop {
-            if self.budget.expired(started) {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            if let Some(u) = self.budget.interruption(started) {
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             if k > self.budget.max_depth {
                 return CheckOutcome::finish(
@@ -155,20 +160,12 @@ impl Checker for Interpolation {
             let mut r_acc = init_pred;
             let mut first = true;
             'inner: loop {
-                if self.budget.expired(started) {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                if let Some(u) = self.budget.interruption(started) {
+                    return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
                 }
                 match self.itp_query(&sys, r_acc, any_bad, &bads, k, started, &mut stats) {
-                    QueryResult::Timeout => {
-                        return CheckOutcome::finish(
-                            Verdict::Unknown(Unknown::Timeout),
-                            stats,
-                            started,
-                        );
+                    QueryResult::Stopped(u) => {
+                        return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
                     }
                     QueryResult::Sat(trace) => {
                         if first {
@@ -198,9 +195,9 @@ impl Checker for Interpolation {
                                 r_acc = sys.aig.or(r_acc, itp_lit);
                                 first = false;
                             }
-                            SolveResult::Unknown => {
+                            SolveResult::Unknown(why) => {
                                 return CheckOutcome::finish(
-                                    Verdict::Unknown(Unknown::Timeout),
+                                    Verdict::Unknown(why.into()),
                                     stats,
                                     started,
                                 );
@@ -216,7 +213,7 @@ impl Checker for Interpolation {
 enum QueryResult {
     Sat(Trace),
     Unsat(satb::Interpolant, HashMap<satb::Var, AigLit>),
-    Timeout,
+    Stopped(Unknown),
 }
 
 impl Interpolation {
@@ -302,7 +299,7 @@ impl Interpolation {
         let qr = solver.solve_limited(&[], self.budget.sat_limits(started));
         stats.absorb_solver(&solver.stats());
         match qr {
-            SolveResult::Unknown => QueryResult::Timeout,
+            SolveResult::Unknown(why) => QueryResult::Stopped(why.into()),
             SolveResult::Unsat => {
                 let itp = solver.interpolant().expect("proof-logged refutation");
                 let map: HashMap<satb::Var, AigLit> = f1

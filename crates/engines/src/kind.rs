@@ -62,8 +62,9 @@ impl Checker for KInduction {
         let mut step = FrameChain::new(&sys, false);
 
         for k in 0..=self.budget.max_depth {
-            if self.budget.expired(started) {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            if let Some(u) = self.budget.interruption(started) {
+                stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             stats.depth = k;
 
@@ -83,13 +84,17 @@ impl Checker for KInduction {
                 SolveResult::Unsat => {
                     base.solver.add_clause(&[!bad_base]);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                SolveResult::Unknown(why) => {
+                    stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
                 }
+            }
+
+            // A base-case solve that exhausted the budget must not run
+            // the (often much harder) step solve before noticing.
+            if let Some(u) = self.budget.interruption(started) {
+                stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
 
             // Inductive step at k: frames 0..=k from a free state, with
@@ -114,12 +119,9 @@ impl Checker for KInduction {
                     // Not k-inductive: pin !bad at k and deepen.
                     step.solver.add_clause(&[!bad_step]);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                SolveResult::Unknown(why) => {
+                    stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
                 }
             }
         }
@@ -129,7 +131,7 @@ impl Checker for KInduction {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use rtlir::Sort;
 
@@ -176,7 +178,7 @@ mod tests {
     /// Plain k-induction never converges (the unreachable loop yields
     /// counterexamples-to-induction of every length); the simple-path
     /// constraint bounds paths by the state count and settles it.
-    fn trap_ts() -> TransitionSystem {
+    pub(crate) fn trap_ts() -> TransitionSystem {
         let mut ts = TransitionSystem::new("trap");
         let jump = ts.add_input("jump", Sort::BOOL);
         let a = ts.add_state("a", Sort::BOOL);
@@ -223,6 +225,7 @@ mod tests {
             budget: Budget {
                 timeout: None,
                 max_depth: 25,
+                ..Budget::default()
             },
             simple_path: false,
         }

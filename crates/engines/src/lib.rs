@@ -11,6 +11,7 @@
 //! | ABC interpolation   | [`itp::Interpolation`] |
 //! | ABC `pdr`           | [`pdr::Pdr`]           |
 //! | (bug finding base)  | [`bmc::Bmc`]           |
+//! | hybrid (Figure 5)   | [`portfolio::Portfolio`] |
 //!
 //! All engines implement [`Checker`] over a word-level
 //! [`rtlir::TransitionSystem`] and return a [`CheckOutcome`] — verdict
@@ -47,7 +48,9 @@ pub mod bmc;
 pub mod itp;
 pub mod kind;
 pub mod pdr;
+pub mod portfolio;
 pub mod result;
 pub mod word;
 
+pub use portfolio::{Portfolio, PortfolioOutcome};
 pub use result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};

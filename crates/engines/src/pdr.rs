@@ -177,7 +177,17 @@ struct PdrRun<'s> {
 enum BlockResult {
     Blocked,
     Cex(Trace),
-    Timeout,
+    Stopped(Unknown),
+}
+
+/// Answer of one relative-induction query.
+enum RelQuery {
+    /// SAT: a predecessor state (with inputs) reaches the cube.
+    Pred(Predecessor),
+    /// UNSAT: the cube is blocked; the generalized core cube.
+    Blocked(Cube),
+    /// The solver hit a limit; the engine-level reason.
+    Stopped(Unknown),
 }
 
 impl<'s> PdrRun<'s> {
@@ -236,7 +246,7 @@ impl<'s> PdrRun<'s> {
     /// Relative-induction query: is `cube` (as next-state) reachable
     /// from `F_{level-1} ∧ ¬cube`? On UNSAT returns the generalized
     /// core cube.
-    fn query_relative(&mut self, cube: &Cube, level: usize) -> Result<Option<Predecessor>, Cube> {
+    fn query_relative(&mut self, cube: &Cube, level: usize) -> RelQuery {
         let fs = &mut self.solvers[level - 1];
         // Temporary ¬cube clause guarded by an activation literal.
         let act = Lit::pos(fs.solver.new_var());
@@ -261,7 +271,7 @@ impl<'s> PdrRun<'s> {
                 let state = fs.model_state(self.sys.latches.len());
                 let inputs = fs.model_inputs(self.sys);
                 fs.solver.add_clause(&[!act]);
-                Ok(Some((state, inputs)))
+                RelQuery::Pred((state, inputs))
             }
             SolveResult::Unsat => {
                 let failed: Vec<Lit> = fs.solver.failed_assumptions().to_vec();
@@ -294,24 +304,24 @@ impl<'s> PdrRun<'s> {
                         core.sort_unstable();
                     }
                 }
-                Err(core)
+                RelQuery::Blocked(core)
             }
-            SolveResult::Unknown => {
+            SolveResult::Unknown(why) => {
                 fs.solver.add_clause(&[!act]);
-                Ok(None) // signalled as timeout by caller
+                RelQuery::Stopped(why.into())
             }
         }
     }
 
     /// Tries to drop further literals from a relatively-inductive cube.
-    fn shrink(&mut self, mut cube: Cube, level: usize) -> Option<Cube> {
+    fn shrink(&mut self, mut cube: Cube, level: usize) -> Result<Cube, Unknown> {
         let mut i = 0;
         while i < cube.len() {
             if cube.len() <= 1 {
                 break;
             }
-            if self.budget.expired(self.started) {
-                return None;
+            if let Some(u) = self.budget.interruption(self.started) {
+                return Err(u);
             }
             let mut candidate = cube.clone();
             candidate.remove(i);
@@ -320,7 +330,7 @@ impl<'s> PdrRun<'s> {
                 continue;
             }
             match self.query_relative(&candidate, level) {
-                Err(core) => {
+                RelQuery::Blocked(core) => {
                     cube = if self.cube_intersects_init(&core) {
                         candidate
                     } else {
@@ -328,13 +338,13 @@ impl<'s> PdrRun<'s> {
                     };
                     i = 0;
                 }
-                Ok(Some(_)) => {
+                RelQuery::Pred(_) => {
                     i += 1;
                 }
-                Ok(None) => return None,
+                RelQuery::Stopped(u) => return Err(u),
             }
         }
-        Some(cube)
+        Ok(cube)
     }
 
     fn reconstruct_trace(
@@ -380,8 +390,8 @@ impl<'s> PdrRun<'s> {
             arena_index: 0,
         });
         while let Some(entry) = queue.pop() {
-            if self.budget.expired(self.started) {
-                return BlockResult::Timeout;
+            if let Some(u) = self.budget.interruption(self.started) {
+                return BlockResult::Stopped(u);
             }
             let (level, cube) = {
                 let ob = &arena[entry.arena_index];
@@ -395,8 +405,8 @@ impl<'s> PdrRun<'s> {
                 unreachable!("level-0 obligations are resolved at creation");
             }
             match self.query_relative(&cube, level) {
-                Ok(None) => return BlockResult::Timeout,
-                Ok(Some((pred_state, pred_inputs))) => {
+                RelQuery::Stopped(u) => return BlockResult::Stopped(u),
+                RelQuery::Pred((pred_state, pred_inputs)) => {
                     // A predecessor exists in F_{level-1}.
                     if level == 1 {
                         // Predecessor lies in the initial states: cex.
@@ -432,20 +442,20 @@ impl<'s> PdrRun<'s> {
                         arena_index: entry.arena_index,
                     });
                 }
-                Err(core) => {
+                RelQuery::Blocked(core) => {
                     // Blocked: generalize further and store the clause.
                     let gen = match self.shrink(core, level) {
-                        Some(g) => g,
-                        None => return BlockResult::Timeout,
+                        Ok(g) => g,
+                        Err(u) => return BlockResult::Stopped(u),
                     };
                     // Push the clause as far forward as it stays
                     // relatively inductive.
                     let mut at = level;
                     while at < max_level {
                         match self.query_relative(&gen, at + 1) {
-                            Err(_) => at += 1,
-                            Ok(Some(_)) => break,
-                            Ok(None) => return BlockResult::Timeout,
+                            RelQuery::Blocked(_) => at += 1,
+                            RelQuery::Pred(_) => break,
+                            RelQuery::Stopped(u) => return BlockResult::Stopped(u),
                         }
                     }
                     self.add_blocked(gen, at);
@@ -489,30 +499,30 @@ impl<'s> PdrRun<'s> {
     }
 
     /// Propagates clauses forward; returns true if a fixpoint was found.
-    fn propagate(&mut self, max_level: usize) -> Option<bool> {
+    fn propagate(&mut self, max_level: usize) -> Result<bool, Unknown> {
         for i in 1..max_level {
             let cubes = self.frames.get(i).cloned().unwrap_or_default();
             for cube in cubes {
-                if self.budget.expired(self.started) {
-                    return None;
+                if let Some(u) = self.budget.interruption(self.started) {
+                    return Err(u);
                 }
                 match self.query_relative(&cube, i + 1) {
-                    Err(_) => {
+                    RelQuery::Blocked(_) => {
                         // Holds one frame further: move it forward.
                         if let Some(pos) = self.frames[i].iter().position(|c| c == &cube) {
                             self.frames[i].remove(pos);
                         }
                         self.add_blocked(cube, i + 1);
                     }
-                    Ok(Some(_)) => {}
-                    Ok(None) => return None,
+                    RelQuery::Pred(_) => {}
+                    RelQuery::Stopped(u) => return Err(u),
                 }
             }
             if self.frames.get(i).map(|f| f.is_empty()).unwrap_or(true) {
-                return Some(true);
+                return Ok(true);
             }
         }
-        Some(false)
+        Ok(false)
     }
 }
 
@@ -531,7 +541,7 @@ impl Checker for Pdr {
 
         let mut run = PdrRun {
             sys: &sys,
-            budget: self.budget,
+            budget: self.budget.clone(),
             started,
             solvers: Vec::new(),
             frames: vec![Vec::new()],
@@ -565,16 +575,14 @@ impl Checker for Pdr {
                 };
                 return run.outcome(Verdict::Unsafe(trace), started);
             }
-            SolveResult::Unknown => {
-                return run.outcome(Verdict::Unknown(Unknown::Timeout), started)
-            }
+            SolveResult::Unknown(why) => return run.outcome(Verdict::Unknown(why.into()), started),
             SolveResult::Unsat => {}
         }
 
         let mut max_level: usize = 1;
         loop {
-            if run.budget.expired(started) {
-                return run.outcome(Verdict::Unknown(Unknown::Timeout), started);
+            if let Some(u) = run.budget.interruption(started) {
+                return run.outcome(Verdict::Unknown(u), started);
             }
             if max_level as u32 > self.budget.max_depth {
                 return run.outcome(Verdict::Unknown(Unknown::BoundReached), started);
@@ -624,8 +632,8 @@ impl Checker for Pdr {
                         BlockResult::Cex(trace) => {
                             return run.outcome(Verdict::Unsafe(trace), started);
                         }
-                        BlockResult::Timeout => {
-                            return run.outcome(Verdict::Unknown(Unknown::Timeout), started);
+                        BlockResult::Stopped(u) => {
+                            return run.outcome(Verdict::Unknown(u), started);
                         }
                     }
                 }
@@ -634,13 +642,13 @@ impl Checker for Pdr {
                     max_level += 1;
                     run.ensure_solver(max_level);
                     match run.propagate(max_level) {
-                        Some(true) => return run.outcome(Verdict::Safe, started),
-                        Some(false) => {}
-                        None => return run.outcome(Verdict::Unknown(Unknown::Timeout), started),
+                        Ok(true) => return run.outcome(Verdict::Safe, started),
+                        Ok(false) => {}
+                        Err(u) => return run.outcome(Verdict::Unknown(u), started),
                     }
                 }
-                SolveResult::Unknown => {
-                    return run.outcome(Verdict::Unknown(Unknown::Timeout), started);
+                SolveResult::Unknown(why) => {
+                    return run.outcome(Verdict::Unknown(why.into()), started);
                 }
             }
         }

@@ -1,0 +1,566 @@
+//! Parallel engine portfolio — the paper's best "hybrid" configuration
+//! (Figure 5): several analyzers race on worker threads over the same
+//! [`TransitionSystem`], the first definite verdict wins, and the
+//! losers are cooperatively cancelled.
+//!
+//! Cancellation rides on the `satb` stop flag: every member engine gets
+//! a clone of this portfolio's [`Budget`] carrying one shared
+//! `Arc<AtomicBool>`, which [`Budget::sat_limits`] threads into each
+//! SAT query. When the winner reports, the flag is raised and every
+//! in-flight solve returns `Unknown(Cancelled)` within one solver-loop
+//! iteration — no loser outlives the winner by more than one
+//! conflict-check interval.
+//!
+//! The default line-up is BMC (bug hunting), k-induction, interpolation
+//! and PDR — mirroring how ABC's `dprove`, CPAchecker 3.0's strategy
+//! portfolio, and rIC3 field complementary engines so that whichever
+//! technique fits the design answers first.
+//!
+//! # Example
+//!
+//! ```
+//! use engines::portfolio::Portfolio;
+//! use engines::{Checker, Verdict};
+//! use rtlir::{Sort, TransitionSystem};
+//!
+//! // A counter with a bug at depth 5: BMC wins the race.
+//! let mut ts = TransitionSystem::new("c");
+//! let s = ts.add_state("count", Sort::Bv(8));
+//! let sv = ts.pool_mut().var(s);
+//! let one = ts.pool_mut().constv(8, 1);
+//! let next = ts.pool_mut().add(sv, one);
+//! let zero = ts.pool_mut().constv(8, 0);
+//! ts.set_init(s, zero);
+//! ts.set_next(s, next);
+//! let five = ts.pool_mut().constv(8, 5);
+//! let bad = ts.pool_mut().eq(sv, five);
+//! ts.add_bad(bad, "reaches 5");
+//!
+//! let report = Portfolio::default().check_detailed(&ts);
+//! assert!(report.verdict.is_unsafe());
+//! assert!(report.winner.is_some());
+//! ```
+
+use crate::bmc::Bmc;
+use crate::itp::Interpolation;
+use crate::kind::KInduction;
+use crate::pdr::Pdr;
+use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
+use rtlir::TransitionSystem;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Instant;
+
+/// One member engine's result within a portfolio run.
+#[derive(Clone, Debug)]
+pub struct EngineReport {
+    /// The member's engine name (`Checker::name`).
+    pub name: &'static str,
+    /// Its verdict and statistics (losers typically report
+    /// `Unknown(Cancelled)`).
+    pub outcome: CheckOutcome,
+    /// Whether this member produced the winning verdict.
+    pub winner: bool,
+}
+
+/// The combined answer of a portfolio run.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The winning definite verdict, or the merged `Unknown` when no
+    /// member answered.
+    pub verdict: Verdict,
+    /// Aggregated statistics: the winner's depth, and queries /
+    /// conflicts / reduction counters / arena bytes summed over every
+    /// member.
+    pub stats: EngineStats,
+    /// Name of the member that answered first, if any.
+    pub winner: Option<&'static str>,
+    /// Every member's own verdict and statistics.
+    pub engines: Vec<EngineReport>,
+    /// Set when a second member produced a definite verdict that
+    /// contradicts the winner's — a soundness alarm worth surfacing.
+    pub disagreement: bool,
+}
+
+impl PortfolioOutcome {
+    /// A compact multi-line report: winner, then one line per member
+    /// with depth / SAT queries / conflicts / arena footprint.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "verdict {} (winner: {}{})",
+            self.verdict,
+            self.winner.unwrap_or("none"),
+            if self.disagreement {
+                ", DISAGREEMENT"
+            } else {
+                ""
+            }
+        );
+        for e in &self.engines {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<22} depth {:>4}  queries {:>6}  conflicts {:>8}  arena {:>9} B  {:.2}s",
+                e.name,
+                format!("{}{}", e.outcome.outcome, if e.winner { " *" } else { "" }),
+                e.outcome.stats.depth,
+                e.outcome.stats.sat_queries,
+                e.outcome.stats.conflicts,
+                e.outcome.stats.arena_bytes,
+                e.outcome.stats.time.as_secs_f64(),
+            );
+        }
+        out
+    }
+}
+
+/// Parallel portfolio checker.
+///
+/// Run it like any other engine via [`Checker::check`], or with
+/// [`Portfolio::check_detailed`] for the per-engine breakdown.
+///
+/// Concurrent `check` calls on the *same* `Portfolio` value share the
+/// cancellation flag and would cancel each other; use one `Portfolio`
+/// per concurrent run.
+pub struct Portfolio {
+    budget: Budget,
+    /// The portfolio's own flag, raised when a winner reports; member
+    /// budgets carry a clone of this one.
+    stop: Arc<AtomicBool>,
+    /// A stop flag the *caller* supplied on the budget (e.g. this
+    /// portfolio is itself a member of a larger race); polled during
+    /// the run and forwarded to the members.
+    external: Option<Arc<AtomicBool>>,
+    engines: Vec<(&'static str, Box<dyn Checker + Send + Sync>)>,
+}
+
+impl Default for Portfolio {
+    fn default() -> Portfolio {
+        Portfolio::with_default_engines(Budget::default())
+    }
+}
+
+impl Portfolio {
+    /// An empty portfolio with the given budget; add members with
+    /// [`push`](Portfolio::push). A stop flag already attached to
+    /// `budget` cancels the whole portfolio from outside.
+    pub fn new(mut budget: Budget) -> Portfolio {
+        let external = budget.stop.take();
+        Portfolio {
+            stop: Arc::new(AtomicBool::new(false)),
+            external,
+            budget,
+            engines: Vec::new(),
+        }
+    }
+
+    /// The paper's hybrid line-up: BMC, k-induction, interpolation and
+    /// PDR, all under `budget` and the shared cancellation flag.
+    pub fn with_default_engines(budget: Budget) -> Portfolio {
+        let mut p = Portfolio::new(budget);
+        let b = p.engine_budget();
+        p.push(Bmc::new(b.clone()));
+        p.push(KInduction::new(b.clone()));
+        p.push(Interpolation::new(b.clone()));
+        p.push(Pdr::new(b));
+        p
+    }
+
+    /// A clone of the portfolio's budget carrying the shared stop
+    /// flag. Engines added via [`push`](Portfolio::push) should be
+    /// built from this so the portfolio can cancel them.
+    pub fn engine_budget(&self) -> Budget {
+        self.budget.clone().with_stop(self.stop.clone())
+    }
+
+    /// Adds a member engine. Build it from
+    /// [`engine_budget`](Portfolio::engine_budget) or it will ignore
+    /// cancellation and only stop at its own limits.
+    pub fn push<C: Checker + Send + Sync + 'static>(&mut self, checker: C) {
+        self.engines.push((checker.name(), Box::new(checker)));
+    }
+
+    /// Member names, in spawn order.
+    pub fn members(&self) -> Vec<&'static str> {
+        self.engines.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// Races every member on `ts` and returns the full breakdown.
+    pub fn check_detailed(&self, ts: &TransitionSystem) -> PortfolioOutcome {
+        let started = Instant::now();
+        self.stop.store(false, Ordering::Relaxed);
+        if self.engines.is_empty() {
+            return PortfolioOutcome {
+                verdict: Verdict::Unknown(Unknown::Inconclusive("empty portfolio".into())),
+                stats: EngineStats::default(),
+                winner: None,
+                engines: Vec::new(),
+                disagreement: false,
+            };
+        }
+
+        let mut outcomes: Vec<Option<CheckOutcome>> = Vec::new();
+        outcomes.resize_with(self.engines.len(), || None);
+        let mut winner_idx: Option<usize> = None;
+        let mut disagreement = false;
+
+        let (tx, rx) = mpsc::channel::<(usize, CheckOutcome)>();
+        thread::scope(|scope| {
+            for (i, (name, checker)) in self.engines.iter().enumerate() {
+                let tx = tx.clone();
+                let checker = checker.as_ref();
+                thread::Builder::new()
+                    .name(format!("portfolio-{name}"))
+                    .spawn_scoped(scope, move || {
+                        let out = checker.check(ts);
+                        // The portfolio may already have dropped the
+                        // receiver only if it panicked; ignore.
+                        let _ = tx.send((i, out));
+                    })
+                    .expect("spawn portfolio worker");
+            }
+            drop(tx);
+            // Collect every member: losers come back quickly once the
+            // stop flag is up, so this also joins the race. When the
+            // caller supplied their own stop flag, poll it and forward
+            // a raise to the members.
+            let recv_next = || match &self.external {
+                None => rx.recv().ok(),
+                Some(ext) => loop {
+                    if ext.load(Ordering::Relaxed) {
+                        self.stop.store(true, Ordering::Relaxed);
+                    }
+                    match rx.recv_timeout(std::time::Duration::from_millis(5)) {
+                        Ok(msg) => break Some(msg),
+                        Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+                    }
+                },
+            };
+            while let Some((i, out)) = recv_next() {
+                let definite = !matches!(out.outcome, Verdict::Unknown(_));
+                if definite {
+                    match winner_idx {
+                        None => {
+                            winner_idx = Some(i);
+                            // First definite verdict: call the race,
+                            // cancel everyone still running.
+                            self.stop.store(true, Ordering::Relaxed);
+                        }
+                        Some(w) => {
+                            let agree = matches!(
+                                (
+                                    &outcomes[w].as_ref().expect("winner stored").outcome,
+                                    &out.outcome
+                                ),
+                                (Verdict::Safe, Verdict::Safe)
+                                    | (Verdict::Unsafe(_), Verdict::Unsafe(_))
+                            );
+                            disagreement |= !agree;
+                        }
+                    }
+                }
+                outcomes[i] = Some(out);
+            }
+        });
+
+        let mut stats = EngineStats::default();
+        let mut engines = Vec::with_capacity(self.engines.len());
+        for ((name, _), out) in self.engines.iter().zip(outcomes) {
+            let out = out.expect("every portfolio worker reports");
+            stats.sat_queries += out.stats.sat_queries;
+            stats.conflicts += out.stats.conflicts;
+            stats.reduces += out.stats.reduces;
+            stats.deleted += out.stats.deleted;
+            stats.arena_bytes += out.stats.arena_bytes;
+            engines.push(EngineReport {
+                name,
+                outcome: out,
+                winner: false,
+            });
+        }
+
+        let verdict = match winner_idx {
+            Some(w) => {
+                engines[w].winner = true;
+                stats.depth = engines[w].outcome.stats.depth;
+                engines[w].outcome.outcome.clone()
+            }
+            None => {
+                stats.depth = engines
+                    .iter()
+                    .map(|e| e.outcome.stats.depth)
+                    .max()
+                    .unwrap_or(0);
+                Verdict::Unknown(merge_unknowns(&engines))
+            }
+        };
+        stats.time = started.elapsed();
+        PortfolioOutcome {
+            verdict,
+            stats,
+            winner: winner_idx.map(|w| engines[w].name),
+            engines,
+            disagreement,
+        }
+    }
+}
+
+/// Picks the most informative `Unknown` reason when no member answered.
+/// Priority: timeout, then bound reached, then conflict limit, then
+/// inherent incompleteness, then "someone cancelled us" (which should
+/// not be the whole story of an un-won race).
+fn merge_unknowns(engines: &[EngineReport]) -> Unknown {
+    fn rank(u: &Unknown) -> u8 {
+        match u {
+            Unknown::Timeout => 4,
+            Unknown::BoundReached => 3,
+            Unknown::ConflictLimit => 2,
+            Unknown::Inconclusive(_) => 1,
+            Unknown::Cancelled => 0,
+        }
+    }
+    engines
+        .iter()
+        .filter_map(|e| match &e.outcome.outcome {
+            Verdict::Unknown(u) => Some(u),
+            _ => None,
+        })
+        .max_by_key(|u| rank(u))
+        .cloned()
+        .unwrap_or(Unknown::Cancelled)
+}
+
+impl Checker for Portfolio {
+    fn name(&self) -> &'static str {
+        "portfolio"
+    }
+
+    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let d = self.check_detailed(ts);
+        CheckOutcome {
+            outcome: d.verdict,
+            stats: d.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn unlimited(max_depth: u32) -> Budget {
+        Budget {
+            timeout: None,
+            max_depth,
+            ..Budget::default()
+        }
+    }
+
+    #[test]
+    fn portfolio_finds_bmc_winnable_bug() {
+        // A counter bug at depth 6: pure reachability, the racing
+        // provers cannot answer faster than the bug hunters.
+        let ts = crate::bmc::tests::counter_ts(6, 8);
+        let report = Portfolio::with_default_engines(Budget::default()).check_detailed(&ts);
+        match &report.verdict {
+            Verdict::Unsafe(trace) => {
+                assert_eq!(trace.length(), 6, "bug at documented depth");
+                let sys = aig::blast_system(&ts);
+                assert!(trace.replays_on(&sys), "winning trace must replay");
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+        assert!(report.winner.is_some());
+        assert!(!report.disagreement);
+        assert_eq!(report.engines.len(), 4);
+    }
+
+    #[test]
+    fn portfolio_proves_trap_where_plain_kind_diverges() {
+        // The unreachable-loop design: k-induction *without* the
+        // simple-path strengthening never converges (it hits its bound
+        // with counterexamples-to-induction of every length), while PDR
+        // and interpolation prove it directly. The portfolio must
+        // return Safe and the diverging member must not be the winner.
+        let ts = crate::kind::tests::trap_ts();
+        let mut p = Portfolio::new(unlimited(4000));
+        let b = p.engine_budget();
+        p.push(KInduction {
+            budget: Budget {
+                max_depth: 30,
+                ..b.clone()
+            },
+            simple_path: false,
+        });
+        p.push(Interpolation::new(b.clone()));
+        p.push(Pdr::new(b));
+        let report = p.check_detailed(&ts);
+        assert_eq!(report.verdict, Verdict::Safe);
+        let w = report.winner.expect("someone wins");
+        assert_ne!(w, "abc-kind", "diverging k-induction must not win");
+        assert!(!report.disagreement);
+    }
+
+    /// A checker that never answers until it is interrupted: a
+    /// deterministic stand-in for a diverging engine, used to pin down
+    /// cancellation behaviour without SAT-solver timing noise.
+    struct Grinder {
+        budget: Budget,
+    }
+
+    impl Checker for Grinder {
+        fn name(&self) -> &'static str {
+            "grinder"
+        }
+        fn check(&self, _ts: &TransitionSystem) -> CheckOutcome {
+            let started = Instant::now();
+            loop {
+                if let Some(u) = self.budget.interruption(started) {
+                    return CheckOutcome::finish(
+                        Verdict::Unknown(u),
+                        EngineStats::default(),
+                        started,
+                    );
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    #[test]
+    fn losers_are_cancelled_when_winner_finishes() {
+        // BMC finds the depth-2 bug almost instantly; the grinder would
+        // spin forever (its budget has no timeout). Only cooperative
+        // cancellation can end the run — and must do so quickly.
+        let ts = crate::bmc::tests::counter_ts(2, 8);
+        let mut p = Portfolio::new(unlimited(4000));
+        let b = p.engine_budget();
+        p.push(Bmc::new(b.clone()));
+        p.push(Grinder { budget: b });
+        let t0 = Instant::now();
+        let report = p.check_detailed(&ts);
+        assert!(report.verdict.is_unsafe());
+        assert_eq!(report.winner, Some("bmc"));
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "losers must be cancelled, not awaited"
+        );
+        let grinder = report
+            .engines
+            .iter()
+            .find(|e| e.name == "grinder")
+            .expect("grinder reported");
+        assert_eq!(
+            grinder.outcome.outcome,
+            Verdict::Unknown(Unknown::Cancelled),
+            "loser must report cancellation, not timeout"
+        );
+    }
+
+    #[test]
+    fn cancelled_sat_engine_stops_within_one_check_interval() {
+        // An engine whose budget's stop flag is already raised must
+        // give up on its first check without doing real solver work.
+        let ts = crate::kind::tests::trap_ts();
+        let stop = Arc::new(AtomicBool::new(true));
+        let budget = unlimited(4000).with_stop(stop);
+        for out in [
+            Bmc::new(budget.clone()).check(&ts),
+            KInduction::new(budget.clone()).check(&ts),
+            Interpolation::new(budget.clone()).check(&ts),
+            Pdr::new(budget.clone()).check(&ts),
+        ] {
+            assert_eq!(out.outcome, Verdict::Unknown(Unknown::Cancelled));
+            assert!(
+                out.stats.conflicts <= 1,
+                "a pre-cancelled engine must not accumulate conflicts: {:?}",
+                out.stats
+            );
+        }
+    }
+
+    #[test]
+    fn external_stop_flag_cancels_whole_portfolio() {
+        // A stop flag supplied on the portfolio's own budget must end
+        // the race from outside: the grinder never answers and has no
+        // timeout, so only the forwarded external raise can stop it.
+        let ts = crate::bmc::tests::counter_ts(2, 8);
+        let outer = Arc::new(AtomicBool::new(false));
+        let mut p = Portfolio::new(unlimited(4000).with_stop(outer.clone()));
+        let b = p.engine_budget();
+        p.push(Grinder { budget: b });
+        let flag = outer.clone();
+        let raiser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let t0 = Instant::now();
+        let report = p.check_detailed(&ts);
+        raiser.join().unwrap();
+        assert_eq!(report.verdict, Verdict::Unknown(Unknown::Cancelled));
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "external cancellation must end the race"
+        );
+    }
+
+    #[test]
+    fn empty_portfolio_is_inconclusive() {
+        let ts = crate::bmc::tests::counter_ts(1, 4);
+        let report = Portfolio::new(Budget::default()).check_detailed(&ts);
+        assert!(matches!(
+            report.verdict,
+            Verdict::Unknown(Unknown::Inconclusive(_))
+        ));
+        assert!(report.winner.is_none());
+    }
+
+    #[test]
+    fn merge_prefers_informative_reasons() {
+        let mk = |u: Unknown| EngineReport {
+            name: "x",
+            outcome: CheckOutcome {
+                outcome: Verdict::Unknown(u),
+                stats: EngineStats::default(),
+            },
+            winner: false,
+        };
+        assert_eq!(
+            merge_unknowns(&[mk(Unknown::Cancelled), mk(Unknown::Timeout)]),
+            Unknown::Timeout
+        );
+        assert_eq!(
+            merge_unknowns(&[mk(Unknown::Cancelled), mk(Unknown::BoundReached)]),
+            Unknown::BoundReached
+        );
+        assert_eq!(
+            merge_unknowns(&[mk(Unknown::Cancelled), mk(Unknown::Cancelled)]),
+            Unknown::Cancelled
+        );
+    }
+
+    #[test]
+    fn portfolio_agrees_with_best_single_engine() {
+        // Same-verdict check on designs with known ground truth: the
+        // portfolio answer must match what a lone engine derives.
+        let bug = crate::bmc::tests::counter_ts(3, 8);
+        let p = Portfolio::with_default_engines(Budget::default());
+        let solo = Bmc::new(Budget::default()).check(&bug);
+        let port = p.check(&bug);
+        match (&solo.outcome, &port.outcome) {
+            (Verdict::Unsafe(a), Verdict::Unsafe(b)) => {
+                assert_eq!(a.length(), b.length());
+            }
+            other => panic!("expected matching Unsafe verdicts, got {other:?}"),
+        }
+
+        let safe = crate::kind::tests::trap_ts();
+        let p = Portfolio::with_default_engines(Budget::default());
+        assert_eq!(p.check(&safe).outcome, Verdict::Safe);
+    }
+}

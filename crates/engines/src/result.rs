@@ -3,6 +3,8 @@
 
 use rtlir::TransitionSystem;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why an engine gave up without an answer.
@@ -12,6 +14,11 @@ pub enum Unknown {
     Timeout,
     /// The bound (k, frame count) limit was reached without an answer.
     BoundReached,
+    /// A SAT-query conflict budget ran out before the wall clock did.
+    ConflictLimit,
+    /// The run was cooperatively cancelled (e.g. another portfolio
+    /// engine produced a definite verdict first).
+    Cancelled,
     /// The technique is inherently incomplete here (e.g. abstract
     /// interpretation raising a possible false alarm). Carries a short
     /// explanation.
@@ -23,7 +30,22 @@ impl fmt::Display for Unknown {
         match self {
             Unknown::Timeout => write!(f, "timeout"),
             Unknown::BoundReached => write!(f, "bound reached"),
+            Unknown::ConflictLimit => write!(f, "conflict limit"),
+            Unknown::Cancelled => write!(f, "cancelled"),
             Unknown::Inconclusive(why) => write!(f, "inconclusive: {why}"),
+        }
+    }
+}
+
+impl From<satb::Interrupt> for Unknown {
+    /// Maps the solver-level interrupt onto the engine-level reason, so
+    /// engines report *why* a query gave up instead of collapsing every
+    /// `SolveResult::Unknown` to a timeout.
+    fn from(i: satb::Interrupt) -> Unknown {
+        match i {
+            satb::Interrupt::ConflictLimit => Unknown::ConflictLimit,
+            satb::Interrupt::Timeout => Unknown::Timeout,
+            satb::Interrupt::Cancelled => Unknown::Cancelled,
         }
     }
 }
@@ -183,12 +205,16 @@ impl CheckOutcome {
 
 /// Resource budget for one `check` call: the reproduction-scale
 /// stand-in for the paper's 5 h / 32 GB per-benchmark limits.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Budget {
     /// Wall-clock limit (`None` = unlimited).
     pub timeout: Option<Duration>,
     /// Bound limit: maximum k / frame count.
     pub max_depth: u32,
+    /// Cooperative cancellation flag shared with the run's SAT queries
+    /// (and, in a portfolio, with the sibling engines). `None` means
+    /// the run can only end via timeout or bound.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for Budget {
@@ -196,6 +222,7 @@ impl Default for Budget {
         Budget {
             timeout: Some(Duration::from_secs(60)),
             max_depth: 4000,
+            stop: None,
         }
     }
 }
@@ -209,16 +236,25 @@ impl Budget {
         }
     }
 
+    /// Attaches a shared stop flag, making the budget cancellable.
+    pub fn with_stop(mut self, stop: Arc<AtomicBool>) -> Budget {
+        self.stop = Some(stop);
+        self
+    }
+
     /// Computes the absolute deadline for a run starting now.
     pub fn deadline_from(&self, started: Instant) -> Option<Instant> {
         self.timeout.map(|t| started + t)
     }
 
-    /// SAT limits for one query of a run started at `started`.
+    /// SAT limits for one query of a run started at `started`. The
+    /// stop flag is threaded through so in-flight solves can be
+    /// cancelled mid-search.
     pub fn sat_limits(&self, started: Instant) -> satb::Limits {
         satb::Limits {
             max_conflicts: None,
             deadline: self.deadline_from(started),
+            stop: self.stop.clone(),
         }
     }
 
@@ -227,6 +263,26 @@ impl Budget {
         match self.deadline_from(started) {
             Some(d) => Instant::now() >= d,
             None => false,
+        }
+    }
+
+    /// Whether the shared stop flag has been raised.
+    pub fn cancelled(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
+
+    /// Why the run must stop now, if it must: cancellation wins over
+    /// timeout (it is the cheaper, deliberate signal). Engines call
+    /// this between SAT queries and at loop heads.
+    pub fn interruption(&self, started: Instant) -> Option<Unknown> {
+        if self.cancelled() {
+            Some(Unknown::Cancelled)
+        } else if self.expired(started) {
+            Some(Unknown::Timeout)
+        } else {
+            None
         }
     }
 }
@@ -263,6 +319,7 @@ mod tests {
         let b = Budget {
             timeout: Some(Duration::from_millis(1)),
             max_depth: 10,
+            ..Budget::default()
         };
         let t0 = Instant::now();
         std::thread::sleep(Duration::from_millis(5));
@@ -270,6 +327,7 @@ mod tests {
         let unlimited = Budget {
             timeout: None,
             max_depth: 10,
+            ..Budget::default()
         };
         assert!(!unlimited.expired(t0));
     }

@@ -42,12 +42,15 @@ impl WordKInduction {
     }
 
     /// Solves a single-bit word-level formula built in `unroller`'s
-    /// pool. Returns the solver (for model extraction) and the result.
+    /// pool. Returns the solver (for model extraction) and the result;
+    /// the per-query solver's counters are folded into `stats` (each
+    /// bound solves from scratch, so the solver dies with the query).
     fn solve_formula<'u>(
         &self,
         unroller: &'u Unroller<'_>,
         roots: &[rtlir::ExprId],
         started: Instant,
+        stats: &mut EngineStats,
     ) -> (SolveResult, Option<WordModel<'u>>) {
         let mut blaster = Blaster::new(unroller.pool());
         let bits: Vec<aig::AigLit> = roots.iter().map(|&r| blaster.blast_bit(r)).collect();
@@ -59,6 +62,7 @@ impl WordKInduction {
             solver.add_clause(&[l]);
         }
         let r = solver.solve_limited(&[], self.budget.sat_limits(started));
+        stats.absorb_solver(&solver.stats());
         if r == SolveResult::Sat {
             // Capture CI values so the caller can evaluate word-level
             // expressions of the model.
@@ -112,8 +116,8 @@ impl Checker for WordKInduction {
         let mut stats = EngineStats::default();
 
         for k in 0..=self.budget.max_depth {
-            if self.budget.expired(started) {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            if let Some(u) = self.budget.interruption(started) {
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             stats.depth = k;
 
@@ -162,7 +166,7 @@ impl Checker for WordKInduction {
                 .map(|bi| base.bad_at(k as usize, bi))
                 .collect();
             stats.sat_queries += 1;
-            let (r, model) = self.solve_formula(&base, &roots, started);
+            let (r, model) = self.solve_formula(&base, &roots, started, &mut stats);
             match r {
                 SolveResult::Sat => {
                     let mut model = model.expect("sat model");
@@ -207,14 +211,16 @@ impl Checker for WordKInduction {
                     };
                     return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
                 }
                 SolveResult::Unsat => {}
+            }
+
+            // A base-case solve that exhausted the budget must not run
+            // the step solve before the next iteration notices.
+            if let Some(u) = self.budget.interruption(started) {
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
 
             // Inductive step: free initial state, property holds for
@@ -241,17 +247,13 @@ impl Checker for WordKInduction {
                 }
             }
             stats.sat_queries += 1;
-            let (r, _) = self.solve_formula(&step, &roots, started);
+            let (r, _) = self.solve_formula(&step, &roots, started, &mut stats);
             match r {
                 SolveResult::Unsat => {
                     return CheckOutcome::finish(Verdict::Safe, stats, started);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
                 }
                 SolveResult::Sat => {}
             }

@@ -14,7 +14,11 @@
 //!   IC3/PDR and k-induction engines;
 //! * optional **resolution proof logging** and McMillan **interpolant**
 //!   extraction ([`Solver::interpolant`]), used by the interpolation-
-//!   based model checker and the IMPACT-style software analyzer.
+//!   based model checker and the IMPACT-style software analyzer;
+//! * per-call resource [`Limits`] — conflict budget, wall-clock
+//!   deadline, and a shared [`Limits::stop`] flag for cooperative
+//!   cross-thread cancellation — with the tripped limit reported as a
+//!   typed [`Interrupt`] in [`SolveResult::Unknown`].
 //!
 //! # Example
 //!
@@ -42,4 +46,4 @@ pub use cdb::{CRef, ClauseDb};
 pub use interp::Interpolant;
 pub use lit::{Lit, Var};
 pub use proof::{ClauseId, Part};
-pub use solver::{Limits, ReduceConfig, SolveResult, Solver, Stats};
+pub use solver::{Interrupt, Limits, ReduceConfig, SolveResult, Solver, Stats};

@@ -4,7 +4,21 @@ use crate::cdb::{CRef, ClauseDb};
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::{ClauseId, Part, Proof, ProofClause, ResStep};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Which resource limit ended a solve call without an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The per-call conflict budget ([`Limits::max_conflicts`]) ran out.
+    ConflictLimit,
+    /// The wall-clock deadline ([`Limits::deadline`]) passed.
+    Timeout,
+    /// The shared stop flag ([`Limits::stop`]) was raised by another
+    /// thread (cooperative cancellation, e.g. a portfolio winner).
+    Cancelled,
+}
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -13,17 +27,32 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
-    /// A resource limit was hit before an answer was derived.
-    Unknown,
+    /// A resource limit was hit before an answer was derived; the
+    /// payload says which one.
+    Unknown(Interrupt),
 }
 
 /// Resource limits for a single `solve` call.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Limits {
     /// Give up after this many conflicts (`None` = unlimited).
     pub max_conflicts: Option<u64>,
     /// Give up once this wall-clock instant has passed.
     pub deadline: Option<Instant>,
+    /// Cooperative cancellation: give up as soon as this shared flag is
+    /// observed `true`. Checked once per solver-loop iteration (every
+    /// conflict or decision), so a cancelled solve returns within one
+    /// propagation round.
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+impl Limits {
+    /// Whether the shared stop flag has been raised.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|s| s.load(Ordering::Relaxed))
+    }
 }
 
 /// Cumulative solver statistics.
@@ -1101,6 +1130,10 @@ impl Solver {
         let mut restart_budget = luby(restart_count) * 100;
 
         loop {
+            if limits.stop_requested() {
+                self.backtrack(0);
+                return SolveResult::Unknown(Interrupt::Cancelled);
+            }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 if self.decision_level() == 0 {
@@ -1136,14 +1169,14 @@ impl Solver {
                 if let Some(mc) = limits.max_conflicts {
                     if self.stats.conflicts - limit_base >= mc {
                         self.backtrack(0);
-                        return SolveResult::Unknown;
+                        return SolveResult::Unknown(Interrupt::ConflictLimit);
                     }
                 }
                 if self.stats.conflicts.is_multiple_of(64) {
                     if let Some(d) = limits.deadline {
                         if Instant::now() >= d {
                             self.backtrack(0);
-                            return SolveResult::Unknown;
+                            return SolveResult::Unknown(Interrupt::Timeout);
                         }
                     }
                 }
@@ -1497,12 +1530,74 @@ mod tests {
             &[],
             Limits {
                 max_conflicts: Some(5),
-                deadline: None,
+                ..Limits::default()
             },
         );
-        assert_eq!(r, SolveResult::Unknown);
+        assert_eq!(r, SolveResult::Unknown(Interrupt::ConflictLimit));
         let r2 = s.solve_limited(&[], Limits::default());
         assert_eq!(r2, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stop_flag_cancels_promptly() {
+        // A pre-raised stop flag must end the solve within one loop
+        // iteration: no conflicts may be accumulated at all.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 9);
+        let stop = Arc::new(AtomicBool::new(true));
+        let before = s.stats().conflicts;
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                stop: Some(stop.clone()),
+                ..Limits::default()
+            },
+        );
+        assert_eq!(r, SolveResult::Unknown(Interrupt::Cancelled));
+        assert!(
+            s.stats().conflicts - before <= 1,
+            "cancelled solve must stop within one conflict-check interval"
+        );
+
+        // Raising the flag from another thread mid-solve also stops a
+        // run that would otherwise grind for a long time.
+        stop.store(false, Ordering::Relaxed);
+        let flag = stop.clone();
+        let t0 = Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            flag.store(true, Ordering::Relaxed);
+        });
+        let r = s.solve_limited(
+            &[],
+            Limits {
+                stop: Some(stop.clone()),
+                ..Limits::default()
+            },
+        );
+        handle.join().unwrap();
+        if r == SolveResult::Unknown(Interrupt::Cancelled) {
+            assert!(
+                t0.elapsed() < std::time::Duration::from_secs(10),
+                "cancellation must not be ignored"
+            );
+        } else {
+            // The instance may occasionally finish before the flag is
+            // raised; any definite answer is acceptable then.
+            assert_ne!(r, SolveResult::Unknown(Interrupt::Timeout));
+        }
+        // The solver stays usable after a cancelled call.
+        let r2 = s.solve_limited(
+            &[],
+            Limits {
+                max_conflicts: Some(10),
+                ..Limits::default()
+            },
+        );
+        assert!(matches!(
+            r2,
+            SolveResult::Unsat | SolveResult::Unknown(Interrupt::ConflictLimit)
+        ));
     }
 
     #[test]
@@ -1557,10 +1652,10 @@ mod tests {
             &[],
             Limits {
                 max_conflicts: Some(50),
-                deadline: None,
+                ..Limits::default()
             },
         );
-        assert_eq!(r, SolveResult::Unknown);
+        assert_eq!(r, SolveResult::Unknown(Interrupt::ConflictLimit));
         s.debug_force_reduce();
         s.debug_force_gc();
         s.debug_check_integrity().expect("intact after GC");

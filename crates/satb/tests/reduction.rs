@@ -164,7 +164,7 @@ fn gc_compaction_between_solves() {
             &[],
             satb::Limits {
                 max_conflicts: Some(40),
-                deadline: None,
+                ..satb::Limits::default()
             },
         );
         assert_ne!(r, SolveResult::Sat, "pigeonhole is UNSAT");

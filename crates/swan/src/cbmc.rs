@@ -40,11 +40,10 @@ impl Analyzer for CbmcKind {
         let started = Instant::now();
         let mut stats = EngineStats::default();
         let ts = &prog.ts;
-        let deadline = self.budget.deadline_from(started);
 
         for k in 0..=self.budget.max_depth {
-            if self.budget.expired(started) {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            if let Some(u) = self.budget.interruption(started) {
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             stats.depth = k;
 
@@ -65,19 +64,15 @@ impl Analyzer for CbmcKind {
             roots.push(bk);
             let extractor = TraceExtractor::prepare(&mut base, k as usize);
             stats.sat_queries += 1;
-            let q = solve_word(base.pool(), &roots, deadline);
+            let q = solve_word(base.pool(), &roots, self.budget.sat_limits(started));
             match q.result {
                 SolveResult::Sat => {
                     let mut model = q.model.expect("model");
                     let trace = extractor.extract(ts, &mut model);
                     return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
                 }
                 SolveResult::Unsat => {}
             }
@@ -97,17 +92,13 @@ impl Analyzer for CbmcKind {
             let bk = step.bad(k as usize);
             roots.push(bk);
             stats.sat_queries += 1;
-            let q = solve_word(step.pool(), &roots, deadline);
+            let q = solve_word(step.pool(), &roots, self.budget.sat_limits(started));
             match q.result {
                 SolveResult::Unsat => {
                     return CheckOutcome::finish(Verdict::Safe, stats, started);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
                 }
                 SolveResult::Sat => {}
             }

@@ -88,10 +88,7 @@ impl Analyzer for Impact {
             .filter_map(|l| l.init.map(|b| if b { l.output } else { !l.output }))
             .collect();
         let init_pred = sys.aig.and_all(&init_lits);
-        let limits = |started: Instant, budget: &Budget| satb::Limits {
-            max_conflicts: None,
-            deadline: budget.deadline_from(started),
-        };
+        let limits = |started: Instant, budget: &Budget| budget.sat_limits(started);
 
         // Depth-0 check: Init ∧ Bad.
         {
@@ -110,12 +107,13 @@ impl Analyzer for Impact {
                     let bmc = Bmc::new(Budget {
                         timeout: self.budget.timeout,
                         max_depth: 0,
+                        stop: self.budget.stop.clone(),
                     });
                     let out = bmc.check(&prog.ts);
                     return CheckOutcome::finish(out.outcome, stats, started);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started)
                 }
                 SolveResult::Unsat => {}
             }
@@ -208,12 +206,13 @@ impl Analyzer for Impact {
                     let bmc = Bmc::new(Budget {
                         timeout: self.budget.timeout,
                         max_depth: k as u32,
+                        stop: self.budget.stop.clone(),
                     });
                     let out = bmc.check(&prog.ts);
                     return CheckOutcome::finish(out.outcome, stats, started);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started)
                 }
                 SolveResult::Unsat => {
                     // Sequence interpolants: cut c puts frames < c in A.
@@ -274,16 +273,10 @@ fn implies(
     let mut enc = aig::FrameEncoder::new();
     let l = enc.encode(&sys.aig, &mut solver, q, Part::A);
     solver.add_clause(&[l]);
-    match solver.solve_limited(
-        &[],
-        satb::Limits {
-            max_conflicts: None,
-            deadline: budget.deadline_from(started),
-        },
-    ) {
+    match solver.solve_limited(&[], budget.sat_limits(started)) {
         SolveResult::Unsat => Some(true),
         SolveResult::Sat => Some(false),
-        SolveResult::Unknown => None,
+        SolveResult::Unknown(_) => None,
     }
 }
 
@@ -313,13 +306,10 @@ impl Impact {
             let cl = enc.encode(&sys.aig, &mut solver, c, Part::A);
             solver.add_clause(&[cl]);
         }
-        let lim = satb::Limits {
-            max_conflicts: None,
-            deadline: self.budget.deadline_from(started),
-        };
-        match solver.solve_limited(&[], lim) {
+        let lim = self.budget.sat_limits(started);
+        match solver.solve_limited(&[], lim.clone()) {
             SolveResult::Sat => return Some(false),
-            SolveResult::Unknown => return None,
+            SolveResult::Unknown(_) => return None,
             SolveResult::Unsat => {}
         }
         // Consecution: r(s) ∧ T(s, s') ∧ ¬r(s') unsat. Encode r twice:
@@ -343,7 +333,7 @@ impl Impact {
         match solver.solve_limited(&[], lim) {
             SolveResult::Unsat => Some(true),
             SolveResult::Sat => Some(false),
-            SolveResult::Unknown => None,
+            SolveResult::Unknown(_) => None,
         }
     }
 }

@@ -75,7 +75,8 @@ enum ReachResult {
     Proof,
     /// Chain of abstract states ending in one that intersects bad.
     Path(Vec<AbsState>),
-    Timeout,
+    /// A limit ended the search; carries the engine-level reason.
+    Stopped(Unknown),
 }
 
 impl Analyzer for PredAbs {
@@ -116,8 +117,8 @@ impl Analyzer for PredAbs {
             stats.depth = round;
 
             match self.abstract_reach(&ts, &preds, started, &mut stats) {
-                ReachResult::Timeout => {
-                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
+                ReachResult::Stopped(u) => {
+                    return CheckOutcome::finish(Verdict::Unknown(u), stats, started)
                 }
                 ReachResult::Proof => return CheckOutcome::finish(Verdict::Safe, stats, started),
                 ReachResult::Path(path) => {
@@ -140,16 +141,16 @@ impl Analyzer for PredAbs {
                     roots.push(bn);
                     let extractor = TraceExtractor::prepare(&mut u, n);
                     stats.sat_queries += 1;
-                    let q = solve_word(u.pool(), &roots, self.budget.deadline_from(started));
+                    let q = solve_word(u.pool(), &roots, self.budget.sat_limits(started));
                     match q.result {
                         SolveResult::Sat => {
                             let mut model = q.model.expect("model");
                             let trace = extractor.extract(&ts, &mut model);
                             return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                         }
-                        SolveResult::Unknown => {
+                        SolveResult::Unknown(why) => {
                             return CheckOutcome::finish(
-                                Verdict::Unknown(Unknown::Timeout),
+                                Verdict::Unknown(why.into()),
                                 stats,
                                 started,
                             )
@@ -163,6 +164,7 @@ impl Analyzer for PredAbs {
                             let bmc = engines::bmc::Bmc::new(engines::Budget {
                                 timeout: self.budget.timeout,
                                 max_depth: n as u32,
+                                stop: self.budget.stop.clone(),
                             });
                             let bout = engines::Checker::check(&bmc, &ts);
                             if let Verdict::Unsafe(trace) = bout.outcome {
@@ -188,7 +190,7 @@ impl Analyzer for PredAbs {
                                             &mut preds,
                                             &path,
                                             started,
-                                            self.budget,
+                                            self.budget.clone(),
                                             &mut stats,
                                             self.max_predicates,
                                         );
@@ -199,7 +201,7 @@ impl Analyzer for PredAbs {
                                     &mut preds,
                                     &path,
                                     started,
-                                    self.budget,
+                                    self.budget.clone(),
                                     &mut stats,
                                     self.max_predicates,
                                 ),
@@ -273,8 +275,8 @@ impl PredAbs {
         let mut path = vec![a0.clone()];
         let mut visited: Vec<AbsState> = vec![a0];
         loop {
-            if self.budget.expired(started) {
-                return ReachResult::Timeout;
+            if let Some(u) = self.budget.interruption(started) {
+                return ReachResult::Stopped(u);
             }
             let cur = path.last().expect("nonempty").clone();
             // Bad intersection and post, via one incremental solver.
@@ -302,14 +304,11 @@ impl PredAbs {
                 solver.add_clause(&[l]);
             }
             let bad_lit = enc.encode(blaster.aig(), &mut solver, bad_bit, Part::A);
-            let limits = satb::Limits {
-                max_conflicts: None,
-                deadline: self.budget.deadline_from(started),
-            };
+            let limits = self.budget.sat_limits(started);
             stats.sat_queries += 1;
-            match solver.solve_limited(&[bad_lit], limits) {
+            match solver.solve_limited(&[bad_lit], limits.clone()) {
                 SolveResult::Sat => return ReachResult::Path(path),
-                SolveResult::Unknown => return ReachResult::Timeout,
+                SolveResult::Unknown(why) => return ReachResult::Stopped(why.into()),
                 SolveResult::Unsat => {}
             }
             // Successor via two queries per predicate.
@@ -317,13 +316,13 @@ impl PredAbs {
             for &pb in &pn_bits {
                 let pl = enc.encode(blaster.aig(), &mut solver, pb, Part::A);
                 stats.sat_queries += 2;
-                let can_true = solver.solve_limited(&[pl], limits);
-                let can_false = solver.solve_limited(&[!pl], limits);
+                let can_true = solver.solve_limited(&[pl], limits.clone());
+                let can_false = solver.solve_limited(&[!pl], limits.clone());
                 let v = match (can_true, can_false) {
                     (SolveResult::Sat, SolveResult::Unsat) => Some(true),
                     (SolveResult::Unsat, SolveResult::Sat) => Some(false),
-                    (SolveResult::Unknown, _) | (_, SolveResult::Unknown) => {
-                        return ReachResult::Timeout
+                    (SolveResult::Unknown(why), _) | (_, SolveResult::Unknown(why)) => {
+                        return ReachResult::Stopped(why.into())
                     }
                     (SolveResult::Unsat, SolveResult::Unsat) => {
                         // No successor at all (dead abstract state).
@@ -339,7 +338,7 @@ impl PredAbs {
             visited.push(succ.clone());
             path.push(succ);
             if path.len() > 4096 {
-                return ReachResult::Timeout;
+                return ReachResult::Stopped(Unknown::BoundReached);
             }
         }
     }
@@ -445,10 +444,7 @@ fn refine_itp(
         let bl = encs[n].encode(&sys.aig, &mut solver, any_bad, Part::B);
         solver.add_clause_in(&[bl], Part::B);
         stats.sat_queries += 1;
-        let limits = satb::Limits {
-            max_conflicts: None,
-            deadline: budget.deadline_from(started),
-        };
+        let limits = budget.sat_limits(started);
         match solver.solve_limited(&[], limits) {
             SolveResult::Unsat => {
                 if let Some(itp) = solver.interpolant() {
@@ -495,7 +491,7 @@ fn refine_itp(
                 // the caller's next concretization will find the bug.
                 return;
             }
-            SolveResult::Unknown => return,
+            SolveResult::Unknown(_) => return,
         }
     }
 }

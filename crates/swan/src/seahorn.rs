@@ -277,7 +277,7 @@ impl Analyzer for SeaHorn {
 
     fn check(&self, prog: &SwProgram) -> CheckOutcome {
         let (abs_ts, _havocked) = abstract_bitvector_ops(&prog.ts);
-        let out = Pdr::new(self.budget).check(&abs_ts);
+        let out = Pdr::new(self.budget.clone()).check(&abs_ts);
         match out.outcome {
             // Safe on the over-approximation is sound.
             Verdict::Safe => out,

@@ -134,11 +134,11 @@ impl TwoLs {
         let q = solve_word(
             u.pool(),
             &[inv0, c0, ninv1],
-            self.budget.deadline_from(started),
+            self.budget.sat_limits(started),
         );
         match q.result {
             SolveResult::Unsat => Ok(true),
-            SolveResult::Unknown => Err(Unknown::Timeout),
+            SolveResult::Unknown(why) => Err(why.into()),
             SolveResult::Sat => {
                 let mut model = q.model.expect("model");
                 for (bi, &(si, lo, hi)) in t.bounds.clone().iter().enumerate() {
@@ -177,19 +177,14 @@ impl Analyzer for TwoLs {
         let started = Instant::now();
         let mut stats = EngineStats::default();
         let mut ts = prog.ts.clone();
-        let deadline = self.budget.deadline_from(started);
 
         // Phase 1: infer an inductive interval invariant.
         let mut invariant: Option<ExprId> = None;
         if self.use_invariants {
             let mut t = Self::initial_template(&ts);
             loop {
-                if self.budget.expired(started) {
-                    return CheckOutcome::finish(
-                        Verdict::Unknown(Unknown::Timeout),
-                        stats,
-                        started,
-                    );
+                if let Some(u) = self.budget.interruption(started) {
+                    return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
                 }
                 match self.strengthen_round(&mut ts, &mut t, started, &mut stats) {
                     Ok(true) => {
@@ -207,7 +202,7 @@ impl Analyzer for TwoLs {
                 let c0 = u.constraint(0);
                 let bad0 = u.bad(0);
                 stats.sat_queries += 1;
-                let q = solve_word(u.pool(), &[inv0, c0, bad0], deadline);
+                let q = solve_word(u.pool(), &[inv0, c0, bad0], self.budget.sat_limits(started));
                 if q.result == SolveResult::Unsat {
                     return CheckOutcome::finish(Verdict::Safe, stats, started);
                 }
@@ -217,8 +212,8 @@ impl Analyzer for TwoLs {
         // Phase 2: k-induction strengthened by the invariant at every
         // frame (kIkI's combined check).
         for k in 0..=self.budget.max_depth {
-            if self.budget.expired(started) {
-                return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started);
+            if let Some(u) = self.budget.interruption(started) {
+                return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             stats.depth = k;
 
@@ -238,15 +233,15 @@ impl Analyzer for TwoLs {
             roots.push(bk);
             let extractor = TraceExtractor::prepare(&mut base, k as usize);
             stats.sat_queries += 1;
-            let q = solve_word(base.pool(), &roots, deadline);
+            let q = solve_word(base.pool(), &roots, self.budget.sat_limits(started));
             match q.result {
                 SolveResult::Sat => {
                     let mut model = q.model.expect("model");
                     let trace = extractor.extract(&ts, &mut model);
                     return CheckOutcome::finish(Verdict::Unsafe(trace), stats, started);
                 }
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started)
                 }
                 SolveResult::Unsat => {}
             }
@@ -270,11 +265,11 @@ impl Analyzer for TwoLs {
             let bk = step.bad(k as usize);
             roots.push(bk);
             stats.sat_queries += 1;
-            let q = solve_word(step.pool(), &roots, deadline);
+            let q = solve_word(step.pool(), &roots, self.budget.sat_limits(started));
             match q.result {
                 SolveResult::Unsat => return CheckOutcome::finish(Verdict::Safe, stats, started),
-                SolveResult::Unknown => {
-                    return CheckOutcome::finish(Verdict::Unknown(Unknown::Timeout), stats, started)
+                SolveResult::Unknown(why) => {
+                    return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started)
                 }
                 SolveResult::Sat => {}
             }

@@ -4,7 +4,6 @@
 use rtlir::{ExprId, ExprPool, Node, TransitionSystem, Unroller, VarId};
 use satb::{Part, SolveResult, Solver};
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// Result of solving a conjunction of single-bit word-level roots.
 pub struct WordQuery<'p> {
@@ -38,12 +37,10 @@ impl WordModel<'_> {
     }
 }
 
-/// Solves `⋀ roots` (all single-bit) over `pool` by bit-blasting.
-pub fn solve_word<'p>(
-    pool: &'p ExprPool,
-    roots: &[ExprId],
-    deadline: Option<Instant>,
-) -> WordQuery<'p> {
+/// Solves `⋀ roots` (all single-bit) over `pool` by bit-blasting,
+/// under the given per-query limits (deadline, conflict budget, and
+/// the cooperative stop flag).
+pub fn solve_word<'p>(pool: &'p ExprPool, roots: &[ExprId], limits: satb::Limits) -> WordQuery<'p> {
     let mut blaster = aig::Blaster::new(pool);
     let bits: Vec<aig::AigLit> = roots.iter().map(|&r| blaster.blast_bit(r)).collect();
     let mut solver = Solver::new();
@@ -52,13 +49,7 @@ pub fn solve_word<'p>(
         let l = enc.encode(blaster.aig(), &mut solver, b, Part::A);
         solver.add_clause(&[l]);
     }
-    let result = solver.solve_limited(
-        &[],
-        satb::Limits {
-            max_conflicts: None,
-            deadline,
-        },
-    );
+    let result = solver.solve_limited(&[], limits);
     if result == SolveResult::Sat {
         let mut ci_vals = vec![false; blaster.aig().num_cis()];
         for (ci, al) in blaster.aig().ci_lits().into_iter().enumerate() {
@@ -430,7 +421,7 @@ mod tests {
         let mut u = Unroller::new(&ts, rtlir::unroll::InitMode::Free);
         let b0 = u.bad(0);
         let s0 = u.state(0, 0);
-        let q = solve_word(u.pool(), &[b0], None);
+        let q = solve_word(u.pool(), &[b0], satb::Limits::default());
         assert_eq!(q.result, SolveResult::Sat);
         let mut m = q.model.expect("model");
         assert_eq!(m.eval_word(s0), 5, "state must be the bad value");

@@ -4,7 +4,9 @@
 //!
 //! Run with: `cargo run --release --example engine_shootout`
 
-use hwsw::engines::{itp::Interpolation, kind::KInduction, pdr::Pdr, Budget, Checker};
+use hwsw::engines::{
+    itp::Interpolation, kind::KInduction, pdr::Pdr, portfolio::Portfolio, Budget, Checker,
+};
 use hwsw::swan::Analyzer;
 use std::time::Duration;
 
@@ -12,31 +14,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = Budget {
         timeout: Some(Duration::from_secs(5)),
         max_depth: 4000,
+        ..Budget::default()
     };
     println!(
-        "{:<14}{:>12}{:>12}{:>12}{:>12}",
-        "benchmark", "kind", "itp", "pdr", "2ls-kiki"
+        "{:<14}{:>12}{:>12}{:>12}{:>12}{:>16}",
+        "benchmark", "kind", "itp", "pdr", "2ls-kiki", "hybrid(winner)"
     );
     for name in ["Vending", "Dekker", "FIFOs", "DAIO"] {
         let b = hwsw::bmarks::by_name(name).expect("exists");
         let ts = b.compile()?;
         let prog = hwsw::v2c::SwProgram::from_ts(ts.clone());
-        let r1 = KInduction::new(budget).check(&ts);
-        let r2 = Interpolation::new(budget).check(&ts);
-        let r3 = Pdr::new(budget).check(&ts);
-        let r4 = hwsw::swan::twols::TwoLs::new(budget).check(&prog);
-        let s = |o: &hwsw::engines::CheckOutcome| match &o.outcome {
+        let r1 = KInduction::new(budget.clone()).check(&ts);
+        let r2 = Interpolation::new(budget.clone()).check(&ts);
+        let r3 = Pdr::new(budget.clone()).check(&ts);
+        let r4 = hwsw::swan::twols::TwoLs::new(budget.clone()).check(&prog);
+        // The default hybrid configuration: all hardware engines race,
+        // the first definite verdict wins and cancels the rest.
+        let hybrid = Portfolio::with_default_engines(budget.clone()).check_detailed(&ts);
+        let s = |o: &hwsw::engines::Verdict| match o {
             hwsw::engines::Verdict::Safe => "safe".to_string(),
             hwsw::engines::Verdict::Unsafe(t) => format!("bug@{}", t.length()),
             hwsw::engines::Verdict::Unknown(_) => "t/o".to_string(),
         };
         println!(
-            "{:<14}{:>12}{:>12}{:>12}{:>12}",
+            "{:<14}{:>12}{:>12}{:>12}{:>12}{:>16}",
             name,
-            s(&r1),
-            s(&r2),
-            s(&r3),
-            s(&r4)
+            s(&r1.outcome),
+            s(&r2.outcome),
+            s(&r3.outcome),
+            s(&r4.outcome),
+            format!("{} ({})", s(&hybrid.verdict), hybrid.winner.unwrap_or("-")),
         );
     }
     Ok(())

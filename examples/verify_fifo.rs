@@ -1,10 +1,11 @@
 //! The paper's headline comparison on one hard benchmark: the FIFO
 //! controller is not k-inductive, so k-induction engines diverge while
-//! PDR proves it.
+//! PDR proves it — and the hybrid portfolio answers as fast as its
+//! best member by racing all of them with cooperative cancellation.
 //!
 //! Run with: `cargo run --release --example verify_fifo`
 
-use hwsw::engines::{kind::KInduction, pdr::Pdr, Budget, Checker};
+use hwsw::engines::{kind::KInduction, pdr::Pdr, portfolio::Portfolio, Budget, Checker};
 use hwsw::swan::Analyzer;
 use std::time::Duration;
 
@@ -15,21 +16,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = Budget {
         timeout: Some(Duration::from_secs(5)),
         max_depth: 4000,
+        ..Budget::default()
     };
 
-    let kind = KInduction::new(budget).check(&ts);
+    let kind = KInduction::new(budget.clone()).check(&ts);
     println!(
         "ABC-style k-induction : {} (k reached {})",
         kind.outcome, kind.stats.depth
     );
 
-    let pdr = Pdr::new(budget).check(&ts);
+    let pdr = Pdr::new(budget.clone()).check(&ts);
     println!(
         "ABC-style PDR         : {} ({} frames, {} SAT queries)",
         pdr.outcome, pdr.stats.depth, pdr.stats.sat_queries
     );
 
-    let kiki = hwsw::swan::twols::TwoLs::new(budget).check(&prog);
+    let kiki = hwsw::swan::twols::TwoLs::new(budget.clone()).check(&prog);
     println!("2LS-style kIkI        : {}", kiki.outcome);
+
+    // The default configuration: every engine races, the first definite
+    // verdict wins, the losers are cancelled mid-solve.
+    let hybrid = Portfolio::with_default_engines(budget).check_detailed(&ts);
+    println!("hybrid portfolio      : {}", hybrid.summary().trim_end());
     Ok(())
 }

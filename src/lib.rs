@@ -16,6 +16,11 @@
 //!                          CPAChecker / IMPARA / SeaHorn / Astrée styles
 //! ```
 //!
+//! The paper's best configuration — the Figure 5 "hybrid" — is the
+//! parallel [`Portfolio`]: BMC, k-induction, interpolation and PDR
+//! race on worker threads, the first definite verdict wins, and the
+//! losers are cooperatively cancelled through the `satb` stop flag.
+//!
 //! This crate re-exports the public API of every component so examples
 //! and downstream users need a single dependency.
 //!
@@ -51,3 +56,5 @@ pub use satb;
 pub use swan;
 pub use v2c;
 pub use vfront;
+
+pub use engines::portfolio::Portfolio;

@@ -8,7 +8,38 @@ fn budget(secs: u64) -> Budget {
     Budget {
         timeout: Some(Duration::from_secs(secs)),
         max_depth: 4000,
+        ..Budget::default()
     }
+}
+
+/// The portfolio (the paper's hybrid configuration) must answer every
+/// design its best member answers: bugs with a replaying trace, proofs
+/// where k-induction diverges, with the losers cancelled.
+#[test]
+fn portfolio_hybrid_matches_best_member() {
+    use hwsw::engines::portfolio::Portfolio;
+
+    // Unsafe: traffic-light has a documented bug cycle.
+    let b = hwsw::bmarks::by_name("traffic-light").expect("exists");
+    let expected = b.bug_cycle.expect("unsafe benchmark");
+    let ts = b.compile().expect("compiles");
+    let report = Portfolio::with_default_engines(budget(60)).check_detailed(&ts);
+    match &report.verdict {
+        Verdict::Unsafe(t) => assert_eq!(t.length() as u64, expected, "bug cycle"),
+        other => panic!("portfolio must find the bug, got {other:?}"),
+    }
+    assert!(report.winner.is_some());
+    assert!(!report.disagreement);
+
+    // Safe and not k-inductive: the FIFO needs PDR; k-induction
+    // diverges (pipeline test below pins that) yet must not block the
+    // portfolio's answer.
+    let b = hwsw::bmarks::by_name("FIFOs").expect("exists");
+    let ts = b.compile().expect("compiles");
+    let report = Portfolio::with_default_engines(budget(60)).check_detailed(&ts);
+    assert_eq!(report.verdict, Verdict::Safe, "{}", report.summary());
+    // Every loser is accounted for: definite, cancelled, or at a limit.
+    assert_eq!(report.engines.len(), 4);
 }
 
 /// Verilog -> TS -> C -> parsed SwProgram -> verified, end to end.
