@@ -4,8 +4,10 @@
 //! role AIGER/ABC plays in the paper): a structurally hashed [`Aig`],
 //! a [`Blaster`] that lowers word-level [`rtlir`] expressions to bits,
 //! a sequential [`AigSystem`] (latches + bads, the bit-level netlist a
-//! hardware model checker consumes), and a Tseitin [`FrameEncoder`]
-//! that encodes AIG cones into a [`satb::Solver`].
+//! hardware model checker consumes), a Tseitin [`FrameEncoder`] that
+//! encodes AIG cones into a [`satb::Solver`], and a compile-once
+//! [`TransitionTemplate`] that the unrolling engines instantiate per
+//! time frame by variable-offset arithmetic instead of re-encoding.
 //!
 //! The lowering is purely structural — no synthesis optimization — in
 //! line with the paper's §III-C trustworthiness argument; every
@@ -31,8 +33,10 @@ pub mod blast;
 pub mod cnf;
 pub mod graph;
 pub mod seq;
+pub mod template;
 
 pub use blast::{ArrayBits, Blaster, Bundle};
 pub use cnf::FrameEncoder;
 pub use graph::{Aig, AigLit};
 pub use seq::{blast_system, AigSystem, Latch};
+pub use template::{FrameVars, TransitionTemplate};

@@ -109,6 +109,20 @@ impl AigSystem {
     }
 }
 
+thread_local! {
+    /// Per-thread count of [`blast_system`] calls (observability hook).
+    static BLASTS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`blast_system`] calls made by the *current thread*.
+///
+/// Thread-local on purpose: tests assert sharing properties (e.g. "the
+/// portfolio blasts once, and engines handed a pre-blasted system never
+/// blast") without racing against blasts on unrelated test threads.
+pub fn blast_count() -> u64 {
+    BLASTS.with(|c| c.get())
+}
+
 fn flatten(bundle: &Bundle, name: &str, out: &mut Vec<(AigLit, String)>) {
     match bundle {
         Bundle::Bits(bits) => {
@@ -171,6 +185,7 @@ fn init_bits(value: &Value) -> Vec<bool> {
 /// assert_eq!(s1, vec![true, false, false, false]); // count == 1
 /// ```
 pub fn blast_system(ts: &TransitionSystem) -> AigSystem {
+    BLASTS.with(|c| c.set(c.get() + 1));
     let pool = ts.pool();
     let mut blaster = Blaster::new(pool);
 

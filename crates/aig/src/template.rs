@@ -1,0 +1,792 @@
+//! Compile-once CNF transition template.
+//!
+//! Every engine in this workspace (BMC, k-induction, interpolation,
+//! PDR, and the portfolio racing them) materializes the *same*
+//! transition relation in a SAT solver, over and over: once per time
+//! frame, once per PDR frame solver, once per interpolation partition.
+//! Running Tseitin over the AIG cone each time costs a cone traversal,
+//! a hash lookup per node and a fresh encoder allocation per frame.
+//!
+//! [`TransitionTemplate`] does the Tseitin work exactly once. Compiling
+//! an [`AigSystem`] produces a flat clause image over *template-local*
+//! variables together with the literal maps an engine needs:
+//! latch-current, latch-next, input, constraint, per-bad and any-bad
+//! literals. A time frame is then materialized by
+//! [`instantiate`](TransitionTemplate::instantiate): the template's
+//! variables are mapped onto a contiguous block of fresh solver
+//! variables by **offset arithmetic** (no per-node hashing, no cone
+//! walk) and the clause image is bulk-loaded behind a single
+//! [`satb::Solver::reserve_clauses`] call.
+//!
+//! # Variable layout and frame chaining
+//!
+//! Template-local variables are ordered: latch current-state variables
+//! `0..L` first, then input variables `L..L+I`, then internal Tseitin
+//! variables (AND-node outputs, the constant-true variable, the any-bad
+//! disjunction variable). Instantiation maps them in one of two modes:
+//!
+//! * [`instantiate`](TransitionTemplate::instantiate) allocates fresh
+//!   solver variables for the whole block — template variable `v`
+//!   becomes solver variable `base + v`. Used for frame 0 and for
+//!   self-contained frame solvers (PDR).
+//! * [`instantiate_bound`](TransitionTemplate::instantiate_bound) maps
+//!   the `L` latch-current variables onto caller-supplied solver
+//!   literals and offsets only the free variables. Chaining frame
+//!   `k+1` onto frame `k` is therefore pure substitution — bind frame
+//!   `k+1`'s latch-current variables to frame `k`'s
+//!   [`FrameVars::latch_next`] literals — with no equality clauses and
+//!   no duplicated cone encoding.
+//!
+//! # `Part` and tag preservation
+//!
+//! Every instantiation takes an interpolation partition
+//! ([`satb::Part`]) and a caller tag, forwarded to
+//! [`satb::Solver::add_clause_tagged`] for each emitted clause. The
+//! interpolation engine instantiates frame 0 in `Part::A` and frames
+//! `1..k` in `Part::B`, and sequence-interpolant users can tag each
+//! frame with its index — exactly the labelling the per-frame
+//! `FrameEncoder` path used to provide.
+//!
+//! Environment constraints are asserted (as unit clauses, in the same
+//! part/tag) by every instantiation: all consumers assert them on every
+//! materialized frame.
+//!
+//! # Example
+//!
+//! ```
+//! use aig::{blast_system, TransitionTemplate};
+//! use rtlir::{Sort, TransitionSystem};
+//! use satb::{Part, SolveResult, Solver};
+//!
+//! // A 4-bit counter with a bad state at 3.
+//! let mut ts = TransitionSystem::new("c");
+//! let s = ts.add_state("count", Sort::Bv(4));
+//! let sv = ts.pool_mut().var(s);
+//! let one = ts.pool_mut().constv(4, 1);
+//! let next = ts.pool_mut().add(sv, one);
+//! let zero = ts.pool_mut().constv(4, 0);
+//! ts.set_init(s, zero);
+//! ts.set_next(s, next);
+//! let three = ts.pool_mut().constv(4, 3);
+//! let bad = ts.pool_mut().eq(sv, three);
+//! ts.add_bad(bad, "count is 3");
+//!
+//! let sys = blast_system(&ts);
+//! let tpl = TransitionTemplate::compile(&sys);
+//!
+//! // Unroll three frames: instantiate frame 0, then chain.
+//! let mut solver = Solver::new();
+//! let f0 = tpl.instantiate(&mut solver, Part::A, 0);
+//! f0.assert_init(&sys, &mut solver);
+//! let f1 = tpl.instantiate_bound(&mut solver, Part::A, 0, &f0.latch_next);
+//! let f2 = tpl.instantiate_bound(&mut solver, Part::A, 0, &f1.latch_next);
+//! // The counter reaches 3 at cycle 3, not earlier.
+//! assert_eq!(solver.solve_with(&[f2.any_bad]), SolveResult::Unsat);
+//! let f3 = tpl.instantiate_bound(&mut solver, Part::A, 0, &f2.latch_next);
+//! assert_eq!(solver.solve_with(&[f3.any_bad]), SolveResult::Sat);
+//! ```
+
+use crate::graph::AigLit;
+use crate::seq::AigSystem;
+use satb::{Lit, Part, Solver, Var};
+
+/// The solver literals of one materialized time frame.
+///
+/// All literals live in the target solver's variable space; see the
+/// [module docs](self) for how they relate to the template.
+#[derive(Clone, Debug)]
+pub struct FrameVars {
+    /// Current-state literal per latch (the bound literals when the
+    /// frame was chained with
+    /// [`instantiate_bound`](TransitionTemplate::instantiate_bound)).
+    pub latch_cur: Vec<Lit>,
+    /// Next-state function output per latch; bind the next frame's
+    /// `latch_cur` to these to chain frames.
+    pub latch_next: Vec<Lit>,
+    /// Primary-input literal per input bit (for trace extraction).
+    pub inputs: Vec<Lit>,
+    /// Constraint literals (already asserted true by instantiation).
+    pub constraints: Vec<Lit>,
+    /// One literal per bad output.
+    pub bads: Vec<Lit>,
+    /// Literal equivalent to "some bad output fires in this frame".
+    pub any_bad: Lit,
+}
+
+impl FrameVars {
+    /// Asserts the reset values of `sys`'s initialized latches on this
+    /// frame's current-state literals (unit clauses; uninitialized
+    /// latches stay unconstrained). Call on frame 0 of an initialized
+    /// chain or on a PDR frame-0 solver.
+    pub fn assert_init(&self, sys: &AigSystem, solver: &mut Solver) {
+        for (latch, &l) in sys.latches.iter().zip(&self.latch_cur) {
+            if let Some(init) = latch.init {
+                solver.add_clause(&[if init { l } else { !l }]);
+            }
+        }
+    }
+}
+
+/// A transition relation compiled to a frame-instantiable clause image.
+///
+/// Build one with [`compile`](TransitionTemplate::compile) (typically
+/// right after [`blast_system`](crate::blast_system)) and share it —
+/// it is immutable, and the portfolio shares one behind an `Arc`
+/// across all member engines.
+#[derive(Clone, Debug)]
+pub struct TransitionTemplate {
+    num_latches: usize,
+    num_vars: usize,
+    /// Flat clause image over template-local literals; clause `i` is
+    /// `lits[ends[i-1]..ends[i]]` (with `ends[-1] == 0`). The image is
+    /// pre-normalized (distinct variables per clause, no tautologies),
+    /// so instantiation loads it through the solver's fast
+    /// [`satb::Solver::add_clause_prenormalized`] path.
+    lits: Vec<Lit>,
+    ends: Vec<u32>,
+    /// Clauses (same representation) referencing two or more
+    /// latch-current variables. A *bound* instantiation can alias
+    /// those onto equal or complementary solver literals, so they go
+    /// through the normalizing add path; fresh instantiations (and
+    /// single-latch clauses, which cannot self-alias) stay fast.
+    latchy_lits: Vec<Lit>,
+    latchy_ends: Vec<u32>,
+    latch_next: Vec<Lit>,
+    input_lits: Vec<Lit>,
+    constraints: Vec<Lit>,
+    bad_lits: Vec<Lit>,
+    any_bad: Lit,
+}
+
+/// Template-local Tseitin emitter used by
+/// [`TransitionTemplate::compile`].
+struct Builder {
+    /// AIG node -> template literal.
+    map: Vec<Option<Lit>>,
+    num_latches: usize,
+    next_var: u32,
+    lits: Vec<Lit>,
+    ends: Vec<u32>,
+    latchy_lits: Vec<Lit>,
+    latchy_ends: Vec<u32>,
+    const_true: Option<Lit>,
+}
+
+impl Builder {
+    fn fresh(&mut self) -> Lit {
+        let l = Lit::pos(Var::from_index(self.next_var as usize));
+        self.next_var += 1;
+        l
+    }
+
+    fn clause(&mut self, lits: &[Lit]) {
+        let latch_vars = lits
+            .iter()
+            .filter(|l| l.var().index() < self.num_latches)
+            .count();
+        if latch_vars >= 2 {
+            self.latchy_lits.extend_from_slice(lits);
+            self.latchy_ends.push(self.latchy_lits.len() as u32);
+        } else {
+            self.lits.extend_from_slice(lits);
+            self.ends.push(self.lits.len() as u32);
+        }
+    }
+
+    fn true_lit(&mut self) -> Lit {
+        match self.const_true {
+            Some(l) => l,
+            None => {
+                let l = self.fresh();
+                self.clause(&[l]);
+                self.const_true = Some(l);
+                l
+            }
+        }
+    }
+
+    fn leaf(&mut self, l: AigLit) -> Lit {
+        if l.is_const() {
+            let t = self.true_lit();
+            return if l == AigLit::TRUE { t } else { !t };
+        }
+        let base = match self.map[l.node() as usize] {
+            Some(b) => b,
+            None => {
+                // A CI that is neither a registered input nor a latch
+                // output: a free input. It gets a free (internal-range)
+                // template variable, so every instantiation mints a
+                // fresh unconstrained solver variable for it — the
+                // same semantics the per-frame `FrameEncoder` had.
+                let b = self.fresh();
+                self.map[l.node() as usize] = Some(b);
+                b
+            }
+        };
+        if l.is_compl() {
+            !base
+        } else {
+            base
+        }
+    }
+}
+
+impl TransitionTemplate {
+    /// Compiles the full transition relation of `sys` — next-state,
+    /// constraint and bad cones, plus the any-bad disjunction — into a
+    /// template. Runs Tseitin exactly once, over the union cone.
+    pub fn compile(sys: &AigSystem) -> TransitionTemplate {
+        let num_latches = sys.latches.len();
+        let num_inputs = sys.inputs.len();
+        let mut map: Vec<Option<Lit>> = vec![None; sys.aig.num_nodes()];
+        for (i, latch) in sys.latches.iter().enumerate() {
+            debug_assert!(!latch.output.is_compl(), "latch outputs are plain CIs");
+            map[latch.output.node() as usize] = Some(Lit::pos(Var::from_index(i)));
+        }
+        let mut input_lits = Vec::with_capacity(num_inputs);
+        for (i, &inp) in sys.inputs.iter().enumerate() {
+            debug_assert!(!inp.is_compl(), "inputs are plain CIs");
+            let l = Lit::pos(Var::from_index(num_latches + i));
+            map[inp.node() as usize] = Some(l);
+            input_lits.push(l);
+        }
+        let mut b = Builder {
+            map,
+            num_latches,
+            next_var: (num_latches + num_inputs) as u32,
+            lits: Vec::new(),
+            ends: Vec::new(),
+            latchy_lits: Vec::new(),
+            latchy_ends: Vec::new(),
+            const_true: None,
+        };
+
+        // One topological walk over the union cone of every root.
+        let mut roots: Vec<AigLit> = Vec::with_capacity(num_latches + sys.bads.len() + 1);
+        roots.extend(sys.latches.iter().map(|l| l.next));
+        roots.extend(sys.constraints.iter().copied());
+        roots.extend(sys.bads.iter().copied());
+        for n in sys.aig.cone(&roots) {
+            let (fa, fb) = sys
+                .aig
+                .and_fanins_of_node(n)
+                .expect("cone() yields AND nodes only");
+            let la = b.leaf(fa);
+            let lb = b.leaf(fb);
+            let ln = b.fresh();
+            // n <-> fa & fb
+            b.clause(&[!ln, la]);
+            b.clause(&[!ln, lb]);
+            b.clause(&[!la, !lb, ln]);
+            b.map[n as usize] = Some(ln);
+        }
+
+        let latch_next: Vec<Lit> = sys.latches.iter().map(|l| b.leaf(l.next)).collect();
+        let constraints: Vec<Lit> = sys.constraints.iter().map(|&c| b.leaf(c)).collect();
+        let bad_lits: Vec<Lit> = sys.bads.iter().map(|&l| b.leaf(l)).collect();
+        let any_bad = match bad_lits.len() {
+            0 => !b.true_lit(),
+            1 => bad_lits[0],
+            _ => {
+                // v <-> b0 | b1 | ... | bn. The image must stay
+                // normalized: dedupe repeated bad literals, and if two
+                // bads are complementary the disjunction is constant
+                // true, so force v instead of emitting a tautology.
+                let v = b.fresh();
+                let mut uniq = bad_lits.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                let taut = uniq.windows(2).any(|w| w[0].var() == w[1].var());
+                if taut {
+                    b.clause(&[v]);
+                } else {
+                    let mut cl = vec![!v];
+                    cl.extend(&uniq);
+                    b.clause(&cl);
+                    for &bl in &uniq {
+                        b.clause(&[!bl, v]);
+                    }
+                }
+                v
+            }
+        };
+
+        TransitionTemplate {
+            num_latches,
+            num_vars: b.next_var as usize,
+            lits: b.lits,
+            ends: b.ends,
+            latchy_lits: b.latchy_lits,
+            latchy_ends: b.latchy_ends,
+            latch_next,
+            input_lits,
+            constraints,
+            bad_lits,
+            any_bad,
+        }
+    }
+
+    /// Number of latches of the compiled system.
+    pub fn num_latches(&self) -> usize {
+        self.num_latches
+    }
+
+    /// Template-local variables per frame (latches + inputs +
+    /// internal Tseitin variables).
+    pub fn num_frame_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Clauses added per instantiation (clause image plus constraint
+    /// unit assertions), before solver-side simplification.
+    pub fn num_frame_clauses(&self) -> usize {
+        self.ends.len() + self.latchy_ends.len() + self.constraints.len()
+    }
+
+    /// Literals in the clause image (for arena pre-sizing).
+    pub fn num_frame_lits(&self) -> usize {
+        self.lits.len() + self.latchy_lits.len() + self.constraints.len()
+    }
+
+    /// Materializes one frame with fresh solver variables for the
+    /// whole block (latches included). Clauses carry `part`/`tag`.
+    pub fn instantiate(&self, solver: &mut Solver, part: Part, tag: u32) -> FrameVars {
+        self.inst(solver, part, tag, None)
+    }
+
+    /// Materializes one frame whose latch-current variables are the
+    /// given solver literals (e.g. the previous frame's
+    /// [`FrameVars::latch_next`], or pre-created interface variables
+    /// for interpolation). Only the free variables are allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch_cur.len()` differs from the latch count.
+    pub fn instantiate_bound(
+        &self,
+        solver: &mut Solver,
+        part: Part,
+        tag: u32,
+        latch_cur: &[Lit],
+    ) -> FrameVars {
+        assert_eq!(latch_cur.len(), self.num_latches, "latch binding width");
+        self.inst(solver, part, tag, Some(latch_cur))
+    }
+
+    fn inst(&self, solver: &mut Solver, part: Part, tag: u32, bound: Option<&[Lit]>) -> FrameVars {
+        let skip = if bound.is_some() { self.num_latches } else { 0 };
+        let first = solver.new_vars(self.num_vars - skip).index();
+        let map = |l: Lit| -> Lit {
+            let v = l.var().index();
+            match bound {
+                Some(b) if v < self.num_latches => {
+                    if l.is_positive() {
+                        b[v]
+                    } else {
+                        !b[v]
+                    }
+                }
+                _ => Lit::new(Var::from_index(first + v - skip), l.is_positive()),
+            }
+        };
+
+        // Bulk load: one arena reservation, then the flat image over
+        // the fast pre-normalized path. Clauses with two or more
+        // latch-current variables can alias under a binding and take
+        // the normalizing path instead; a fresh instantiation maps
+        // variables injectively, so everything stays fast.
+        solver.reserve_clauses(self.num_frame_clauses(), self.num_frame_lits());
+        let mut buf: Vec<Lit> = Vec::with_capacity(8);
+        let mut start = 0usize;
+        for &end in &self.ends {
+            buf.clear();
+            buf.extend(self.lits[start..end as usize].iter().map(|&l| map(l)));
+            solver.add_clause_prenormalized(&buf, part, tag);
+            start = end as usize;
+        }
+        start = 0;
+        for &end in &self.latchy_ends {
+            buf.clear();
+            buf.extend(
+                self.latchy_lits[start..end as usize]
+                    .iter()
+                    .map(|&l| map(l)),
+            );
+            if bound.is_some() {
+                solver.add_clause_tagged(&buf, part, tag);
+            } else {
+                solver.add_clause_prenormalized(&buf, part, tag);
+            }
+            start = end as usize;
+        }
+        for &c in &self.constraints {
+            solver.add_clause_prenormalized(&[map(c)], part, tag);
+        }
+
+        FrameVars {
+            latch_cur: match bound {
+                Some(b) => b.to_vec(),
+                None => (0..self.num_latches)
+                    .map(|i| Lit::pos(Var::from_index(first + i)))
+                    .collect(),
+            },
+            latch_next: self.latch_next.iter().map(|&l| map(l)).collect(),
+            inputs: self.input_lits.iter().map(|&l| map(l)).collect(),
+            constraints: self.constraints.iter().map(|&l| map(l)).collect(),
+            bads: self.bad_lits.iter().map(|&l| map(l)).collect(),
+            any_bad: map(self.any_bad),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::FrameEncoder;
+    use crate::graph::Aig;
+    use crate::seq::Latch;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use satb::SolveResult;
+
+    /// A random sequential netlist: latch/input CIs, random AND/OR/XOR
+    /// logic, random next-state, bad and constraint picks.
+    fn random_system(rng: &mut StdRng) -> AigSystem {
+        let mut aig = Aig::new();
+        let num_inputs = rng.gen_range(0..=3usize);
+        let num_latches = rng.gen_range(1..=5usize);
+        let inputs: Vec<AigLit> = (0..num_inputs).map(|_| aig.new_ci()).collect();
+        let latch_outs: Vec<AigLit> = (0..num_latches).map(|_| aig.new_ci()).collect();
+        let mut lits: Vec<AigLit> = inputs.iter().chain(&latch_outs).copied().collect();
+        lits.push(AigLit::TRUE);
+        for _ in 0..rng.gen_range(3..=30usize) {
+            let a = lits[rng.gen_range(0..lits.len())];
+            let b = lits[rng.gen_range(0..lits.len())];
+            let a = if rng.gen_bool(0.5) { !a } else { a };
+            let b = if rng.gen_bool(0.5) { !b } else { b };
+            let n = match rng.gen_range(0..3) {
+                0 => aig.and(a, b),
+                1 => aig.or(a, b),
+                _ => aig.xor(a, b),
+            };
+            lits.push(n);
+        }
+        let pick = |rng: &mut StdRng| {
+            let l = lits[rng.gen_range(0..lits.len())];
+            if rng.gen_bool(0.5) {
+                !l
+            } else {
+                l
+            }
+        };
+        let latches: Vec<Latch> = latch_outs
+            .iter()
+            .enumerate()
+            .map(|(i, &output)| Latch {
+                output,
+                next: pick(rng),
+                init: if rng.gen_bool(0.7) {
+                    Some(rng.gen_bool(0.5))
+                } else {
+                    None
+                },
+                name: format!("l{i}"),
+            })
+            .collect();
+        let bads: Vec<AigLit> = (0..rng.gen_range(1..=3usize)).map(|_| pick(rng)).collect();
+        let constraints: Vec<AigLit> = (0..rng.gen_range(0..=1usize)).map(|_| pick(rng)).collect();
+        let bad_names = (0..bads.len()).map(|i| format!("b{i}")).collect();
+        let input_names = (0..num_inputs).map(|i| format!("i{i}")).collect();
+        AigSystem {
+            aig,
+            inputs,
+            input_names,
+            latches,
+            constraints,
+            bads,
+            bad_names,
+            name: "rand".into(),
+        }
+    }
+
+    /// The pre-template unrolling: one `FrameEncoder` per frame, next
+    /// cones re-encoded, constraints asserted, per-bad and any-bad
+    /// cones encoded on demand. Returns (solver, per-frame latch lits,
+    /// per-frame bad lits, per-frame any-bad lit).
+    #[allow(clippy::type_complexity)]
+    fn encoder_chain(
+        sys: &AigSystem,
+        depth: usize,
+        initialized: bool,
+    ) -> (Solver, Vec<Vec<Lit>>, Vec<Vec<Lit>>, Vec<Lit>) {
+        let mut aig = sys.aig.clone();
+        let bads = sys.bads.clone();
+        let any_bad = aig.or_all(&bads);
+        let mut solver = Solver::new();
+        let mut encs: Vec<FrameEncoder> = Vec::new();
+        let mut latch_lits: Vec<Vec<Lit>> = Vec::new();
+        let mut enc0 = FrameEncoder::new();
+        let mut lits0 = Vec::new();
+        for latch in &sys.latches {
+            let l = Lit::pos(solver.new_var());
+            enc0.bind(latch.output, l);
+            lits0.push(l);
+            if initialized {
+                if let Some(init) = latch.init {
+                    solver.add_clause(&[if init { l } else { !l }]);
+                }
+            }
+        }
+        encs.push(enc0);
+        latch_lits.push(lits0);
+        for f in 0..=depth {
+            for &c in &sys.constraints {
+                let cl = encs[f].encode(&aig, &mut solver, c, Part::A);
+                solver.add_clause(&[cl]);
+            }
+            if f < depth {
+                let mut next_lits = Vec::new();
+                for latch in &sys.latches {
+                    next_lits.push(encs[f].encode(&aig, &mut solver, latch.next, Part::A));
+                }
+                let mut enc = FrameEncoder::new();
+                for (latch, &l) in sys.latches.iter().zip(&next_lits) {
+                    enc.bind(latch.output, l);
+                }
+                encs.push(enc);
+                latch_lits.push(next_lits);
+            }
+        }
+        let mut bad_lits = Vec::new();
+        let mut any_bads = Vec::new();
+        for f in 0..=depth {
+            bad_lits.push(
+                bads.iter()
+                    .map(|&b| encs[f].encode(&aig, &mut solver, b, Part::A))
+                    .collect::<Vec<Lit>>(),
+            );
+            any_bads.push(encs[f].encode(&aig, &mut solver, any_bad, Part::A));
+        }
+        (solver, latch_lits, bad_lits, any_bads)
+    }
+
+    fn template_chain(
+        sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        depth: usize,
+        initialized: bool,
+    ) -> (Solver, Vec<FrameVars>) {
+        let mut solver = Solver::new();
+        let mut frames = Vec::new();
+        let f0 = tpl.instantiate(&mut solver, Part::A, 0);
+        if initialized {
+            f0.assert_init(sys, &mut solver);
+        }
+        frames.push(f0);
+        for _ in 0..depth {
+            let prev = frames.last().expect("frame 0 exists");
+            let next = tpl.instantiate_bound(&mut solver, Part::A, 0, &prev.latch_next.clone());
+            frames.push(next);
+        }
+        (solver, frames)
+    }
+
+    /// Template-instantiated frames must be CNF-equivalent to
+    /// `FrameEncoder`-encoded frames: the same verdict for every
+    /// random assumption set over frame literals.
+    #[test]
+    fn template_frames_equivalent_to_encoder_frames() {
+        let mut rng = StdRng::seed_from_u64(2016);
+        for round in 0..40 {
+            let sys = random_system(&mut rng);
+            let tpl = TransitionTemplate::compile(&sys);
+            let depth = rng.gen_range(0..=3usize);
+            let initialized = rng.gen_bool(0.5);
+            let (mut es, e_latches, e_bads, e_any) = encoder_chain(&sys, depth, initialized);
+            let (mut ts_, frames) = template_chain(&sys, &tpl, depth, initialized);
+            for _query in 0..8 {
+                // Random assumptions: a bad (or any-bad) at a random
+                // frame, plus random latch forcings.
+                let f = rng.gen_range(0..=depth);
+                let mut ea: Vec<Lit> = Vec::new();
+                let mut ta: Vec<Lit> = Vec::new();
+                if rng.gen_bool(0.5) {
+                    let bi = rng.gen_range(0..sys.bads.len());
+                    ea.push(e_bads[f][bi]);
+                    ta.push(frames[f].bads[bi]);
+                } else {
+                    ea.push(e_any[f]);
+                    ta.push(frames[f].any_bad);
+                }
+                for _ in 0..rng.gen_range(0..=3usize) {
+                    let ff = rng.gen_range(0..=depth);
+                    let li = rng.gen_range(0..sys.latches.len());
+                    let pos = rng.gen_bool(0.5);
+                    let el = e_latches[ff][li];
+                    let tl = frames[ff].latch_cur[li];
+                    ea.push(if pos { el } else { !el });
+                    ta.push(if pos { tl } else { !tl });
+                }
+                let re = es.solve_with(&ea);
+                let rt = ts_.solve_with(&ta);
+                assert_eq!(
+                    re, rt,
+                    "round {round} frame {f}: encoder {re:?} template {rt:?}"
+                );
+            }
+        }
+    }
+
+    /// Chained template frames agree with concrete simulation: forcing
+    /// the inputs of every frame must force the latch values of every
+    /// later frame to the simulated trajectory.
+    #[test]
+    fn template_chain_matches_simulation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _round in 0..30 {
+            let sys = random_system(&mut rng);
+            if !sys.constraints.is_empty() {
+                continue; // constraints may make the chain UNSAT
+            }
+            let tpl = TransitionTemplate::compile(&sys);
+            let depth = rng.gen_range(1..=3usize);
+            let (mut solver, frames) = template_chain(&sys, &tpl, depth, true);
+            // Force every frame's inputs and frame 0's full state.
+            let mut assumptions = Vec::new();
+            let mut state: Vec<bool> = sys.initial_state();
+            for (i, &b) in state.iter().enumerate() {
+                let l = frames[0].latch_cur[i];
+                assumptions.push(if b { l } else { !l });
+            }
+            let mut input_vals = Vec::new();
+            for frame in frames.iter().take(depth + 1) {
+                let iv: Vec<bool> = (0..sys.inputs.len()).map(|_| rng.gen_bool(0.5)).collect();
+                for (i, &b) in iv.iter().enumerate() {
+                    let l = frame.inputs[i];
+                    assumptions.push(if b { l } else { !l });
+                }
+                input_vals.push(iv);
+            }
+            assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+            for f in 0..=depth {
+                let bads = sys.bads_in(&state, &input_vals[f]);
+                for (bi, &want) in bads.iter().enumerate() {
+                    assert_eq!(
+                        solver.value(frames[f].bads[bi]),
+                        Some(want),
+                        "bad {bi} at frame {f}"
+                    );
+                }
+                assert_eq!(
+                    solver.value(frames[f].any_bad),
+                    Some(bads.iter().any(|&b| b)),
+                    "any-bad at frame {f}"
+                );
+                for (i, &want) in state.iter().enumerate() {
+                    assert_eq!(
+                        solver.value(frames[f].latch_cur[i]),
+                        Some(want),
+                        "latch {i} at frame {f}"
+                    );
+                }
+                state = sys.step(&state, &input_vals[f]);
+            }
+        }
+    }
+
+    /// Part labels survive instantiation: an A-frame/B-frame split
+    /// refuted with proof logging yields an interpolant.
+    #[test]
+    fn parts_preserved_for_interpolation() {
+        // Latches a, b (both init 1), next = a & b for both; bad = !a.
+        // From (1,1) the state stays (1,1), so "bad at frame 1" is
+        // refutable — A holds frame 0, B holds the bound frame 1.
+        let mut aig = Aig::new();
+        let a = aig.new_ci();
+        let b = aig.new_ci();
+        let ab = aig.and(a, b);
+        let mk = |output: AigLit, name: &str| Latch {
+            output,
+            next: ab,
+            init: Some(true),
+            name: name.into(),
+        };
+        let sys = AigSystem {
+            aig,
+            inputs: vec![],
+            input_names: vec![],
+            latches: vec![mk(a, "a"), mk(b, "b")],
+            constraints: vec![],
+            bads: vec![!a],
+            bad_names: vec!["a dropped".into()],
+            name: "hold".into(),
+        };
+        let tpl = TransitionTemplate::compile(&sys);
+        let mut solver = Solver::with_proof();
+        let f0 = tpl.instantiate(&mut solver, Part::A, 0);
+        for &l in &f0.latch_cur {
+            solver.add_clause_in(&[l], Part::A); // init: a = b = 1
+        }
+        let f1 = tpl.instantiate_bound(&mut solver, Part::B, 1, &f0.latch_next);
+        solver.add_clause_in(&[f1.any_bad], Part::B);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        assert!(
+            solver.interpolant().is_some(),
+            "A/B labels must survive template instantiation"
+        );
+    }
+
+    /// CIs that are neither registered inputs nor latch outputs (free
+    /// inputs, which `Blaster::fresh_var` can mint for undriven pool
+    /// variables) must compile instead of panicking, and must get a
+    /// fresh unconstrained variable per frame — the `FrameEncoder`
+    /// semantics.
+    #[test]
+    fn unregistered_cis_are_per_frame_free_inputs() {
+        let mut aig = Aig::new();
+        let s = aig.new_ci();
+        let free = aig.new_ci(); // never registered as an input
+        let bad = aig.and(s, free);
+        let sys = AigSystem {
+            aig,
+            inputs: vec![],
+            input_names: vec![],
+            latches: vec![Latch {
+                output: s,
+                next: s,
+                init: Some(true),
+                name: "s".into(),
+            }],
+            constraints: vec![],
+            bads: vec![bad],
+            bad_names: vec!["b".into()],
+            name: "free-ci".into(),
+        };
+        let tpl = TransitionTemplate::compile(&sys);
+        let (mut solver, frames) = template_chain(&sys, &tpl, 1, true);
+        // The free input can fire the bad in one frame and not the
+        // other: its variable is fresh per frame.
+        assert_eq!(
+            solver.solve_with(&[frames[0].any_bad, !frames[1].any_bad]),
+            SolveResult::Sat
+        );
+        assert_eq!(
+            solver.solve_with(&[!frames[0].any_bad, frames[1].any_bad]),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    fn counters_match_instantiation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sys = random_system(&mut rng);
+        let tpl = TransitionTemplate::compile(&sys);
+        let mut solver = Solver::new();
+        let before_vars = solver.num_vars();
+        let f = tpl.instantiate(&mut solver, Part::A, 0);
+        assert_eq!(solver.num_vars() - before_vars, tpl.num_frame_vars());
+        assert_eq!(f.latch_cur.len(), tpl.num_latches());
+        // Solver-side simplification can only drop clauses.
+        assert!(solver.num_clauses() <= tpl.num_frame_clauses());
+    }
+}

@@ -1,0 +1,130 @@
+//! Encoding-throughput microbenchmark: template instantiation vs.
+//! per-frame `FrameEncoder` re-encoding.
+//!
+//! For every `benchmarks/*.v` design, the transition relation is
+//! materialized for `FRAMES` chained time frames twice — once through
+//! the compile-once [`aig::TransitionTemplate`] (offset-mapped bulk
+//! load) and once through the pre-template path (a fresh
+//! [`aig::FrameEncoder`] per frame re-running Tseitin over the cones).
+//! Emits machine-readable JSON on stdout: per-design wall times,
+//! clauses encoded per second, the template compile cost, the
+//! per-design speedup and the geomean — the encoding leg of the perf
+//! trajectory next to `satperf`'s propagation leg.
+//!
+//! Usage: `cargo run --release -p bench --bin encperf`
+
+use aig::{AigSystem, FrameEncoder, TransitionTemplate};
+use satb::{Lit, Part, Solver};
+use std::time::Instant;
+
+/// Frames unrolled per measurement (one incremental solver).
+const FRAMES: usize = 24;
+/// Measurement repetitions; the minimum wall time is reported.
+const REPS: usize = 3;
+
+/// Unrolls `FRAMES` chained frames through the template.
+fn template_unroll(sys: &AigSystem, tpl: &TransitionTemplate) -> usize {
+    let mut solver = Solver::new();
+    let mut frame = tpl.instantiate(&mut solver, Part::A, 0);
+    frame.assert_init(sys, &mut solver);
+    for _ in 0..FRAMES {
+        let bind = frame.latch_next.clone();
+        frame = tpl.instantiate_bound(&mut solver, Part::A, 0, &bind);
+    }
+    solver.num_clauses()
+}
+
+/// Unrolls `FRAMES` chained frames the pre-template way: one
+/// `FrameEncoder` per frame, next-state / constraint / bad cones
+/// re-encoded per frame (the seed `FrameChain::ensure` behaviour).
+fn encoder_unroll(sys: &AigSystem, any_bad: aig::AigLit, aig: &aig::Aig) -> usize {
+    let mut solver = Solver::new();
+    let mut enc = FrameEncoder::new();
+    for latch in &sys.latches {
+        let l = Lit::pos(solver.new_var());
+        enc.bind(latch.output, l);
+        if let Some(init) = latch.init {
+            solver.add_clause(&[if init { l } else { !l }]);
+        }
+    }
+    for _ in 0..=FRAMES {
+        for &c in &sys.constraints {
+            let cl = enc.encode(aig, &mut solver, c, Part::A);
+            solver.add_clause(&[cl]);
+        }
+        for &b in &sys.bads {
+            enc.encode(aig, &mut solver, b, Part::A);
+        }
+        enc.encode(aig, &mut solver, any_bad, Part::A);
+        let mut next_enc = FrameEncoder::new();
+        for latch in &sys.latches {
+            let nl = enc.encode(aig, &mut solver, latch.next, Part::A);
+            next_enc.bind(latch.output, nl);
+        }
+        enc = next_enc;
+    }
+    solver.num_clauses()
+}
+
+fn best_of<F: FnMut() -> usize>(mut f: F) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut clauses = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        clauses = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, clauses)
+}
+
+fn main() {
+    let benchmarks = bmarks::all();
+    println!("{{");
+    println!("  \"benchmark\": \"encperf\",");
+    println!("  \"frames\": {FRAMES},");
+    println!("  \"runs\": [");
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for (i, b) in benchmarks.iter().enumerate() {
+        let ts = b.compile().expect("benchmark compiles");
+        let mut sys = aig::blast_system(&ts);
+        let bads = sys.bads.clone();
+        let any_bad = sys.aig.or_all(&bads);
+        let sys = sys; // freeze
+
+        let t0 = Instant::now();
+        let tpl = TransitionTemplate::compile(&sys);
+        let compile_s = t0.elapsed().as_secs_f64();
+
+        let (tpl_s, tpl_clauses) = best_of(|| template_unroll(&sys, &tpl));
+        let (enc_s, enc_clauses) = best_of(|| encoder_unroll(&sys, any_bad, &sys.aig));
+        let speedup = enc_s / tpl_s.max(1e-9);
+        speedups.push((b.name.to_string(), speedup));
+        let cps = tpl_clauses as f64 / tpl_s.max(1e-9);
+        print!(
+            "    {{\"design\":\"{}\",\"latches\":{},\"template_clauses_per_frame\":{},\
+             \"template_compile_s\":{:.6},\"template_unroll_s\":{:.6},\
+             \"encoder_unroll_s\":{:.6},\"template_clauses\":{},\"encoder_clauses\":{},\
+             \"template_clauses_per_s\":{:.0},\"speedup\":{:.3}}}",
+            b.name,
+            sys.num_latches(),
+            tpl.num_frame_clauses(),
+            compile_s,
+            tpl_s,
+            enc_s,
+            tpl_clauses,
+            enc_clauses,
+            cps,
+            speedup
+        );
+        println!("{}", if i + 1 < benchmarks.len() { "," } else { "" });
+    }
+    println!("  ],");
+    print!("  \"speedup\": {{");
+    for (i, (n, r)) in speedups.iter().enumerate() {
+        print!("{}\"{}\":{:.3}", if i == 0 { "" } else { "," }, n, r);
+    }
+    println!("}},");
+    let geo = (speedups.iter().map(|(_, r)| r.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("  \"geomean_speedup\": {geo:.3}");
+    println!("}}");
+}

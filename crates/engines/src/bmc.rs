@@ -4,96 +4,72 @@
 //! transition relation is unrolled frame by frame into one incremental
 //! SAT solver, and the bad-state output is assumed at each depth.
 
-use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
-use aig::{AigLit, AigSystem, FrameEncoder};
+use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
+use aig::{AigSystem, FrameVars, TransitionTemplate};
 use rtlir::TransitionSystem;
 use satb::{Lit, Part, SolveResult, Solver};
 use std::time::Instant;
 
 /// An unrolled chain of time frames in one incremental solver.
 ///
-/// Frame 0 holds fresh SAT variables for every latch (constrained to
-/// the reset values when `initialized`); frame `k+1`'s latch literals
-/// are the Tseitin outputs of frame `k`'s next-state cones. Constraints
-/// are asserted on every materialized frame.
+/// Every frame is one instantiation of the shared
+/// [`TransitionTemplate`]: frame 0 gets fresh SAT variables for every
+/// latch (constrained to the reset values when `initialized`), frame
+/// `k+1` is chained by binding its latch-current variables to frame
+/// `k`'s next-state output literals. Constraints are asserted on every
+/// materialized frame by the instantiation itself.
 pub(crate) struct FrameChain<'s> {
     sys: &'s AigSystem,
+    tpl: &'s TransitionTemplate,
     pub(crate) solver: Solver,
-    encoders: Vec<FrameEncoder>,
-    latch_lits: Vec<Vec<Lit>>,
+    frames: Vec<FrameVars>,
 }
 
 impl<'s> FrameChain<'s> {
-    pub(crate) fn new(sys: &'s AigSystem, initialized: bool) -> FrameChain<'s> {
+    pub(crate) fn new(
+        sys: &'s AigSystem,
+        tpl: &'s TransitionTemplate,
+        initialized: bool,
+    ) -> FrameChain<'s> {
         let mut solver = Solver::new();
-        let mut enc0 = FrameEncoder::new();
-        let mut lits0 = Vec::with_capacity(sys.latches.len());
-        for latch in &sys.latches {
-            let l = Lit::pos(solver.new_var());
-            enc0.bind(latch.output, l);
-            lits0.push(l);
-            if initialized {
-                if let Some(init) = latch.init {
-                    solver.add_clause(&[if init { l } else { !l }]);
-                }
-            }
+        let f0 = tpl.instantiate(&mut solver, Part::A, 0);
+        if initialized {
+            f0.assert_init(sys, &mut solver);
         }
-        let mut chain = FrameChain {
+        FrameChain {
             sys,
+            tpl,
             solver,
-            encoders: vec![enc0],
-            latch_lits: vec![lits0],
-        };
-        chain.assert_constraints(0);
-        chain
-    }
-
-    fn assert_constraints(&mut self, frame: usize) {
-        for &c in &self.sys.constraints {
-            let l = self.encoders[frame].encode(&self.sys.aig, &mut self.solver, c, Part::A);
-            self.solver.add_clause(&[l]);
+            frames: vec![f0],
         }
     }
 
     /// Ensures frames `0..=k` are materialized.
     pub(crate) fn ensure(&mut self, k: usize) {
-        while self.latch_lits.len() <= k {
-            let cur = self.latch_lits.len() - 1;
-            let mut next_lits = Vec::with_capacity(self.sys.latches.len());
-            for latch in &self.sys.latches {
-                let l =
-                    self.encoders[cur].encode(&self.sys.aig, &mut self.solver, latch.next, Part::A);
-                next_lits.push(l);
-            }
-            let mut enc = FrameEncoder::new();
-            for (latch, &l) in self.sys.latches.iter().zip(&next_lits) {
-                enc.bind(latch.output, l);
-            }
-            self.encoders.push(enc);
-            self.latch_lits.push(next_lits);
-            let new_frame = self.latch_lits.len() - 1;
-            self.assert_constraints(new_frame);
+        while self.frames.len() <= k {
+            let bind = self
+                .frames
+                .last()
+                .expect("frame 0 exists")
+                .latch_next
+                .clone();
+            let next = self
+                .tpl
+                .instantiate_bound(&mut self.solver, Part::A, 0, &bind);
+            self.frames.push(next);
         }
     }
 
     /// SAT literal for "some bad property fires at frame `k`".
-    pub(crate) fn any_bad(&mut self, k: usize, any_bad_lit: AigLit) -> Lit {
+    pub(crate) fn any_bad(&mut self, k: usize) -> Lit {
         self.ensure(k);
-        self.encoders[k].encode(&self.sys.aig, &mut self.solver, any_bad_lit, Part::A)
+        self.frames[k].any_bad
     }
 
     /// SAT literal of an individual bad output at frame `k`.
     pub(crate) fn bad_at(&mut self, k: usize, bad_index: usize) -> Lit {
         self.ensure(k);
-        let b = self.sys.bads[bad_index];
-        self.encoders[k].encode(&self.sys.aig, &mut self.solver, b, Part::A)
-    }
-
-    /// The latch literals of frame `k`.
-    #[allow(dead_code)]
-    pub(crate) fn latch_lits(&mut self, k: usize) -> Vec<Lit> {
-        self.ensure(k);
-        self.latch_lits[k].clone()
+        self.frames[k].bads[bad_index]
     }
 
     /// Adds a pairwise-distinctness clause between the states of frames
@@ -102,7 +78,7 @@ impl<'s> FrameChain<'s> {
         self.ensure(i.max(j));
         let mut diff_lits = Vec::with_capacity(self.sys.latches.len());
         for b in 0..self.sys.latches.len() {
-            let (a, c) = (self.latch_lits[i][b], self.latch_lits[j][b]);
+            let (a, c) = (self.frames[i].latch_cur[b], self.frames[j].latch_cur[b]);
             // d <-> a xor c
             let d = Lit::pos(self.solver.new_var());
             self.solver.add_clause(&[!d, a, c]);
@@ -121,21 +97,16 @@ impl<'s> FrameChain<'s> {
         let mut states = Vec::with_capacity(k + 1);
         let mut inputs = Vec::with_capacity(k + 1);
         for f in 0..=k {
-            let st: Vec<bool> = self.latch_lits[f]
+            let st: Vec<bool> = self.frames[f]
+                .latch_cur
                 .iter()
                 .map(|&l| self.solver.value(l).unwrap_or(false))
                 .collect();
             states.push(st);
-            let inp: Vec<bool> = self
-                .sys
+            let inp: Vec<bool> = self.frames[f]
                 .inputs
                 .iter()
-                .map(|&ci| {
-                    self.encoders[f]
-                        .mapped(ci)
-                        .and_then(|l| self.solver.value(l))
-                        .unwrap_or(false)
-                })
+                .map(|&l| self.solver.value(l).unwrap_or(false))
                 .collect();
             inputs.push(inp);
         }
@@ -178,25 +149,18 @@ impl Bmc {
     }
 }
 
-impl Checker for Bmc {
-    fn name(&self) -> &'static str {
-        "bmc"
-    }
-
-    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+impl Bmc {
+    fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
-        let mut sys = aig::blast_system(ts);
-        let bads = sys.bads.clone();
-        let any_bad = sys.aig.or_all(&bads);
-        let mut chain = FrameChain::new(&sys, true);
+        let mut chain = FrameChain::new(sys, tpl, true);
         for k in 0..=self.budget.max_depth {
             if let Some(u) = self.budget.interruption(started) {
                 stats.set_solver_stats([chain.solver.stats()]);
                 return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             stats.depth = k;
-            let bad = chain.any_bad(k as usize, any_bad);
+            let bad = chain.any_bad(k as usize);
             stats.sat_queries += 1;
             let r = chain
                 .solver
@@ -219,6 +183,22 @@ impl Checker for Bmc {
         }
         stats.set_solver_stats([chain.solver.stats()]);
         CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
+    }
+}
+
+impl Checker for Bmc {
+    fn name(&self) -> &'static str {
+        "bmc"
+    }
+
+    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let sys = aig::blast_system(ts);
+        let tpl = TransitionTemplate::compile(&sys);
+        self.run(&sys, &tpl)
+    }
+
+    fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
+        self.run(&blasted.sys, &blasted.template)
     }
 }
 

@@ -14,8 +14,8 @@
 //! the property is proved; when `A ∧ B` becomes satisfiable for the
 //! *initial* `R`, a real counterexample of length ≤ `k` exists.
 
-use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
-use aig::{Aig, AigLit, AigSystem, FrameEncoder};
+use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
+use aig::{Aig, AigLit, AigSystem, FrameEncoder, FrameVars, TransitionTemplate};
 use rtlir::TransitionSystem;
 use satb::{interp::ItpNode, Lit, Part, SolveResult, Solver};
 use std::collections::HashMap;
@@ -65,14 +65,15 @@ fn itp_to_aig(
 }
 
 /// The AIG predicate "state equals the reset state" (over initialized
-/// latches; uninitialized latches are unconstrained).
-fn init_predicate(sys: &mut AigSystem) -> AigLit {
+/// latches; uninitialized latches are unconstrained), built in the
+/// engine's scratch AIG.
+fn init_predicate(sys: &AigSystem, aig: &mut Aig) -> AigLit {
     let lits: Vec<AigLit> = sys
         .latches
         .iter()
         .filter_map(|l| l.init.map(|b| if b { l.output } else { !l.output }))
         .collect();
-    sys.aig.and_all(&lits)
+    aig.and_all(&lits)
 }
 
 impl Checker for Interpolation {
@@ -81,26 +82,36 @@ impl Checker for Interpolation {
     }
 
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let sys = aig::blast_system(ts);
+        let tpl = TransitionTemplate::compile(&sys);
+        self.run(&sys, &tpl)
+    }
+
+    fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
+        self.run(&blasted.sys, &blasted.template)
+    }
+}
+
+impl Interpolation {
+    fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
-        let mut sys = aig::blast_system(ts);
-        let bads = sys.bads.clone();
-        let any_bad = sys.aig.or_all(&bads);
-        let init_pred = init_predicate(&mut sys);
+        // Scratch AIG for interpolant construction. Cloning preserves
+        // node ids, so literals of `sys` stay valid in it while the
+        // accumulated interpolants grow it privately — the shared
+        // system is never mutated (it may be raced by other portfolio
+        // members).
+        let mut aig = sys.aig.clone();
+        let init_pred = init_predicate(sys, &mut aig);
 
-        // Depth-0 check: Init ∧ Bad.
+        // Depth-0 check: Init ∧ Bad, one template frame with the reset
+        // values asserted.
         {
             let mut solver = Solver::new();
-            let mut enc = FrameEncoder::new();
-            let ip = enc.encode(&sys.aig, &mut solver, init_pred, Part::A);
-            solver.add_clause(&[ip]);
-            for &c in &sys.constraints {
-                let cl = enc.encode(&sys.aig, &mut solver, c, Part::A);
-                solver.add_clause(&[cl]);
-            }
-            let b = enc.encode(&sys.aig, &mut solver, any_bad, Part::A);
+            let f0 = tpl.instantiate(&mut solver, Part::A, 0);
+            f0.assert_init(sys, &mut solver);
             stats.sat_queries += 1;
-            let r0 = solver.solve_limited(&[b], self.budget.sat_limits(started));
+            let r0 = solver.solve_limited(&[f0.any_bad], self.budget.sat_limits(started));
             stats.absorb_solver(&solver.stats());
             if let SolveResult::Unknown(why) = r0 {
                 // A depth-0 query that hit a limit must not be treated
@@ -108,30 +119,20 @@ impl Checker for Interpolation {
                 return CheckOutcome::finish(Verdict::Unknown(why.into()), stats, started);
             }
             if r0 == SolveResult::Sat {
-                let state: Vec<bool> = sys
-                    .latches
+                let state: Vec<bool> = f0
+                    .latch_cur
                     .iter()
-                    .map(|l| {
-                        enc.mapped(l.output)
-                            .and_then(|sl| solver.value(sl))
-                            .or(l.init)
-                            .unwrap_or(false)
-                    })
+                    .map(|&l| solver.value(l).unwrap_or(false))
                     .collect();
-                let inputs: Vec<bool> = sys
+                let inputs: Vec<bool> = f0
                     .inputs
                     .iter()
-                    .map(|&ci| {
-                        enc.mapped(ci)
-                            .and_then(|sl| solver.value(sl))
-                            .unwrap_or(false)
-                    })
+                    .map(|&l| solver.value(l).unwrap_or(false))
                     .collect();
-                let bad_index = (0..bads.len())
-                    .find(|&bi| {
-                        let bl = enc.mapped(bads[bi]);
-                        bl.and_then(|x| solver.value(x)) == Some(true)
-                    })
+                let bad_index = f0
+                    .bads
+                    .iter()
+                    .position(|&l| solver.value(l) == Some(true))
                     .unwrap_or(0);
                 let trace = Trace {
                     states: vec![state],
@@ -163,7 +164,7 @@ impl Checker for Interpolation {
                 if let Some(u) = self.budget.interruption(started) {
                     return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
                 }
-                match self.itp_query(&sys, r_acc, any_bad, &bads, k, started, &mut stats) {
+                match self.itp_query(sys, tpl, &mut aig, r_acc, k, started, &mut stats) {
                     QueryResult::Stopped(u) => {
                         return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
                     }
@@ -176,12 +177,12 @@ impl Checker for Interpolation {
                         break 'inner;
                     }
                     QueryResult::Unsat(itp, map) => {
-                        let itp_lit = itp_to_aig(&itp, &map, &mut sys.aig);
+                        let itp_lit = itp_to_aig(&itp, &map, &mut aig);
                         // Fixpoint check: itp ⇒ r_acc?
                         let mut solver = Solver::new();
                         let mut enc = FrameEncoder::new();
-                        let il = enc.encode(&sys.aig, &mut solver, itp_lit, Part::A);
-                        let rl = enc.encode(&sys.aig, &mut solver, r_acc, Part::A);
+                        let il = enc.encode(&aig, &mut solver, itp_lit, Part::A);
+                        let rl = enc.encode(&aig, &mut solver, r_acc, Part::A);
                         solver.add_clause(&[il]);
                         solver.add_clause(&[!rl]);
                         stats.sat_queries += 1;
@@ -192,7 +193,7 @@ impl Checker for Interpolation {
                                 return CheckOutcome::finish(Verdict::Safe, stats, started);
                             }
                             SolveResult::Sat => {
-                                r_acc = sys.aig.or(r_acc, itp_lit);
+                                r_acc = aig.or(r_acc, itp_lit);
                                 first = false;
                             }
                             SolveResult::Unknown(why) => {
@@ -218,81 +219,56 @@ enum QueryResult {
 
 impl Interpolation {
     /// One interpolation query: refute `R(s0) ∧ T ∧ (bad within k)`.
+    ///
+    /// Frame 0 is a template instantiation in `Part::A` (its next-state
+    /// outputs tied to pre-created frame-1 interface variables), frames
+    /// `1..k` are chained template instantiations in `Part::B` — only
+    /// `R`'s cone, which changes every iteration, still goes through a
+    /// `FrameEncoder`.
     #[allow(clippy::too_many_arguments)]
     fn itp_query(
         &self,
         sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        aig: &mut Aig,
         r: AigLit,
-        any_bad: AigLit,
-        bads: &[AigLit],
         k: u32,
         started: Instant,
         stats: &mut EngineStats,
     ) -> QueryResult {
         let mut solver = Solver::with_proof();
 
-        // Shared interface: frame-1 latch variables.
+        // Shared interface: frame-1 latch variables, created first so
+        // the interpolant ranges over exactly these.
         let f1: Vec<Lit> = sys
             .latches
             .iter()
             .map(|_| Lit::pos(solver.new_var()))
             .collect();
 
-        // --- A side: R(s0) ∧ T(s0, s1), output tied to f1. ---
+        // --- A side: R(s0) ∧ T(s0, s1), outputs tied to f1. ---
+        let a0 = tpl.instantiate(&mut solver, Part::A, 0);
         let mut enc_a = FrameEncoder::new();
-        let f0: Vec<Lit> = sys
-            .latches
-            .iter()
-            .map(|_| Lit::pos(solver.new_var()))
-            .collect();
-        for (latch, &l) in sys.latches.iter().zip(&f0) {
+        for (latch, &l) in sys.latches.iter().zip(&a0.latch_cur) {
             enc_a.bind(latch.output, l);
         }
-        let rl = enc_a.encode(&sys.aig, &mut solver, r, Part::A);
+        let rl = enc_a.encode(aig, &mut solver, r, Part::A);
         solver.add_clause_in(&[rl], Part::A);
-        for &c in &sys.constraints {
-            let cl = enc_a.encode(&sys.aig, &mut solver, c, Part::A);
-            solver.add_clause_in(&[cl], Part::A);
-        }
-        for (i, latch) in sys.latches.iter().enumerate() {
-            let nl = enc_a.encode(&sys.aig, &mut solver, latch.next, Part::A);
+        for (i, &nl) in a0.latch_next.iter().enumerate() {
             // nl <-> f1[i]
             solver.add_clause_in(&[!nl, f1[i]], Part::A);
             solver.add_clause_in(&[nl, !f1[i]], Part::A);
         }
 
-        // --- B side: frames 1..k, bads at 1..=k. ---
-        let mut encs: Vec<FrameEncoder> = Vec::with_capacity(k as usize);
-        let mut frame_lits: Vec<Vec<Lit>> = Vec::with_capacity(k as usize + 1);
-        frame_lits.push(f0.clone());
-        let mut enc1 = FrameEncoder::new();
-        for (latch, &l) in sys.latches.iter().zip(&f1) {
-            enc1.bind(latch.output, l);
+        // --- B side: frames 1..k chained from f1, bads at 1..=k. ---
+        let mut frames: Vec<FrameVars> = Vec::with_capacity(k as usize);
+        let mut cur = f1.clone();
+        for _ in 1..=k {
+            let inst = tpl.instantiate_bound(&mut solver, Part::B, 0, &cur);
+            cur = inst.latch_next.clone();
+            frames.push(inst);
         }
-        encs.push(enc1);
-        frame_lits.push(f1.clone());
-        let mut bad_lits: Vec<Lit> = Vec::new();
-        for f in 0..k as usize {
-            // Constraints and bad at frame f+1 (encoder index f).
-            for &c in &sys.constraints {
-                let cl = encs[f].encode(&sys.aig, &mut solver, c, Part::B);
-                solver.add_clause_in(&[cl], Part::B);
-            }
-            let bl = encs[f].encode(&sys.aig, &mut solver, any_bad, Part::B);
-            bad_lits.push(bl);
-            if f + 1 < k as usize {
-                // Next frame's latch lits are the encoded next functions.
-                let mut next_enc = FrameEncoder::new();
-                let mut lits = Vec::with_capacity(sys.latches.len());
-                for latch in &sys.latches {
-                    let nl = encs[f].encode(&sys.aig, &mut solver, latch.next, Part::B);
-                    next_enc.bind(latch.output, nl);
-                    lits.push(nl);
-                }
-                encs.push(next_enc);
-                frame_lits.push(lits);
-            }
-        }
+        let bad_lits: Vec<Lit> = frames.iter().map(|f| f.any_bad).collect();
         solver.add_clause_in(&bad_lits, Part::B);
 
         stats.sat_queries += 1;
@@ -319,29 +295,28 @@ impl Interpolation {
                     .unwrap_or(k as usize);
                 let mut states = Vec::with_capacity(j + 1);
                 let mut inputs = Vec::with_capacity(j + 1);
-                for (f, lits) in frame_lits.iter().take(j + 1).enumerate() {
-                    let st: Vec<bool> = lits
+                for f in 0..=j {
+                    let (latch_lits, input_lits) = if f == 0 {
+                        (&a0.latch_cur, &a0.inputs)
+                    } else {
+                        (&frames[f - 1].latch_cur, &frames[f - 1].inputs)
+                    };
+                    let st: Vec<bool> = latch_lits
                         .iter()
                         .map(|&l| solver.value(l).unwrap_or(false))
                         .collect();
                     states.push(st);
-                    let enc: &FrameEncoder = if f == 0 { &enc_a } else { &encs[f - 1] };
-                    let inp: Vec<bool> = sys
-                        .inputs
+                    let inp: Vec<bool> = input_lits
                         .iter()
-                        .map(|&ci| {
-                            enc.mapped(ci)
-                                .and_then(|l| solver.value(l))
-                                .unwrap_or(false)
-                        })
+                        .map(|&l| solver.value(l).unwrap_or(false))
                         .collect();
                     inputs.push(inp);
                 }
                 // Identify the fired bad property at frame j.
-                let bad_index = (0..bads.len())
-                    .find(|&bi| {
-                        encs[j - 1].mapped(bads[bi]).and_then(|l| solver.value(l)) == Some(true)
-                    })
+                let bad_index = frames[j - 1]
+                    .bads
+                    .iter()
+                    .position(|&l| solver.value(l) == Some(true))
                     .unwrap_or(0);
                 QueryResult::Sat(Trace {
                     states,

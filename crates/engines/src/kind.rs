@@ -7,7 +7,8 @@
 //! `k`, with simple-path constraints) proves it.
 
 use crate::bmc::FrameChain;
-use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
+use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
+use aig::{AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
 use satb::SolveResult;
 use std::time::Instant;
@@ -46,20 +47,15 @@ impl KInduction {
     }
 }
 
-impl Checker for KInduction {
-    fn name(&self) -> &'static str {
-        "abc-kind"
-    }
-
-    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+impl KInduction {
+    fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
-        let mut sys = aig::blast_system(ts);
-        let bads = sys.bads.clone();
-        let any_bad = sys.aig.or_all(&bads);
 
-        let mut base = FrameChain::new(&sys, true);
-        let mut step = FrameChain::new(&sys, false);
+        // One blast, one template: the base and step chains instantiate
+        // the same compiled clause image into their own solvers.
+        let mut base = FrameChain::new(sys, tpl, true);
+        let mut step = FrameChain::new(sys, tpl, false);
 
         for k in 0..=self.budget.max_depth {
             if let Some(u) = self.budget.interruption(started) {
@@ -69,7 +65,7 @@ impl Checker for KInduction {
             stats.depth = k;
 
             // Base case: counterexample of length exactly k?
-            let bad_base = base.any_bad(k as usize, any_bad);
+            let bad_base = base.any_bad(k as usize);
             stats.sat_queries += 1;
             match base
                 .solver
@@ -105,7 +101,7 @@ impl Checker for KInduction {
                     step.assert_distinct(i, k as usize);
                 }
             }
-            let bad_step = step.any_bad(k as usize, any_bad);
+            let bad_step = step.any_bad(k as usize);
             stats.sat_queries += 1;
             match step
                 .solver
@@ -127,6 +123,22 @@ impl Checker for KInduction {
         }
         stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
         CheckOutcome::finish(Verdict::Unknown(Unknown::BoundReached), stats, started)
+    }
+}
+
+impl Checker for KInduction {
+    fn name(&self) -> &'static str {
+        "abc-kind"
+    }
+
+    fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let sys = aig::blast_system(ts);
+        let tpl = TransitionTemplate::compile(&sys);
+        self.run(&sys, &tpl)
+    }
+
+    fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
+        self.run(&blasted.sys, &blasted.template)
     }
 }
 

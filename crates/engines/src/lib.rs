@@ -53,4 +53,4 @@ pub mod result;
 pub mod word;
 
 pub use portfolio::{Portfolio, PortfolioOutcome};
-pub use result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
+pub use result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};

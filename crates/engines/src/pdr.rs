@@ -7,8 +7,8 @@
 //! relative-induction queries with unsat-core generalization, and
 //! clauses are propagated forward until two adjacent frames coincide.
 
-use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
-use aig::{AigLit, AigSystem, FrameEncoder};
+use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
+use aig::{AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
 use satb::{Lit, Part, SolveResult, Solver};
 use std::collections::BinaryHeap;
@@ -21,46 +21,32 @@ type Cube = Vec<(usize, bool)>;
 /// A SAT predecessor: (latch state, input vector) driving into a cube.
 type Predecessor = (Vec<bool>, Vec<bool>);
 
-/// One frame's SAT solver: a single copy of the transition relation.
+/// One frame's SAT solver: a single copy of the transition relation,
+/// loaded from the run's shared [`TransitionTemplate`] (no per-frame
+/// re-Tseitin: creating a frame solver is an offset-mapped bulk load).
 struct FrameSolver {
     solver: Solver,
     latch_lits: Vec<Lit>,
     next_lits: Vec<Lit>,
+    input_lits: Vec<Lit>,
+    bad_lits: Vec<Lit>,
     bad_lit: Lit,
-    enc: FrameEncoder,
 }
 
 impl FrameSolver {
-    fn new(sys: &AigSystem, any_bad: AigLit, initialized: bool) -> FrameSolver {
+    fn new(sys: &AigSystem, tpl: &TransitionTemplate, initialized: bool) -> FrameSolver {
         let mut solver = Solver::new();
-        let mut enc = FrameEncoder::new();
-        let mut latch_lits = Vec::with_capacity(sys.latches.len());
-        for latch in &sys.latches {
-            let l = Lit::pos(solver.new_var());
-            enc.bind(latch.output, l);
-            latch_lits.push(l);
-            if initialized {
-                if let Some(init) = latch.init {
-                    solver.add_clause(&[if init { l } else { !l }]);
-                }
-            }
+        let vars = tpl.instantiate(&mut solver, Part::A, 0);
+        if initialized {
+            vars.assert_init(sys, &mut solver);
         }
-        for &c in &sys.constraints {
-            let cl = enc.encode(&sys.aig, &mut solver, c, Part::A);
-            solver.add_clause(&[cl]);
-        }
-        let next_lits = sys
-            .latches
-            .iter()
-            .map(|latch| enc.encode(&sys.aig, &mut solver, latch.next, Part::A))
-            .collect();
-        let bad_lit = enc.encode(&sys.aig, &mut solver, any_bad, Part::A);
         FrameSolver {
             solver,
-            latch_lits,
-            next_lits,
-            bad_lit,
-            enc,
+            latch_lits: vars.latch_cur,
+            next_lits: vars.latch_next,
+            input_lits: vars.inputs,
+            bad_lits: vars.bads,
+            bad_lit: vars.any_bad,
         }
     }
 
@@ -98,16 +84,19 @@ impl FrameSolver {
             .collect()
     }
 
-    fn model_inputs(&self, sys: &AigSystem) -> Vec<bool> {
-        sys.inputs
+    fn model_inputs(&self) -> Vec<bool> {
+        self.input_lits
             .iter()
-            .map(|&ci| {
-                self.enc
-                    .mapped(ci)
-                    .and_then(|l| self.solver.value(l))
-                    .unwrap_or(false)
-            })
+            .map(|&l| self.solver.value(l).unwrap_or(false))
             .collect()
+    }
+
+    /// Index of the bad output that fired in the current model.
+    fn fired_bad(&self) -> usize {
+        self.bad_lits
+            .iter()
+            .position(|&l| self.solver.value(l) == Some(true))
+            .unwrap_or(0)
     }
 }
 
@@ -163,13 +152,13 @@ impl Pdr {
 
 struct PdrRun<'s> {
     sys: &'s AigSystem,
+    tpl: &'s TransitionTemplate,
     budget: Budget,
     started: Instant,
     solvers: Vec<FrameSolver>,
     /// Delta-encoded frames: `frames[i]` holds cubes whose blocking
     /// clause is valid in frames `1..=i` (index 0 unused).
     frames: Vec<Vec<Cube>>,
-    any_bad: AigLit,
     stats: EngineStats,
     seq: u64,
 }
@@ -209,7 +198,7 @@ impl<'s> PdrRun<'s> {
     fn ensure_solver(&mut self, level: usize) {
         while self.solvers.len() <= level {
             let initialized = self.solvers.is_empty();
-            let mut fs = FrameSolver::new(self.sys, self.any_bad, initialized);
+            let mut fs = FrameSolver::new(self.sys, self.tpl, initialized);
             // New frame solvers must contain every clause valid at
             // their level: F_i = ∪_{j>=i} frames[j]. The whole reload
             // goes through the solver's bulk-add path.
@@ -269,7 +258,7 @@ impl<'s> PdrRun<'s> {
         match result {
             SolveResult::Sat => {
                 let state = fs.model_state(self.sys.latches.len());
-                let inputs = fs.model_inputs(self.sys);
+                let inputs = fs.model_inputs();
                 fs.solver.add_clause(&[!act]);
                 RelQuery::Pred((state, inputs))
             }
@@ -532,20 +521,28 @@ impl Checker for Pdr {
     }
 
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
+        let sys = aig::blast_system(ts);
+        let tpl = TransitionTemplate::compile(&sys);
+        self.run(&sys, &tpl)
+    }
+
+    fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
+        self.run(&blasted.sys, &blasted.template)
+    }
+}
+
+impl Pdr {
+    fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
         let started = Instant::now();
         let stats = EngineStats::default();
-        let mut sys = aig::blast_system(ts);
-        let bads = sys.bads.clone();
-        let any_bad = sys.aig.or_all(&bads);
-        let sys = sys; // freeze
 
         let mut run = PdrRun {
-            sys: &sys,
+            sys,
+            tpl,
             budget: self.budget.clone(),
             started,
             solvers: Vec::new(),
             frames: vec![Vec::new()],
-            any_bad,
             stats,
             seq: 0,
         };
@@ -558,16 +555,8 @@ impl Checker for Pdr {
         match run.solvers[0].solver.solve_limited(&[bad0], limits) {
             SolveResult::Sat => {
                 let state = run.solvers[0].model_state(sys.latches.len());
-                let inputs = run.solvers[0].model_inputs(&sys);
-                let bad_index = (0..bads.len())
-                    .find(|&bi| {
-                        run.solvers[0]
-                            .enc
-                            .mapped(bads[bi])
-                            .and_then(|l| run.solvers[0].solver.value(l))
-                            == Some(true)
-                    })
-                    .unwrap_or(0);
+                let inputs = run.solvers[0].model_inputs();
+                let bad_index = run.solvers[0].fired_bad();
                 let trace = Trace {
                     states: vec![state],
                     inputs: vec![inputs],
@@ -597,16 +586,8 @@ impl Checker for Pdr {
             match run.solvers[max_level].solver.solve_limited(&[bad], limits) {
                 SolveResult::Sat => {
                     let state = run.solvers[max_level].model_state(sys.latches.len());
-                    let bad_inputs = run.solvers[max_level].model_inputs(&sys);
-                    let bad_index = (0..bads.len())
-                        .find(|&bi| {
-                            run.solvers[max_level]
-                                .enc
-                                .mapped(bads[bi])
-                                .and_then(|l| run.solvers[max_level].solver.value(l))
-                                == Some(true)
-                        })
-                        .unwrap_or(0);
+                    let bad_inputs = run.solvers[max_level].model_inputs();
+                    let bad_index = run.solvers[max_level].fired_bad();
                     let cube = PdrRun::state_to_cube(&state);
                     if run.cube_intersects_init(&cube) {
                         // Bad state inside init was excluded at level 0
@@ -727,6 +708,38 @@ mod tests {
         ts.add_bad(bad, "trap");
         let out = Pdr::default().check(&ts);
         assert_eq!(out.outcome, Verdict::Safe);
+    }
+
+    /// Regression for the pre-template behaviour: every new frame
+    /// solver is a constant-size bulk load of the shared template (plus
+    /// the blocked clauses valid at its level) — `ensure_solver` must
+    /// not re-run Tseitin per frame or grow with the frame index.
+    #[test]
+    fn ensure_solver_adds_constant_clauses_per_frame() {
+        let ts = crate::bmc::tests::counter_ts(200, 8);
+        let sys = aig::blast_system(&ts);
+        let tpl = TransitionTemplate::compile(&sys);
+        let mut run = PdrRun {
+            sys: &sys,
+            tpl: &tpl,
+            budget: Budget {
+                timeout: None,
+                ..Budget::default()
+            },
+            started: Instant::now(),
+            solvers: Vec::new(),
+            frames: vec![Vec::new()],
+            stats: EngineStats::default(),
+            seq: 0,
+        };
+        run.ensure_solver(6);
+        let counts: Vec<usize> = run.solvers.iter().map(|f| f.solver.num_clauses()).collect();
+        // No blocked cubes were added, so frames 1.. are pure template
+        // loads: identical clause counts, bounded by the template size.
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert_eq!(c, counts[1], "frame solver {i} deviates: {counts:?}");
+            assert!(c <= tpl.num_frame_clauses());
+        }
     }
 
     #[test]

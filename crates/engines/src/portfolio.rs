@@ -45,7 +45,7 @@ use crate::bmc::Bmc;
 use crate::itp::Interpolation;
 use crate::kind::KInduction;
 use crate::pdr::Pdr;
-use crate::result::{Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
+use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
 use rtlir::TransitionSystem;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -189,7 +189,23 @@ impl Portfolio {
     }
 
     /// Races every member on `ts` and returns the full breakdown.
+    ///
+    /// The netlist is blasted and its transition template compiled
+    /// exactly **once**, here; every member receives the shared
+    /// [`Blasted`] through [`Checker::check_blasted`] instead of
+    /// re-encoding the system from scratch.
     pub fn check_detailed(&self, ts: &TransitionSystem) -> PortfolioOutcome {
+        let blasted = Blasted::of(ts);
+        self.check_detailed_blasted(ts, &blasted)
+    }
+
+    /// Like [`check_detailed`](Portfolio::check_detailed) with a
+    /// caller-provided shared blast (e.g. reused across several runs).
+    pub fn check_detailed_blasted(
+        &self,
+        ts: &TransitionSystem,
+        blasted: &Blasted,
+    ) -> PortfolioOutcome {
         let started = Instant::now();
         self.stop.store(false, Ordering::Relaxed);
         if self.engines.is_empty() {
@@ -215,7 +231,7 @@ impl Portfolio {
                 thread::Builder::new()
                     .name(format!("portfolio-{name}"))
                     .spawn_scoped(scope, move || {
-                        let out = checker.check(ts);
+                        let out = checker.check_blasted(ts, blasted);
                         // The portfolio may already have dropped the
                         // receiver only if it panicked; ignore.
                         let _ = tx.send((i, out));
@@ -341,6 +357,16 @@ impl Checker for Portfolio {
 
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
         let d = self.check_detailed(ts);
+        CheckOutcome {
+            outcome: d.verdict,
+            stats: d.stats,
+        }
+    }
+
+    /// A portfolio nested inside a larger race forwards the shared
+    /// blast to its own members rather than re-blasting.
+    fn check_blasted(&self, ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
+        let d = self.check_detailed_blasted(ts, blasted);
         CheckOutcome {
             outcome: d.verdict,
             stats: d.stats,
@@ -507,6 +533,79 @@ mod tests {
             t0.elapsed() < Duration::from_secs(30),
             "external cancellation must end the race"
         );
+    }
+
+    /// A member that records which entry point the portfolio used.
+    struct BlastProbe {
+        shared: Arc<AtomicBool>,
+    }
+
+    impl Checker for BlastProbe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn check(&self, _ts: &TransitionSystem) -> CheckOutcome {
+            CheckOutcome {
+                outcome: Verdict::Unknown(Unknown::Inconclusive("probe".into())),
+                stats: EngineStats::default(),
+            }
+        }
+        fn check_blasted(&self, ts: &TransitionSystem, _blasted: &Blasted) -> CheckOutcome {
+            self.shared.store(true, Ordering::Relaxed);
+            self.check(ts)
+        }
+    }
+
+    /// One `blast_system` call per portfolio run: the dispatching
+    /// thread blasts once (thread-local counter), and every member is
+    /// handed the shared blast through `check_blasted`.
+    #[test]
+    fn portfolio_blasts_once_and_shares_it() {
+        let ts = crate::bmc::tests::counter_ts(2, 8);
+        let shared = Arc::new(AtomicBool::new(false));
+        let mut p = Portfolio::new(unlimited(4000));
+        let b = p.engine_budget();
+        p.push(Bmc::new(b));
+        p.push(BlastProbe {
+            shared: shared.clone(),
+        });
+        let before = aig::seq::blast_count();
+        let report = p.check_detailed(&ts);
+        assert_eq!(
+            aig::seq::blast_count() - before,
+            1,
+            "exactly one blast on the dispatching thread"
+        );
+        assert!(report.verdict.is_unsafe());
+        assert!(
+            shared.load(Ordering::Relaxed),
+            "members must be offered the shared blast"
+        );
+    }
+
+    /// Every bit-level member reuses a pre-blasted system: handed a
+    /// `Blasted`, none of them calls `blast_system` again (checked with
+    /// the per-thread blast counter, engines run on this thread).
+    #[test]
+    fn engines_reuse_shared_blast_without_reblasting() {
+        let ts = crate::bmc::tests::counter_ts(2, 8);
+        let blasted = Blasted::of(&ts);
+        let budget = unlimited(4000);
+        let before = aig::seq::blast_count();
+        let outs = [
+            Bmc::new(budget.clone()).check_blasted(&ts, &blasted),
+            KInduction::new(budget.clone()).check_blasted(&ts, &blasted),
+            Interpolation::new(budget.clone()).check_blasted(&ts, &blasted),
+            Pdr::new(budget.clone()).check_blasted(&ts, &blasted),
+        ];
+        assert_eq!(
+            aig::seq::blast_count(),
+            before,
+            "a shared blast must never be re-blasted"
+        );
+        for out in outs {
+            assert!(out.outcome.is_unsafe(), "got {:?}", out.outcome);
+        }
     }
 
     #[test]

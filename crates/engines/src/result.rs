@@ -287,12 +287,45 @@ impl Budget {
     }
 }
 
+/// A bit-blasted netlist together with its compile-once CNF transition
+/// template, shareable across engines.
+///
+/// Blasting and template compilation are the up-front encoding cost of
+/// every bit-level engine; a portfolio run pays it **once** and hands
+/// the same `Blasted` (cheap `Arc` clones) to every member through
+/// [`Checker::check_blasted`], instead of once per member.
+#[derive(Clone)]
+pub struct Blasted {
+    /// The bit-level netlist.
+    pub sys: Arc<aig::AigSystem>,
+    /// The frame-instantiable CNF image of its transition relation.
+    pub template: Arc<aig::TransitionTemplate>,
+}
+
+impl Blasted {
+    /// Blasts `ts` and compiles its transition template.
+    pub fn of(ts: &TransitionSystem) -> Blasted {
+        let sys = Arc::new(aig::blast_system(ts));
+        let template = Arc::new(aig::TransitionTemplate::compile(&sys));
+        Blasted { sys, template }
+    }
+}
+
 /// A verification engine over word-level transition systems.
 pub trait Checker {
     /// Short machine-readable engine name, e.g. `"abc-pdr"`.
     fn name(&self) -> &'static str;
     /// Checks all bad-state properties of `ts`.
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome;
+    /// Like [`check`](Checker::check), but with a pre-blasted netlist
+    /// and transition template the engine may reuse instead of blasting
+    /// `ts` itself. Bit-level engines override this; engines that do
+    /// not operate on the bit-level netlist (word-level k-induction,
+    /// the software analyzers) fall back to [`check`](Checker::check).
+    fn check_blasted(&self, ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
+        let _ = blasted;
+        self.check(ts)
+    }
 }
 
 #[cfg(test)]

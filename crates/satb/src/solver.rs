@@ -72,6 +72,10 @@ pub struct Stats {
     pub reduces: u64,
     /// Number of learned clauses deleted by reduction.
     pub deleted: u64,
+    /// Number of Glucose-style LBD improvements: a learned clause
+    /// reused as a conflict-analysis reason whose recomputed LBD was
+    /// lower than the stored one (protecting it from reduction).
+    pub lbd_improved: u64,
     /// Number of arena compaction (garbage collection) passes.
     pub gcs: u64,
     /// Current clause-arena footprint in bytes.
@@ -358,6 +362,18 @@ impl Solver {
         self.set_reduce_config(cfg);
     }
 
+    /// Creates `n` fresh variables and returns the first one. The
+    /// block is contiguous, so callers that pre-compile a clause image
+    /// over local variables (like the `aig` crate's transition
+    /// template) can map it into this solver with offset arithmetic.
+    pub fn new_vars(&mut self, n: usize) -> Var {
+        let first = Var::from_index(self.assigns.len());
+        for _ in 0..n {
+            self.new_var();
+        }
+        first
+    }
+
     /// Creates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var::from_index(self.assigns.len());
@@ -476,7 +492,6 @@ impl Solver {
     ///
     /// Returns `false` if the solver is now known inconsistent.
     pub fn add_clause_tagged(&mut self, lits: &[Lit], part: Part, tag: u32) -> bool {
-        debug_assert!(self.trail_lim.is_empty(), "clauses are added at level 0");
         if !self.ok {
             return false;
         }
@@ -489,6 +504,56 @@ impl Solver {
                 return true; // tautology: x | !x
             }
         }
+        self.add_normalized(ls, part, tag)
+    }
+
+    /// Adds a clause the caller guarantees is already normalized — its
+    /// literals are over pairwise-distinct variables (no duplicates, no
+    /// tautology). This is the bulk-load fast path for pre-compiled
+    /// clause images (the `aig` transition template): no sort, no
+    /// dedup, and in the common case (no proof logging, no literal
+    /// already assigned) no per-clause allocation at all. Level-0
+    /// simplification and watch selection are identical to
+    /// [`add_clause_tagged`](Solver::add_clause_tagged).
+    ///
+    /// Returns `false` if the solver is now known inconsistent.
+    pub fn add_clause_prenormalized(&mut self, lits: &[Lit], part: Part, tag: u32) -> bool {
+        if !self.ok {
+            return false;
+        }
+        debug_assert!(
+            {
+                let mut vs: Vec<Var> = lits.iter().map(|l| l.var()).collect();
+                vs.sort_unstable();
+                vs.windows(2).all(|w| w[0] != w[1])
+            },
+            "pre-normalized clause has duplicate variables: {lits:?}"
+        );
+        if self.proof.is_none() && lits.len() >= 2 {
+            let mut any_assigned = false;
+            for &l in lits {
+                match self.lit_value(l) {
+                    LBool::True => return true, // satisfied at top level
+                    LBool::False => any_assigned = true,
+                    LBool::Undef => {}
+                }
+            }
+            if !any_assigned {
+                // All literals free: watch the first two, store the
+                // clause straight from the caller's slice.
+                debug_assert!(self.trail_lim.is_empty(), "clauses are added at level 0");
+                let cref = self.cdb.alloc(lits, false, ClauseId(0));
+                self.attach(cref);
+                return true;
+            }
+        }
+        self.add_normalized(lits.to_vec(), part, tag)
+    }
+
+    /// Shared tail of the clause-add paths: level-0 simplification,
+    /// proof registration, watch selection. `ls` must be normalized.
+    fn add_normalized(&mut self, mut ls: Vec<Lit>, part: Part, tag: u32) -> bool {
+        debug_assert!(self.trail_lim.is_empty(), "clauses are added at level 0");
         // Drop literals already false at level 0 only when proofs are
         // off (with proofs the drop would need extra resolution steps,
         // so we keep the clause intact and let analysis handle it).
@@ -720,6 +785,35 @@ impl Solver {
         }
     }
 
+    /// Glucose-style dynamic LBD re-scoring: when a learned clause is
+    /// used in conflict analysis (as the conflict or as a reason), its
+    /// literals are all assigned, so its LBD can be recomputed against
+    /// the current decision levels. A clause that has become "glue"
+    /// since it was learned gets its stored LBD lowered, protecting it
+    /// from the next reduction pass.
+    fn rescore_lbd(&mut self, c: CRef) {
+        if !self.cdb.is_learnt(c) {
+            return;
+        }
+        let old = self.cdb.lbd(c);
+        if old <= self.reduce.glue_keep {
+            return; // already permanently kept
+        }
+        self.lbd_gen += 1;
+        let mut lbd = 0u32;
+        for k in 0..self.cdb.size(c) {
+            let lvl = self.levels[self.cdb.lit(c, k).var().index()] as usize;
+            if self.lbd_stamp[lvl] != self.lbd_gen {
+                self.lbd_stamp[lvl] = self.lbd_gen;
+                lbd += 1;
+            }
+        }
+        if lbd < old {
+            self.cdb.set_lbd(c, lbd);
+            self.stats.lbd_improved += 1;
+        }
+    }
+
     /// Literal-block distance: number of distinct decision levels.
     fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
         self.lbd_gen += 1;
@@ -752,6 +846,7 @@ impl Solver {
 
         loop {
             self.bump_clause(clause);
+            self.rescore_lbd(clause);
             let n = self.cdb.size(clause);
             for k in 0..n {
                 let q = self.cdb.lit(clause, k);
@@ -1640,6 +1735,33 @@ mod tests {
         assert!(s.stats().reduces > 0, "reduction must have run");
         s.debug_verify_proof().expect("proof survives reduction");
         assert!(s.interpolant().is_some());
+    }
+
+    #[test]
+    fn new_vars_block_is_contiguous() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let first = s.new_vars(5);
+        assert_eq!(first.index(), a.index() + 1);
+        assert_eq!(s.num_vars(), 6);
+        // The block is usable like individually created variables.
+        s.add_clause(&[Lit::pos(first), Lit::pos(Var::from_index(5))]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn dynamic_lbd_rescoring_improves_reused_reasons() {
+        // A hard instance reuses learned clauses as reasons across many
+        // conflicts; some must re-score to a lower LBD. The verdict is
+        // unaffected.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(
+            st.lbd_improved > 0,
+            "expected LBD improvements on reused reasons: {st:?}"
+        );
     }
 
     #[test]

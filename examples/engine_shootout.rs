@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example engine_shootout`
 
 use hwsw::engines::{
-    itp::Interpolation, kind::KInduction, pdr::Pdr, portfolio::Portfolio, Budget, Checker,
+    itp::Interpolation, kind::KInduction, pdr::Pdr, portfolio::Portfolio, Blasted, Budget, Checker,
 };
 use hwsw::swan::Analyzer;
 use std::time::Duration;
@@ -24,13 +24,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let b = hwsw::bmarks::by_name(name).expect("exists");
         let ts = b.compile()?;
         let prog = hwsw::v2c::SwProgram::from_ts(ts.clone());
-        let r1 = KInduction::new(budget.clone()).check(&ts);
-        let r2 = Interpolation::new(budget.clone()).check(&ts);
-        let r3 = Pdr::new(budget.clone()).check(&ts);
+        // One blast + one compiled transition template per design,
+        // shared by every bit-level engine and the portfolio.
+        let blasted = Blasted::of(&ts);
+        let r1 = KInduction::new(budget.clone()).check_blasted(&ts, &blasted);
+        let r2 = Interpolation::new(budget.clone()).check_blasted(&ts, &blasted);
+        let r3 = Pdr::new(budget.clone()).check_blasted(&ts, &blasted);
         let r4 = hwsw::swan::twols::TwoLs::new(budget.clone()).check(&prog);
         // The default hybrid configuration: all hardware engines race,
         // the first definite verdict wins and cancels the rest.
-        let hybrid = Portfolio::with_default_engines(budget.clone()).check_detailed(&ts);
+        let hybrid =
+            Portfolio::with_default_engines(budget.clone()).check_detailed_blasted(&ts, &blasted);
         let s = |o: &hwsw::engines::Verdict| match o {
             hwsw::engines::Verdict::Safe => "safe".to_string(),
             hwsw::engines::Verdict::Unsafe(t) => format!("bug@{}", t.length()),

@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example verify_fifo`
 
-use hwsw::engines::{kind::KInduction, pdr::Pdr, portfolio::Portfolio, Budget, Checker};
+use hwsw::engines::{kind::KInduction, pdr::Pdr, portfolio::Portfolio, Blasted, Budget, Checker};
 use hwsw::swan::Analyzer;
 use std::time::Duration;
 
@@ -19,13 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Budget::default()
     };
 
-    let kind = KInduction::new(budget.clone()).check(&ts);
+    // Blast the netlist and compile its CNF transition template once;
+    // every bit-level engine below instantiates the same template.
+    let blasted = Blasted::of(&ts);
+
+    let kind = KInduction::new(budget.clone()).check_blasted(&ts, &blasted);
     println!(
         "ABC-style k-induction : {} (k reached {})",
         kind.outcome, kind.stats.depth
     );
 
-    let pdr = Pdr::new(budget.clone()).check(&ts);
+    let pdr = Pdr::new(budget.clone()).check_blasted(&ts, &blasted);
     println!(
         "ABC-style PDR         : {} ({} frames, {} SAT queries)",
         pdr.outcome, pdr.stats.depth, pdr.stats.sat_queries
@@ -34,9 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kiki = hwsw::swan::twols::TwoLs::new(budget.clone()).check(&prog);
     println!("2LS-style kIkI        : {}", kiki.outcome);
 
-    // The default configuration: every engine races, the first definite
-    // verdict wins, the losers are cancelled mid-solve.
-    let hybrid = Portfolio::with_default_engines(budget).check_detailed(&ts);
+    // The default configuration: every engine races over the shared
+    // blast, the first definite verdict wins, the losers are cancelled
+    // mid-solve.
+    let hybrid = Portfolio::with_default_engines(budget).check_detailed_blasted(&ts, &blasted);
     println!("hybrid portfolio      : {}", hybrid.summary().trim_end());
     Ok(())
 }
