@@ -226,8 +226,9 @@ impl Aig {
     }
 
     /// Evaluates a literal given values for all CIs (indexed by CI
-    /// ordinal). Used by tests, trace replay and ternary-free PDR
-    /// generalization checks.
+    /// ordinal). Used by tests and trace replay; the three-valued
+    /// variant PDR uses for cube generalization lives in
+    /// [`crate::sim::TernarySim`].
     pub fn eval(&self, root: AigLit, ci_values: &[bool]) -> bool {
         let mut vals: Vec<Option<bool>> = vec![None; self.nodes.len()];
         self.eval_cached(root, ci_values, &mut vals)

@@ -33,10 +33,15 @@ pub mod blast;
 pub mod cnf;
 pub mod graph;
 pub mod seq;
+pub mod sim;
 pub mod template;
+#[cfg(any(test, feature = "testutil"))]
+#[doc(hidden)]
+pub mod testutil;
 
 pub use blast::{ArrayBits, Blaster, Bundle};
 pub use cnf::FrameEncoder;
 pub use graph::{Aig, AigLit};
 pub use seq::{blast_system, AigSystem, Latch};
+pub use sim::{Tern, TernarySim};
 pub use template::{FrameVars, TransitionTemplate};

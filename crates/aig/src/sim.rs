@@ -1,0 +1,239 @@
+//! Ternary (three-valued) simulation of the sequential netlist.
+//!
+//! [`TernarySim`] evaluates the latch-next / constraint / bad cones of
+//! an [`AigSystem`] over the domain `{0, 1, X}`: a latch set to
+//! [`Tern::X`] stands for *both* values at once, and an output that
+//! still evaluates to a definite value is independent of that latch.
+//!
+//! This is the cube-generalization engine of IC3/PDR (Eén, Mishchenko,
+//! Brayton 2011): given a SAT model — a bad state, or a predecessor
+//! driving into a proof-obligation cube — the engine X-es out one latch
+//! at a time and keeps the drop whenever the relevant outputs (the
+//! fired bad output, or the next-state bits matching the target cube)
+//! stay at their required definite values. Every state in the widened
+//! cube then provably behaves like the model under the same inputs, so
+//! obligations cover many states per SAT query instead of one.
+//!
+//! The simulator pre-computes one topological order over the union cone
+//! (the same roots the CNF [`crate::TransitionTemplate`] compiles) and
+//! re-evaluates it in place per trial — no per-trial allocation.
+//! Combinational inputs that are neither registered primary inputs nor
+//! latch outputs (free inputs) are held at `X`, so a definite output is
+//! definite for *every* value of them — the conservative choice that
+//! keeps generalized counterexample traces replayable.
+
+use crate::graph::AigLit;
+use crate::seq::AigSystem;
+
+/// A three-valued simulation value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tern {
+    /// Definitely false.
+    F,
+    /// Definitely true.
+    T,
+    /// Unknown / both values.
+    X,
+}
+
+impl Tern {
+    /// Lifts a Boolean.
+    pub fn from_bool(b: bool) -> Tern {
+        if b {
+            Tern::T
+        } else {
+            Tern::F
+        }
+    }
+
+    /// The definite value, if any.
+    pub fn known(self) -> Option<bool> {
+        match self {
+            Tern::F => Some(false),
+            Tern::T => Some(true),
+            Tern::X => None,
+        }
+    }
+
+    /// Kleene conjunction: false dominates X.
+    fn and(self, other: Tern) -> Tern {
+        match (self, other) {
+            (Tern::F, _) | (_, Tern::F) => Tern::F,
+            (Tern::T, Tern::T) => Tern::T,
+            _ => Tern::X,
+        }
+    }
+}
+
+impl std::ops::Not for Tern {
+    type Output = Tern;
+    fn not(self) -> Tern {
+        match self {
+            Tern::F => Tern::T,
+            Tern::T => Tern::F,
+            Tern::X => Tern::X,
+        }
+    }
+}
+
+/// A reusable three-valued evaluator over the union cone of a system's
+/// latch-next, constraint and bad outputs.
+#[derive(Clone, Debug)]
+pub struct TernarySim {
+    /// AND nodes of the union cone, in topological order.
+    order: Vec<u32>,
+    /// Per-node value of the current evaluation.
+    vals: Vec<Tern>,
+    /// CI node per latch (ordinal order).
+    latch_nodes: Vec<u32>,
+    /// CI node per registered primary input.
+    input_nodes: Vec<u32>,
+}
+
+impl TernarySim {
+    /// Prepares a simulator for `sys` (one cone walk; reuse the value
+    /// across many [`eval`](TernarySim::eval) calls).
+    pub fn new(sys: &AigSystem) -> TernarySim {
+        let mut roots: Vec<AigLit> =
+            Vec::with_capacity(sys.latches.len() + sys.constraints.len() + sys.bads.len());
+        roots.extend(sys.latches.iter().map(|l| l.next));
+        roots.extend(sys.constraints.iter().copied());
+        roots.extend(sys.bads.iter().copied());
+        TernarySim {
+            order: sys.aig.cone(&roots),
+            vals: vec![Tern::X; sys.aig.num_nodes()],
+            latch_nodes: sys.latches.iter().map(|l| l.output.node()).collect(),
+            input_nodes: sys.inputs.iter().map(|l| l.node()).collect(),
+        }
+    }
+
+    /// Evaluates the cone under a three-valued latch state and concrete
+    /// primary inputs (missing input bits and free CIs are `X`). Read
+    /// results with [`value`](TernarySim::value).
+    pub fn eval(&mut self, sys: &AigSystem, state: &[Tern], inputs: &[bool]) {
+        debug_assert_eq!(state.len(), self.latch_nodes.len());
+        for v in self.vals.iter_mut() {
+            *v = Tern::X;
+        }
+        self.vals[0] = Tern::F; // the constant node
+        for (i, &n) in self.latch_nodes.iter().enumerate() {
+            self.vals[n as usize] = state[i];
+        }
+        for (i, &n) in self.input_nodes.iter().enumerate() {
+            self.vals[n as usize] = match inputs.get(i) {
+                Some(&b) => Tern::from_bool(b),
+                None => Tern::X,
+            };
+        }
+        for &n in &self.order {
+            let (a, b) = sys
+                .aig
+                .and_fanins_of_node(n)
+                .expect("cone() yields AND nodes only");
+            let va = self.lit_val(a);
+            let vb = self.lit_val(b);
+            self.vals[n as usize] = va.and(vb);
+        }
+    }
+
+    fn lit_val(&self, l: AigLit) -> Tern {
+        let v = self.vals[l.node() as usize];
+        if l.is_compl() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// The value of a literal in the last evaluation. Only meaningful
+    /// for literals inside the simulated cone (latch-next, constraint
+    /// and bad roots and their fanin); anything else reads `X`.
+    pub fn value(&self, l: AigLit) -> Tern {
+        self.lit_val(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The shared random sequential netlist (see [`crate::testutil`]).
+    fn random_system(rng: &mut StdRng) -> AigSystem {
+        crate::testutil::random_system(rng, &crate::testutil::RandomSystemConfig::default())
+    }
+
+    /// With a fully concrete state, ternary simulation must agree with
+    /// the Boolean evaluator on every root.
+    #[test]
+    fn concrete_states_match_boolean_eval() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let sys = random_system(&mut rng);
+            let mut sim = TernarySim::new(&sys);
+            for _ in 0..8 {
+                let state: Vec<bool> = (0..sys.latches.len()).map(|_| rng.gen_bool(0.5)).collect();
+                let inputs: Vec<bool> = (0..sys.inputs.len()).map(|_| rng.gen_bool(0.5)).collect();
+                let tstate: Vec<Tern> = state.iter().map(|&b| Tern::from_bool(b)).collect();
+                sim.eval(&sys, &tstate, &inputs);
+                let next = sys.step(&state, &inputs);
+                for (i, latch) in sys.latches.iter().enumerate() {
+                    assert_eq!(sim.value(latch.next), Tern::from_bool(next[i]), "latch {i}");
+                }
+                let bads = sys.bads_in(&state, &inputs);
+                for (i, &b) in sys.bads.iter().enumerate() {
+                    assert_eq!(sim.value(b), Tern::from_bool(bads[i]), "bad {i}");
+                }
+            }
+        }
+    }
+
+    /// Soundness of X: whenever ternary simulation reports a definite
+    /// value with some latches at X, every completion of those latches
+    /// agrees with it.
+    #[test]
+    fn definite_outputs_hold_for_all_completions() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..50 {
+            let sys = random_system(&mut rng);
+            let n = sys.latches.len();
+            let mut sim = TernarySim::new(&sys);
+            let state: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            let inputs: Vec<bool> = (0..sys.inputs.len()).map(|_| rng.gen_bool(0.5)).collect();
+            let xmask: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.4)).collect();
+            let tstate: Vec<Tern> = (0..n)
+                .map(|i| {
+                    if xmask[i] {
+                        Tern::X
+                    } else {
+                        Tern::from_bool(state[i])
+                    }
+                })
+                .collect();
+            sim.eval(&sys, &tstate, &inputs);
+            let verdicts: Vec<Tern> = sys.bads.iter().map(|&b| sim.value(b)).collect();
+            let next_verdicts: Vec<Tern> = sys.latches.iter().map(|l| sim.value(l.next)).collect();
+            // Enumerate every completion of the X-ed latches.
+            let xs: Vec<usize> = (0..n).filter(|&i| xmask[i]).collect();
+            for m in 0u32..(1 << xs.len()) {
+                let mut s = state.clone();
+                for (bit, &i) in xs.iter().enumerate() {
+                    s[i] = (m >> bit) & 1 == 1;
+                }
+                let bads = sys.bads_in(&s, &inputs);
+                for (i, v) in verdicts.iter().enumerate() {
+                    if let Some(want) = v.known() {
+                        assert_eq!(bads[i], want, "bad {i} not independent of X set");
+                    }
+                }
+                let next = sys.step(&s, &inputs);
+                for (i, v) in next_verdicts.iter().enumerate() {
+                    if let Some(want) = v.known() {
+                        assert_eq!(next[i], want, "next {i} not independent of X set");
+                    }
+                }
+            }
+        }
+    }
+}

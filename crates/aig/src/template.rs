@@ -449,64 +449,18 @@ mod tests {
     use rand::{Rng, SeedableRng};
     use satb::SolveResult;
 
-    /// A random sequential netlist: latch/input CIs, random AND/OR/XOR
-    /// logic, random next-state, bad and constraint picks.
+    /// The shared random sequential netlist (see [`crate::testutil`]),
+    /// with constraints enabled so `Part`/constraint handling is
+    /// exercised.
     fn random_system(rng: &mut StdRng) -> AigSystem {
-        let mut aig = Aig::new();
-        let num_inputs = rng.gen_range(0..=3usize);
-        let num_latches = rng.gen_range(1..=5usize);
-        let inputs: Vec<AigLit> = (0..num_inputs).map(|_| aig.new_ci()).collect();
-        let latch_outs: Vec<AigLit> = (0..num_latches).map(|_| aig.new_ci()).collect();
-        let mut lits: Vec<AigLit> = inputs.iter().chain(&latch_outs).copied().collect();
-        lits.push(AigLit::TRUE);
-        for _ in 0..rng.gen_range(3..=30usize) {
-            let a = lits[rng.gen_range(0..lits.len())];
-            let b = lits[rng.gen_range(0..lits.len())];
-            let a = if rng.gen_bool(0.5) { !a } else { a };
-            let b = if rng.gen_bool(0.5) { !b } else { b };
-            let n = match rng.gen_range(0..3) {
-                0 => aig.and(a, b),
-                1 => aig.or(a, b),
-                _ => aig.xor(a, b),
-            };
-            lits.push(n);
-        }
-        let pick = |rng: &mut StdRng| {
-            let l = lits[rng.gen_range(0..lits.len())];
-            if rng.gen_bool(0.5) {
-                !l
-            } else {
-                l
-            }
-        };
-        let latches: Vec<Latch> = latch_outs
-            .iter()
-            .enumerate()
-            .map(|(i, &output)| Latch {
-                output,
-                next: pick(rng),
-                init: if rng.gen_bool(0.7) {
-                    Some(rng.gen_bool(0.5))
-                } else {
-                    None
-                },
-                name: format!("l{i}"),
-            })
-            .collect();
-        let bads: Vec<AigLit> = (0..rng.gen_range(1..=3usize)).map(|_| pick(rng)).collect();
-        let constraints: Vec<AigLit> = (0..rng.gen_range(0..=1usize)).map(|_| pick(rng)).collect();
-        let bad_names = (0..bads.len()).map(|i| format!("b{i}")).collect();
-        let input_names = (0..num_inputs).map(|i| format!("i{i}")).collect();
-        AigSystem {
-            aig,
-            inputs,
-            input_names,
-            latches,
-            constraints,
-            bads,
-            bad_names,
-            name: "rand".into(),
-        }
+        crate::testutil::random_system(
+            rng,
+            &crate::testutil::RandomSystemConfig {
+                max_constraints: 1,
+                init_prob: 0.7,
+                ..Default::default()
+            },
+        )
     }
 
     /// The pre-template unrolling: one `FrameEncoder` per frame, next

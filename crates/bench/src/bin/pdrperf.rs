@@ -1,0 +1,118 @@
+//! PDR architecture microbenchmark: the single-solver
+//! activation-literal engine ([`engines::pdr::Pdr`]) vs. the
+//! one-solver-per-frame baseline
+//! ([`engines::pdr_baseline::PerFramePdr`]).
+//!
+//! Every `benchmarks/*.v` design is blasted and template-compiled
+//! once, then checked by both engines under the same budget. Emits
+//! machine-readable JSON on stdout: per-design verdicts, depths, wall
+//! times, total conflicts, peak arena bytes, activation-variable
+//! recycling and ternary-drop counts, the per-design arena ratio and
+//! wall-time speedup, and their geomeans — the PDR leg of the perf
+//! trajectory next to `satperf` (propagation) and `encperf`
+//! (encoding).
+//!
+//! Exits nonzero if the two engines disagree on any verdict, or if the
+//! single-solver engine's peak arena is not strictly below the
+//! baseline's on a design both engines actually ran deep on.
+//!
+//! Usage: `cargo run --release -p bench --bin pdrperf [-- --timeout SECS]`
+
+use engines::pdr::Pdr;
+use engines::pdr_baseline::PerFramePdr;
+use engines::{Blasted, CheckOutcome, Checker, Verdict};
+use std::time::Instant;
+
+fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Safe => "safe".into(),
+        Verdict::Unsafe(t) => format!("bug@{}", t.length()),
+        Verdict::Unknown(u) => format!("unknown({u})"),
+    }
+}
+
+fn run(
+    checker: &dyn Checker,
+    ts: &rtlir::TransitionSystem,
+    blasted: &Blasted,
+) -> (CheckOutcome, f64) {
+    let t0 = Instant::now();
+    let out = checker.check_blasted(ts, blasted);
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let (timeout, benchmarks) = bench::parse_args(20);
+    let mut arena_ratios: Vec<f64> = Vec::new();
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut disagreed = false;
+    let mut arena_regressed = false;
+    println!("{{");
+    println!("  \"benchmark\": \"pdrperf\",");
+    println!("  \"timeout_s\": {timeout},");
+    println!("  \"runs\": [");
+    for (i, b) in benchmarks.iter().enumerate() {
+        let ts = b.compile().expect("benchmark compiles");
+        let blasted = Blasted::of(&ts);
+        let budget = bench::budget(timeout);
+        let (single, single_s) = run(&Pdr::new(budget.clone()), &ts, &blasted);
+        let (frames, frames_s) = run(&PerFramePdr::new(budget), &ts, &blasted);
+        // Only opposing *definite* verdicts are a disagreement (the
+        // same rule the portfolio uses): one engine timing out while
+        // the other answers is a budget artifact, not a soundness
+        // alarm.
+        let agree = !matches!(
+            (&single.outcome, &frames.outcome),
+            (Verdict::Safe, Verdict::Unsafe(_)) | (Verdict::Unsafe(_), Verdict::Safe)
+        );
+        disagreed |= !agree;
+        let arena_ratio =
+            frames.stats.arena_peak_bytes as f64 / (single.stats.arena_peak_bytes as f64).max(1.0);
+        // Arena must shrink strictly whenever the baseline built more
+        // than its frame-0 solver (i.e. on every design that goes past
+        // the level-0 check).
+        if frames.stats.depth >= 1 && single.stats.arena_peak_bytes >= frames.stats.arena_peak_bytes
+        {
+            arena_regressed = true;
+        }
+        let speedup = frames_s / single_s.max(1e-9);
+        arena_ratios.push(arena_ratio);
+        speedups.push(speedup);
+        print!(
+            "    {{\"design\":\"{}\",\"verdict\":\"{}\",\"baseline_verdict\":\"{}\",\
+             \"depth\":{},\"single_s\":{:.4},\"frames_s\":{:.4},\
+             \"single_conflicts\":{},\"frames_conflicts\":{},\
+             \"single_arena_peak\":{},\"frames_arena_peak\":{},\
+             \"act_recycled\":{},\"ternary_drops\":{},\
+             \"arena_ratio\":{:.3},\"speedup\":{:.3}}}",
+            b.name,
+            verdict_label(&single.outcome),
+            verdict_label(&frames.outcome),
+            single.stats.depth,
+            single_s,
+            frames_s,
+            single.stats.conflicts,
+            frames.stats.conflicts,
+            single.stats.arena_peak_bytes,
+            frames.stats.arena_peak_bytes,
+            single.stats.act_recycled,
+            single.stats.ternary_drops,
+            arena_ratio,
+            speedup,
+        );
+        println!("{}", if i + 1 < benchmarks.len() { "," } else { "" });
+    }
+    println!("  ],");
+    let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len().max(1) as f64).exp();
+    println!("  \"geomean_arena_ratio\": {:.3},", geo(&arena_ratios));
+    println!("  \"geomean_speedup\": {:.3},", geo(&speedups));
+    println!("  \"disagreement\": {disagreed},");
+    println!("  \"arena_regression\": {arena_regressed}");
+    println!("}}");
+    if disagreed {
+        std::process::exit(2);
+    }
+    if arena_regressed {
+        std::process::exit(1);
+    }
+}

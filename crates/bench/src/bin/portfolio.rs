@@ -1,7 +1,9 @@
 //! Portfolio mode of the benchmark runner: races BMC, k-induction,
-//! interpolation and PDR (with cooperative cancellation) on each
-//! benchmark and prints the winner plus the per-engine breakdown —
-//! the paper's "hybrid" configuration as one tool.
+//! interpolation, PDR **and a seated software analyzer**
+//! (CPAChecker-style predicate abstraction over the v2c path) with
+//! cooperative cancellation on each benchmark and prints the winner
+//! plus the per-engine breakdown — the paper's "hybrid" configuration
+//! as one tool.
 //!
 //! Usage: `portfolio [--timeout SECS] [benchmark]`
 //!
@@ -9,7 +11,6 @@
 //! benchmark), and with code 2 on an engine disagreement, so CI smoke
 //! runs fail on more than just panics.
 
-use engines::portfolio::Portfolio;
 use engines::Verdict;
 
 fn main() {
@@ -33,7 +34,7 @@ fn main() {
                 continue;
             }
         };
-        let p = Portfolio::with_default_engines(bench::budget(timeout));
+        let p = bench::hybrid_portfolio(timeout);
         let report = p.check_detailed(&ts);
         let verdict = match &report.verdict {
             Verdict::Safe => "SAFE".to_string(),

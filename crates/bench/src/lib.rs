@@ -147,14 +147,25 @@ pub fn budget(timeout_secs: u64) -> Budget {
     }
 }
 
-/// The paper's best configuration as one tool: the parallel portfolio
-/// of BMC, k-induction, interpolation and PDR with cooperative
-/// cancellation (the `portfolio` mode of the benchmark runner).
+/// The paper's hybrid portfolio: the default hardware engines (BMC,
+/// k-induction, interpolation, PDR) **plus a software-analyzer seat**
+/// (CPAChecker-style predicate abstraction over the v2c path), all
+/// racing under one cooperative-cancellation flag.
+pub fn hybrid_portfolio(timeout_secs: u64) -> engines::portfolio::Portfolio {
+    let mut p = engines::portfolio::Portfolio::with_default_engines(budget(timeout_secs));
+    let b = p.engine_budget();
+    p.push(swan::SwSeat::new(swan::predabs::PredAbs::new(
+        b,
+        swan::predabs::RefineMode::Wp,
+    )));
+    p
+}
+
+/// The paper's best configuration as one tool: the parallel hybrid
+/// portfolio with cooperative cancellation (the `portfolio` mode of
+/// the benchmark runner), software seat included.
 pub fn portfolio_tool(timeout_secs: u64) -> Tool {
-    Tool::hw(
-        "Portfolio",
-        engines::portfolio::Portfolio::with_default_engines(budget(timeout_secs)),
-    )
+    Tool::hw("Portfolio", hybrid_portfolio(timeout_secs))
 }
 
 /// The Figure 3 tool set: k-induction at bit level (ABC), word level

@@ -48,6 +48,7 @@ pub mod bmc;
 pub mod itp;
 pub mod kind;
 pub mod pdr;
+pub mod pdr_baseline;
 pub mod portfolio;
 pub mod result;
 pub mod word;

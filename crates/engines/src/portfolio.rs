@@ -109,7 +109,7 @@ impl PortfolioOutcome {
                 e.outcome.stats.depth,
                 e.outcome.stats.sat_queries,
                 e.outcome.stats.conflicts,
-                e.outcome.stats.arena_bytes,
+                e.outcome.stats.arena_peak_bytes,
                 e.outcome.stats.time.as_secs_f64(),
             );
         }
@@ -292,6 +292,9 @@ impl Portfolio {
             stats.reduces += out.stats.reduces;
             stats.deleted += out.stats.deleted;
             stats.arena_bytes += out.stats.arena_bytes;
+            stats.arena_peak_bytes += out.stats.arena_peak_bytes;
+            stats.act_recycled += out.stats.act_recycled;
+            stats.ternary_drops += out.stats.ternary_drops;
             engines.push(EngineReport {
                 name,
                 outcome: out,

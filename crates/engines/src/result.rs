@@ -153,9 +153,19 @@ pub struct EngineStats {
     pub reduces: u64,
     /// Learned clauses deleted by reduction across all SAT solvers.
     pub deleted: u64,
-    /// Peak clause-arena footprint in bytes, summed over all SAT
-    /// solvers used.
+    /// Final clause-arena footprint in bytes, summed over all SAT
+    /// solvers used (each sampled when it was retired or at the end of
+    /// the run).
     pub arena_bytes: u64,
+    /// Peak clause-arena footprint of the run in bytes (for engines
+    /// whose solvers coexist, the sum of their high-water marks; for
+    /// single-solver engines, that solver's peak).
+    pub arena_peak_bytes: u64,
+    /// Activation variables reused from the solver free-list instead
+    /// of being leaked (single-solver PDR's per-query guards).
+    pub act_recycled: u64,
+    /// Cube literals dropped by ternary-simulation generalization.
+    pub ternary_drops: u64,
     /// Wall-clock time spent in `check`.
     pub time: Duration,
 }
@@ -169,17 +179,22 @@ impl EngineStats {
         self.conflicts += s.conflicts;
         self.reduces += s.reduces;
         self.deleted += s.deleted;
-        self.arena_bytes += s.arena_peak_bytes;
+        self.arena_bytes += s.arena_bytes;
+        self.arena_peak_bytes += s.arena_peak_bytes;
+        self.act_recycled += s.act_recycled;
     }
 
     /// Replaces the solver-side totals with the (cumulative) statistics
     /// of the given solvers. Engines whose solvers live for the whole
-    /// run call this before reporting.
+    /// run call this before reporting. Engine-side counters (depth,
+    /// queries, ternary drops) are untouched.
     pub fn set_solver_stats<I: IntoIterator<Item = satb::Stats>>(&mut self, solvers: I) {
         self.conflicts = 0;
         self.reduces = 0;
         self.deleted = 0;
         self.arena_bytes = 0;
+        self.arena_peak_bytes = 0;
+        self.act_recycled = 0;
         for s in solvers {
             self.absorb_solver(&s);
         }

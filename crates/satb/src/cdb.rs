@@ -222,6 +222,37 @@ impl ClauseDb {
         self.learnts = learnts;
     }
 
+    /// Removes the given ascending `doomed` crefs from one registry
+    /// (used by activation-group release, which frees individual
+    /// clauses rather than rebuilding a registry wholesale). Both the
+    /// registry and `doomed` are in allocation order, and released
+    /// clauses were allocated recently, so the scan binary-searches to
+    /// the first doomed entry and only rewrites the registry tail —
+    /// near-O(1) for the hot per-query release path.
+    pub(crate) fn remove_from_registry(&mut self, learnt: bool, doomed: &[CRef]) {
+        debug_assert!(doomed.windows(2).all(|w| w[0] < w[1]));
+        let registry = if learnt {
+            &mut self.learnts
+        } else {
+            &mut self.originals
+        };
+        let Some(&first) = doomed.first() else { return };
+        let start = registry.binary_search(&first).unwrap_or_else(|i| i);
+        let mut w = start;
+        let mut d = 0;
+        for r in start..registry.len() {
+            let c = registry[r];
+            if d < doomed.len() && doomed[d] == c {
+                d += 1;
+                continue;
+            }
+            registry[w] = c;
+            w += 1;
+        }
+        debug_assert_eq!(d, doomed.len(), "doomed cref missing from registry");
+        registry.truncate(w);
+    }
+
     /// Whether enough words are wasted that compaction pays off.
     pub fn should_collect(&self) -> bool {
         self.wasted * 5 > self.arena.len() && self.wasted > 1024

@@ -46,4 +46,4 @@ pub use cdb::{CRef, ClauseDb};
 pub use interp::Interpolant;
 pub use lit::{Lit, Var};
 pub use proof::{ClauseId, Part};
-pub use solver::{Interrupt, Limits, ReduceConfig, SolveResult, Solver, Stats};
+pub use solver::{solver_count, Interrupt, Limits, ReduceConfig, SolveResult, Solver, Stats};

@@ -3,10 +3,25 @@
 use crate::cdb::{CRef, ClauseDb};
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::{ClauseId, Part, Proof, ProofClause, ResStep};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-thread count of [`Solver`] constructions (observability
+    /// hook, mirroring `aig::seq::blast_count`).
+    static SOLVERS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`Solver`]s constructed by the *current thread*.
+///
+/// Thread-local on purpose: tests assert construction discipline (e.g.
+/// "single-solver PDR builds exactly one solver per run") without
+/// racing against solvers created on unrelated test threads.
+pub fn solver_count() -> u64 {
+    SOLVERS.with(|c| c.get())
+}
 
 /// Which resource limit ended a solve call without an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,6 +93,16 @@ pub struct Stats {
     pub lbd_improved: u64,
     /// Number of arena compaction (garbage collection) passes.
     pub gcs: u64,
+    /// Number of activation variables reused from the free-list by
+    /// [`Solver::new_activation`] instead of allocating a fresh one.
+    pub act_recycled: u64,
+    /// Number of clauses freed by [`Solver::release_activation`]
+    /// (registered activated clauses plus contaminated learned ones).
+    pub act_released: u64,
+    /// Number of releases abandoned because the activation variable was
+    /// fixed at level 0 or a dependent clause was locked; the group
+    /// stays in the database, inert.
+    pub act_leaked: u64,
     /// Current clause-arena footprint in bytes.
     pub arena_bytes: u64,
     /// High-water clause-arena footprint in bytes.
@@ -272,6 +297,26 @@ pub struct Solver {
     /// Scratch generation stamps for LBD computation, per level.
     lbd_stamp: Vec<u64>,
     lbd_gen: u64,
+    /// Live activation groups: clauses registered under each in-use
+    /// activation variable, plus the arena/GC watermarks at creation
+    /// (so release can scan only the learned clauses allocated since).
+    act_entries: HashMap<Var, ActEntry>,
+    /// Recycled activation variables, ready for reuse.
+    free_acts: Vec<Var>,
+}
+
+/// Bookkeeping of one activation-literal clause group.
+#[derive(Debug)]
+struct ActEntry {
+    /// Registered original clauses (each contains the negated
+    /// activation literal).
+    crefs: Vec<CRef>,
+    /// Arena word offset when the group was created: learned clauses
+    /// allocated after it are the only ones that can mention the
+    /// variable — valid while no GC has run since.
+    arena_mark: usize,
+    /// `stats.gcs` at creation; a mismatch invalidates `arena_mark`.
+    gc_mark: u64,
 }
 
 impl Default for Solver {
@@ -283,6 +328,7 @@ impl Default for Solver {
 impl Solver {
     /// Creates a solver without proof logging.
     pub fn new() -> Solver {
+        SOLVERS.with(|c| c.set(c.get() + 1));
         let reduce = ReduceConfig::default();
         Solver {
             cdb: ClauseDb::new(),
@@ -309,6 +355,8 @@ impl Solver {
             next_reduce: reduce.first_conflicts,
             lbd_stamp: Vec::new(),
             lbd_gen: 0,
+            act_entries: HashMap::new(),
+            free_acts: Vec::new(),
         }
     }
 
@@ -468,6 +516,121 @@ impl Solver {
             ok = self.add_clause(c) && ok;
         }
         ok
+    }
+
+    /// Allocates an **activation variable** for a releasable clause
+    /// group, reusing a previously released one when possible (the
+    /// free-list that replaces the leak-a-var-per-query pattern of
+    /// incremental IC3/PDR queries).
+    ///
+    /// The returned positive literal is the group's guard: add clauses
+    /// with [`add_clause_activated`](Solver::add_clause_activated),
+    /// enable them by assuming the literal, and retire the whole group
+    /// with [`release_activation`](Solver::release_activation). The
+    /// caller must only use the variable as an assumption guard — it
+    /// must not occur in ordinary clauses, or release becomes unsound.
+    pub fn new_activation(&mut self) -> Lit {
+        let v = match self.free_acts.pop() {
+            Some(v) => {
+                debug_assert_eq!(self.assigns[v.index()], LBool::Undef);
+                self.stats.act_recycled += 1;
+                v
+            }
+            None => self.new_var(),
+        };
+        self.act_entries.insert(
+            v,
+            ActEntry {
+                crefs: Vec::new(),
+                arena_mark: self.cdb.bytes() / 4,
+                gc_mark: self.stats.gcs,
+            },
+        );
+        Lit::pos(v)
+    }
+
+    /// Adds a clause guarded by (and registered under) the activation
+    /// literal `act` returned by
+    /// [`new_activation`](Solver::new_activation): the stored clause is
+    /// `lits ∨ ¬act`, active only while `act` is assumed.
+    ///
+    /// Returns `false` if the solver is now known inconsistent.
+    pub fn add_clause_activated(&mut self, act: Lit, lits: &[Lit]) -> bool {
+        debug_assert!(
+            self.act_entries.contains_key(&act.var()),
+            "activation literal not obtained from new_activation"
+        );
+        let mut full: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+        full.extend_from_slice(lits);
+        full.push(!act);
+        let before = self.cdb.originals().len();
+        let ok = self.add_clause(&full);
+        let added = self.cdb.originals()[before..].to_vec();
+        if let Some(e) = self.act_entries.get_mut(&act.var()) {
+            e.crefs.extend(added);
+        }
+        ok
+    }
+
+    /// Retires an activation group: frees its registered clauses *and*
+    /// every learned clause mentioning the activation variable, then
+    /// returns the variable to the free-list for reuse.
+    ///
+    /// Why deleting exactly those clauses is sound: the activation
+    /// variable appears positively only as an assumption, never in any
+    /// clause, so no resolution step can eliminate its negative
+    /// literal — every clause whose derivation used the guarded group
+    /// still contains it. Clauses without the literal were derived
+    /// from the rest of the database and remain implied.
+    ///
+    /// If the variable was fixed at level 0 (the guarded clause
+    /// simplified to a unit) or a dependent clause is currently the
+    /// reason of a level-0 assignment, the release is abandoned: the
+    /// group stays in the database, inert because the guard is never
+    /// assumed again (the historical leak behaviour, now counted in
+    /// [`Stats::act_leaked`]).
+    pub fn release_activation(&mut self, act: Lit) {
+        let v = act.var();
+        let Some(entry) = self.act_entries.remove(&v) else {
+            return;
+        };
+        debug_assert!(self.trail_lim.is_empty(), "release happens at level 0");
+        let doomed = entry.crefs;
+        // Learned clauses mentioning the variable can only have been
+        // allocated after the group was created; skip the scan of the
+        // older arena prefix unless a compaction moved things since.
+        let mark = if self.stats.gcs == entry.gc_mark {
+            entry.arena_mark
+        } else {
+            0
+        };
+        let mut doomed_learnts: Vec<CRef> = Vec::new();
+        let learnts = self.cdb.learnts();
+        // The registry is in ascending CRef order, so the pre-mark
+        // prefix is skipped outright, not merely filtered.
+        let start = learnts.partition_point(|c| c.index() < mark);
+        for &c in &learnts[start..] {
+            if self.cdb.lits(c).iter().any(|l| l.var() == v) {
+                doomed_learnts.push(c);
+            }
+        }
+        if self.assigns[v.index()] != LBool::Undef
+            || doomed
+                .iter()
+                .chain(&doomed_learnts)
+                .any(|&c| self.is_reason_clause(c))
+        {
+            self.stats.act_leaked += 1;
+            return;
+        }
+        for &c in doomed.iter().chain(&doomed_learnts) {
+            self.detach(c);
+            self.cdb.free(c);
+            self.stats.act_released += 1;
+        }
+        self.cdb.remove_from_registry(false, &doomed);
+        self.cdb.remove_from_registry(true, &doomed_learnts);
+        self.free_acts.push(v);
     }
 
     /// Adds a clause, defaulting to partition [`Part::A`] for proofs.
@@ -633,6 +796,19 @@ impl Solver {
         let binary = self.cdb.size(cref) == 2;
         self.watches[(!l0).code()].push(Watcher::new(cref, l1, binary));
         self.watches[(!l1).code()].push(Watcher::new(cref, l0, binary));
+    }
+
+    /// Removes the two watchers of a live attached clause (positions 0
+    /// and 1 always hold the currently watched literals).
+    fn detach(&mut self, cref: CRef) {
+        debug_assert!(self.cdb.size(cref) >= 2, "unit clauses are never attached");
+        for i in 0..2 {
+            let l = self.cdb.lit(cref, i);
+            let ws = &mut self.watches[(!l).code()];
+            if let Some(p) = ws.iter().position(|w| w.cref() == cref) {
+                ws.swap_remove(p);
+            }
+        }
     }
 
     fn decision_level(&self) -> u32 {
@@ -1048,6 +1224,16 @@ impl Solver {
         self.lit_value(l0) == LBool::True && self.reasons[l0.var().index()] == Some(c)
     }
 
+    /// Like [`is_locked`](Solver::is_locked) but checks every literal:
+    /// clauses that became unit during `add` can be the reason of a
+    /// literal that is not at position 0.
+    fn is_reason_clause(&self, c: CRef) -> bool {
+        (0..self.cdb.size(c)).any(|k| {
+            let l = self.cdb.lit(c, k);
+            self.lit_value(l) == LBool::True && self.reasons[l.var().index()] == Some(c)
+        })
+    }
+
     /// Learned-clause reduction: deletes the worse half of the
     /// deletable learned clauses (high LBD, low activity), keeping
     /// binary, glue and locked clauses, then compacts the arena when
@@ -1108,6 +1294,11 @@ impl Solver {
         }
         for c in self.reasons.iter_mut().flatten() {
             *c = reloc.forward(*c);
+        }
+        for e in self.act_entries.values_mut() {
+            for c in e.crefs.iter_mut() {
+                *c = reloc.forward(*c);
+            }
         }
         self.stats.gcs += 1;
     }

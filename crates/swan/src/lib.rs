@@ -30,10 +30,12 @@ pub mod cbmc;
 pub mod impact;
 pub mod predabs;
 pub mod seahorn;
+pub mod seat;
 pub mod twols;
 pub mod util;
 
 pub use engines::{Budget, CheckOutcome, Trace, Unknown, Verdict};
+pub use seat::SwSeat;
 
 /// A software analyzer over software-netlist programs.
 pub trait Analyzer {

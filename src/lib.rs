@@ -20,6 +20,9 @@
 //! parallel [`Portfolio`]: BMC, k-induction, interpolation and PDR
 //! race on worker threads, the first definite verdict wins, and the
 //! losers are cooperatively cancelled through the `satb` stop flag.
+//! Software analyzers join the race through [`swan::SwSeat`], which
+//! adapts any `swan` analyzer to the hardware `Checker` interface
+//! over the v2c software-netlist path.
 //!
 //! This crate re-exports the public API of every component so examples
 //! and downstream users need a single dependency.
