@@ -88,6 +88,7 @@
 
 use crate::graph::AigLit;
 use crate::seq::AigSystem;
+use satb::preproc::{PreprocConfig, PreprocStats, Preprocessor, ReconStack};
 use satb::{Lit, Part, Solver, Var};
 
 /// The solver literals of one materialized time frame.
@@ -348,6 +349,180 @@ impl TransitionTemplate {
         self.lits.len() + self.latchy_lits.len() + self.constraints.len()
     }
 
+    /// Runs SatELite-style CNF preprocessing ([`satb::preproc`]) once
+    /// over the compiled clause image, with the default configuration.
+    /// Every frame instantiated from the returned template — in every
+    /// engine, every portfolio seat — inherits the simplification for
+    /// free: the cost is paid once per design, the savings once per
+    /// frame.
+    ///
+    /// # Freeze set and soundness
+    ///
+    /// The preprocessor is handed the whole engine interface as its
+    /// freeze set: latch-current and latch-next variables, inputs,
+    /// constraint/bad/any-bad literals. Those are exactly the
+    /// variables engines read from models, assume, bind across frames
+    /// or constrain with extra clauses (PDR's blocking clauses and
+    /// initial-state units range over latch-current variables; its
+    /// activation guards are fresh solver-side variables that never
+    /// exist in the template, so its activation/assumption footprint
+    /// is frozen by construction). Internal Tseitin variables are
+    /// existentially projected out where the SatELite bound allows, so
+    /// the simplified image is equivalent to the raw one over every
+    /// frozen variable — every engine verdict, interpolant and trace
+    /// is preserved. Eliminated variables can be re-derived from any
+    /// model through [`PreprocessedTemplate::recon`].
+    ///
+    /// The per-frame constraint unit assertions participate in the
+    /// simplification (they hold on every materialized frame) and are
+    /// stripped from the resulting image again, since
+    /// [`instantiate`](TransitionTemplate::instantiate) re-asserts
+    /// them.
+    ///
+    /// If preprocessing refutes the image outright (possible only with
+    /// contradictory environment constraints), the raw template is
+    /// returned unchanged — every frame is unsatisfiable either way.
+    pub fn preprocess(&self) -> PreprocessedTemplate {
+        self.preprocess_with(&PreprocConfig::default())
+    }
+
+    /// [`preprocess`](TransitionTemplate::preprocess) with an explicit
+    /// configuration.
+    pub fn preprocess_with(&self, cfg: &PreprocConfig) -> PreprocessedTemplate {
+        let num_frozen = self.num_latches + self.input_lits.len();
+        let mut pre = Preprocessor::new(self.num_vars);
+        for v in 0..num_frozen {
+            pre.freeze(Var::from_index(v));
+        }
+        for &l in self.interface_lits() {
+            pre.freeze(l.var());
+        }
+        let mut start = 0usize;
+        for &end in &self.ends {
+            pre.add_clause(&self.lits[start..end as usize], Part::A, 0);
+            start = end as usize;
+        }
+        start = 0;
+        for &end in &self.latchy_ends {
+            pre.add_clause(&self.latchy_lits[start..end as usize], Part::A, 0);
+            start = end as usize;
+        }
+        // The constraints are asserted as units on every materialized
+        // frame; give the preprocessor that knowledge.
+        let mut units: Vec<Lit> = self.constraints.clone();
+        units.sort_unstable();
+        units.dedup();
+        for &c in &units {
+            pre.add_clause(&[c], Part::A, 0);
+        }
+        let res = pre.run(cfg);
+        if res.unsat {
+            // Contradictory constraints: frames are unsatisfiable with
+            // or without simplification; keep the raw image. The
+            // returned stats are zeroed — whatever the run did before
+            // deriving the empty clause was discarded with it.
+            return PreprocessedTemplate {
+                template: self.clone(),
+                stats: PreprocStats::default(),
+                recon: TemplateRecon {
+                    raw_vars: self.num_vars,
+                    map: (0..self.num_vars)
+                        .map(|v| Some(Var::from_index(v)))
+                        .collect(),
+                    stack: ReconStack::default(),
+                },
+            };
+        }
+
+        // Renumber: the frozen latch/input prefix keeps its indices
+        // (the template layout contract), surviving internals compact
+        // upward. Unfrozen variables with no remaining occurrence are
+        // dropped entirely.
+        let mut used = vec![false; self.num_vars];
+        for c in &res.clauses {
+            for l in &c.lits {
+                used[l.var().index()] = true;
+            }
+        }
+        for &l in self.interface_lits() {
+            used[l.var().index()] = true;
+        }
+        let mut map: Vec<Option<Var>> = vec![None; self.num_vars];
+        for (v, m) in map.iter_mut().enumerate().take(num_frozen) {
+            *m = Some(Var::from_index(v));
+        }
+        let mut next = num_frozen;
+        for v in num_frozen..self.num_vars {
+            if !res.eliminated[v] && used[v] {
+                map[v] = Some(Var::from_index(next));
+                next += 1;
+            }
+        }
+        let map_lit = |l: Lit| {
+            let v = map[l.var().index()].expect("interface and survivors are mapped");
+            Lit::new(v, l.is_positive())
+        };
+
+        let mut lits: Vec<Lit> = Vec::new();
+        let mut ends: Vec<u32> = Vec::new();
+        let mut latchy_lits: Vec<Lit> = Vec::new();
+        let mut latchy_ends: Vec<u32> = Vec::new();
+        for c in &res.clauses {
+            // Constraint units are re-asserted by every instantiation;
+            // keep the image free of the duplicate.
+            if c.lits.len() == 1 && units.binary_search(&c.lits[0]).is_ok() {
+                continue;
+            }
+            let mapped: Vec<Lit> = c.lits.iter().map(|&l| map_lit(l)).collect();
+            let latch_vars = mapped
+                .iter()
+                .filter(|l| l.var().index() < self.num_latches)
+                .count();
+            if latch_vars >= 2 {
+                latchy_lits.extend_from_slice(&mapped);
+                latchy_ends.push(latchy_lits.len() as u32);
+            } else {
+                lits.extend_from_slice(&mapped);
+                ends.push(lits.len() as u32);
+            }
+        }
+
+        let template = TransitionTemplate {
+            num_latches: self.num_latches,
+            num_vars: next,
+            lits,
+            ends,
+            latchy_lits,
+            latchy_ends,
+            latch_next: self.latch_next.iter().map(|&l| map_lit(l)).collect(),
+            input_lits: self.input_lits.iter().map(|&l| map_lit(l)).collect(),
+            constraints: self.constraints.iter().map(|&l| map_lit(l)).collect(),
+            bad_lits: self.bad_lits.iter().map(|&l| map_lit(l)).collect(),
+            any_bad: map_lit(self.any_bad),
+        };
+        PreprocessedTemplate {
+            template,
+            stats: res.stats,
+            recon: TemplateRecon {
+                raw_vars: self.num_vars,
+                map,
+                stack: res.recon,
+            },
+        }
+    }
+
+    /// The literals engines read, assume or bind: the template's
+    /// frozen interface (latch-next, constraints, bads, any-bad; the
+    /// latch-current/input prefix is positional and handled
+    /// separately).
+    fn interface_lits(&self) -> impl Iterator<Item = &Lit> {
+        self.latch_next
+            .iter()
+            .chain(&self.constraints)
+            .chain(&self.bad_lits)
+            .chain(std::iter::once(&self.any_bad))
+    }
+
     /// Materializes one frame with fresh solver variables for the
     /// whole block (latches included). Clauses carry `part`/`tag`.
     pub fn instantiate(&self, solver: &mut Solver, part: Part, tag: u32) -> FrameVars {
@@ -436,6 +611,65 @@ impl TransitionTemplate {
             bads: self.bad_lits.iter().map(|&l| map(l)).collect(),
             any_bad: map(self.any_bad),
         }
+    }
+}
+
+/// A [`TransitionTemplate`] after SatELite-style preprocessing,
+/// bundled with the run's counters and the model-reconstruction data
+/// for the eliminated variables. See
+/// [`TransitionTemplate::preprocess`].
+#[derive(Clone, Debug)]
+pub struct PreprocessedTemplate {
+    /// The simplified template; a drop-in replacement for the raw one.
+    pub template: TransitionTemplate,
+    /// What preprocessing did (variables eliminated, clauses subsumed,
+    /// literals strengthened away).
+    pub stats: PreprocStats,
+    /// Maps models of a simplified frame back onto the raw template's
+    /// variable space.
+    pub recon: TemplateRecon,
+}
+
+/// Model reconstruction for a preprocessed template: raw template
+/// variables are either renumbered survivors or eliminated variables
+/// whose values are re-derived from the saved-clause stack.
+#[derive(Clone, Debug)]
+pub struct TemplateRecon {
+    raw_vars: usize,
+    /// Raw template variable → simplified template variable (`None`
+    /// for eliminated or dropped variables).
+    map: Vec<Option<Var>>,
+    stack: ReconStack,
+}
+
+impl TemplateRecon {
+    /// Variable count of the raw template.
+    pub fn raw_num_vars(&self) -> usize {
+        self.raw_vars
+    }
+
+    /// The simplified-template variable a raw variable survived as,
+    /// `None` if it was eliminated or dropped.
+    pub fn forward(&self, raw: Var) -> Option<Var> {
+        self.map[raw.index()]
+    }
+
+    /// Extends a model of one simplified frame (`new_vals`, indexed by
+    /// simplified template-local variable) to the raw template's
+    /// variable space: survivors copy their value, eliminated
+    /// variables are assigned from their saved clauses. The result
+    /// satisfies every raw-image clause whenever `new_vals` satisfies
+    /// the simplified image — this is what keeps `Unsafe` traces and
+    /// PDR's re-simulation genuine.
+    pub fn extend(&self, new_vals: &[bool]) -> Vec<bool> {
+        let mut vals = vec![false; self.raw_vars];
+        for (old, m) in self.map.iter().enumerate() {
+            if let Some(nv) = m {
+                vals[old] = new_vals[nv.index()];
+            }
+        }
+        self.stack.extend(&mut vals);
+        vals
     }
 }
 
@@ -728,6 +962,245 @@ mod tests {
             solver.solve_with(&[!frames[0].any_bad, frames[1].any_bad]),
             SolveResult::Sat
         );
+    }
+
+    /// The tentpole property: the preprocessed template is
+    /// equisatisfiable with the raw one under arbitrary assumptions
+    /// over the frozen interface (latch-current, latch-next, inputs,
+    /// bads, any-bad) — on chained unrollings of random sequential
+    /// netlists, initialized or free.
+    #[test]
+    fn preprocessed_template_equisat_with_raw() {
+        let mut rng = StdRng::seed_from_u64(0x9E0C2016);
+        for round in 0..40 {
+            let sys = random_system(&mut rng);
+            let raw = TransitionTemplate::compile(&sys);
+            let pre = raw.preprocess();
+            let depth = rng.gen_range(0..=3usize);
+            let initialized = rng.gen_bool(0.5);
+            let (mut rs, rframes) = template_chain(&sys, &raw, depth, initialized);
+            let (mut ps, pframes) = template_chain(&sys, &pre.template, depth, initialized);
+            for _query in 0..8 {
+                let f = rng.gen_range(0..=depth);
+                let mut ra: Vec<Lit> = Vec::new();
+                let mut pa: Vec<Lit> = Vec::new();
+                if rng.gen_bool(0.5) {
+                    let bi = rng.gen_range(0..sys.bads.len());
+                    ra.push(rframes[f].bads[bi]);
+                    pa.push(pframes[f].bads[bi]);
+                } else {
+                    ra.push(rframes[f].any_bad);
+                    pa.push(pframes[f].any_bad);
+                }
+                for _ in 0..rng.gen_range(0..=3usize) {
+                    let ff = rng.gen_range(0..=depth);
+                    let pos = rng.gen_bool(0.5);
+                    // Latch-current, latch-next or input forcings: all
+                    // frozen interface.
+                    let (rl, pl) = match rng.gen_range(0..3) {
+                        0 => {
+                            let li = rng.gen_range(0..sys.latches.len());
+                            (rframes[ff].latch_cur[li], pframes[ff].latch_cur[li])
+                        }
+                        1 => {
+                            let li = rng.gen_range(0..sys.latches.len());
+                            (rframes[ff].latch_next[li], pframes[ff].latch_next[li])
+                        }
+                        _ if !sys.inputs.is_empty() => {
+                            let ii = rng.gen_range(0..sys.inputs.len());
+                            (rframes[ff].inputs[ii], pframes[ff].inputs[ii])
+                        }
+                        _ => {
+                            let li = rng.gen_range(0..sys.latches.len());
+                            (rframes[ff].latch_cur[li], pframes[ff].latch_cur[li])
+                        }
+                    };
+                    ra.push(if pos { rl } else { !rl });
+                    pa.push(if pos { pl } else { !pl });
+                }
+                let rr = rs.solve_with(&ra);
+                let pr = ps.solve_with(&pa);
+                assert_eq!(
+                    rr, pr,
+                    "round {round} frame {f}: raw {rr:?} preprocessed {pr:?}"
+                );
+            }
+        }
+    }
+
+    /// Model reconstruction: a model of one simplified frame extends
+    /// to an assignment satisfying every raw-image clause (and the
+    /// constraint units), with the interface values unchanged.
+    #[test]
+    fn reconstruction_satisfies_raw_image() {
+        let mut rng = StdRng::seed_from_u64(0xEC0);
+        for round in 0..40 {
+            let sys = random_system(&mut rng);
+            let raw = TransitionTemplate::compile(&sys);
+            let pre = raw.preprocess();
+            let mut solver = Solver::new();
+            // Base 0: simplified template-local var i is solver var i.
+            let frame = pre.template.instantiate(&mut solver, Part::A, 0);
+            if solver.solve() != SolveResult::Sat {
+                continue; // contradictory constraints
+            }
+            let new_vals: Vec<bool> = (0..pre.template.num_frame_vars())
+                .map(|v| solver.value(Lit::pos(Var::from_index(v))).unwrap_or(false))
+                .collect();
+            let old_vals = pre.recon.extend(&new_vals);
+            assert_eq!(old_vals.len(), raw.num_frame_vars());
+            let sat = |l: Lit| old_vals[l.var().index()] == l.is_positive();
+            let mut start = 0usize;
+            for &end in &raw.ends {
+                assert!(
+                    raw.lits[start..end as usize].iter().any(|&l| sat(l)),
+                    "round {round}: raw clause violated by reconstructed model"
+                );
+                start = end as usize;
+            }
+            start = 0;
+            for &end in &raw.latchy_ends {
+                assert!(
+                    raw.latchy_lits[start..end as usize].iter().any(|&l| sat(l)),
+                    "round {round}: raw latchy clause violated"
+                );
+                start = end as usize;
+            }
+            for &c in &raw.constraints {
+                assert!(sat(c), "round {round}: constraint violated");
+            }
+            // Interface values survive renumbering unchanged.
+            for (i, &l) in raw.latch_next.iter().enumerate() {
+                assert_eq!(
+                    sat(l),
+                    solver.value(frame.latch_next[i]) == Some(true),
+                    "round {round}: latch-next {i} diverged"
+                );
+            }
+        }
+    }
+
+    /// Preprocessing must actually shrink a real Tseitin image (the
+    /// multiplier the tentpole is about) and keep the layout contract.
+    #[test]
+    fn preprocessing_shrinks_counter_image() {
+        let mut ts = rtlir::TransitionSystem::new("c");
+        let s = ts.add_state("count", rtlir::Sort::Bv(8));
+        let sv = ts.pool_mut().var(s);
+        let one = ts.pool_mut().constv(8, 1);
+        let next = ts.pool_mut().add(sv, one);
+        let zero = ts.pool_mut().constv(8, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let nine = ts.pool_mut().constv(8, 9);
+        let bad = ts.pool_mut().eq(sv, nine);
+        ts.add_bad(bad, "nine");
+        let sys = crate::blast_system(&ts);
+        let raw = TransitionTemplate::compile(&sys);
+        let pre = raw.preprocess();
+        assert!(pre.stats.elim_vars > 0, "stats: {:?}", pre.stats);
+        assert!(
+            pre.template.num_frame_vars() < raw.num_frame_vars(),
+            "vars {} !< {}",
+            pre.template.num_frame_vars(),
+            raw.num_frame_vars()
+        );
+        assert!(
+            pre.template.num_frame_clauses() < raw.num_frame_clauses(),
+            "clauses {} !< {}",
+            pre.template.num_frame_clauses(),
+            raw.num_frame_clauses()
+        );
+        assert_eq!(pre.template.num_latches(), raw.num_latches());
+    }
+
+    /// Interpolation over a preprocessed template: the A/B split is
+    /// applied per instantiation, preprocessing happened strictly
+    /// inside the (single-part) image, so the refutation still yields
+    /// an interpolant.
+    #[test]
+    fn parts_preserved_for_interpolation_with_preprocessing() {
+        let mut aig = Aig::new();
+        let a = aig.new_ci();
+        let b = aig.new_ci();
+        let ab = aig.and(a, b);
+        let mk = |output: AigLit, name: &str| Latch {
+            output,
+            next: ab,
+            init: Some(true),
+            name: name.into(),
+        };
+        let sys = AigSystem {
+            aig,
+            inputs: vec![],
+            input_names: vec![],
+            latches: vec![mk(a, "a"), mk(b, "b")],
+            constraints: vec![],
+            bads: vec![!a],
+            bad_names: vec!["a dropped".into()],
+            name: "hold".into(),
+        };
+        let tpl = TransitionTemplate::compile(&sys).preprocess().template;
+        let mut solver = Solver::with_proof();
+        let f0 = tpl.instantiate(&mut solver, Part::A, 0);
+        for &l in &f0.latch_cur {
+            solver.add_clause_in(&[l], Part::A);
+        }
+        let f1 = tpl.instantiate_bound(&mut solver, Part::B, 1, &f0.latch_next);
+        solver.add_clause_in(&[f1.any_bad], Part::B);
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+        assert!(
+            solver.interpolant().is_some(),
+            "A/B labels must survive preprocessed instantiation"
+        );
+    }
+
+    /// Chained preprocessed frames still agree with concrete
+    /// simulation on every frozen observable.
+    #[test]
+    fn preprocessed_chain_matches_simulation() {
+        let mut rng = StdRng::seed_from_u64(0x51A);
+        for _round in 0..20 {
+            let sys = random_system(&mut rng);
+            if !sys.constraints.is_empty() {
+                continue;
+            }
+            let tpl = TransitionTemplate::compile(&sys).preprocess().template;
+            let depth = rng.gen_range(1..=3usize);
+            let (mut solver, frames) = template_chain(&sys, &tpl, depth, true);
+            let mut assumptions = Vec::new();
+            let mut state: Vec<bool> = sys.initial_state();
+            for (i, &b) in state.iter().enumerate() {
+                let l = frames[0].latch_cur[i];
+                assumptions.push(if b { l } else { !l });
+            }
+            let mut input_vals = Vec::new();
+            for frame in frames.iter().take(depth + 1) {
+                let iv: Vec<bool> = (0..sys.inputs.len()).map(|_| rng.gen_bool(0.5)).collect();
+                for (i, &b) in iv.iter().enumerate() {
+                    let l = frame.inputs[i];
+                    assumptions.push(if b { l } else { !l });
+                }
+                input_vals.push(iv);
+            }
+            assert_eq!(solver.solve_with(&assumptions), SolveResult::Sat);
+            for f in 0..=depth {
+                let bads = sys.bads_in(&state, &input_vals[f]);
+                assert_eq!(
+                    solver.value(frames[f].any_bad),
+                    Some(bads.iter().any(|&b| b)),
+                    "any-bad at frame {f}"
+                );
+                for (i, &want) in state.iter().enumerate() {
+                    assert_eq!(
+                        solver.value(frames[f].latch_cur[i]),
+                        Some(want),
+                        "latch {i} at frame {f}"
+                    );
+                }
+                state = sys.step(&state, &input_vals[f]);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! CNF-preprocessing microbenchmark: the SatELite-style simplified
+//! transition template vs. the raw compiled image.
+//!
+//! For every `benchmarks/*.v` design the transition relation is
+//! compiled once, preprocessed once, and both images are then put
+//! through the same work: a chained unrolling (instantiation
+//! throughput) and a full verdict sweep by every bit-level engine —
+//! BMC, k-induction, interpolation, single-solver PDR and the
+//! per-frame PDR baseline — under one budget. Emits machine-readable
+//! JSON on stdout: clauses/variables before and after, preprocessing
+//! cost, per-design instantiation and total solve-time deltas, and
+//! the geomean reductions — the preprocessing leg of the perf
+//! trajectory next to `satperf` (propagation), `encperf` (encoding)
+//! and `pdrperf` (PDR architecture).
+//!
+//! Exits nonzero if any engine reaches opposing definite verdicts on
+//! the raw and preprocessed encodings (the soundness alarm CI gates
+//! on), or if an `Unsafe` trace fails to replay on the netlist.
+//!
+//! Usage: `cargo run --release -p bench --bin preperf [-- --timeout SECS]`
+
+use aig::TransitionTemplate;
+use engines::bmc::Bmc;
+use engines::itp::Interpolation;
+use engines::kind::KInduction;
+use engines::pdr::Pdr;
+use engines::pdr_baseline::PerFramePdr;
+use engines::{Blasted, Checker, Verdict};
+use satb::{Part, Solver};
+use std::time::Instant;
+
+/// Frames unrolled per instantiation measurement.
+const FRAMES: usize = 16;
+/// Instantiation measurement repetitions; minimum wall time reported.
+const REPS: usize = 3;
+
+fn unroll(sys: &aig::AigSystem, tpl: &TransitionTemplate) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let mut solver = Solver::new();
+        let mut frame = tpl.instantiate(&mut solver, Part::A, 0);
+        frame.assert_init(sys, &mut solver);
+        for _ in 0..FRAMES {
+            let bind = frame.latch_next.clone();
+            frame = tpl.instantiate_bound(&mut solver, Part::A, 0, &bind);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Safe => "safe".into(),
+        Verdict::Unsafe(t) => format!("bug@{}", t.length()),
+        Verdict::Unknown(u) => format!("unknown({u})"),
+    }
+}
+
+fn main() {
+    let (timeout, benchmarks) = bench::parse_args(6);
+    let mut clause_ratios: Vec<f64> = Vec::new();
+    let mut var_ratios: Vec<f64> = Vec::new();
+    let mut inst_speedups: Vec<f64> = Vec::new();
+    let mut solve_speedups: Vec<f64> = Vec::new();
+    let mut disagreed = false;
+    let mut replay_failed = false;
+    println!("{{");
+    println!("  \"benchmark\": \"preperf\",");
+    println!("  \"timeout_s\": {timeout},");
+    println!("  \"frames\": {FRAMES},");
+    println!("  \"runs\": [");
+    for (i, b) in benchmarks.iter().enumerate() {
+        let ts = b.compile().expect("benchmark compiles");
+        let raw = Blasted::of_raw(&ts);
+        let t0 = Instant::now();
+        let pre_out = raw.template.preprocess();
+        let preproc_s = t0.elapsed().as_secs_f64();
+        let stats = pre_out.stats;
+        let pre = Blasted {
+            sys: raw.sys.clone(),
+            template: std::sync::Arc::new(pre_out.template),
+            preproc_stats: stats,
+        };
+
+        let clauses_before = raw.template.num_frame_clauses();
+        let clauses_after = pre.template.num_frame_clauses();
+        let vars_before = raw.template.num_frame_vars();
+        let vars_after = pre.template.num_frame_vars();
+        clause_ratios.push(clauses_before as f64 / (clauses_after as f64).max(1.0));
+        var_ratios.push(vars_before as f64 / (vars_after as f64).max(1.0));
+
+        let raw_inst_s = unroll(&raw.sys, &raw.template);
+        let pre_inst_s = unroll(&pre.sys, &pre.template);
+        inst_speedups.push(raw_inst_s / pre_inst_s.max(1e-9));
+
+        let budget = bench::budget(timeout);
+        let checkers: Vec<Box<dyn Checker>> = vec![
+            Box::new(Bmc::new(budget.clone())),
+            Box::new(KInduction::new(budget.clone())),
+            Box::new(Interpolation::new(budget.clone())),
+            Box::new(Pdr::new(budget.clone())),
+            Box::new(PerFramePdr::new(budget.clone())),
+        ];
+        let mut raw_solve_s = 0.0;
+        let mut pre_solve_s = 0.0;
+        let mut engine_cells: Vec<String> = Vec::new();
+        for c in &checkers {
+            let t0 = Instant::now();
+            let r = c.check_blasted(&ts, &raw);
+            let r_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let p = c.check_blasted(&ts, &pre);
+            let p_s = t0.elapsed().as_secs_f64();
+            raw_solve_s += r_s;
+            pre_solve_s += p_s;
+            // Only opposing *definite* verdicts are a disagreement
+            // (pdrperf's rule): a timeout on one side is a budget
+            // artifact, not a soundness alarm.
+            let agree = !matches!(
+                (&r.outcome, &p.outcome),
+                (Verdict::Safe, Verdict::Unsafe(_)) | (Verdict::Unsafe(_), Verdict::Safe)
+            );
+            disagreed |= !agree;
+            for out in [&r, &p] {
+                if let Verdict::Unsafe(trace) = &out.outcome {
+                    replay_failed |= !trace.replays_on(&pre.sys);
+                }
+            }
+            engine_cells.push(format!(
+                "{{\"engine\":\"{}\",\"raw\":\"{}\",\"pre\":\"{}\",\"raw_s\":{:.4},\"pre_s\":{:.4},\"agree\":{}}}",
+                c.name(),
+                verdict_label(&r.outcome),
+                verdict_label(&p.outcome),
+                r_s,
+                p_s,
+                agree
+            ));
+        }
+        solve_speedups.push(raw_solve_s / pre_solve_s.max(1e-9));
+        print!(
+            "    {{\"design\":\"{}\",\"clauses_before\":{},\"clauses_after\":{},\
+             \"vars_before\":{},\"vars_after\":{},\"elim_vars\":{},\"subsumed\":{},\
+             \"strengthened\":{},\"preproc_s\":{:.6},\"raw_inst_s\":{:.6},\"pre_inst_s\":{:.6},\
+             \"raw_solve_s\":{:.4},\"pre_solve_s\":{:.4},\"engines\":[{}]}}",
+            b.name,
+            clauses_before,
+            clauses_after,
+            vars_before,
+            vars_after,
+            stats.elim_vars,
+            stats.subsumed,
+            stats.strengthened,
+            preproc_s,
+            raw_inst_s,
+            pre_inst_s,
+            raw_solve_s,
+            pre_solve_s,
+            engine_cells.join(",")
+        );
+        println!("{}", if i + 1 < benchmarks.len() { "," } else { "" });
+    }
+    println!("  ],");
+    let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len().max(1) as f64).exp();
+    println!(
+        "  \"geomean_clause_reduction\": {:.3},",
+        geo(&clause_ratios)
+    );
+    println!("  \"geomean_var_reduction\": {:.3},", geo(&var_ratios));
+    println!(
+        "  \"geomean_instantiation_speedup\": {:.3},",
+        geo(&inst_speedups)
+    );
+    println!("  \"geomean_solve_speedup\": {:.3},", geo(&solve_speedups));
+    println!("  \"disagreement\": {disagreed},");
+    println!("  \"replay_failure\": {replay_failed}");
+    println!("}}");
+    if disagreed || replay_failed {
+        std::process::exit(2);
+    }
+}

@@ -73,21 +73,38 @@ impl<'s> FrameChain<'s> {
     }
 
     /// Adds a pairwise-distinctness clause between the states of frames
-    /// `i` and `j` (the simple-path constraint of k-induction).
-    pub(crate) fn assert_distinct(&mut self, i: usize, j: usize) {
+    /// `i` and `j` (the simple-path constraint of k-induction), scoped
+    /// to the activation group `act` and drawing its xor difference
+    /// variables from `pool` (recording them in `used`).
+    ///
+    /// The clauses only need the forward half of the xor definition
+    /// (`d → a ≠ c`): the disjunction of the `d`s forces some bit to
+    /// differ, and a free `d` can always be set when the bits do.
+    /// Because the difference variables occur **exclusively** in this
+    /// group's clauses, a successful [`satb::Solver::release_activation`]
+    /// sweeps every clause and learned clause mentioning them, leaving
+    /// them unconstrained and unassigned — which is what makes handing
+    /// them back to the pool sound (see [`ScratchPool`]).
+    pub(crate) fn assert_distinct_scoped(
+        &mut self,
+        i: usize,
+        j: usize,
+        act: Lit,
+        pool: &mut ScratchPool,
+        used: &mut Vec<satb::Var>,
+    ) {
         self.ensure(i.max(j));
         let mut diff_lits = Vec::with_capacity(self.sys.latches.len());
         for b in 0..self.sys.latches.len() {
             let (a, c) = (self.frames[i].latch_cur[b], self.frames[j].latch_cur[b]);
-            // d <-> a xor c
-            let d = Lit::pos(self.solver.new_var());
-            self.solver.add_clause(&[!d, a, c]);
-            self.solver.add_clause(&[!d, !a, !c]);
-            self.solver.add_clause(&[d, !a, c]);
-            self.solver.add_clause(&[d, a, !c]);
+            let dv = pool.get(&mut self.solver);
+            used.push(dv);
+            let d = Lit::pos(dv);
+            self.solver.add_clause_activated(act, &[!d, a, c]);
+            self.solver.add_clause_activated(act, &[!d, !a, !c]);
             diff_lits.push(d);
         }
-        self.solver.add_clause(&diff_lits);
+        self.solver.add_clause_activated(act, &diff_lits);
     }
 
     /// Extracts a counterexample trace of length `k` from the current
@@ -127,6 +144,44 @@ impl<'s> FrameChain<'s> {
             }
         }
         0
+    }
+}
+
+/// A free-list of recycled scratch variables for activation-scoped
+/// clause groups — `satb`'s recycled-activation pattern lifted to the
+/// engine side, used by k-induction's per-iteration simple-path
+/// constraints so deep runs stop growing the variable table
+/// monotonically.
+///
+/// # Safety contract
+///
+/// A variable handed out by [`get`](ScratchPool::get) may only appear
+/// in clauses of **one** activation group, and may only be
+/// [`recycle`](ScratchPool::recycle)d after
+/// [`satb::Solver::release_activation`] returned `true` for that
+/// group: the release then swept every clause and contaminated learned
+/// clause mentioning the variable (any derivation through the group
+/// carries the guard literal), so the variable is unconstrained and
+/// unassigned again. An abandoned release must leak its scratch
+/// variables instead.
+#[derive(Debug, Default)]
+pub(crate) struct ScratchPool {
+    free: Vec<satb::Var>,
+}
+
+impl ScratchPool {
+    /// A scratch variable: recycled when available, fresh otherwise.
+    pub(crate) fn get(&mut self, solver: &mut Solver) -> satb::Var {
+        self.free.pop().unwrap_or_else(|| solver.new_var())
+    }
+
+    /// Returns the scratch variables of a successfully released group.
+    /// Cumulative k-induction keeps its groups live for the whole run,
+    /// so today only the test suite (and any future windowed or
+    /// restarting variant) drives this leg.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn recycle(&mut self, vars: Vec<satb::Var>) {
+        self.free.extend(vars);
     }
 }
 
@@ -193,7 +248,9 @@ impl Checker for Bmc {
 
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
         let sys = aig::blast_system(ts);
-        let tpl = TransitionTemplate::compile(&sys);
+        // Compile once, simplify once: every frame this run
+        // instantiates inherits the preprocessed image.
+        let tpl = TransitionTemplate::compile(&sys).preprocess().template;
         self.run(&sys, &tpl)
     }
 

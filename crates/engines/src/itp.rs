@@ -83,7 +83,9 @@ impl Checker for Interpolation {
 
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
         let sys = aig::blast_system(ts);
-        let tpl = TransitionTemplate::compile(&sys);
+        // Compile once, simplify once: every frame this run
+        // instantiates inherits the preprocessed image.
+        let tpl = TransitionTemplate::compile(&sys).preprocess().template;
         self.run(&sys, &tpl)
     }
 

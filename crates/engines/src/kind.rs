@@ -56,6 +56,17 @@ impl KInduction {
         // the same compiled clause image into their own solvers.
         let mut base = FrameChain::new(sys, tpl, true);
         let mut step = FrameChain::new(sys, tpl, false);
+        // Simple-path constraints are incremental: iteration k adds
+        // only the new pairs (i, k), in one activation group per
+        // iteration (halved xor encoding, difference variables from
+        // the scratch pool), and every step solve assumes the live
+        // guards. Scoping the constraints into releasable groups keeps
+        // them removable — the pool recycles the difference variables
+        // of any group that is released (see `ScratchPool`) — while a
+        // cumulative run keeps all groups live, so nothing is
+        // re-encoded and learned clauses persist across iterations.
+        let mut pool = crate::bmc::ScratchPool::default();
+        let mut sp_acts: Vec<satb::Lit> = Vec::new();
 
         for k in 0..=self.budget.max_depth {
             if let Some(u) = self.budget.interruption(started) {
@@ -96,16 +107,23 @@ impl KInduction {
             // Inductive step at k: frames 0..=k from a free state, with
             // the property holding on frames 0..k-1 (pinned by the !bad
             // units added in earlier iterations) and violated at k.
+            // Only the pairs involving the new frame are encoded; the
+            // earlier iterations' groups are still live and assumed.
             if self.simple_path && k >= 1 {
+                let act = step.solver.new_activation();
+                let mut used: Vec<satb::Var> = Vec::new();
                 for i in 0..k as usize {
-                    step.assert_distinct(i, k as usize);
+                    step.assert_distinct_scoped(i, k as usize, act, &mut pool, &mut used);
                 }
+                sp_acts.push(act);
             }
             let bad_step = step.any_bad(k as usize);
+            let mut assumptions = vec![bad_step];
+            assumptions.extend_from_slice(&sp_acts);
             stats.sat_queries += 1;
             match step
                 .solver
-                .solve_limited(&[bad_step], self.budget.sat_limits(started))
+                .solve_limited(&assumptions, self.budget.sat_limits(started))
             {
                 SolveResult::Unsat => {
                     stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
@@ -133,7 +151,9 @@ impl Checker for KInduction {
 
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
         let sys = aig::blast_system(ts);
-        let tpl = TransitionTemplate::compile(&sys);
+        // Compile once, simplify once: every frame this run
+        // instantiates inherits the preprocessed image.
+        let tpl = TransitionTemplate::compile(&sys).preprocess().template;
         self.run(&sys, &tpl)
     }
 
@@ -243,6 +263,67 @@ pub(crate) mod tests {
         }
         .check(&ts);
         assert_eq!(out2.outcome, Verdict::Unknown(Unknown::BoundReached));
+    }
+
+    /// The ROADMAP follow-up landed in this PR: per-iteration
+    /// simple-path groups recycle both the activation variable and the
+    /// xor difference variables, so re-encoding the same pairs twice
+    /// allocates nothing new.
+    #[test]
+    fn scoped_simple_path_recycles_vars() {
+        let ts = trap_ts();
+        let sys = aig::blast_system(&ts);
+        let tpl = aig::TransitionTemplate::compile(&sys).preprocess().template;
+        let mut step = crate::bmc::FrameChain::new(&sys, &tpl, false);
+        let mut pool = crate::bmc::ScratchPool::default();
+        let _ = step.any_bad(3);
+        let mut vars_after: Vec<usize> = Vec::new();
+        for round in 0..3 {
+            let act = step.solver.new_activation();
+            let mut used = Vec::new();
+            for j in 1..=3usize {
+                for i in 0..j {
+                    step.assert_distinct_scoped(i, j, act, &mut pool, &mut used);
+                }
+            }
+            let bad = step.any_bad(3);
+            let _ = step.solver.solve_with(&[bad, act]);
+            assert!(
+                step.solver.release_activation(act),
+                "round {round}: release must succeed"
+            );
+            pool.recycle(used);
+            vars_after.push(step.solver.num_vars());
+        }
+        assert_eq!(vars_after[0], vars_after[1], "no growth on re-encode");
+        assert_eq!(vars_after[1], vars_after[2]);
+    }
+
+    /// Incremental simple-path encoding: iteration k adds exactly the
+    /// new pairs (i, k) — one activation guard plus `k · latches`
+    /// difference variables — never re-encoding earlier pairs.
+    #[test]
+    fn simple_path_groups_grow_incrementally() {
+        let ts = trap_ts();
+        let sys = aig::blast_system(&ts);
+        let tpl = aig::TransitionTemplate::compile(&sys).preprocess().template;
+        let mut step = crate::bmc::FrameChain::new(&sys, &tpl, false);
+        let mut pool = crate::bmc::ScratchPool::default();
+        let nl = sys.latches.len();
+        for k in 1..=4usize {
+            let _ = step.any_bad(k);
+            let before = step.solver.num_vars();
+            let act = step.solver.new_activation();
+            let mut used = Vec::new();
+            for i in 0..k {
+                step.assert_distinct_scoped(i, k, act, &mut pool, &mut used);
+            }
+            assert_eq!(
+                step.solver.num_vars() - before,
+                1 + k * nl,
+                "iteration {k}: one guard plus the new pairs' diff vars"
+            );
+        }
     }
 
     #[test]

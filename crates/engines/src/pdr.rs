@@ -33,6 +33,15 @@
 //!   free-list. Peak arena memory no longer scales with frames ×
 //!   template, and [`EngineStats::act_recycled`] makes the reuse
 //!   observable.
+//! * The template the run loads is the **preprocessed** clause image
+//!   ([`TransitionTemplate::preprocess`]). Everything this engine
+//!   assumes or guards lives outside the template's eliminable set:
+//!   blocking clauses, initial-state units and obligation assumptions
+//!   range over latch-current/next literals (frozen by the template's
+//!   interface freeze set), and the frame/query activation variables
+//!   are fresh solver-side variables that never existed in the
+//!   template — so PDR's activation/assumption footprint is frozen by
+//!   construction and the simplification cannot touch it.
 //!
 //! # Cube generalization by ternary simulation
 //!
@@ -119,8 +128,13 @@ struct QueueEntry {
 
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap on (level, seq) via reversed comparison.
-        other.level.cmp(&self.level).then(other.seq.cmp(&self.seq))
+        // Min-heap on level; among equal levels pop the *newest*
+        // obligation first (reverse-chronological). Deep runs then
+        // chase a freshly discovered predecessor chain depth-first
+        // instead of round-robining over stale same-level obligations,
+        // which keeps the relevant clauses hot in the solver and finds
+        // counterexamples without re-proving old frontiers.
+        other.level.cmp(&self.level).then(self.seq.cmp(&other.seq))
     }
 }
 impl PartialOrd for QueueEntry {
@@ -772,7 +786,9 @@ impl Checker for Pdr {
 
     fn check(&self, ts: &TransitionSystem) -> CheckOutcome {
         let sys = aig::blast_system(ts);
-        let tpl = TransitionTemplate::compile(&sys);
+        // Compile once, simplify once: every frame this run
+        // instantiates inherits the preprocessed image.
+        let tpl = TransitionTemplate::compile(&sys).preprocess().template;
         self.run(&sys, &tpl)
     }
 
@@ -1042,6 +1058,25 @@ mod tests {
     /// through the `testutil` dev-dependency feature).
     fn random_system(rng: &mut rand::rngs::StdRng) -> AigSystem {
         aig::testutil::random_system(rng, &aig::testutil::RandomSystemConfig::default())
+    }
+
+    /// Obligation pop order: lowest level first; among equal levels,
+    /// the most recently enqueued obligation (reverse-chronological —
+    /// the ROADMAP follow-up fixed in this PR).
+    #[test]
+    fn obligation_queue_pops_newest_among_equal_levels() {
+        let mut heap: BinaryHeap<QueueEntry> = BinaryHeap::new();
+        for (level, seq) in [(2u32, 1u64), (2, 2), (1, 3), (1, 4), (3, 5)] {
+            heap.push(QueueEntry {
+                level,
+                seq,
+                arena_index: seq as usize,
+            });
+        }
+        let order: Vec<(u32, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.level, e.seq))
+            .collect();
+        assert_eq!(order, vec![(1, 4), (1, 3), (2, 2), (2, 1), (3, 5)]);
     }
 
     #[test]

@@ -305,24 +305,50 @@ impl Budget {
 /// A bit-blasted netlist together with its compile-once CNF transition
 /// template, shareable across engines.
 ///
-/// Blasting and template compilation are the up-front encoding cost of
-/// every bit-level engine; a portfolio run pays it **once** and hands
-/// the same `Blasted` (cheap `Arc` clones) to every member through
-/// [`Checker::check_blasted`], instead of once per member.
+/// Blasting, template compilation **and SatELite-style preprocessing**
+/// are the up-front encoding cost of every bit-level engine; a
+/// portfolio run pays all three **once** and hands the same `Blasted`
+/// (cheap `Arc` clones) to every member through
+/// [`Checker::check_blasted`], instead of once per member. Every frame
+/// any member instantiates then inherits the simplified image for
+/// free.
 #[derive(Clone)]
 pub struct Blasted {
     /// The bit-level netlist.
     pub sys: Arc<aig::AigSystem>,
-    /// The frame-instantiable CNF image of its transition relation.
+    /// The frame-instantiable CNF image of its transition relation
+    /// (preprocessed for [`of`](Blasted::of), raw for
+    /// [`of_raw`](Blasted::of_raw)).
     pub template: Arc<aig::TransitionTemplate>,
+    /// Counters of the preprocessing run (all zero for
+    /// [`of_raw`](Blasted::of_raw)).
+    pub preproc_stats: satb::PreprocStats,
 }
 
 impl Blasted {
-    /// Blasts `ts` and compiles its transition template.
+    /// Blasts `ts`, compiles its transition template and runs CNF
+    /// preprocessing over the clause image.
     pub fn of(ts: &TransitionSystem) -> Blasted {
         let sys = Arc::new(aig::blast_system(ts));
+        let pre = aig::TransitionTemplate::compile(&sys).preprocess();
+        Blasted {
+            sys,
+            template: Arc::new(pre.template),
+            preproc_stats: pre.stats,
+        }
+    }
+
+    /// Like [`of`](Blasted::of) but without preprocessing — the A-side
+    /// of preprocessed-vs-raw comparisons (`preperf`) and a debugging
+    /// escape hatch.
+    pub fn of_raw(ts: &TransitionSystem) -> Blasted {
+        let sys = Arc::new(aig::blast_system(ts));
         let template = Arc::new(aig::TransitionTemplate::compile(&sys));
-        Blasted { sys, template }
+        Blasted {
+            sys,
+            template,
+            preproc_stats: satb::PreprocStats::default(),
+        }
     }
 }
 

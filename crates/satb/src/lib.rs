@@ -18,7 +18,13 @@
 //! * per-call resource [`Limits`] — conflict budget, wall-clock
 //!   deadline, and a shared [`Limits::stop`] flag for cooperative
 //!   cross-thread cancellation — with the tripped limit reported as a
-//!   typed [`Interrupt`] in [`SolveResult::Unknown`].
+//!   typed [`Interrupt`] in [`SolveResult::Unknown`];
+//! * SatELite-style **CNF preprocessing** ([`preproc`]) — subsumption,
+//!   self-subsuming resolution and bounded variable elimination with a
+//!   freeze-set API, partition-aware resolution restrictions and model
+//!   reconstruction — available standalone (the `aig` transition
+//!   template simplifies its clause image once per design) and
+//!   in-solver via [`Solver::preprocess`].
 //!
 //! # Example
 //!
@@ -39,11 +45,13 @@
 pub mod cdb;
 pub mod interp;
 pub mod lit;
+pub mod preproc;
 pub mod proof;
 pub mod solver;
 
 pub use cdb::{CRef, ClauseDb};
 pub use interp::Interpolant;
 pub use lit::{Lit, Var};
+pub use preproc::{PreprocConfig, PreprocResult, PreprocStats, Preprocessor, ReconStack};
 pub use proof::{ClauseId, Part};
 pub use solver::{solver_count, Interrupt, Limits, ReduceConfig, SolveResult, Solver, Stats};

@@ -101,8 +101,20 @@ pub struct Stats {
     pub act_released: u64,
     /// Number of releases abandoned because the activation variable was
     /// fixed at level 0 or a dependent clause was locked; the group
-    /// stays in the database, inert.
+    /// goes on the leaked-release list and is reclaimed by the next
+    /// sweep (solve entry, restart or reduction pass), except for
+    /// clauses that remain the reason of a level-0 assignment.
     pub act_leaked: u64,
+    /// Number of clauses reclaimed from abandoned activation groups by
+    /// the leaked-release sweep.
+    pub act_swept: u64,
+    /// Variables eliminated by [`Solver::preprocess`].
+    pub elim_vars: u64,
+    /// Clauses deleted by subsumption in [`Solver::preprocess`].
+    pub subsumed: u64,
+    /// Literals removed by self-subsuming resolution in
+    /// [`Solver::preprocess`].
+    pub strengthened: u64,
     /// Current clause-arena footprint in bytes.
     pub arena_bytes: u64,
     /// High-water clause-arena footprint in bytes.
@@ -303,6 +315,29 @@ pub struct Solver {
     act_entries: HashMap<Var, ActEntry>,
     /// Recycled activation variables, ready for reuse.
     free_acts: Vec<Var>,
+    /// Abandoned activation releases awaiting reclamation: their
+    /// clauses are all satisfied at level 0 (the guard variable is
+    /// fixed false), so they are freed by the next sweep unless they
+    /// are currently the reason of an assignment.
+    leaked: Vec<LeakedGroup>,
+    /// Model-reconstruction stack installed by
+    /// [`preprocess`](Solver::preprocess) (eliminated variables get
+    /// their values re-derived after every `Sat` answer).
+    recon: Option<crate::preproc::ReconStack>,
+    /// Per-variable flag for variables eliminated by preprocessing
+    /// (empty when preprocessing never ran). Eliminated variables must
+    /// not reappear in clauses or assumptions.
+    elim_mask: Vec<bool>,
+    /// Reusable buffer for model extension over eliminated variables.
+    recon_scratch: Vec<bool>,
+}
+
+/// Clauses of one abandoned activation release, kept until the sweep
+/// can free them.
+#[derive(Debug)]
+struct LeakedGroup {
+    origs: Vec<CRef>,
+    learnts: Vec<CRef>,
 }
 
 /// Bookkeeping of one activation-literal clause group.
@@ -357,6 +392,10 @@ impl Solver {
             lbd_gen: 0,
             act_entries: HashMap::new(),
             free_acts: Vec::new(),
+            leaked: Vec::new(),
+            recon: None,
+            elim_mask: Vec::new(),
+            recon_scratch: Vec::new(),
         }
     }
 
@@ -518,6 +557,98 @@ impl Solver {
         ok
     }
 
+    /// Runs SatELite-style preprocessing ([`crate::preproc`]) over the
+    /// current clause database with the default configuration: clause
+    /// subsumption, self-subsuming resolution and bounded variable
+    /// elimination, in front of the arena solver.
+    ///
+    /// `frozen` is the interface: variables that will be assumed,
+    /// read from models, or mentioned by clauses added later must all
+    /// be listed — they are never eliminated. Eliminated variables
+    /// stay allocated but leave the decision pool; after a `Sat`
+    /// answer their model values are reconstructed from the saved
+    /// clauses, so [`value`](Solver::value) keeps working
+    /// transparently.
+    ///
+    /// Returns `false` (a no-op) when the solver state does not admit
+    /// preprocessing: proof logging is on (resolution chains would
+    /// need rewriting), a search has already learned clauses, an
+    /// activation group is live, or preprocessing already ran.
+    pub fn preprocess(&mut self, frozen: &[Var]) -> bool {
+        self.preprocess_with(frozen, &crate::preproc::PreprocConfig::default())
+    }
+
+    /// [`preprocess`](Solver::preprocess) with an explicit
+    /// configuration.
+    pub fn preprocess_with(&mut self, frozen: &[Var], cfg: &crate::preproc::PreprocConfig) -> bool {
+        if self.proof.is_some()
+            || !self.ok
+            || !self.trail_lim.is_empty()
+            || !self.cdb.learnts().is_empty()
+            || !self.act_entries.is_empty()
+            || !self.leaked.is_empty()
+            || self.recon.is_some()
+        {
+            return false;
+        }
+        let mut pre = crate::preproc::Preprocessor::new(self.num_vars());
+        for &v in frozen {
+            pre.freeze(v);
+        }
+        for &c in self.cdb.originals() {
+            let lits = self.cdb.lits(c).to_vec();
+            pre.add_clause(&lits, Part::A, 0);
+        }
+        let res = pre.run(cfg);
+        self.stats.elim_vars += res.stats.elim_vars;
+        self.stats.subsumed += res.stats.subsumed;
+        self.stats.strengthened += res.stats.strengthened;
+        // Rebuild search state from the simplified set.
+        self.cdb = ClauseDb::new();
+        for ws in &mut self.watches {
+            ws.clear();
+        }
+        for a in &mut self.assigns {
+            *a = LBool::Undef;
+        }
+        for r in &mut self.reasons {
+            *r = None;
+        }
+        for l in &mut self.levels {
+            *l = 0;
+        }
+        self.trail.clear();
+        self.trail_lim.clear();
+        self.qhead = 0;
+        self.model.clear();
+        self.failed.clear();
+        // Eliminated variables leave the decision pool; everyone else
+        // re-enters the heap.
+        self.heap = VarHeap::default();
+        self.heap.ensure(self.assigns.len());
+        for i in 0..self.assigns.len() {
+            if !res.eliminated[i] {
+                self.heap.insert(Var::from_index(i), &self.activity);
+            }
+        }
+        self.recon = if res.recon.is_empty() {
+            None
+        } else {
+            Some(res.recon)
+        };
+        self.elim_mask = res.eliminated;
+        if res.unsat {
+            self.ok = false;
+            return true;
+        }
+        for c in &res.clauses {
+            if !self.add_clause(&c.lits) {
+                break;
+            }
+        }
+        true
+    }
+
     /// Allocates an **activation variable** for a releasable clause
     /// group, reusing a previously released one when possible (the
     /// free-list that replaces the leak-a-var-per-query pattern of
@@ -585,14 +716,25 @@ impl Solver {
     ///
     /// If the variable was fixed at level 0 (the guarded clause
     /// simplified to a unit) or a dependent clause is currently the
-    /// reason of a level-0 assignment, the release is abandoned: the
-    /// group stays in the database, inert because the guard is never
-    /// assumed again (the historical leak behaviour, now counted in
-    /// [`Stats::act_leaked`]).
-    pub fn release_activation(&mut self, act: Lit) {
+    /// reason of a level-0 assignment, the release is abandoned
+    /// (counted in [`Stats::act_leaked`]) and the group goes on the
+    /// leaked-release list: because the guard variable only occurs
+    /// negatively, it can only ever be *fixed false*, which satisfies
+    /// every clause of the group at level 0 — so the next sweep (on a
+    /// restart, a reduction pass or a compaction) reclaims every
+    /// member that is not pinned as the reason of a level-0
+    /// assignment (a compaction prunes and forwards the list; the
+    /// freeing itself happens on the solve-entry/restart/reduction
+    /// sweeps). Long runs no longer accumulate dead clauses.
+    ///
+    /// Returns `true` when the group was freed immediately; `false`
+    /// when the release was abandoned (the variable is *not* returned
+    /// to the free-list then, and any caller-side scratch variables
+    /// scoped to the group must not be reused).
+    pub fn release_activation(&mut self, act: Lit) -> bool {
         let v = act.var();
         let Some(entry) = self.act_entries.remove(&v) else {
-            return;
+            return false;
         };
         debug_assert!(self.trail_lim.is_empty(), "release happens at level 0");
         let doomed = entry.crefs;
@@ -621,7 +763,11 @@ impl Solver {
                 .any(|&c| self.is_reason_clause(c))
         {
             self.stats.act_leaked += 1;
-            return;
+            self.leaked.push(LeakedGroup {
+                origs: doomed,
+                learnts: doomed_learnts,
+            });
+            return false;
         }
         for &c in doomed.iter().chain(&doomed_learnts) {
             self.detach(c);
@@ -631,6 +777,55 @@ impl Solver {
         self.cdb.remove_from_registry(false, &doomed);
         self.cdb.remove_from_registry(true, &doomed_learnts);
         self.free_acts.push(v);
+        true
+    }
+
+    /// Reclaims abandoned activation groups (see
+    /// [`release_activation`](Solver::release_activation)): every
+    /// member clause is satisfied at level 0 by the fixed-false guard
+    /// variable, so deleting it is sound at any decision level; only
+    /// clauses currently serving as the reason of an assignment are
+    /// kept for a later sweep. Runs on solve entry, restarts and
+    /// reduction passes (compaction only prunes and forwards the
+    /// leaked list).
+    fn sweep_leaked(&mut self) {
+        if self.leaked.is_empty() {
+            return;
+        }
+        let mut groups = std::mem::take(&mut self.leaked);
+        for g in &mut groups {
+            // Reduction may have freed contaminated learned clauses on
+            // its own; drop those entries before touching anything.
+            g.learnts.retain(|&c| !self.cdb.is_deleted(c));
+            for learnt in [false, true] {
+                let list = if learnt { &g.learnts } else { &g.origs };
+                let mut freed: Vec<CRef> = Vec::new();
+                let mut kept: Vec<CRef> = Vec::new();
+                for &c in list {
+                    if self.is_reason_clause(c) {
+                        kept.push(c);
+                    } else {
+                        freed.push(c);
+                    }
+                }
+                for &c in &freed {
+                    // Effective-unit clauses are stored unattached.
+                    if self.cdb.size(c) >= 2 {
+                        self.detach(c);
+                    }
+                    self.cdb.free(c);
+                    self.stats.act_swept += 1;
+                }
+                self.cdb.remove_from_registry(learnt, &freed);
+                if learnt {
+                    g.learnts = kept;
+                } else {
+                    g.origs = kept;
+                }
+            }
+        }
+        groups.retain(|g| !g.origs.is_empty() || !g.learnts.is_empty());
+        self.leaked = groups;
     }
 
     /// Adds a clause, defaulting to partition [`Part::A`] for proofs.
@@ -717,6 +912,14 @@ impl Solver {
     /// proof registration, watch selection. `ls` must be normalized.
     fn add_normalized(&mut self, mut ls: Vec<Lit>, part: Part, tag: u32) -> bool {
         debug_assert!(self.trail_lim.is_empty(), "clauses are added at level 0");
+        debug_assert!(
+            ls.iter().all(|l| !self
+                .elim_mask
+                .get(l.var().index())
+                .copied()
+                .unwrap_or(false)),
+            "clause over a preprocessing-eliminated variable"
+        );
         // Drop literals already false at level 0 only when proofs are
         // off (with proofs the drop would need extra resolution steps,
         // so we keep the clause intact and let analysis handle it).
@@ -1241,6 +1444,7 @@ impl Solver {
     /// type-level docs.
     fn reduce_db(&mut self) {
         self.stats.reduces += 1;
+        self.sweep_leaked();
         let glue_keep = self.reduce.glue_keep;
         let mut deletable: Vec<CRef> = Vec::new();
         let mut kept: Vec<CRef> = Vec::new();
@@ -1286,6 +1490,17 @@ impl Solver {
 
     /// Compacts the clause arena and remaps every watcher and reason.
     fn collect_garbage(&mut self) {
+        // Leaked-release entries freed since the last sweep (by the
+        // sweep itself or by reduction) must be pruned before
+        // compaction; the survivors are live registry members and get
+        // forwarded like everything else.
+        let mut leaked = std::mem::take(&mut self.leaked);
+        for g in &mut leaked {
+            g.origs.retain(|&c| !self.cdb.is_deleted(c));
+            g.learnts.retain(|&c| !self.cdb.is_deleted(c));
+        }
+        leaked.retain(|g| !g.origs.is_empty() || !g.learnts.is_empty());
+        self.leaked = leaked;
         let reloc = self.cdb.collect();
         for ws in &mut self.watches {
             for w in ws.iter_mut() {
@@ -1297,6 +1512,11 @@ impl Solver {
         }
         for e in self.act_entries.values_mut() {
             for c in e.crefs.iter_mut() {
+                *c = reloc.forward(*c);
+            }
+        }
+        for g in &mut self.leaked {
+            for c in g.origs.iter_mut().chain(g.learnts.iter_mut()) {
                 *c = reloc.forward(*c);
             }
         }
@@ -1338,6 +1558,21 @@ impl Solver {
             }
         }
         Ok(())
+    }
+
+    /// Re-derives the model values of preprocessing-eliminated
+    /// variables from the reconstruction stack (no-op otherwise). The
+    /// scratch buffer is reused across `Sat` answers, so the only
+    /// per-call cost beyond the existing model clone is one copy.
+    fn extend_model_over_eliminated(&mut self) {
+        let Some(recon) = &self.recon else { return };
+        let vals = &mut self.recon_scratch;
+        vals.clear();
+        vals.extend(self.model.iter().map(|&b| b == LBool::True));
+        recon.extend(vals);
+        for v in recon.vars() {
+            self.model[v.index()] = LBool::from_bool(vals[v.index()]);
+        }
     }
 
     fn pick_branch(&mut self) -> Option<Lit> {
@@ -1399,11 +1634,20 @@ impl Solver {
     /// Solves under assumptions with resource limits.
     pub fn solve_limited(&mut self, assumptions: &[Lit], limits: Limits) -> SolveResult {
         self.backtrack(0);
+        self.sweep_leaked();
         self.model.clear();
         self.failed.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
+        debug_assert!(
+            assumptions.iter().all(|l| !self
+                .elim_mask
+                .get(l.var().index())
+                .copied()
+                .unwrap_or(false)),
+            "assumption over a preprocessing-eliminated variable"
+        );
         if let Some(confl) = self.propagate() {
             self.derive_empty_from(confl);
             self.ok = false;
@@ -1451,6 +1695,7 @@ impl Solver {
                     restart_base = self.stats.conflicts;
                     self.stats.restarts += 1;
                     self.backtrack(0);
+                    self.sweep_leaked();
                 }
                 if let Some(mc) = limits.max_conflicts {
                     if self.stats.conflicts - limit_base >= mc {
@@ -1497,8 +1742,9 @@ impl Solver {
                 };
                 match decision {
                     None => {
-                        // All variables assigned: SAT.
+                        // All (decidable) variables assigned: SAT.
                         self.model = self.assigns.clone();
+                        self.extend_model_over_eliminated();
                         self.backtrack(0);
                         return SolveResult::Sat;
                     }
@@ -1926,6 +2172,152 @@ mod tests {
         assert!(s.stats().reduces > 0, "reduction must have run");
         s.debug_verify_proof().expect("proof survives reduction");
         assert!(s.interpolant().is_some());
+    }
+
+    /// The PR-4 backlog bugfix: an abandoned activation release must
+    /// not leave its (level-0-satisfied) clauses in the arena forever.
+    /// The next backtrack-to-level-0 sweep reclaims everything except
+    /// the clause still serving as the level-0 reason of the guard.
+    #[test]
+    fn leaked_activation_groups_swept_after_restart() {
+        let mut s = Solver::new();
+        let y = lit(&mut s, 0, true);
+        let z1 = lit(&mut s, 1, true);
+        let z2 = lit(&mut s, 2, true);
+        let act = s.new_activation();
+        assert!(s.add_clause_activated(act, &[y]));
+        assert!(s.add_clause_activated(act, &[z1, z2]));
+        assert!(s.add_clause_activated(act, &[!z1, !z2]));
+        // Force ¬y at level 0: the guarded clause [y, ¬act] becomes
+        // unit and fixes the activation variable, so the release must
+        // take the abandon path.
+        assert!(s.add_clause(&[!y]));
+        assert!(!s.release_activation(act), "release must be abandoned");
+        assert_eq!(s.stats().act_leaked, 1);
+        assert_eq!(s.stats().act_swept, 0);
+        let before = s.num_clauses();
+        // The next solve backtracks to level 0 and sweeps: the two
+        // satisfied guarded clauses are reclaimed; the level-0 reason
+        // of ¬act stays (it pins the assignment forever).
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let st = s.stats();
+        assert_eq!(st.act_swept, 2, "satisfied group clauses reclaimed");
+        assert_eq!(s.num_clauses(), before - 2);
+        s.debug_check_integrity().expect("intact after sweep");
+        // A second sweep finds nothing new and the solver stays sound.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.stats().act_swept, 2);
+        assert_eq!(s.value(y), Some(false));
+    }
+
+    /// Sweeping must also run inside reduction passes and survive
+    /// compaction (leaked references are pruned/forwarded).
+    #[test]
+    fn leaked_groups_survive_reduce_and_gc() {
+        let mut s = Solver::new();
+        let base = s.num_vars();
+        pigeonhole(&mut s, 6);
+        let y = lit(&mut s, base + 50, true);
+        let z1 = lit(&mut s, base + 51, true);
+        let z2 = lit(&mut s, base + 52, true);
+        let act = s.new_activation();
+        assert!(s.add_clause_activated(act, &[y]));
+        assert!(s.add_clause_activated(act, &[z1, z2]));
+        assert!(s.add_clause(&[!y]));
+        assert!(!s.release_activation(act));
+        s.set_reduce_config(ReduceConfig {
+            enabled: true,
+            first_conflicts: 50,
+            conflicts_inc: 50,
+            glue_keep: 2,
+        });
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.act_swept >= 1, "sweep reclaimed the satisfied clause");
+        s.debug_force_gc();
+        s.debug_check_integrity().expect("intact after sweep + GC");
+    }
+
+    #[test]
+    fn preprocess_equisat_on_random_cnf() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x9E7A);
+        for round in 0..120 {
+            let nvars = rng.gen_range(2..=9usize);
+            let nfrozen = rng.gen_range(1..=nvars);
+            let mut raw = Solver::new();
+            let mut pre = Solver::new();
+            for _ in 0..nvars {
+                raw.new_var();
+                pre.new_var();
+            }
+            let mut cnf: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..rng.gen_range(1..=24usize) {
+                let len = rng.gen_range(1..=3usize);
+                let cl: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5)))
+                    .collect();
+                raw.add_clause(&cl);
+                pre.add_clause(&cl);
+                cnf.push(cl);
+            }
+            let frozen: Vec<Var> = (0..nfrozen).map(Var::from_index).collect();
+            if !pre.preprocess(&frozen) {
+                // Only a formula already refuted at add time declines.
+                assert!(!pre.is_ok(), "round {round}: preprocess must run");
+                assert_eq!(raw.solve(), SolveResult::Unsat);
+                continue;
+            }
+            for _ in 0..5 {
+                let assumptions: Vec<Lit> = (0..rng.gen_range(0..=nfrozen))
+                    .map(|_| {
+                        Lit::new(
+                            Var::from_index(rng.gen_range(0..nfrozen)),
+                            rng.gen_bool(0.5),
+                        )
+                    })
+                    .collect();
+                let want = raw.solve_with(&assumptions);
+                let got = pre.solve_with(&assumptions);
+                assert_eq!(
+                    want, got,
+                    "round {round}: cnf {cnf:?} under {assumptions:?}"
+                );
+                if got == SolveResult::Sat {
+                    // The reconstructed model must satisfy every
+                    // original clause, eliminated variables included.
+                    for cl in &cnf {
+                        assert!(
+                            cl.iter().any(|&l| pre.value(l) == Some(true)),
+                            "round {round}: model violates {cl:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preprocess_rejects_unsupported_states() {
+        let mut s = Solver::with_proof();
+        s.new_var();
+        assert!(!s.preprocess(&[]), "proof logging blocks preprocessing");
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        let _ = s.solve_limited(
+            &[],
+            Limits {
+                max_conflicts: Some(20),
+                ..Limits::default()
+            },
+        );
+        assert!(!s.preprocess(&[]), "learned clauses block preprocessing");
+        // A fresh solver accepts it, and the verdict is unchanged.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 5);
+        assert!(s.preprocess(&[]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]
