@@ -1,0 +1,179 @@
+//! Certificate-layer benchmark: every bundled design through the
+//! certifying portfolio, plus two fault legs per design.
+//!
+//! Three runs per benchmark:
+//!
+//! 1. **chaos** — the same portfolio with `satb`'s deterministic
+//!    fault-injection hook armed (`Budget::chaos`): solvers are
+//!    cancelled mid-solve after a seeded number of conflicts. Any
+//!    definite verdict that survives must still certify and agree with
+//!    the calm run.
+//! 2. **calm** — the default hardware engines racing with certificate
+//!    checking on (the dispatcher re-verifies every witness against
+//!    the raw template before calling the race). Doubles as the
+//!    clean retry after the chaos leg: same design, fresh solvers,
+//!    correct certified verdict.
+//! 3. **panic** — the calm portfolio plus a seat that panics on entry;
+//!    the dispatcher must isolate the crash and still return the calm
+//!    verdict, certified.
+//!
+//! Emits machine-readable JSON on stdout. Exits with code 2 — the CI
+//! gate — when any calm verdict is unknown, uncertified or wrong
+//! against ground truth, when any certificate check or trace replay
+//! demotes a seat, when the panic leg loses the verdict or the crash
+//! report, or when a chaotic definite verdict contradicts the calm one.
+//!
+//! Usage: `cargo run --release -p bench --bin certperf [-- --timeout SECS]`
+
+use bmarks::Expected;
+use engines::portfolio::{Portfolio, PortfolioOutcome};
+use engines::{CheckOutcome, Checker, Unknown, Verdict};
+use rtlir::TransitionSystem;
+use satb::Chaos;
+
+/// A seat that panics the moment it is scheduled: the standing
+/// fault-injection fixture for the dispatcher's `catch_unwind`.
+struct PanicSeat;
+
+impl Checker for PanicSeat {
+    fn name(&self) -> &'static str {
+        "panic-seat"
+    }
+    fn check(&self, _ts: &TransitionSystem) -> CheckOutcome {
+        panic!("injected seat failure");
+    }
+}
+
+fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Safe => "safe".into(),
+        Verdict::Unsafe(t) => format!("bug@{}", t.length()),
+        Verdict::Unknown(u) => format!("unknown({u})"),
+    }
+}
+
+fn agree(a: &Verdict, b: &Verdict) -> bool {
+    matches!(
+        (a, b),
+        (Verdict::Safe, Verdict::Safe) | (Verdict::Unsafe(_), Verdict::Unsafe(_))
+    )
+}
+
+fn demotions(report: &PortfolioOutcome) -> usize {
+    report
+        .engines
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.outcome.outcome,
+                Verdict::Unknown(Unknown::CertificateFailed(_))
+            )
+        })
+        .count()
+}
+
+fn main() {
+    let (timeout, benchmarks) = bench::parse_args(15);
+    if benchmarks.is_empty() {
+        eprintln!("no benchmark matched the filter");
+        std::process::exit(1);
+    }
+    // The panic seat fires by design on every panic leg; keep its
+    // backtrace spam out of the log without hiding real panics.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if std::thread::current().name() != Some("portfolio-panic-seat") {
+            default_hook(info);
+        }
+    }));
+
+    let mut failed = false;
+    let mut solved = 0usize;
+    let mut total_demotions = 0usize;
+    println!("{{");
+    println!("  \"benchmark\": \"certperf\",");
+    println!("  \"timeout_s\": {timeout},");
+    println!("  \"runs\": [");
+    for (i, b) in benchmarks.iter().enumerate() {
+        let ts = b.compile().expect("benchmark compiles");
+
+        // Leg 1: chaos. Aggressive enough to hit real queries, loose
+        // enough that trivial ones still finish.
+        let chaos_budget = bench::budget(timeout).with_chaos(Chaos {
+            seed: i as u64,
+            period: 200,
+        });
+        let chaos = Portfolio::with_default_engines(chaos_budget).check_detailed(&ts);
+
+        // Leg 2: calm — and the clean retry after the injected faults.
+        let calm = Portfolio::with_default_engines(bench::budget(timeout)).check_detailed(&ts);
+
+        // Leg 3: a panicking seat joins the calm field.
+        let mut p = Portfolio::with_default_engines(bench::budget(timeout));
+        p.push(PanicSeat);
+        let panicked = p.check_detailed(&ts);
+
+        let calm_definite = !matches!(calm.verdict, Verdict::Unknown(_));
+        let truth_ok = matches!(
+            (&calm.verdict, b.expected),
+            (Verdict::Safe, Expected::Safe) | (Verdict::Unsafe(_), Expected::Unsafe)
+        );
+        let calm_demoted = demotions(&calm);
+        let panic_crash_seen = panicked
+            .engines
+            .iter()
+            .any(|e| matches!(e.outcome.outcome, Verdict::Unknown(Unknown::Crashed(_))));
+        let panic_ok =
+            agree(&panicked.verdict, &calm.verdict) && panicked.certified && panic_crash_seen;
+        let chaos_definite = !matches!(chaos.verdict, Verdict::Unknown(_));
+        let chaos_ok = !chaos_definite || (chaos.certified && agree(&chaos.verdict, &calm.verdict));
+        let ok = calm_definite
+            && truth_ok
+            && calm.certified
+            && calm_demoted == 0
+            && panic_ok
+            && chaos_ok
+            && !calm.disagreement;
+
+        if calm_definite {
+            solved += 1;
+        }
+        total_demotions += calm_demoted;
+        failed |= !ok;
+
+        let cert_label = match (&calm.verdict, &calm.certificate) {
+            (Verdict::Unsafe(t), _) => format!("trace@{}", t.length()),
+            (_, Some(c)) => format!("{c}"),
+            _ => "none".into(),
+        };
+        print!(
+            "    {{\"design\":\"{}\",\"verdict\":\"{}\",\"winner\":\"{}\",\"certified\":{},\
+             \"certificate\":\"{}\",\"demotions\":{},\"time_s\":{:.3},\
+             \"panic_leg\":{{\"verdict\":\"{}\",\"certified\":{},\"crash_reported\":{}}},\
+             \"chaos_leg\":{{\"verdict\":\"{}\",\"certified\":{}}},\"ok\":{}}}",
+            b.name,
+            verdict_label(&calm.verdict),
+            calm.winner.unwrap_or("-"),
+            calm.certified,
+            cert_label,
+            calm_demoted,
+            calm.stats.time.as_secs_f64(),
+            verdict_label(&panicked.verdict),
+            panicked.certified,
+            panic_crash_seen,
+            verdict_label(&chaos.verdict),
+            chaos.certified,
+            ok
+        );
+        println!("{}", if i + 1 < benchmarks.len() { "," } else { "" });
+    }
+    println!("  ],");
+    println!("  \"solved\": {solved},");
+    println!("  \"total\": {},", benchmarks.len());
+    println!("  \"demotions\": {total_demotions},");
+    println!("  \"gate_failed\": {failed}");
+    println!("}}");
+    if failed {
+        std::process::exit(2);
+    }
+}

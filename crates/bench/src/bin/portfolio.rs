@@ -94,6 +94,8 @@ impl std::fmt::Display for ClassLabel<'_> {
                 engines::Unknown::BoundReached => write!(f, "bound"),
                 engines::Unknown::ConflictLimit => write!(f, "confl"),
                 engines::Unknown::Inconclusive(_) => write!(f, "unk"),
+                engines::Unknown::CertificateFailed(_) => write!(f, "cert✗"),
+                engines::Unknown::Crashed(_) => write!(f, "crash"),
             },
         }
     }

@@ -133,6 +133,11 @@ pub fn run_and_classify(tool: &Tool, b: &Benchmark) -> (Classification, CheckOut
         (Verdict::Unknown(Unknown::ConflictLimit), _) => Classification::Timeout,
         (Verdict::Unknown(Unknown::Cancelled), _) => Classification::UnknownResult,
         (Verdict::Unknown(Unknown::Inconclusive(_)), _) => Classification::UnknownResult,
+        // A withdrawn certificate or a crashed seat is a tool failure,
+        // not a solved instance: classify as unknown so the score table
+        // shows the gap instead of papering over it.
+        (Verdict::Unknown(Unknown::CertificateFailed(_)), _) => Classification::UnknownResult,
+        (Verdict::Unknown(Unknown::Crashed(_)), _) => Classification::UnknownResult,
     };
     (class, out)
 }

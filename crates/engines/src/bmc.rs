@@ -205,7 +205,7 @@ impl Bmc {
 }
 
 impl Bmc {
-    fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
+    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
         let mut chain = FrameChain::new(sys, tpl, true);

@@ -1,0 +1,591 @@
+//! Independent re-checking of verdict witnesses.
+//!
+//! A verdict you can re-check is worth more than a verdict you must
+//! trust: this module turns every definite engine answer into a
+//! *certifying* one (cf. McConnell et al., "Certifying Algorithms",
+//! and rIC3's frame-wise invariant re-check). The checker is
+//! deliberately decoupled from the engines — it recompiles the **raw,
+//! un-preprocessed** transition template with
+//! [`aig::TransitionTemplate::compile`] and discharges every
+//! obligation in a **fresh, independent** [`satb::Solver`], so a bug
+//! in an engine's incremental solver reuse, activation-literal
+//! bookkeeping, or the SatELite preprocessing cannot silently
+//! propagate into a certified answer.
+//!
+//! # Certificate format
+//!
+//! A Safe answer carries a [`Certificate`] in
+//! [`CheckOutcome::certificate`](crate::CheckOutcome::certificate):
+//!
+//! * [`Certificate::Clausal`] — an inductive invariant as a
+//!   conjunction of clauses over latch variables, each clause a
+//!   disjunction of `(latch index, polarity)` literals. PDR exports
+//!   the clauses of its fixpoint frame `F_i = F_{i+1}` (all cubes
+//!   stored at levels `>= i`, negated).
+//! * [`Certificate::Formula`] — an inductive invariant as an AIG
+//!   formula: a private [`aig::Aig`] (node ids aligned with the
+//!   checked system, so latch-output CIs address the state bits) plus
+//!   the root literal. The interpolation engine exports its fixpoint
+//!   `r_acc = init ∨ itp_1 ∨ … ∨ itp_n`.
+//! * [`Certificate::KInductive`] — the strengthening is *temporal*
+//!   rather than a state predicate: the property is `k`-inductive
+//!   (optionally under simple-path constraints). The checker re-runs
+//!   the full base and step obligations from scratch.
+//!
+//! An Unsafe answer needs no separate certificate: the
+//! [`Trace`](crate::Trace) inside the verdict **is** the witness, and
+//! [`certify`] re-simulates it on the bit-level netlist via the
+//! `aig` evaluator ([`Trace::replays_on`](crate::Trace::replays_on)).
+//!
+//! # Check obligations
+//!
+//! For an invariant certificate `Inv` the checker discharges, clause
+//! at a time, the three standard obligations against the raw template
+//! (constraints are asserted in every instantiated frame, so the
+//! constrained-transition semantics of the engines carries over):
+//!
+//! 1. **Initiation** — `Init ⇒ Inv`: for every clause `c`,
+//!    `Init ∧ ¬c` is UNSAT. Checked on a solver *without* the other
+//!    clauses asserted, so one bad clause cannot be masked by the
+//!    rest of the invariant.
+//! 2. **Consecution** — `Inv ∧ T ⇒ Inv′`: with all clauses asserted
+//!    on the current-state side of one raw frame, for every clause
+//!    `c`, `Inv ∧ T ∧ ¬c′` is UNSAT.
+//! 3. **Safety** — `Inv ⇒ ¬Bad`: `Inv ∧ T ∧ any_bad` is UNSAT (the
+//!    frame's bad outputs are evaluated under the same constraint
+//!    semantics the engines used).
+//!
+//! For [`Certificate::KInductive`] with bound `k` the obligations
+//! are: no counterexample of length `0..=k` from the initial states
+//! (base, one incremental chain), and no path of `k+1` free states
+//! with the first `k` good, the last bad — pairwise distinct when
+//! `simple_path` is set (step). Soundness is the standard
+//! shortest-counterexample argument: a minimal-length initialized
+//! path to a bad state has pairwise-distinct, internally-good states,
+//! so its length-`k` suffix would satisfy the step premise.
+//!
+//! A passing check proves the *answer*, not the engine: whatever
+//! formula the obligations were discharged for is a genuine inductive
+//! strengthening, so `Safe` is true even if the certificate was
+//! produced by a buggy (or adversarial) engine. A failing check never
+//! proves the answer wrong — it only withdraws the evidence, which is
+//! why the portfolio demotes a failed certificate to
+//! [`Unknown::CertificateFailed`](crate::Unknown::CertificateFailed)
+//! instead of flipping the verdict.
+
+use crate::result::{CheckOutcome, Verdict};
+use aig::{Aig, AigLit, AigSystem, FrameEncoder, TransitionTemplate};
+use satb::{Lit, Part, SolveResult, Solver};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A clause over latch variables: each literal is `(latch index,
+/// polarity)`, true when the latch holds `polarity`.
+pub type LatchClause = Vec<(usize, bool)>;
+
+/// An inductive invariant in clausal form (PDR's fixpoint frame).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClausalInvariant {
+    /// The invariant is the conjunction of these clauses (an empty
+    /// list is the invariant `true`, claiming no state is bad).
+    pub clauses: Vec<LatchClause>,
+}
+
+/// An inductive invariant as an AIG formula (interpolation's fixpoint).
+#[derive(Clone, Debug)]
+pub struct FormulaInvariant {
+    /// Private combinational logic; latch-output CI literals of the
+    /// certified system are valid in it (node ids are preserved by
+    /// the engine's scratch clone).
+    pub aig: Aig,
+    /// Root literal: the invariant predicate over the latch CIs.
+    pub root: AigLit,
+}
+
+/// A Safe-verdict witness, re-checkable by [`certify`]. See the
+/// [module docs](self) for the format and the obligations.
+#[derive(Clone, Debug)]
+pub enum Certificate {
+    /// Clauses over latch variables whose conjunction is a 1-step
+    /// inductive invariant.
+    Clausal(ClausalInvariant),
+    /// An AIG-formula 1-step inductive invariant.
+    Formula(FormulaInvariant),
+    /// The property is `k`-inductive (under simple-path constraints
+    /// when `simple_path` is set).
+    KInductive {
+        /// The induction depth the engine proved at.
+        k: u32,
+        /// Whether the step obligation may assume pairwise-distinct
+        /// states (required for completeness on lasso-shaped designs).
+        simple_path: bool,
+    },
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Certificate::Clausal(inv) => {
+                write!(f, "inductive invariant ({} clauses)", inv.clauses.len())
+            }
+            Certificate::Formula(_) => write!(f, "inductive invariant (formula)"),
+            Certificate::KInductive { k, simple_path } => {
+                write!(
+                    f,
+                    "{k}-inductive{}",
+                    if *simple_path { " (simple-path)" } else { "" }
+                )
+            }
+        }
+    }
+}
+
+/// Result of one [`certify`] run.
+#[derive(Clone, Debug)]
+pub struct CertifyReport {
+    /// Whether the outcome survived: its witness checked, or it had
+    /// none to check (Unknown verdicts, witness-less Safe answers).
+    pub ok: bool,
+    /// Whether there was a witness to check (`false` for Unknown
+    /// verdicts and Safe answers from engines that cannot produce
+    /// one — those are *accepted*, but not *certified*).
+    pub witnessed: bool,
+    /// Number of obligations discharged (clause checks, base/step
+    /// solves, or 1 for a trace replay).
+    pub obligations: usize,
+    /// Why the check failed, when it did.
+    pub failure: Option<String>,
+    /// Wall-clock time spent checking.
+    pub time: Duration,
+}
+
+impl CertifyReport {
+    fn passed(witnessed: bool, obligations: usize, started: Instant) -> CertifyReport {
+        CertifyReport {
+            ok: true,
+            witnessed,
+            obligations,
+            failure: None,
+            time: started.elapsed(),
+        }
+    }
+
+    fn failed(obligations: usize, why: String, started: Instant) -> CertifyReport {
+        CertifyReport {
+            ok: false,
+            witnessed: true,
+            obligations,
+            failure: Some(why),
+            time: started.elapsed(),
+        }
+    }
+}
+
+/// Re-checks an outcome's witness against `sys`, recompiling the raw
+/// transition template. See the [module docs](self) for what is
+/// checked per verdict kind.
+pub fn certify(sys: &AigSystem, outcome: &CheckOutcome) -> CertifyReport {
+    let tpl = TransitionTemplate::compile(sys);
+    certify_with(sys, &tpl, outcome)
+}
+
+/// Like [`certify`], but reusing an already-compiled **raw** template
+/// (callers certifying several outcomes against the same design, e.g.
+/// the portfolio). Passing a preprocessed template would defeat the
+/// independence of the check — always hand in
+/// [`aig::TransitionTemplate::compile`] output.
+pub fn certify_with(
+    sys: &AigSystem,
+    raw_tpl: &TransitionTemplate,
+    outcome: &CheckOutcome,
+) -> CertifyReport {
+    let started = Instant::now();
+    match &outcome.outcome {
+        Verdict::Unknown(_) => CertifyReport::passed(false, 0, started),
+        Verdict::Unsafe(trace) => {
+            if trace.replays_on(sys) {
+                CertifyReport::passed(true, 1, started)
+            } else {
+                CertifyReport::failed(1, "trace does not replay to a fired bad".into(), started)
+            }
+        }
+        Verdict::Safe => match &outcome.certificate {
+            None => CertifyReport::passed(false, 0, started),
+            Some(Certificate::Clausal(inv)) => match check_clausal(sys, raw_tpl, inv) {
+                Ok(n) => CertifyReport::passed(true, n, started),
+                Err((n, why)) => CertifyReport::failed(n, why, started),
+            },
+            Some(Certificate::Formula(inv)) => match check_formula(sys, raw_tpl, inv) {
+                Ok(n) => CertifyReport::passed(true, n, started),
+                Err((n, why)) => CertifyReport::failed(n, why, started),
+            },
+            Some(Certificate::KInductive { k, simple_path }) => {
+                match check_kinductive(sys, raw_tpl, *k, *simple_path) {
+                    Ok(n) => CertifyReport::passed(true, n, started),
+                    Err((n, why)) => CertifyReport::failed(n, why, started),
+                }
+            }
+        },
+    }
+}
+
+/// Maps a latch-variable clause onto frame literals.
+fn clause_on(clause: &LatchClause, latch_lits: &[Lit]) -> Vec<Lit> {
+    clause
+        .iter()
+        .map(|&(i, v)| if v { latch_lits[i] } else { !latch_lits[i] })
+        .collect()
+}
+
+/// The negation of a latch-variable clause as assumptions (one
+/// negated literal each) over frame literals.
+fn negated_clause_on(clause: &LatchClause, latch_lits: &[Lit]) -> Vec<Lit> {
+    clause
+        .iter()
+        .map(|&(i, v)| if v { !latch_lits[i] } else { latch_lits[i] })
+        .collect()
+}
+
+type CheckResult = Result<usize, (usize, String)>;
+
+fn check_clausal(sys: &AigSystem, tpl: &TransitionTemplate, inv: &ClausalInvariant) -> CheckResult {
+    let n = sys.latches.len();
+    let mut done = 0usize;
+    for (ci, clause) in inv.clauses.iter().enumerate() {
+        if let Some(&(i, _)) = clause.iter().find(|&&(i, _)| i >= n) {
+            return Err((done, format!("clause #{ci} names latch {i} of {n}")));
+        }
+    }
+
+    // Initiation, on a solver holding nothing but the reset values:
+    // each clause must be checked without the others, or a clause the
+    // initial states escape could hide behind one they satisfy.
+    let mut init = Solver::new();
+    let vars: Vec<Lit> = (0..n).map(|_| Lit::pos(init.new_var())).collect();
+    for (latch, &l) in sys.latches.iter().zip(&vars) {
+        if let Some(iv) = latch.init {
+            init.add_clause(&[if iv { l } else { !l }]);
+        }
+    }
+    for (ci, clause) in inv.clauses.iter().enumerate() {
+        match init.solve_with(&negated_clause_on(clause, &vars)) {
+            SolveResult::Unsat => done += 1,
+            _ => return Err((done, format!("initiation fails: init ⊄ clause #{ci}"))),
+        }
+    }
+
+    // Consecution and safety share one raw frame with the whole
+    // invariant asserted on the current-state side.
+    let mut s = Solver::new();
+    let frame = tpl.instantiate(&mut s, Part::A, 0);
+    for clause in &inv.clauses {
+        s.add_clause(&clause_on(clause, &frame.latch_cur));
+    }
+    for (ci, clause) in inv.clauses.iter().enumerate() {
+        match s.solve_with(&negated_clause_on(clause, &frame.latch_next)) {
+            SolveResult::Unsat => done += 1,
+            _ => return Err((done, format!("consecution fails: Inv ∧ T ⇏ clause #{ci}′"))),
+        }
+    }
+    match s.solve_with(&[frame.any_bad]) {
+        SolveResult::Unsat => done += 1,
+        _ => return Err((done, "safety fails: Inv admits a bad state".into())),
+    }
+    Ok(done)
+}
+
+fn check_formula(sys: &AigSystem, tpl: &TransitionTemplate, inv: &FormulaInvariant) -> CheckResult {
+    let mut s = Solver::new();
+    let frame = tpl.instantiate(&mut s, Part::A, 0);
+    // Two encoders over the certificate's private AIG: one maps the
+    // latch-output CIs onto the frame's current-state literals, the
+    // other onto its next-state literals, yielding Inv and Inv′ over
+    // the same raw transition frame.
+    let mut enc_cur = FrameEncoder::new();
+    let mut enc_next = FrameEncoder::new();
+    for (latch, (&c, &nx)) in sys
+        .latches
+        .iter()
+        .zip(frame.latch_cur.iter().zip(&frame.latch_next))
+    {
+        enc_cur.bind(latch.output, c);
+        enc_next.bind(latch.output, nx);
+    }
+    let inv_cur = enc_cur.encode(&inv.aig, &mut s, inv.root, Part::A);
+    let inv_next = enc_next.encode(&inv.aig, &mut s, inv.root, Part::A);
+
+    // Initiation: reset values as assumptions (not units — the same
+    // solver must later check consecution from arbitrary Inv states).
+    let mut assumptions: Vec<Lit> = Vec::new();
+    for (latch, &l) in sys.latches.iter().zip(&frame.latch_cur) {
+        if let Some(iv) = latch.init {
+            assumptions.push(if iv { l } else { !l });
+        }
+    }
+    assumptions.push(!inv_cur);
+    let mut done = 0usize;
+    match s.solve_with(&assumptions) {
+        SolveResult::Unsat => done += 1,
+        _ => return Err((done, "initiation fails: init ⊄ Inv".into())),
+    }
+    match s.solve_with(&[inv_cur, !inv_next]) {
+        SolveResult::Unsat => done += 1,
+        _ => return Err((done, "consecution fails: Inv ∧ T ⇏ Inv′".into())),
+    }
+    match s.solve_with(&[inv_cur, frame.any_bad]) {
+        SolveResult::Unsat => done += 1,
+        _ => return Err((done, "safety fails: Inv admits a bad state".into())),
+    }
+    Ok(done)
+}
+
+fn check_kinductive(
+    sys: &AigSystem,
+    tpl: &TransitionTemplate,
+    k: u32,
+    simple_path: bool,
+) -> CheckResult {
+    let k = k as usize;
+    let mut done = 0usize;
+
+    // Base: no counterexample of length 0..=k from the initial states.
+    {
+        let mut s = Solver::new();
+        let mut prev = tpl.instantiate(&mut s, Part::A, 0);
+        prev.assert_init(sys, &mut s);
+        for depth in 0..=k {
+            if depth > 0 {
+                prev =
+                    tpl.instantiate_bound(&mut s, Part::A, depth as u32, &prev.latch_next.clone());
+            }
+            match s.solve_with(&[prev.any_bad]) {
+                SolveResult::Unsat => {
+                    s.add_clause(&[!prev.any_bad]);
+                    done += 1;
+                }
+                _ => return Err((done, format!("base fails: bad reachable at depth {depth}"))),
+            }
+        }
+    }
+
+    // Step: no free path of k+1 states with the first k good and the
+    // last bad (pairwise distinct when the engine relied on it).
+    let mut s = Solver::new();
+    let mut frames = vec![tpl.instantiate(&mut s, Part::A, 0)];
+    for j in 1..=k {
+        let cur = frames[j - 1].latch_next.clone();
+        frames.push(tpl.instantiate_bound(&mut s, Part::A, j as u32, &cur));
+    }
+    for f in frames.iter().take(k) {
+        s.add_clause(&[!f.any_bad]);
+    }
+    if simple_path {
+        for i in 0..k {
+            for j in (i + 1)..=k {
+                // d_l → (state_i[l] ≠ state_j[l]); some d_l must hold.
+                let mut differs: Vec<Lit> = Vec::with_capacity(sys.latches.len());
+                for (&a, &b) in frames[i].latch_cur.iter().zip(&frames[j].latch_cur) {
+                    let d = Lit::pos(s.new_var());
+                    s.add_clause(&[!d, a, b]);
+                    s.add_clause(&[!d, !a, !b]);
+                    differs.push(d);
+                }
+                s.add_clause(&differs);
+            }
+        }
+    }
+    match s.solve_with(&[frames[k].any_bad]) {
+        SolveResult::Unsat => done += 1,
+        _ => {
+            return Err((
+                done,
+                format!(
+                    "step fails: property is not {k}-inductive{}",
+                    if simple_path {
+                        " under simple-path"
+                    } else {
+                        ""
+                    }
+                ),
+            ))
+        }
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::{Budget, Trace, Unknown};
+    use crate::{Checker, EngineStats};
+    use rtlir::{Sort, TransitionSystem};
+    use std::time::Instant;
+
+    /// A 4-bit counter saturating at 5; safe against `count > 5`.
+    fn saturating_counter() -> TransitionSystem {
+        let mut ts = TransitionSystem::new("sat-counter");
+        let s = ts.add_state("count", Sort::Bv(4));
+        let sv = ts.pool_mut().var(s);
+        let lim = ts.pool_mut().constv(4, 5);
+        let one = ts.pool_mut().constv(4, 1);
+        let at = ts.pool_mut().uge(sv, lim);
+        let inc = ts.pool_mut().add(sv, one);
+        let next = ts.pool_mut().ite(at, sv, inc);
+        let zero = ts.pool_mut().constv(4, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let bad = ts.pool_mut().ugt(sv, lim);
+        ts.add_bad(bad, "overflow");
+        ts
+    }
+
+    /// A 3-bit counter that overflows into the bad region: unsafe.
+    fn overflowing_counter() -> TransitionSystem {
+        let mut ts = TransitionSystem::new("overflow");
+        let s = ts.add_state("count", Sort::Bv(3));
+        let sv = ts.pool_mut().var(s);
+        let one = ts.pool_mut().constv(3, 1);
+        let next = ts.pool_mut().add(sv, one);
+        let zero = ts.pool_mut().constv(3, 0);
+        ts.set_init(s, zero);
+        ts.set_next(s, next);
+        let lim = ts.pool_mut().constv(3, 6);
+        let bad = ts.pool_mut().uge(sv, lim);
+        ts.add_bad(bad, "too big");
+        ts
+    }
+
+    fn outcome_with(
+        sys: &aig::AigSystem,
+        verdict: Verdict,
+        cert: Option<Certificate>,
+    ) -> CheckOutcome {
+        let _ = sys;
+        let mut out = CheckOutcome::finish(verdict, EngineStats::default(), Instant::now());
+        out.certificate = cert;
+        out
+    }
+
+    #[test]
+    fn unknown_and_witnessless_safe_pass_unwitnessed() {
+        let sys = aig::blast_system(&saturating_counter());
+        let out = outcome_with(&sys, Verdict::Unknown(Unknown::Timeout), None);
+        let rep = certify(&sys, &out);
+        assert!(rep.ok && !rep.witnessed);
+        let out = outcome_with(&sys, Verdict::Safe, None);
+        let rep = certify(&sys, &out);
+        assert!(rep.ok && !rep.witnessed && rep.obligations == 0);
+    }
+
+    #[test]
+    fn engine_certificates_check_and_forgeries_fail() {
+        let ts = saturating_counter();
+        let sys = aig::blast_system(&ts);
+
+        // Every certifying engine's Safe answer must check.
+        let engines: Vec<Box<dyn Checker>> = vec![
+            Box::new(crate::pdr::Pdr::new(Budget::default())),
+            Box::new(crate::pdr_baseline::PerFramePdr::new(Budget::default())),
+            Box::new(crate::itp::Interpolation::new(Budget::default())),
+            Box::new(crate::kind::KInduction::new(Budget::default())),
+        ];
+        for e in &engines {
+            let out = e.check(&ts);
+            assert_eq!(out.outcome, Verdict::Safe, "{} not Safe", e.name());
+            let cert = out
+                .certificate
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} returned Safe without a certificate", e.name()));
+            let rep = certify(&sys, &out);
+            assert!(
+                rep.ok && rep.witnessed,
+                "{} certificate [{}] rejected: {:?}",
+                e.name(),
+                cert,
+                rep.failure
+            );
+            assert!(rep.obligations >= 1);
+        }
+
+        // A forged clausal invariant that misses the bad region fails
+        // safety; one the initial state escapes fails initiation.
+        let tautology = ClausalInvariant { clauses: vec![] };
+        let out = outcome_with(&sys, Verdict::Safe, Some(Certificate::Clausal(tautology)));
+        let rep = certify(&sys, &out);
+        assert!(!rep.ok, "invariant `true` must fail safety here");
+        assert!(rep.failure.as_deref().unwrap_or("").contains("safety"));
+
+        let excludes_init = ClausalInvariant {
+            // Single clause `count[0] = 1`: initial state 0 escapes.
+            clauses: vec![vec![(0, true)]],
+        };
+        let out = outcome_with(
+            &sys,
+            Verdict::Safe,
+            Some(Certificate::Clausal(excludes_init)),
+        );
+        let rep = certify(&sys, &out);
+        assert!(!rep.ok);
+        assert!(rep.failure.as_deref().unwrap_or("").contains("initiation"));
+
+        // A k-induction claim at a too-small k fails its step check.
+        let out = outcome_with(
+            &sys,
+            Verdict::Safe,
+            Some(Certificate::KInductive {
+                k: 0,
+                simple_path: false,
+            }),
+        );
+        let rep = certify(&sys, &out);
+        assert!(!rep.ok);
+        assert!(rep.failure.as_deref().unwrap_or("").contains("step"));
+    }
+
+    #[test]
+    fn unsafe_traces_replay_and_garbage_is_rejected() {
+        let ts = overflowing_counter();
+        let sys = aig::blast_system(&ts);
+        let out = crate::bmc::Bmc::new(Budget::default()).check(&ts);
+        assert!(out.outcome.is_unsafe());
+        let rep = certify(&sys, &out);
+        assert!(rep.ok && rep.witnessed, "BMC trace must replay");
+
+        // A non-witnessing trace is rejected.
+        let bogus = Trace {
+            states: vec![vec![false; sys.latches.len()]],
+            inputs: vec![vec![]],
+            bad_index: 0,
+        };
+        let out = outcome_with(&sys, Verdict::Unsafe(bogus), None);
+        let rep = certify(&sys, &out);
+        assert!(!rep.ok);
+    }
+
+    #[test]
+    fn formula_invariant_checks_directly() {
+        // Hand-built formula invariant for the saturating counter:
+        // count <= 5, i.e. ¬(count ≥ 6) = ¬(bit3 ∨ (bit2 ∧ bit1)).
+        let ts = saturating_counter();
+        let sys = aig::blast_system(&ts);
+        let mut g = sys.aig.clone();
+        let b = |i: usize| sys.latches[i].output;
+        let ge6 = g.and(b(2), b(1));
+        let over = g.or(ge6, b(3));
+        let inv = FormulaInvariant {
+            aig: g,
+            root: !over,
+        };
+        let out = outcome_with(&sys, Verdict::Safe, Some(Certificate::Formula(inv.clone())));
+        let rep = certify(&sys, &out);
+        assert!(rep.ok, "count<=5 is inductive: {:?}", rep.failure);
+
+        // The complement predicate is no invariant at all.
+        let broken = FormulaInvariant {
+            aig: inv.aig.clone(),
+            root: !inv.root,
+        };
+        let out = outcome_with(&sys, Verdict::Safe, Some(Certificate::Formula(broken)));
+        assert!(!certify(&sys, &out).ok);
+    }
+}

@@ -95,7 +95,7 @@ impl Checker for Interpolation {
 }
 
 impl Interpolation {
-    fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
+    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
         // Scratch AIG for interpolant construction. Cloning preserves
@@ -192,7 +192,23 @@ impl Interpolation {
                         stats.absorb_solver(&solver.stats());
                         match fr {
                             SolveResult::Unsat => {
-                                return CheckOutcome::finish(Verdict::Safe, stats, started);
+                                // `r_acc` is the fixpoint: init ⇒ r_acc
+                                // by construction, its post-image is
+                                // inside the latest interpolant which
+                                // just proved itp ⇒ r_acc, and the
+                                // B-side of every query carried bad at
+                                // frame 1 — so it is a genuine 1-step
+                                // inductive invariant, exported as the
+                                // Safe witness over the scratch AIG
+                                // (node ids align with `sys`).
+                                let cert = crate::certify::Certificate::Formula(
+                                    crate::certify::FormulaInvariant {
+                                        aig: aig.clone(),
+                                        root: r_acc,
+                                    },
+                                );
+                                return CheckOutcome::finish(Verdict::Safe, stats, started)
+                                    .with_certificate(cert);
                             }
                             SolveResult::Sat => {
                                 r_acc = aig.or(r_acc, itp_lit);

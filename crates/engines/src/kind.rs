@@ -48,7 +48,7 @@ impl KInduction {
 }
 
 impl KInduction {
-    fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
+    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
 
@@ -127,7 +127,16 @@ impl KInduction {
             {
                 SolveResult::Unsat => {
                     stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
-                    return CheckOutcome::finish(Verdict::Safe, stats, started);
+                    // The base chain verified depths 0..=k and the
+                    // step premise just proved k-inductiveness: the
+                    // witness is the (k, simple-path) claim itself,
+                    // re-checked from scratch by `certify`.
+                    let cert = crate::certify::Certificate::KInductive {
+                        k,
+                        simple_path: self.simple_path,
+                    };
+                    return CheckOutcome::finish(Verdict::Safe, stats, started)
+                        .with_certificate(cert);
                 }
                 SolveResult::Sat => {
                     // Not k-inductive: pin !bad at k and deepen.

@@ -18,6 +18,26 @@
 //! plus statistics — under a configurable resource [`Budget`], which
 //! stands in for the paper's 5-hour / 32 GB per-benchmark limits.
 //!
+//! # Trusting an answer
+//!
+//! Definite verdicts are *certifying*: a Safe answer from PDR,
+//! interpolation or k-induction carries a [`Certificate`] (its
+//! fixpoint frame, interpolant fixpoint, or k-inductive strengthening)
+//! in [`CheckOutcome::certificate`], and an Unsafe answer carries its
+//! replayable [`Trace`] inside the verdict. The [`certify`] module
+//! re-checks either against the **raw, un-preprocessed** transition
+//! template with a fresh independent SAT solver — so none of the
+//! engine's incremental-solving machinery is in the trusted base —
+//! and the [`portfolio::Portfolio`] does this automatically before
+//! declaring a winner: a seat whose witness fails the check is
+//! demoted to [`Unknown::CertificateFailed`] and the race continues
+//! with the remaining members, while disagreements are resolved in
+//! favour of the side whose witness checked. Seats that cannot
+//! produce a witness (the word-level engine, seated software
+//! analyzers) are still accepted, but reported as uncertified; a seat
+//! that panics is isolated with `catch_unwind` and surfaced as
+//! [`Unknown::Crashed`] instead of silently vanishing from the race.
+//!
 //! # Example
 //!
 //! ```
@@ -45,6 +65,9 @@
 //! ```
 
 pub mod bmc;
+pub mod certify;
+#[cfg(test)]
+mod chaos_tests;
 pub mod itp;
 pub mod kind;
 pub mod pdr;
@@ -53,5 +76,6 @@ pub mod portfolio;
 pub mod result;
 pub mod word;
 
+pub use certify::{Certificate, CertifyReport, ClausalInvariant, FormulaInvariant};
 pub use portfolio::{Portfolio, PortfolioOutcome};
 pub use result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};

@@ -351,6 +351,13 @@ impl<'s> PdrRun<'s> {
             })
             .count();
         for i in 0..n {
+            // A wide state vector means many ternary trials; bail out
+            // mid-widening when the budget expires (keeping the
+            // remaining literals definite is always sound — the cube
+            // is merely less general).
+            if self.budget.interruption(self.started).is_some() {
+                break;
+            }
             let distinguishes = self.sys.latches[i]
                 .init
                 .is_some_and(|init| init != state[i]);
@@ -621,9 +628,15 @@ impl<'s> PdrRun<'s> {
                         Err(u) => return BlockResult::Stopped(u),
                     };
                     // Push the clause as far forward as it stays
-                    // relatively inductive.
+                    // relatively inductive. The loop re-checks the
+                    // budget itself: each query is individually
+                    // limited, but a long push across many levels
+                    // must not outlive the deadline between queries.
                     let mut at = level;
                     while at < max_level {
+                        if let Some(u) = self.budget.interruption(self.started) {
+                            return BlockResult::Stopped(u);
+                        }
                         match self.query_relative(&gen, at + 1) {
                             RelQuery::Blocked(_) => at += 1,
                             RelQuery::Pred(_) => break,
@@ -655,8 +668,10 @@ impl<'s> PdrRun<'s> {
         self.seq
     }
 
-    /// Propagates clauses forward; returns true if a fixpoint was found.
-    fn propagate(&mut self, max_level: usize) -> Result<bool, Unknown> {
+    /// Propagates clauses forward; returns the fixpoint level when two
+    /// adjacent frames coincide (`frames[i]` emptied means
+    /// `F_i = F_{i+1}`).
+    fn propagate(&mut self, max_level: usize) -> Result<Option<usize>, Unknown> {
         for i in 1..max_level {
             let cubes = self.frames.get(i).cloned().unwrap_or_default();
             for cube in cubes {
@@ -679,10 +694,24 @@ impl<'s> PdrRun<'s> {
                 }
             }
             if self.frames.get(i).map(|f| f.is_empty()).unwrap_or(true) {
-                return Ok(true);
+                return Ok(Some(i));
             }
         }
-        Ok(false)
+        Ok(None)
+    }
+
+    /// The fixpoint frame `F_level` as a Safe-verdict witness: every
+    /// cube stored at levels `>= level` (the delta encoding's
+    /// `F_level`), negated into a clause over latch variables.
+    fn export_invariant(&self, level: usize) -> crate::certify::Certificate {
+        let clauses = self
+            .frames
+            .iter()
+            .skip(level)
+            .flatten()
+            .map(|cube| cube.iter().map(|&(i, v)| (i, !v)).collect())
+            .collect();
+        crate::certify::Certificate::Clausal(crate::certify::ClausalInvariant { clauses })
     }
 
     /// The top-level PDR loop.
@@ -766,8 +795,11 @@ impl<'s> PdrRun<'s> {
                     max_level += 1;
                     self.ensure_act(max_level);
                     match self.propagate(max_level) {
-                        Ok(true) => return self.outcome(Verdict::Safe, started),
-                        Ok(false) => {}
+                        Ok(Some(level)) => {
+                            let cert = self.export_invariant(level);
+                            return self.outcome(Verdict::Safe, started).with_certificate(cert);
+                        }
+                        Ok(None) => {}
                         Err(u) => return self.outcome(Verdict::Unknown(u), started),
                     }
                 }

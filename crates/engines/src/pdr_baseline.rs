@@ -494,8 +494,10 @@ impl<'s> PdrRun<'s> {
         false
     }
 
-    /// Propagates clauses forward; returns true if a fixpoint was found.
-    fn propagate(&mut self, max_level: usize) -> Result<bool, Unknown> {
+    /// Propagates clauses forward; returns the fixpoint level when two
+    /// adjacent frames coincide (`frames[i]` emptied means
+    /// `F_i = F_{i+1}`).
+    fn propagate(&mut self, max_level: usize) -> Result<Option<usize>, Unknown> {
         for i in 1..max_level {
             let cubes = self.frames.get(i).cloned().unwrap_or_default();
             for cube in cubes {
@@ -515,10 +517,23 @@ impl<'s> PdrRun<'s> {
                 }
             }
             if self.frames.get(i).map(|f| f.is_empty()).unwrap_or(true) {
-                return Ok(true);
+                return Ok(Some(i));
             }
         }
-        Ok(false)
+        Ok(None)
+    }
+
+    /// The fixpoint frame `F_level` as a Safe-verdict witness (same
+    /// delta-encoded export as single-solver PDR).
+    fn export_invariant(&self, level: usize) -> crate::certify::Certificate {
+        let clauses = self
+            .frames
+            .iter()
+            .skip(level)
+            .flatten()
+            .map(|cube| cube.iter().map(|&(i, v)| (i, !v)).collect())
+            .collect();
+        crate::certify::Certificate::Clausal(crate::certify::ClausalInvariant { clauses })
     }
 }
 
@@ -632,8 +647,11 @@ impl PerFramePdr {
                     max_level += 1;
                     run.ensure_solver(max_level);
                     match run.propagate(max_level) {
-                        Ok(true) => return run.outcome(Verdict::Safe, started),
-                        Ok(false) => {}
+                        Ok(Some(level)) => {
+                            let cert = run.export_invariant(level);
+                            return run.outcome(Verdict::Safe, started).with_certificate(cert);
+                        }
+                        Ok(None) => {}
                         Err(u) => return run.outcome(Verdict::Unknown(u), started),
                     }
                 }

@@ -16,6 +16,17 @@
 //! portfolio, and rIC3 field complementary engines so that whichever
 //! technique fits the design answers first.
 //!
+//! The race is *certifying* (see [`crate::certify`]): a definite
+//! verdict only wins after its witness re-checks against the raw
+//! transition template with an independent solver. A member whose
+//! witness fails is demoted to [`Unknown::CertificateFailed`] and the
+//! race goes on with the remaining seats; contradicting definite
+//! verdicts are resolved by trusting the side whose witness checked,
+//! and only certified-vs-certified contradictions raise the
+//! [`PortfolioOutcome::disagreement`] alarm. Seat panics are isolated
+//! with `catch_unwind` and surfaced as [`Unknown::Crashed`] — a
+//! crashing member degrades the portfolio instead of killing it.
+//!
 //! # Example
 //!
 //! ```
@@ -42,11 +53,13 @@
 //! ```
 
 use crate::bmc::Bmc;
+use crate::certify::{self, Certificate, CertifyReport};
 use crate::itp::Interpolation;
 use crate::kind::KInduction;
 use crate::pdr::Pdr;
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
 use rtlir::TransitionSystem;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
@@ -58,10 +71,15 @@ pub struct EngineReport {
     /// The member's engine name (`Checker::name`).
     pub name: &'static str,
     /// Its verdict and statistics (losers typically report
-    /// `Unknown(Cancelled)`).
+    /// `Unknown(Cancelled)`; a member whose witness failed its
+    /// re-check reports `Unknown(CertificateFailed)`, a panicked one
+    /// `Unknown(Crashed)`).
     pub outcome: CheckOutcome,
     /// Whether this member produced the winning verdict.
     pub winner: bool,
+    /// The independent witness re-check of this member's definite
+    /// verdict (`None` when the member never answered definitely).
+    pub certify: Option<CertifyReport>,
 }
 
 /// The combined answer of a portfolio run.
@@ -78,9 +96,19 @@ pub struct PortfolioOutcome {
     pub winner: Option<&'static str>,
     /// Every member's own verdict and statistics.
     pub engines: Vec<EngineReport>,
-    /// Set when a second member produced a definite verdict that
-    /// contradicts the winner's — a soundness alarm worth surfacing.
+    /// Set when two members produced contradicting definite verdicts
+    /// that *both* survived their witness re-checks — a soundness
+    /// alarm worth surfacing. Contradictions where only one side's
+    /// witness checked are resolved silently in its favour.
     pub disagreement: bool,
+    /// Whether the winning verdict is backed by a witness that passed
+    /// the independent re-check (`false` for winners that cannot
+    /// produce one — word-level k-induction, seated software
+    /// analyzers — and for merged-Unknown results).
+    pub certified: bool,
+    /// The winner's checked Safe witness, when there is one (Unsafe
+    /// winners carry their witness trace inside the verdict).
+    pub certificate: Option<Certificate>,
 }
 
 impl PortfolioOutcome {
@@ -91,9 +119,14 @@ impl PortfolioOutcome {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "verdict {} (winner: {}{})",
+            "verdict {} (winner: {}, {}{})",
             self.verdict,
             self.winner.unwrap_or("none"),
+            if self.certified {
+                "certified"
+            } else {
+                "uncertified"
+            },
             if self.disagreement {
                 ", DISAGREEMENT"
             } else {
@@ -101,9 +134,14 @@ impl PortfolioOutcome {
             }
         );
         for e in &self.engines {
+            let cert = match &e.certify {
+                Some(r) if r.ok && r.witnessed => " cert✓",
+                Some(r) if !r.ok => " cert✗",
+                _ => "",
+            };
             let _ = writeln!(
                 out,
-                "  {:<10} {:<22} depth {:>4}  queries {:>6}  conflicts {:>8}  arena {:>9} B  {:.2}s",
+                "  {:<10} {:<22} depth {:>4}  queries {:>6}  conflicts {:>8}  arena {:>9} B  {:.2}s{}",
                 e.name,
                 format!("{}{}", e.outcome.outcome, if e.winner { " *" } else { "" }),
                 e.outcome.stats.depth,
@@ -111,6 +149,7 @@ impl PortfolioOutcome {
                 e.outcome.stats.conflicts,
                 e.outcome.stats.arena_peak_bytes,
                 e.outcome.stats.time.as_secs_f64(),
+                cert,
             );
         }
         out
@@ -215,13 +254,21 @@ impl Portfolio {
                 winner: None,
                 engines: Vec::new(),
                 disagreement: false,
+                certified: false,
+                certificate: None,
             };
         }
 
         let mut outcomes: Vec<Option<CheckOutcome>> = Vec::new();
         outcomes.resize_with(self.engines.len(), || None);
+        let mut certifications: Vec<Option<CertifyReport>> = Vec::new();
+        certifications.resize_with(self.engines.len(), || None);
         let mut winner_idx: Option<usize> = None;
+        let mut winner_witnessed = false;
         let mut disagreement = false;
+        // The checker's template: compiled raw (no preprocessing) and
+        // lazily, only when a definite verdict actually arrives.
+        let mut raw_tpl: Option<aig::TransitionTemplate> = None;
 
         let (tx, rx) = mpsc::channel::<(usize, CheckOutcome)>();
         thread::scope(|scope| {
@@ -231,7 +278,22 @@ impl Portfolio {
                 thread::Builder::new()
                     .name(format!("portfolio-{name}"))
                     .spawn_scoped(scope, move || {
-                        let out = checker.check_blasted(ts, blasted);
+                        // A panicking member must degrade the race, not
+                        // kill it: catch the unwind and report it as a
+                        // crash so the seat stays visible in the
+                        // breakdown (and the dispatcher keeps its
+                        // every-member-reports invariant).
+                        let seat_started = Instant::now();
+                        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            checker.check_blasted(ts, blasted)
+                        }))
+                        .unwrap_or_else(|_| {
+                            CheckOutcome::finish(
+                                Verdict::Unknown(Unknown::Crashed((*name).into())),
+                                EngineStats::default(),
+                                seat_started,
+                            )
+                        });
                         // The portfolio may already have dropped the
                         // receiver only if it panicked; ignore.
                         let _ = tx.send((i, out));
@@ -256,26 +318,54 @@ impl Portfolio {
                     }
                 },
             };
-            while let Some((i, out)) = recv_next() {
-                let definite = !matches!(out.outcome, Verdict::Unknown(_));
-                if definite {
-                    match winner_idx {
-                        None => {
-                            winner_idx = Some(i);
-                            // First definite verdict: call the race,
-                            // cancel everyone still running.
-                            self.stop.store(true, Ordering::Relaxed);
-                        }
-                        Some(w) => {
-                            let agree = matches!(
-                                (
-                                    &outcomes[w].as_ref().expect("winner stored").outcome,
-                                    &out.outcome
-                                ),
-                                (Verdict::Safe, Verdict::Safe)
-                                    | (Verdict::Unsafe(_), Verdict::Unsafe(_))
-                            );
-                            disagreement |= !agree;
+            while let Some((i, mut out)) = recv_next() {
+                if !matches!(out.outcome, Verdict::Unknown(_)) {
+                    // Certify before declaring a winner: the race is
+                    // only called for answers whose witness survives
+                    // the independent re-check (members without a
+                    // witness are accepted uncertified).
+                    let tpl = raw_tpl
+                        .get_or_insert_with(|| aig::TransitionTemplate::compile(&blasted.sys));
+                    let report = certify::certify_with(&blasted.sys, tpl, &out);
+                    if !report.ok {
+                        // Demote: withdraw the verdict, keep racing on
+                        // the remaining seats.
+                        let why = report.failure.clone().unwrap_or_default();
+                        out.outcome = Verdict::Unknown(Unknown::CertificateFailed(why));
+                        out.certificate = None;
+                        certifications[i] = Some(report);
+                    } else {
+                        let witnessed = report.witnessed;
+                        certifications[i] = Some(report);
+                        match winner_idx {
+                            None => {
+                                winner_idx = Some(i);
+                                winner_witnessed = witnessed;
+                                // First certified verdict: call the
+                                // race, cancel everyone still running.
+                                self.stop.store(true, Ordering::Relaxed);
+                            }
+                            Some(w) => {
+                                let agree = matches!(
+                                    (
+                                        &outcomes[w].as_ref().expect("winner stored").outcome,
+                                        &out.outcome
+                                    ),
+                                    (Verdict::Safe, Verdict::Safe)
+                                        | (Verdict::Unsafe(_), Verdict::Unsafe(_))
+                                );
+                                if !agree {
+                                    if witnessed && !winner_witnessed {
+                                        // Trust the certifying side: an
+                                        // uncertified winner yields to a
+                                        // contradicting checked witness.
+                                        winner_idx = Some(i);
+                                        winner_witnessed = true;
+                                    } else {
+                                        disagreement = true;
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -285,7 +375,7 @@ impl Portfolio {
 
         let mut stats = EngineStats::default();
         let mut engines = Vec::with_capacity(self.engines.len());
-        for ((name, _), out) in self.engines.iter().zip(outcomes) {
+        for (((name, _), out), cert) in self.engines.iter().zip(outcomes).zip(certifications) {
             let out = out.expect("every portfolio worker reports");
             stats.sat_queries += out.stats.sat_queries;
             stats.conflicts += out.stats.conflicts;
@@ -299,6 +389,7 @@ impl Portfolio {
                 name,
                 outcome: out,
                 winner: false,
+                certify: cert,
             });
         }
 
@@ -322,6 +413,8 @@ impl Portfolio {
             verdict,
             stats,
             winner: winner_idx.map(|w| engines[w].name),
+            certified: winner_witnessed,
+            certificate: winner_idx.and_then(|w| engines[w].outcome.certificate.clone()),
             engines,
             disagreement,
         }
@@ -329,12 +422,16 @@ impl Portfolio {
 }
 
 /// Picks the most informative `Unknown` reason when no member answered.
-/// Priority: timeout, then bound reached, then conflict limit, then
-/// inherent incompleteness, then "someone cancelled us" (which should
-/// not be the whole story of an un-won race).
+/// Priority: a withdrawn certificate (someone *claimed* an answer that
+/// failed its check — the loudest alarm), then a crashed seat, then
+/// timeout, bound reached, conflict limit, inherent incompleteness, and
+/// finally "someone cancelled us" (which should not be the whole story
+/// of an un-won race).
 fn merge_unknowns(engines: &[EngineReport]) -> Unknown {
     fn rank(u: &Unknown) -> u8 {
         match u {
+            Unknown::CertificateFailed(_) => 6,
+            Unknown::Crashed(_) => 5,
             Unknown::Timeout => 4,
             Unknown::BoundReached => 3,
             Unknown::ConflictLimit => 2,
@@ -363,6 +460,7 @@ impl Checker for Portfolio {
         CheckOutcome {
             outcome: d.verdict,
             stats: d.stats,
+            certificate: d.certificate,
         }
     }
 
@@ -373,6 +471,7 @@ impl Checker for Portfolio {
         CheckOutcome {
             outcome: d.verdict,
             stats: d.stats,
+            certificate: d.certificate,
         }
     }
 }
@@ -551,6 +650,7 @@ mod tests {
             CheckOutcome {
                 outcome: Verdict::Unknown(Unknown::Inconclusive("probe".into())),
                 stats: EngineStats::default(),
+                certificate: None,
             }
         }
         fn check_blasted(&self, ts: &TransitionSystem, _blasted: &Blasted) -> CheckOutcome {
@@ -629,8 +729,10 @@ mod tests {
             outcome: CheckOutcome {
                 outcome: Verdict::Unknown(u),
                 stats: EngineStats::default(),
+                certificate: None,
             },
             winner: false,
+            certify: None,
         };
         assert_eq!(
             merge_unknowns(&[mk(Unknown::Cancelled), mk(Unknown::Timeout)]),
@@ -643,6 +745,14 @@ mod tests {
         assert_eq!(
             merge_unknowns(&[mk(Unknown::Cancelled), mk(Unknown::Cancelled)]),
             Unknown::Cancelled
+        );
+        assert_eq!(
+            merge_unknowns(&[
+                mk(Unknown::Timeout),
+                mk(Unknown::Crashed("x".into())),
+                mk(Unknown::CertificateFailed("why".into())),
+            ]),
+            Unknown::CertificateFailed("why".into())
         );
     }
 
@@ -664,5 +774,143 @@ mod tests {
         let safe = crate::kind::tests::trap_ts();
         let p = Portfolio::with_default_engines(Budget::default());
         assert_eq!(p.check(&safe).outcome, Verdict::Safe);
+    }
+
+    #[test]
+    fn winner_certificate_is_checked_and_exposed() {
+        // A safe design through the default engines: the winner's
+        // witness must survive the independent re-check and surface on
+        // the portfolio outcome.
+        let ts = crate::kind::tests::trap_ts();
+        let report = Portfolio::with_default_engines(Budget::default()).check_detailed(&ts);
+        assert_eq!(report.verdict, Verdict::Safe);
+        assert!(
+            report.certified,
+            "winning Safe must carry a checked witness"
+        );
+        assert!(report.certificate.is_some());
+        let w = report.engines.iter().find(|e| e.winner).expect("winner");
+        let cert = w.certify.as_ref().expect("winner was certified");
+        assert!(cert.ok && cert.witnessed);
+    }
+
+    /// A seat that panics mid-check: the portfolio must isolate the
+    /// unwind, report the seat as crashed, and still win the race with
+    /// a healthy member.
+    struct PanicSeat;
+
+    impl Checker for PanicSeat {
+        fn name(&self) -> &'static str {
+            "panic-seat"
+        }
+        fn check(&self, _ts: &TransitionSystem) -> CheckOutcome {
+            panic!("injected seat failure");
+        }
+    }
+
+    #[test]
+    fn panicking_seat_degrades_to_crashed_and_race_continues() {
+        let ts = crate::bmc::tests::counter_ts(2, 8);
+        let mut p = Portfolio::new(unlimited(4000));
+        let b = p.engine_budget();
+        p.push(PanicSeat);
+        p.push(Bmc::new(b));
+        let report = p.check_detailed(&ts);
+        assert!(report.verdict.is_unsafe());
+        assert_eq!(report.winner, Some("bmc"));
+        assert!(report.certified, "bug trace must replay");
+        assert!(!report.disagreement);
+        let crashed = report
+            .engines
+            .iter()
+            .find(|e| e.name == "panic-seat")
+            .expect("crashed seat reported");
+        assert_eq!(
+            crashed.outcome.outcome,
+            Verdict::Unknown(Unknown::Crashed("panic-seat".into())),
+            "panic must surface as a crash, not kill the portfolio"
+        );
+    }
+
+    /// A seat that lies: claims a verdict it cannot witness correctly.
+    struct Liar {
+        verdict: Verdict,
+        certificate: Option<Certificate>,
+    }
+
+    impl Checker for Liar {
+        fn name(&self) -> &'static str {
+            "liar"
+        }
+        fn check(&self, _ts: &TransitionSystem) -> CheckOutcome {
+            let mut out =
+                CheckOutcome::finish(self.verdict.clone(), EngineStats::default(), Instant::now());
+            out.certificate = self.certificate.clone();
+            out
+        }
+    }
+
+    #[test]
+    fn lying_safe_seat_is_demoted_and_real_engine_prevails() {
+        // The design is unsafe; the liar instantly claims Safe with a
+        // trivial "true" invariant. The check rejects it (safety
+        // obligation fails), the claim is demoted, and BMC's real
+        // counterexample wins — with no disagreement alarm, because a
+        // withdrawn verdict is not a verdict.
+        let ts = crate::bmc::tests::counter_ts(2, 8);
+        let mut p = Portfolio::new(unlimited(4000));
+        let b = p.engine_budget();
+        p.push(Liar {
+            verdict: Verdict::Safe,
+            certificate: Some(Certificate::Clausal(certify::ClausalInvariant {
+                clauses: Vec::new(),
+            })),
+        });
+        p.push(Bmc::new(b));
+        let report = p.check_detailed(&ts);
+        assert!(report.verdict.is_unsafe(), "got {:?}", report.verdict);
+        assert_eq!(report.winner, Some("bmc"));
+        assert!(report.certified);
+        assert!(
+            !report.disagreement,
+            "a demoted claim must not raise the alarm"
+        );
+        let liar = report.engines.iter().find(|e| e.name == "liar").unwrap();
+        assert!(matches!(
+            liar.outcome.outcome,
+            Verdict::Unknown(Unknown::CertificateFailed(_))
+        ));
+        assert!(
+            liar.certify.as_ref().is_some_and(|c| !c.ok),
+            "failed check must be recorded on the seat"
+        );
+    }
+
+    #[test]
+    fn lying_unsafe_seat_is_demoted_on_safe_design() {
+        // The design is safe; the liar claims a bug with a garbage
+        // trace. Replay rejects it and the provers' Safe wins.
+        let ts = crate::kind::tests::trap_ts();
+        let mut p = Portfolio::new(unlimited(4000));
+        let b = p.engine_budget();
+        p.push(Liar {
+            verdict: Verdict::Unsafe(crate::result::Trace {
+                states: vec![vec![true, true, true]],
+                inputs: vec![vec![]],
+                bad_index: 0,
+            }),
+            certificate: None,
+        });
+        p.push(Pdr::new(b));
+        let report = p.check_detailed(&ts);
+        assert_eq!(report.verdict, Verdict::Safe);
+        assert_eq!(report.winner, Some("abc-pdr"));
+        assert!(report.certified);
+        assert!(!report.disagreement);
+        let liar = report.engines.iter().find(|e| e.name == "liar").unwrap();
+        assert!(matches!(
+            liar.outcome.outcome,
+            Verdict::Unknown(Unknown::CertificateFailed(_))
+        ));
     }
 }

@@ -23,6 +23,14 @@ pub enum Unknown {
     /// interpretation raising a possible false alarm). Carries a short
     /// explanation.
     Inconclusive(String),
+    /// The engine produced a definite verdict but its witness failed
+    /// the independent re-check ([`crate::certify`]); the verdict was
+    /// demoted rather than trusted. Carries the checker's reason.
+    CertificateFailed(String),
+    /// The engine panicked; the portfolio isolated the crash with
+    /// `catch_unwind` and degraded to its remaining seats. Carries the
+    /// crashed engine's name.
+    Crashed(String),
 }
 
 impl fmt::Display for Unknown {
@@ -33,6 +41,8 @@ impl fmt::Display for Unknown {
             Unknown::ConflictLimit => write!(f, "conflict limit"),
             Unknown::Cancelled => write!(f, "cancelled"),
             Unknown::Inconclusive(why) => write!(f, "inconclusive: {why}"),
+            Unknown::CertificateFailed(why) => write!(f, "certificate failed: {why}"),
+            Unknown::Crashed(who) => write!(f, "crashed: {who}"),
         }
     }
 }
@@ -201,20 +211,38 @@ impl EngineStats {
     }
 }
 
-/// Verdict plus statistics.
+/// Verdict plus statistics and, for Safe answers, an optional witness.
 #[derive(Clone, Debug)]
 pub struct CheckOutcome {
     /// The verdict.
     pub outcome: Verdict,
     /// Run statistics.
     pub stats: EngineStats,
+    /// Inductive-invariant witness backing a [`Verdict::Safe`] answer,
+    /// re-checkable by [`crate::certify`] against the raw transition
+    /// template with an independent solver. `None` for Unsafe/Unknown
+    /// verdicts and for engines that cannot produce one (word-level
+    /// k-induction, seated software analyzers). Unsafe answers carry
+    /// their witness inside the verdict itself: the replayable
+    /// [`Trace`].
+    pub certificate: Option<crate::certify::Certificate>,
 }
 
 impl CheckOutcome {
     /// Builds an outcome, stamping elapsed time from `started`.
     pub fn finish(outcome: Verdict, mut stats: EngineStats, started: Instant) -> CheckOutcome {
         stats.time = started.elapsed();
-        CheckOutcome { outcome, stats }
+        CheckOutcome {
+            outcome,
+            stats,
+            certificate: None,
+        }
+    }
+
+    /// Attaches a Safe-verdict witness.
+    pub fn with_certificate(mut self, cert: crate::certify::Certificate) -> CheckOutcome {
+        self.certificate = Some(cert);
+        self
     }
 }
 
@@ -230,6 +258,10 @@ pub struct Budget {
     /// (and, in a portfolio, with the sibling engines). `None` means
     /// the run can only end via timeout or bound.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Deterministic fault injection forwarded to every SAT query (see
+    /// [`satb::Chaos`]); robustness tests use it to prove engines
+    /// survive mid-solve interrupts and stay correct on retry.
+    pub chaos: Option<satb::Chaos>,
 }
 
 impl Default for Budget {
@@ -238,6 +270,7 @@ impl Default for Budget {
             timeout: Some(Duration::from_secs(60)),
             max_depth: 4000,
             stop: None,
+            chaos: None,
         }
     }
 }
@@ -257,6 +290,12 @@ impl Budget {
         self
     }
 
+    /// Attaches deterministic SAT-level fault injection (testing only).
+    pub fn with_chaos(mut self, chaos: satb::Chaos) -> Budget {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// Computes the absolute deadline for a run starting now.
     pub fn deadline_from(&self, started: Instant) -> Option<Instant> {
         self.timeout.map(|t| started + t)
@@ -270,6 +309,7 @@ impl Budget {
             max_conflicts: None,
             deadline: self.deadline_from(started),
             stop: self.stop.clone(),
+            chaos: self.chaos,
         }
     }
 

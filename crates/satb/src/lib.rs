@@ -18,7 +18,9 @@
 //! * per-call resource [`Limits`] — conflict budget, wall-clock
 //!   deadline, and a shared [`Limits::stop`] flag for cooperative
 //!   cross-thread cancellation — with the tripped limit reported as a
-//!   typed [`Interrupt`] in [`SolveResult::Unknown`];
+//!   typed [`Interrupt`] in [`SolveResult::Unknown`], plus a
+//!   deterministic [`Chaos`] fault-injection hook that exercises the
+//!   cancellation path for robustness testing;
 //! * SatELite-style **CNF preprocessing** ([`preproc`]) — subsumption,
 //!   self-subsuming resolution and bounded variable elimination with a
 //!   freeze-set API, partition-aware resolution restrictions and model
@@ -54,4 +56,6 @@ pub use interp::Interpolant;
 pub use lit::{Lit, Var};
 pub use preproc::{PreprocConfig, PreprocResult, PreprocStats, Preprocessor, ReconStack};
 pub use proof::{ClauseId, Part};
-pub use solver::{solver_count, Interrupt, Limits, ReduceConfig, SolveResult, Solver, Stats};
+pub use solver::{
+    solver_count, Chaos, Interrupt, Limits, ReduceConfig, SolveResult, Solver, Stats,
+};

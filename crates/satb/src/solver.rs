@@ -59,6 +59,9 @@ pub struct Limits {
     /// conflict or decision), so a cancelled solve returns within one
     /// propagation round.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Deterministic fault injection for robustness testing: pretend an
+    /// external cancellation arrived mid-solve (see [`Chaos`]).
+    pub chaos: Option<Chaos>,
 }
 
 impl Limits {
@@ -68,6 +71,39 @@ impl Limits {
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
     }
+}
+
+/// Deterministic seeded fault injection ([`Limits::chaos`]).
+///
+/// When set, each `solve_limited` call picks a conflict threshold in
+/// `1..=period` from a hash of `seed` and the solver's per-call epoch
+/// counter, and aborts with [`Interrupt::Cancelled`] once the call has
+/// analyzed that many conflicts — exactly the code path a real
+/// cross-thread cancellation takes, so the solver is left in a clean,
+/// reusable state. Calls that finish in fewer conflicts complete
+/// normally. The schedule depends only on `seed`, `period` and the
+/// order of solve calls, so failures replay deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chaos {
+    /// Seed mixed into every per-call threshold.
+    pub seed: u64,
+    /// Upper bound (inclusive) of the per-call conflict threshold.
+    pub period: u64,
+}
+
+impl Chaos {
+    /// Conflict threshold for the call with the given epoch number.
+    pub fn threshold(&self, epoch: u64) -> u64 {
+        1 + splitmix64(self.seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % self.period.max(1)
+    }
+}
+
+/// SplitMix64 finalizer: cheap, well-mixed hash for chaos scheduling.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 /// Cumulative solver statistics.
@@ -119,6 +155,9 @@ pub struct Stats {
     pub arena_bytes: u64,
     /// High-water clause-arena footprint in bytes.
     pub arena_peak_bytes: u64,
+    /// Faults injected by [`Limits::chaos`] (each one surfaced as an
+    /// [`Interrupt::Cancelled`] answer).
+    pub chaos_injected: u64,
 }
 
 /// Learned-clause reduction policy.
@@ -330,6 +369,10 @@ pub struct Solver {
     elim_mask: Vec<bool>,
     /// Reusable buffer for model extension over eliminated variables.
     recon_scratch: Vec<bool>,
+    /// Monotone `solve_limited` call counter; feeds the per-call
+    /// [`Chaos`] threshold so injected faults vary across calls but
+    /// replay deterministically.
+    chaos_epoch: u64,
 }
 
 /// Clauses of one abandoned activation release, kept until the sweep
@@ -396,6 +439,7 @@ impl Solver {
             recon: None,
             elim_mask: Vec::new(),
             recon_scratch: Vec::new(),
+            chaos_epoch: 0,
         }
     }
 
@@ -1658,11 +1702,22 @@ impl Solver {
         let mut restart_base = self.stats.conflicts;
         let mut restart_count = 0u64;
         let mut restart_budget = luby(restart_count) * 100;
+        let chaos_at = limits.chaos.as_ref().map(|c| {
+            self.chaos_epoch += 1;
+            c.threshold(self.chaos_epoch)
+        });
 
         loop {
             if limits.stop_requested() {
                 self.backtrack(0);
                 return SolveResult::Unknown(Interrupt::Cancelled);
+            }
+            if let Some(at) = chaos_at {
+                if self.stats.conflicts - limit_base >= at {
+                    self.stats.chaos_injected += 1;
+                    self.backtrack(0);
+                    return SolveResult::Unknown(Interrupt::Cancelled);
+                }
             }
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -2068,6 +2123,49 @@ mod tests {
         assert_eq!(r, SolveResult::Unknown(Interrupt::ConflictLimit));
         let r2 = s.solve_limited(&[], Limits::default());
         assert_eq!(r2, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn chaos_injects_cancellation_and_retry_recovers() {
+        let chaos = Chaos {
+            seed: 42,
+            period: 4,
+        };
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8);
+        let limits = Limits {
+            chaos: Some(chaos),
+            ..Limits::default()
+        };
+        // Pigeonhole-8 needs far more than `period` conflicts, so every
+        // chaos run must get cut down mid-solve.
+        let mut injected = 0;
+        loop {
+            match s.solve_limited(&[], limits.clone()) {
+                SolveResult::Unknown(Interrupt::Cancelled) => injected += 1,
+                SolveResult::Unsat if injected > 0 => break,
+                r => panic!("unexpected chaos-run answer {r:?} after {injected} faults"),
+            }
+            // Learned clauses accumulate across retries, so the solve
+            // eventually finishes inside the injected budget.
+            if injected > 10_000 {
+                // Fall back to a clean run; chaos must not corrupt state.
+                assert_eq!(s.solve_limited(&[], Limits::default()), SolveResult::Unsat);
+                break;
+            }
+        }
+        assert!(injected >= 1, "chaos never fired");
+        assert_eq!(s.stats().chaos_injected, injected);
+
+        // Same seed, fresh solver: the schedule replays identically.
+        let mut a = Solver::new();
+        let mut b = Solver::new();
+        pigeonhole(&mut a, 7);
+        pigeonhole(&mut b, 7);
+        let ra = a.solve_limited(&[], limits.clone());
+        let rb = b.solve_limited(&[], limits.clone());
+        assert_eq!(ra, rb);
+        assert_eq!(a.stats().conflicts, b.stats().conflicts);
     }
 
     #[test]

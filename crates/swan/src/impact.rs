@@ -108,6 +108,7 @@ impl Analyzer for Impact {
                         timeout: self.budget.timeout,
                         max_depth: 0,
                         stop: self.budget.stop.clone(),
+                        chaos: self.budget.chaos,
                     });
                     let out = bmc.check(&prog.ts);
                     return CheckOutcome::finish(out.outcome, stats, started);
@@ -207,6 +208,7 @@ impl Analyzer for Impact {
                         timeout: self.budget.timeout,
                         max_depth: k as u32,
                         stop: self.budget.stop.clone(),
+                        chaos: self.budget.chaos,
                     });
                     let out = bmc.check(&prog.ts);
                     return CheckOutcome::finish(out.outcome, stats, started);

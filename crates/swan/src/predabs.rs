@@ -165,6 +165,7 @@ impl Analyzer for PredAbs {
                                 timeout: self.budget.timeout,
                                 max_depth: n as u32,
                                 stop: self.budget.stop.clone(),
+                                chaos: self.budget.chaos,
                             });
                             let bout = engines::Checker::check(&bmc, &ts);
                             if let Verdict::Unsafe(trace) = bout.outcome {

@@ -286,10 +286,12 @@ impl Analyzer for SeaHorn {
             Verdict::Unsafe(t) => CheckOutcome {
                 outcome: Verdict::Unsafe(t),
                 stats: out.stats,
+                certificate: None,
             },
             Verdict::Unknown(u) => CheckOutcome {
                 outcome: Verdict::Unknown(u),
                 stats: out.stats,
+                certificate: None,
             },
         }
     }

@@ -17,6 +17,18 @@
 //! deliberately imprecise [`crate::seahorn::SeaHorn`] and
 //! [`crate::absint::IntervalAi`] reproduce paper-observed wrong/alarm
 //! behaviour and would trip the portfolio's disagreement alarm.
+//!
+//! # Certification caveat
+//!
+//! Seated analyzers answer *without a witness*: their `Safe` carries no
+//! inductive invariant the portfolio's certificate checker could
+//! re-verify (the software abstraction's invariant lives in a different
+//! state space than the bit-level template). The portfolio accepts such
+//! answers **uncertified** — and if a hardware member later produces a
+//! contradicting *checked* witness, the certifying side wins the race
+//! retroactively. `Unsafe` answers are different: a seat's trace *is*
+//! replayed on the bit-level model like any other, so a seated
+//! analyzer's counterexample certifies (or is demoted) normally.
 
 use crate::Analyzer;
 use engines::{CheckOutcome, Checker};
@@ -89,6 +101,20 @@ mod tests {
         assert_eq!(report.verdict, Verdict::Safe);
         assert!(!report.disagreement, "seated analyzer must not disagree");
         assert_eq!(report.engines.len(), 5);
-        assert!(report.engines.iter().any(|e| e.name == "cpa-predabs"));
+        let seat = report
+            .engines
+            .iter()
+            .find(|e| e.name == "cpa-predabs")
+            .expect("seat raced");
+        // The seat answers without a bit-level witness: accepted
+        // uncertified if it wins, never demoted for the missing
+        // certificate (see module docs).
+        if seat.winner {
+            assert!(!report.certified);
+            let rep = seat.certify.as_ref().expect("winner is checked");
+            assert!(rep.ok && !rep.witnessed);
+        } else {
+            assert!(report.certified, "hardware winner carries a witness");
+        }
     }
 }
