@@ -134,7 +134,7 @@ impl<'p> Blaster<'p> {
     pub fn bind(&mut self, v: VarId, bundle: Bundle) {
         match (self.pool.var_sort(v), &bundle) {
             (Sort::Bv(w), Bundle::Bits(b)) => {
-                assert_eq!(b.len(), w as usize, "binding width mismatch for {v}")
+                assert_eq!(b.len(), w as usize, "binding width mismatch for {v}");
             }
             (
                 Sort::Array {

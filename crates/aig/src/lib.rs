@@ -29,6 +29,9 @@
 //! assert_eq!(g.and(b, a), c);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod analysis;
 pub mod blast;
 pub mod cnf;
 pub mod graph;
@@ -39,6 +42,9 @@ pub mod template;
 #[doc(hidden)]
 pub mod testutil;
 
+pub use analysis::{
+    analyze, refine_with_constants, AnalysisConfig, AnalysisStats, StaticInvariant,
+};
 pub use blast::{ArrayBits, Blaster, Bundle};
 pub use cnf::FrameEncoder;
 pub use graph::{Aig, AigLit};

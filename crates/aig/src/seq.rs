@@ -120,7 +120,7 @@ thread_local! {
 /// portfolio blasts once, and engines handed a pre-blasted system never
 /// blast") without racing against blasts on unrelated test threads.
 pub fn blast_count() -> u64 {
-    BLASTS.with(|c| c.get())
+    BLASTS.with(std::cell::Cell::get)
 }
 
 fn flatten(bundle: &Bundle, name: &str, out: &mut Vec<(AigLit, String)>) {

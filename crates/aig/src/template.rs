@@ -523,6 +523,100 @@ impl TransitionTemplate {
             .chain(std::iter::once(&self.any_bad))
     }
 
+    /// Structural validation of the template's internal contract, for
+    /// debug assertions and property tests. Checks:
+    ///
+    /// * the flat clause images are well-formed (`ends` strictly
+    ///   increasing, covering `lits` exactly) and every literal's
+    ///   variable lies below [`num_frame_vars`];
+    /// * every image clause is pre-normalized — nonempty, distinct
+    ///   variables, no tautology — as required by the
+    ///   [`satb::Solver::add_clause_prenormalized`] fast path;
+    /// * the latchy split: plain-image clauses reference at most one
+    ///   latch-current variable, latchy-image clauses at least two;
+    /// * the interface maps are complete and in range: one latch-next
+    ///   literal per latch, positional positive latch-current and
+    ///   input literals (`0..L` and `L..L+I` — the layout contract
+    ///   preprocessing must preserve), and constraint / bad / any-bad
+    ///   literals below the variable count.
+    ///
+    /// Returns the first violation as a human-readable message.
+    ///
+    /// [`num_frame_vars`]: TransitionTemplate::num_frame_vars
+    pub fn lint(&self) -> Result<(), String> {
+        let check_image = |lits: &[Lit], ends: &[u32], latchy: bool, what: &str| {
+            let mut start = 0usize;
+            for (ci, &end) in ends.iter().enumerate() {
+                let end = end as usize;
+                if end <= start || end > lits.len() {
+                    return Err(format!("{what} clause #{ci}: bad extent {start}..{end}"));
+                }
+                let clause = &lits[start..end];
+                let mut vars: Vec<usize> = clause.iter().map(|l| l.var().index()).collect();
+                vars.sort_unstable();
+                if vars.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(format!(
+                        "{what} clause #{ci}: repeated variable (not pre-normalized)"
+                    ));
+                }
+                if vars.last().is_some_and(|&v| v >= self.num_vars) {
+                    return Err(format!("{what} clause #{ci}: variable out of range"));
+                }
+                let latch_vars = vars.iter().filter(|&&v| v < self.num_latches).count();
+                if latchy && latch_vars < 2 {
+                    return Err(format!(
+                        "{what} clause #{ci}: only {latch_vars} latch vars in latchy image"
+                    ));
+                }
+                if !latchy && latch_vars >= 2 {
+                    return Err(format!(
+                        "{what} clause #{ci}: {latch_vars} latch vars escaped the latchy split"
+                    ));
+                }
+                start = end;
+            }
+            if start != lits.len() {
+                return Err(format!("{what}: {} trailing literals", lits.len() - start));
+            }
+            Ok(())
+        };
+        check_image(&self.lits, &self.ends, false, "plain image")?;
+        check_image(&self.latchy_lits, &self.latchy_ends, true, "latchy image")?;
+        if self.latch_next.len() != self.num_latches {
+            return Err(format!(
+                "latch-next map has {} entries for {} latches",
+                self.latch_next.len(),
+                self.num_latches
+            ));
+        }
+        if self.num_vars < self.num_latches + self.input_lits.len() {
+            return Err(format!(
+                "variable count {} below the latch/input prefix {}",
+                self.num_vars,
+                self.num_latches + self.input_lits.len()
+            ));
+        }
+        for (i, &l) in self.input_lits.iter().enumerate() {
+            let want = Lit::pos(Var::from_index(self.num_latches + i));
+            if l != want {
+                return Err(format!("input {i}: non-positional literal {l:?}"));
+            }
+        }
+        for (what, lits) in [
+            ("latch-next", &self.latch_next),
+            ("constraint", &self.constraints),
+            ("bad", &self.bad_lits),
+        ] {
+            if let Some(l) = lits.iter().find(|l| l.var().index() >= self.num_vars) {
+                return Err(format!("{what} literal {l:?} out of range"));
+            }
+        }
+        if self.any_bad.var().index() >= self.num_vars {
+            return Err(format!("any-bad literal {:?} out of range", self.any_bad));
+        }
+        Ok(())
+    }
+
     /// Materializes one frame with fresh solver variables for the
     /// whole block (latches included). Clauses carry `part`/`tag`.
     pub fn instantiate(&self, solver: &mut Solver, part: Part, tag: u32) -> FrameVars {
@@ -697,16 +791,22 @@ mod tests {
         )
     }
 
+    /// The reference unrolling of [`encoder_chain`]: per-frame literal
+    /// maps over its solver's variable space.
+    struct EncoderChain {
+        solver: Solver,
+        /// Latch-current literals per frame.
+        latches: Vec<Vec<Lit>>,
+        /// Per-bad literals per frame.
+        bads: Vec<Vec<Lit>>,
+        /// The any-bad literal per frame.
+        any_bads: Vec<Lit>,
+    }
+
     /// The pre-template unrolling: one `FrameEncoder` per frame, next
     /// cones re-encoded, constraints asserted, per-bad and any-bad
-    /// cones encoded on demand. Returns (solver, per-frame latch lits,
-    /// per-frame bad lits, per-frame any-bad lit).
-    #[allow(clippy::type_complexity)]
-    fn encoder_chain(
-        sys: &AigSystem,
-        depth: usize,
-        initialized: bool,
-    ) -> (Solver, Vec<Vec<Lit>>, Vec<Vec<Lit>>, Vec<Lit>) {
+    /// cones encoded on demand.
+    fn encoder_chain(sys: &AigSystem, depth: usize, initialized: bool) -> EncoderChain {
         let mut aig = sys.aig.clone();
         let bads = sys.bads.clone();
         let any_bad = aig.or_all(&bads);
@@ -755,7 +855,12 @@ mod tests {
             );
             any_bads.push(encs[f].encode(&aig, &mut solver, any_bad, Part::A));
         }
-        (solver, latch_lits, bad_lits, any_bads)
+        EncoderChain {
+            solver,
+            latches: latch_lits,
+            bads: bad_lits,
+            any_bads,
+        }
     }
 
     fn template_chain(
@@ -788,9 +893,12 @@ mod tests {
         for round in 0..40 {
             let sys = random_system(&mut rng);
             let tpl = TransitionTemplate::compile(&sys);
+            tpl.lint().expect("compiled template passes lint");
             let depth = rng.gen_range(0..=3usize);
             let initialized = rng.gen_bool(0.5);
-            let (mut es, e_latches, e_bads, e_any) = encoder_chain(&sys, depth, initialized);
+            let mut ec = encoder_chain(&sys, depth, initialized);
+            let (es, e_latches, e_bads, e_any) =
+                (&mut ec.solver, &ec.latches, &ec.bads, &ec.any_bads);
             let (mut ts_, frames) = template_chain(&sys, &tpl, depth, initialized);
             for _query in 0..8 {
                 // Random assumptions: a bad (or any-bad) at a random
@@ -976,6 +1084,10 @@ mod tests {
             let sys = random_system(&mut rng);
             let raw = TransitionTemplate::compile(&sys);
             let pre = raw.preprocess();
+            raw.lint().expect("raw template passes lint");
+            pre.template
+                .lint()
+                .expect("preprocessing preserves the layout contract");
             let depth = rng.gen_range(0..=3usize);
             let initialized = rng.gen_bool(0.5);
             let (mut rs, rframes) = template_chain(&sys, &raw, depth, initialized);
@@ -1098,6 +1210,10 @@ mod tests {
         let sys = crate::blast_system(&ts);
         let raw = TransitionTemplate::compile(&sys);
         let pre = raw.preprocess();
+        raw.lint().expect("raw template passes lint");
+        pre.template
+            .lint()
+            .expect("preprocessed template passes lint");
         assert!(pre.stats.elim_vars > 0, "stats: {:?}", pre.stats);
         assert!(
             pre.template.num_frame_vars() < raw.num_frame_vars(),

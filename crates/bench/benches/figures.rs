@@ -25,7 +25,7 @@ fn fig3_cells(c: &mut Criterion) {
         b.iter(|| {
             let out = engines::kind::KInduction::new(budget()).check(&vend);
             assert!(out.outcome.is_safe());
-        })
+        });
     });
     let daio = bmarks::by_name("DAIO")
         .expect("exists")
@@ -36,7 +36,7 @@ fn fig3_cells(c: &mut Criterion) {
         b.iter(|| {
             let out = swan::cbmc::CbmcKind::new(budget()).check(&prog);
             assert!(out.outcome.is_unsafe());
-        })
+        });
     });
 }
 
@@ -49,7 +49,7 @@ fn fig4_cells(c: &mut Criterion) {
         b.iter(|| {
             let out = engines::itp::Interpolation::new(budget()).check(&heap);
             assert!(out.outcome.is_safe());
-        })
+        });
     });
 }
 
@@ -62,7 +62,7 @@ fn fig5_cells(c: &mut Criterion) {
         b.iter(|| {
             let out = engines::pdr::Pdr::new(budget()).check(&fifo);
             assert!(out.outcome.is_safe());
-        })
+        });
     });
     let tictac = bmarks::by_name("TicTacToe")
         .expect("exists")
@@ -73,7 +73,7 @@ fn fig5_cells(c: &mut Criterion) {
         b.iter(|| {
             let out = swan::twols::TwoLs::new(budget()).check(&prog);
             assert!(out.outcome.is_safe());
-        })
+        });
     });
 }
 

@@ -17,7 +17,7 @@ fn bench_sat(c: &mut Criterion) {
                 s.add_clause(cl);
             }
             assert_eq!(s.solve(), satb::SolveResult::Unsat);
-        })
+        });
     });
     // The boxed-clause baseline on the same instance: the ratio of
     // these two numbers is the arena speedup (see also the `satperf`
@@ -32,19 +32,19 @@ fn bench_sat(c: &mut Criterion) {
                 s.add_clause(cl);
             }
             assert_eq!(s.solve(u64::MAX), bench::baseline::BoxedResult::Unsat);
-        })
+        });
     });
 }
 
 fn bench_frontend(c: &mut Criterion) {
     let fifo = bmarks::by_name("FIFOs").expect("exists");
     c.bench_function("vfront/compile-fifo", |b| {
-        b.iter(|| fifo.compile().expect("compiles"))
+        b.iter(|| fifo.compile().expect("compiles"));
     });
     let rcu = bmarks::by_name("RCU").expect("exists");
     c.bench_function("aig/blast-rcu", |b| {
         let ts = rcu.compile().expect("compiles");
-        b.iter(|| aig::blast_system(&ts))
+        b.iter(|| aig::blast_system(&ts));
     });
 }
 
@@ -53,11 +53,11 @@ fn bench_v2c(c: &mut Criterion) {
     let mods = vfront::parse(huff.source).expect("parses");
     let design = vfront::elaborate(&mods, huff.top).expect("elaborates");
     c.bench_function("v2c/emit-huffman", |b| {
-        b.iter(|| v2c::emit_c(&design, v2c::MainStyle::Verifier).expect("emits"))
+        b.iter(|| v2c::emit_c(&design, v2c::MainStyle::Verifier).expect("emits"));
     });
     let text = v2c::emit_c(&design, v2c::MainStyle::Verifier).expect("emits");
     c.bench_function("cfront/parse-huffman", |b| {
-        b.iter(|| cfront::parse_software_netlist(&text).expect("parses"))
+        b.iter(|| cfront::parse_software_netlist(&text).expect("parses"));
     });
 }
 

@@ -1,0 +1,154 @@
+//! Static-strengthening microbenchmark: mined, certified netlist
+//! invariants (`aig::analysis`) vs. the plain preprocessed encoding.
+//!
+//! For every `benchmarks/*.v` design the netlist is blasted twice:
+//! once through [`Blasted::of`] — ternary-simulation mining, Houdini
+//! filtering, certification of the surviving invariant against the raw
+//! template, and constant-latch template refinement — and once through
+//! [`Blasted::of_unstrengthened`], the pre-analysis pipeline. Both
+//! images are then put through a full verdict sweep by every bit-level
+//! engine (BMC, k-induction, interpolation, single-solver PDR, the
+//! per-frame baseline) under one budget. Emits machine-readable JSON
+//! on stdout: mined / retained candidate counts, constant latches,
+//! analysis cost, the independent invariant re-check, per-engine
+//! verdicts with solve-time and conflict deltas, and the geomean
+//! strengthened-vs-plain speedup — the static-analysis leg of the perf
+//! trajectory next to `satperf`, `encperf`, `pdrperf`, `preperf` and
+//! `certperf`.
+//!
+//! Exits nonzero if any mined invariant fails its independent
+//! certificate re-check, if any engine reaches opposing definite
+//! verdicts on the strengthened and plain encodings (the soundness
+//! alarm CI gates on), or if an `Unsafe` trace fails to replay.
+//!
+//! Usage: `cargo run --release -p bench --bin invperf [-- --timeout SECS]`
+
+use engines::bmc::Bmc;
+use engines::certify::certify_invariant;
+use engines::itp::Interpolation;
+use engines::kind::KInduction;
+use engines::pdr::Pdr;
+use engines::pdr_baseline::PerFramePdr;
+use engines::{Blasted, Checker, Verdict};
+use std::time::Instant;
+
+fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Safe => "safe".into(),
+        Verdict::Unsafe(t) => format!("bug@{}", t.length()),
+        Verdict::Unknown(u) => format!("unknown({u})"),
+    }
+}
+
+fn main() {
+    let (timeout, benchmarks) = bench::parse_args(6);
+    let mut solve_speedups: Vec<f64> = Vec::new();
+    let mut disagreed = false;
+    let mut cert_failed = false;
+    let mut replay_failed = false;
+    let mut total_retained = 0u32;
+    let mut any_engine_improved = false;
+    println!("{{");
+    println!("  \"benchmark\": \"invperf\",");
+    println!("  \"timeout_s\": {timeout},");
+    println!("  \"runs\": [");
+    for (i, b) in benchmarks.iter().enumerate() {
+        let ts = b.compile().expect("benchmark compiles");
+        let t0 = Instant::now();
+        let inv = Blasted::of(&ts);
+        let analysis_s = t0.elapsed().as_secs_f64();
+        let plain = Blasted::of_unstrengthened(&ts);
+        let stats = inv.invariant.stats.clone();
+        total_retained += stats.retained;
+
+        // Independent re-check: every emitted invariant must certify
+        // against the raw, un-preprocessed template of the original
+        // netlist — not just at mining time inside `Blasted::of`.
+        let raw_tpl = aig::TransitionTemplate::compile(&inv.sys);
+        let recheck = certify_invariant(&inv.sys, &raw_tpl, &inv.invariant.clauses);
+        cert_failed |= !recheck.ok || !inv.invariant_certified;
+
+        let budget = bench::budget(timeout);
+        let checkers: Vec<Box<dyn Checker>> = vec![
+            Box::new(Bmc::new(budget.clone())),
+            Box::new(KInduction::new(budget.clone())),
+            Box::new(Interpolation::new(budget.clone())),
+            Box::new(Pdr::new(budget.clone())),
+            Box::new(PerFramePdr::new(budget.clone())),
+        ];
+        let mut inv_solve_s = 0.0;
+        let mut plain_solve_s = 0.0;
+        let mut engine_cells: Vec<String> = Vec::new();
+        for c in &checkers {
+            let t0 = Instant::now();
+            let p = c.check_blasted(&ts, &plain);
+            let p_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let s = c.check_blasted(&ts, &inv);
+            let s_s = t0.elapsed().as_secs_f64();
+            plain_solve_s += p_s;
+            inv_solve_s += s_s;
+            // Only opposing *definite* verdicts are a disagreement: a
+            // timeout on one side is a budget artifact, not a
+            // soundness alarm.
+            let agree = !matches!(
+                (&p.outcome, &s.outcome),
+                (Verdict::Safe, Verdict::Unsafe(_)) | (Verdict::Unsafe(_), Verdict::Safe)
+            );
+            disagreed |= !agree;
+            for out in [&p, &s] {
+                if let Verdict::Unsafe(trace) = &out.outcome {
+                    replay_failed |= !trace.replays_on(&plain.sys);
+                }
+            }
+            any_engine_improved |= s_s < p_s || s.stats.conflicts < p.stats.conflicts;
+            engine_cells.push(format!(
+                "{{\"engine\":\"{}\",\"plain\":\"{}\",\"inv\":\"{}\",\
+                 \"plain_s\":{:.4},\"inv_s\":{:.4},\
+                 \"plain_conflicts\":{},\"inv_conflicts\":{},\"agree\":{}}}",
+                c.name(),
+                verdict_label(&p.outcome),
+                verdict_label(&s.outcome),
+                p_s,
+                s_s,
+                p.stats.conflicts,
+                s.stats.conflicts,
+                agree
+            ));
+        }
+        solve_speedups.push(plain_solve_s / inv_solve_s.max(1e-9));
+        print!(
+            "    {{\"design\":\"{}\",\"mined\":{},\"retained\":{},\"constants\":{},\
+             \"ternary_rounds\":{},\"houdini_rounds\":{},\"analysis_queries\":{},\
+             \"cancelled\":{},\"certified\":{},\"recheck_ok\":{},\"analysis_s\":{:.6},\
+             \"plain_solve_s\":{:.4},\"inv_solve_s\":{:.4},\"engines\":[{}]}}",
+            b.name,
+            stats.mined,
+            stats.retained,
+            inv.invariant.constants.len(),
+            stats.ternary_rounds,
+            stats.houdini_rounds,
+            stats.sat_queries,
+            stats.cancelled,
+            inv.invariant_certified,
+            recheck.ok,
+            analysis_s,
+            plain_solve_s,
+            inv_solve_s,
+            engine_cells.join(",")
+        );
+        println!("{}", if i + 1 < benchmarks.len() { "," } else { "" });
+    }
+    println!("  ],");
+    let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len().max(1) as f64).exp();
+    println!("  \"total_retained\": {total_retained},");
+    println!("  \"geomean_solve_speedup\": {:.3},", geo(&solve_speedups));
+    println!("  \"any_engine_improved\": {any_engine_improved},");
+    println!("  \"certificate_failure\": {cert_failed},");
+    println!("  \"disagreement\": {disagreed},");
+    println!("  \"replay_failure\": {replay_failed}");
+    println!("}}");
+    if disagreed || cert_failed || replay_failed {
+        std::process::exit(2);
+    }
+}

@@ -82,6 +82,8 @@ fn main() {
             sys: raw.sys.clone(),
             template: std::sync::Arc::new(pre_out.template),
             preproc_stats: stats,
+            invariant: raw.invariant.clone(),
+            invariant_certified: raw.invariant_certified,
         };
 
         let clauses_before = raw.template.num_frame_clauses();

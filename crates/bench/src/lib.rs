@@ -7,6 +7,8 @@
 //! and `sec3c_equivalence` regenerate the corresponding figure/claim;
 //! see `EXPERIMENTS.md` for recorded paper-vs-measured outcomes.
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 
 use bmarks::{Benchmark, Expected};

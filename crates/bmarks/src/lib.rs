@@ -28,6 +28,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 use rtlir::TransitionSystem;
 use vfront::VerilogError;
 

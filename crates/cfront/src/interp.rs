@@ -104,9 +104,11 @@ impl<'u> Lowerer<'u> {
                 }
                 Some(InitVal::Mem(writes)) => {
                     let sort = lw.ts.pool().var_sort(var);
-                    let aw = match sort {
-                        Sort::Array { index_width, .. } => index_width,
-                        _ => return Err(err("memory init on scalar state")),
+                    let Sort::Array {
+                        index_width: aw, ..
+                    } = sort
+                    else {
+                        return Err(err("memory init on scalar state"));
                     };
                     let mut e = lw.ts.pool_mut().const_array(aw, 64, 0);
                     let mut keys: Vec<u64> = writes.keys().copied().collect();
@@ -533,9 +535,11 @@ impl<'u> Lowerer<'u> {
             CExpr::Index(base, idx) => {
                 let arr = self.eval_array(base, env, prefix)?;
                 let i = self.eval(idx, env, prefix)?;
-                let aw = match self.ts.pool().sort(arr) {
-                    Sort::Array { index_width, .. } => index_width,
-                    _ => return Err(err("indexing a non-array")),
+                let Sort::Array {
+                    index_width: aw, ..
+                } = self.ts.pool().sort(arr)
+                else {
+                    return Err(err("indexing a non-array"));
                 };
                 let ii = self.ts.pool_mut().resize_zext(i, aw);
                 self.ts.pool_mut().read(arr, ii)
@@ -668,9 +672,11 @@ impl<'u> Lowerer<'u> {
             CExpr::Index(base, idx) => {
                 let arr = self.eval_array(base, env, prefix)?;
                 let i = self.eval(idx, env, prefix)?;
-                let aw = match self.ts.pool().sort(arr) {
-                    Sort::Array { index_width, .. } => index_width,
-                    _ => return Err(err("indexing a non-array")),
+                let Sort::Array {
+                    index_width: aw, ..
+                } = self.ts.pool().sort(arr)
+                else {
+                    return Err(err("indexing a non-array"));
                 };
                 let ii = self.ts.pool_mut().resize_zext(i, aw);
                 let w = self.ts.pool_mut().write(arr, ii, value);

@@ -4,6 +4,7 @@
 //! transition relation is unrolled frame by frame into one incremental
 //! SAT solver, and the bad-state output is assumed at each depth.
 
+use crate::certify::{clause_on, LatchClause};
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
 use aig::{AigSystem, FrameVars, TransitionTemplate};
 use rtlir::TransitionSystem;
@@ -17,10 +18,14 @@ use std::time::Instant;
 /// latch (constrained to the reset values when `initialized`), frame
 /// `k+1` is chained by binding its latch-current variables to frame
 /// `k`'s next-state output literals. Constraints are asserted on every
-/// materialized frame by the instantiation itself.
+/// materialized frame by the instantiation itself, and the certified
+/// static invariant `inv` is asserted on every frame's current-state
+/// literals — required for soundness on invariant-refined templates
+/// (see [`Blasted`]), and a free strengthening on initialized chains.
 pub(crate) struct FrameChain<'s> {
     sys: &'s AigSystem,
     tpl: &'s TransitionTemplate,
+    inv: &'s [LatchClause],
     pub(crate) solver: Solver,
     frames: Vec<FrameVars>,
 }
@@ -29,6 +34,7 @@ impl<'s> FrameChain<'s> {
     pub(crate) fn new(
         sys: &'s AigSystem,
         tpl: &'s TransitionTemplate,
+        inv: &'s [LatchClause],
         initialized: bool,
     ) -> FrameChain<'s> {
         let mut solver = Solver::new();
@@ -36,9 +42,13 @@ impl<'s> FrameChain<'s> {
         if initialized {
             f0.assert_init(sys, &mut solver);
         }
+        for clause in inv {
+            solver.add_clause(&clause_on(clause, &f0.latch_cur));
+        }
         FrameChain {
             sys,
             tpl,
+            inv,
             solver,
             frames: vec![f0],
         }
@@ -56,6 +66,9 @@ impl<'s> FrameChain<'s> {
             let next = self
                 .tpl
                 .instantiate_bound(&mut self.solver, Part::A, 0, &bind);
+            for clause in self.inv {
+                self.solver.add_clause(&clause_on(clause, &next.latch_cur));
+            }
             self.frames.push(next);
         }
     }
@@ -205,10 +218,15 @@ impl Bmc {
 }
 
 impl Bmc {
-    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
+    pub(crate) fn run(
+        &self,
+        sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        inv: &[LatchClause],
+    ) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
-        let mut chain = FrameChain::new(sys, tpl, true);
+        let mut chain = FrameChain::new(sys, tpl, inv, true);
         for k in 0..=self.budget.max_depth {
             if let Some(u) = self.budget.interruption(started) {
                 stats.set_solver_stats([chain.solver.stats()]);
@@ -251,11 +269,13 @@ impl Checker for Bmc {
         // Compile once, simplify once: every frame this run
         // instantiates inherits the preprocessed image.
         let tpl = TransitionTemplate::compile(&sys).preprocess().template;
-        self.run(&sys, &tpl)
+        self.run(&sys, &tpl, &[])
     }
 
     fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
-        self.run(&blasted.sys, &blasted.template)
+        let mut out = self.run(&blasted.sys, &blasted.template, &blasted.invariant.clauses);
+        blasted.stamp(&mut out.stats);
+        out
     }
 }
 

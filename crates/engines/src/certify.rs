@@ -62,7 +62,14 @@
 //! `simple_path` is set (step). Soundness is the standard
 //! shortest-counterexample argument: a minimal-length initialized
 //! path to a bad state has pairwise-distinct, internally-good states,
-//! so its length-`k` suffix would satisfy the step premise.
+//! so its length-`k` suffix would satisfy the step premise. When the
+//! engine ran under a static strengthening invariant (see
+//! [`certify_invariant`]), the certificate carries those clauses: the
+//! checker first discharges their initiation and consecution against
+//! the raw template, then asserts them on every base and step frame —
+//! sound because every state of a shortest counterexample is
+//! reachable, and certified-inductive clauses hold in every reachable
+//! state.
 //!
 //! A passing check proves the *answer*, not the engine: whatever
 //! formula the obligations were discharged for is a genuine inductive
@@ -112,13 +119,18 @@ pub enum Certificate {
     /// An AIG-formula 1-step inductive invariant.
     Formula(FormulaInvariant),
     /// The property is `k`-inductive (under simple-path constraints
-    /// when `simple_path` is set).
+    /// when `simple_path` is set, and under the carried strengthening
+    /// invariant when `invariant` is non-empty).
     KInductive {
         /// The induction depth the engine proved at.
         k: u32,
         /// Whether the step obligation may assume pairwise-distinct
         /// states (required for completeness on lasso-shaped designs).
         simple_path: bool,
+        /// Static strengthening clauses the engine assumed on every
+        /// frame. The checker re-certifies them (initiation +
+        /// consecution) before admitting them into the obligations.
+        invariant: Vec<LatchClause>,
     },
 }
 
@@ -129,12 +141,20 @@ impl fmt::Display for Certificate {
                 write!(f, "inductive invariant ({} clauses)", inv.clauses.len())
             }
             Certificate::Formula(_) => write!(f, "inductive invariant (formula)"),
-            Certificate::KInductive { k, simple_path } => {
+            Certificate::KInductive {
+                k,
+                simple_path,
+                invariant,
+            } => {
                 write!(
                     f,
                     "{k}-inductive{}",
                     if *simple_path { " (simple-path)" } else { "" }
-                )
+                )?;
+                if !invariant.is_empty() {
+                    write!(f, " + {} strengthening clauses", invariant.len())?;
+                }
+                Ok(())
             }
         }
     }
@@ -219,18 +239,41 @@ pub fn certify_with(
                 Ok(n) => CertifyReport::passed(true, n, started),
                 Err((n, why)) => CertifyReport::failed(n, why, started),
             },
-            Some(Certificate::KInductive { k, simple_path }) => {
-                match check_kinductive(sys, raw_tpl, *k, *simple_path) {
-                    Ok(n) => CertifyReport::passed(true, n, started),
-                    Err((n, why)) => CertifyReport::failed(n, why, started),
-                }
-            }
+            Some(Certificate::KInductive {
+                k,
+                simple_path,
+                invariant,
+            }) => match check_kinductive(sys, raw_tpl, *k, *simple_path, invariant) {
+                Ok(n) => CertifyReport::passed(true, n, started),
+                Err((n, why)) => CertifyReport::failed(n, why, started),
+            },
         },
     }
 }
 
-/// Maps a latch-variable clause onto frame literals.
-fn clause_on(clause: &LatchClause, latch_lits: &[Lit]) -> Vec<Lit> {
+/// Certifies a mined strengthening invariant (e.g. the output of
+/// [`aig::analyze`]) against the **raw** template: initiation and
+/// consecution for every clause, with an independent solver. There is
+/// deliberately **no safety obligation** — a strengthening invariant
+/// constrains the reachable states but makes no claim about the bad
+/// outputs; that is exactly what lets every engine assert it on any
+/// frame whose states are known reachable (or explicitly constrained
+/// to the invariant) without changing the verdict.
+pub fn certify_invariant(
+    sys: &AigSystem,
+    raw_tpl: &TransitionTemplate,
+    clauses: &[LatchClause],
+) -> CertifyReport {
+    let started = Instant::now();
+    match check_invariant_clauses(sys, raw_tpl, clauses) {
+        Ok(n) => CertifyReport::passed(!clauses.is_empty(), n, started),
+        Err((n, why)) => CertifyReport::failed(n, why, started),
+    }
+}
+
+/// Maps a latch-variable clause onto frame literals (shared with the
+/// engines, which assert strengthening clauses on every frame).
+pub(crate) fn clause_on(clause: &LatchClause, latch_lits: &[Lit]) -> Vec<Lit> {
     clause
         .iter()
         .map(|&(i, v)| if v { latch_lits[i] } else { !latch_lits[i] })
@@ -339,16 +382,84 @@ fn check_formula(sys: &AigSystem, tpl: &TransitionTemplate, inv: &FormulaInvaria
     Ok(done)
 }
 
+/// Initiation + consecution for a set of strengthening clauses (no
+/// safety — see [`certify_invariant`]).
+fn check_invariant_clauses(
+    sys: &AigSystem,
+    tpl: &TransitionTemplate,
+    clauses: &[LatchClause],
+) -> CheckResult {
+    let n = sys.latches.len();
+    let mut done = 0usize;
+    for (ci, clause) in clauses.iter().enumerate() {
+        if let Some(&(i, _)) = clause.iter().find(|&&(i, _)| i >= n) {
+            return Err((
+                done,
+                format!("invariant clause #{ci} names latch {i} of {n}"),
+            ));
+        }
+        if clause.is_empty() {
+            return Err((done, format!("invariant clause #{ci} is empty (false)")));
+        }
+    }
+
+    // Initiation, each clause on its own (reset units only).
+    let mut init = Solver::new();
+    let vars: Vec<Lit> = (0..n).map(|_| Lit::pos(init.new_var())).collect();
+    for (latch, &l) in sys.latches.iter().zip(&vars) {
+        if let Some(iv) = latch.init {
+            init.add_clause(&[if iv { l } else { !l }]);
+        }
+    }
+    for (ci, clause) in clauses.iter().enumerate() {
+        match init.solve_with(&negated_clause_on(clause, &vars)) {
+            SolveResult::Unsat => done += 1,
+            _ => {
+                return Err((
+                    done,
+                    format!("invariant initiation fails: init ⊄ clause #{ci}"),
+                ))
+            }
+        }
+    }
+
+    // Consecution: the whole set asserted on the current-state side of
+    // one raw frame, every clause refuted on the next-state side.
+    let mut s = Solver::new();
+    let frame = tpl.instantiate(&mut s, Part::A, 0);
+    for clause in clauses {
+        s.add_clause(&clause_on(clause, &frame.latch_cur));
+    }
+    for (ci, clause) in clauses.iter().enumerate() {
+        match s.solve_with(&negated_clause_on(clause, &frame.latch_next)) {
+            SolveResult::Unsat => done += 1,
+            _ => {
+                return Err((
+                    done,
+                    format!("invariant consecution fails: Inv ∧ T ⇏ clause #{ci}′"),
+                ))
+            }
+        }
+    }
+    Ok(done)
+}
+
 fn check_kinductive(
     sys: &AigSystem,
     tpl: &TransitionTemplate,
     k: u32,
     simple_path: bool,
+    inv: &[LatchClause],
 ) -> CheckResult {
     let k = k as usize;
-    let mut done = 0usize;
+
+    // The strengthening clauses must themselves be inductive before
+    // they may constrain any frame below.
+    let mut done = check_invariant_clauses(sys, tpl, inv)?;
 
     // Base: no counterexample of length 0..=k from the initial states.
+    // The invariant holds in every reachable state (just certified),
+    // so asserting it on initialized frames cannot hide a real bug.
     {
         let mut s = Solver::new();
         let mut prev = tpl.instantiate(&mut s, Part::A, 0);
@@ -357,6 +468,9 @@ fn check_kinductive(
             if depth > 0 {
                 prev =
                     tpl.instantiate_bound(&mut s, Part::A, depth as u32, &prev.latch_next.clone());
+            }
+            for clause in inv {
+                s.add_clause(&clause_on(clause, &prev.latch_cur));
             }
             match s.solve_with(&[prev.any_bad]) {
                 SolveResult::Unsat => {
@@ -369,12 +483,19 @@ fn check_kinductive(
     }
 
     // Step: no free path of k+1 states with the first k good and the
-    // last bad (pairwise distinct when the engine relied on it).
+    // last bad (pairwise distinct when the engine relied on it, inside
+    // the invariant when the engine assumed it — sound because every
+    // state of a shortest counterexample's suffix is reachable).
     let mut s = Solver::new();
     let mut frames = vec![tpl.instantiate(&mut s, Part::A, 0)];
     for j in 1..=k {
         let cur = frames[j - 1].latch_next.clone();
         frames.push(tpl.instantiate_bound(&mut s, Part::A, j as u32, &cur));
+    }
+    for f in &frames {
+        for clause in inv {
+            s.add_clause(&clause_on(clause, &f.latch_cur));
+        }
     }
     for f in frames.iter().take(k) {
         s.add_clause(&[!f.any_bad]);
@@ -535,11 +656,68 @@ mod tests {
             Some(Certificate::KInductive {
                 k: 0,
                 simple_path: false,
+                invariant: vec![],
             }),
         );
         let rep = certify(&sys, &out);
         assert!(!rep.ok);
         assert!(rep.failure.as_deref().unwrap_or("").contains("step"));
+
+        // A k-induction claim propped up by a *non-inductive* forged
+        // strengthening must fail the invariant obligations, not be
+        // silently assumed.
+        let out = outcome_with(
+            &sys,
+            Verdict::Safe,
+            Some(Certificate::KInductive {
+                k: 0,
+                simple_path: false,
+                // `count[0] = 0` is not inductive: 0 steps to 1.
+                invariant: vec![vec![(0, false)]],
+            }),
+        );
+        let rep = certify(&sys, &out);
+        assert!(!rep.ok);
+        assert!(rep
+            .failure
+            .as_deref()
+            .unwrap_or("")
+            .contains("invariant consecution"));
+    }
+
+    #[test]
+    fn invariant_certification_checks_initiation_and_consecution() {
+        let ts = saturating_counter();
+        let sys = aig::blast_system(&ts);
+        let tpl = aig::TransitionTemplate::compile(&sys);
+
+        // An empty invariant passes vacuously, unwitnessed.
+        let rep = certify_invariant(&sys, &tpl, &[]);
+        assert!(rep.ok && !rep.witnessed && rep.obligations == 0);
+
+        // The mined invariant of the design itself must certify.
+        let inv = aig::analyze(
+            &sys,
+            &tpl,
+            &aig::AnalysisConfig::default(),
+            &satb::Limits::default(),
+        );
+        let rep = certify_invariant(&sys, &tpl, &inv.clauses);
+        assert!(rep.ok, "mined invariant rejected: {:?}", rep.failure);
+
+        // Initiation forgery: the reset state (count = 0) escapes.
+        let rep = certify_invariant(&sys, &tpl, &[vec![(0, true)]]);
+        assert!(!rep.ok);
+        assert!(rep.failure.as_deref().unwrap_or("").contains("initiation"));
+
+        // Consecution forgery: bit 0 toggles while counting.
+        let rep = certify_invariant(&sys, &tpl, &[vec![(0, false)]]);
+        assert!(!rep.ok);
+        assert!(rep.failure.as_deref().unwrap_or("").contains("consecution"));
+
+        // Out-of-range and empty clauses are rejected up front.
+        assert!(!certify_invariant(&sys, &tpl, &[vec![(99, true)]]).ok);
+        assert!(!certify_invariant(&sys, &tpl, &[vec![]]).ok);
     }
 
     #[test]

@@ -30,19 +30,25 @@ fn run_all(
     budget: &Budget,
 ) -> Vec<(&'static str, CheckOutcome)> {
     vec![
-        ("bmc", crate::bmc::Bmc::new(budget.clone()).run(sys, tpl)),
+        (
+            "bmc",
+            crate::bmc::Bmc::new(budget.clone()).run(sys, tpl, &[]),
+        ),
         (
             "k-induction",
-            crate::kind::KInduction::new(budget.clone()).run(sys, tpl),
+            crate::kind::KInduction::new(budget.clone()).run(sys, tpl, &[]),
         ),
         (
             "interpolation",
-            crate::itp::Interpolation::new(budget.clone()).run(sys, tpl),
+            crate::itp::Interpolation::new(budget.clone()).run(sys, tpl, &[]),
         ),
-        ("pdr", crate::pdr::Pdr::new(budget.clone()).run(sys, tpl)),
+        (
+            "pdr",
+            crate::pdr::Pdr::new(budget.clone()).run(sys, tpl, &[]),
+        ),
         (
             "pdr-frames",
-            crate::pdr_baseline::PerFramePdr::new(budget.clone()).run(sys, tpl),
+            crate::pdr_baseline::PerFramePdr::new(budget.clone()).run(sys, tpl, &[]),
         ),
     ]
 }

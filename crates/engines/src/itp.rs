@@ -14,6 +14,7 @@
 //! the property is proved; when `A ∧ B` becomes satisfiable for the
 //! *initial* `R`, a real counterexample of length ≤ `k` exists.
 
+use crate::certify::{clause_on, LatchClause};
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
 use aig::{Aig, AigLit, AigSystem, FrameEncoder, FrameVars, TransitionTemplate};
 use rtlir::TransitionSystem;
@@ -76,6 +77,23 @@ fn init_predicate(sys: &AigSystem, aig: &mut Aig) -> AigLit {
     aig.and_all(&lits)
 }
 
+/// The static invariant as an AIG predicate over the latch-output CIs
+/// (conjunction of clause disjunctions), built in the scratch AIG.
+fn invariant_predicate(sys: &AigSystem, inv: &[LatchClause], aig: &mut Aig) -> AigLit {
+    let clause_lits: Vec<AigLit> = inv
+        .iter()
+        .map(|clause| {
+            let mut acc = AigLit::FALSE;
+            for &(i, v) in clause {
+                let l = sys.latches[i].output;
+                acc = aig.or(acc, if v { l } else { !l });
+            }
+            acc
+        })
+        .collect();
+    aig.and_all(&clause_lits)
+}
+
 impl Checker for Interpolation {
     fn name(&self) -> &'static str {
         "abc-itp"
@@ -86,16 +104,23 @@ impl Checker for Interpolation {
         // Compile once, simplify once: every frame this run
         // instantiates inherits the preprocessed image.
         let tpl = TransitionTemplate::compile(&sys).preprocess().template;
-        self.run(&sys, &tpl)
+        self.run(&sys, &tpl, &[])
     }
 
     fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
-        self.run(&blasted.sys, &blasted.template)
+        let mut out = self.run(&blasted.sys, &blasted.template, &blasted.invariant.clauses);
+        blasted.stamp(&mut out.stats);
+        out
     }
 }
 
 impl Interpolation {
-    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
+    pub(crate) fn run(
+        &self,
+        sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        inv: &[LatchClause],
+    ) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
         // Scratch AIG for interpolant construction. Cloning preserves
@@ -105,6 +130,7 @@ impl Interpolation {
         // members).
         let mut aig = sys.aig.clone();
         let init_pred = init_predicate(sys, &mut aig);
+        let inv_pred = invariant_predicate(sys, inv, &mut aig);
 
         // Depth-0 check: Init ∧ Bad, one template frame with the reset
         // values asserted.
@@ -112,6 +138,9 @@ impl Interpolation {
             let mut solver = Solver::new();
             let f0 = tpl.instantiate(&mut solver, Part::A, 0);
             f0.assert_init(sys, &mut solver);
+            for clause in inv {
+                solver.add_clause(&clause_on(clause, &f0.latch_cur));
+            }
             stats.sat_queries += 1;
             let r0 = solver.solve_limited(&[f0.any_bad], self.budget.sat_limits(started));
             stats.absorb_solver(&solver.stats());
@@ -166,7 +195,15 @@ impl Interpolation {
                 if let Some(u) = self.budget.interruption(started) {
                     return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
                 }
-                match self.itp_query(sys, tpl, &mut aig, r_acc, k, started, &mut stats) {
+                let query = ItpQuery {
+                    sys,
+                    tpl,
+                    inv,
+                    r: r_acc,
+                    k,
+                    started,
+                };
+                match self.itp_query(&query, &mut aig, &mut stats) {
                     QueryResult::Stopped(u) => {
                         return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
                     }
@@ -192,19 +229,25 @@ impl Interpolation {
                         stats.absorb_solver(&solver.stats());
                         match fr {
                             SolveResult::Unsat => {
-                                // `r_acc` is the fixpoint: init ⇒ r_acc
-                                // by construction, its post-image is
-                                // inside the latest interpolant which
-                                // just proved itp ⇒ r_acc, and the
-                                // B-side of every query carried bad at
-                                // frame 1 — so it is a genuine 1-step
-                                // inductive invariant, exported as the
-                                // Safe witness over the scratch AIG
-                                // (node ids align with `sys`).
+                                // `r_acc ∧ Inv` is the fixpoint: init
+                                // ⇒ r_acc by construction and init ⇒
+                                // Inv (certified), the post-image of
+                                // r_acc ∧ Inv is inside the latest
+                                // interpolant (the A side asserted Inv
+                                // on frame 0) which just proved itp ⇒
+                                // r_acc — and inside Inv by Inv's own
+                                // consecution — and the B-side of
+                                // every query carried Inv-constrained
+                                // bad at frame 1. So the conjunction
+                                // is a genuine 1-step inductive
+                                // invariant, exported as the Safe
+                                // witness over the scratch AIG (node
+                                // ids align with `sys`).
+                                let root = aig.and(r_acc, inv_pred);
                                 let cert = crate::certify::Certificate::Formula(
                                     crate::certify::FormulaInvariant {
                                         aig: aig.clone(),
-                                        root: r_acc,
+                                        root,
                                     },
                                 );
                                 return CheckOutcome::finish(Verdict::Safe, stats, started)
@@ -235,25 +278,39 @@ enum QueryResult {
     Stopped(Unknown),
 }
 
+/// The fixed context of one interpolation query (everything but the
+/// mutable scratch AIG and statistics).
+struct ItpQuery<'a> {
+    sys: &'a AigSystem,
+    tpl: &'a TransitionTemplate,
+    inv: &'a [LatchClause],
+    /// Current reachability over-approximation `R`.
+    r: AigLit,
+    /// Unrolling bound.
+    k: u32,
+    started: Instant,
+}
+
 impl Interpolation {
-    /// One interpolation query: refute `R(s0) ∧ T ∧ (bad within k)`.
+    /// One interpolation query: refute `R(s0) ∧ Inv(s0) ∧ T ∧ (bad
+    /// within k, under Inv)`.
     ///
     /// Frame 0 is a template instantiation in `Part::A` (its next-state
     /// outputs tied to pre-created frame-1 interface variables), frames
     /// `1..k` are chained template instantiations in `Part::B` — only
     /// `R`'s cone, which changes every iteration, still goes through a
-    /// `FrameEncoder`.
-    #[allow(clippy::too_many_arguments)]
-    fn itp_query(
-        &self,
-        sys: &AigSystem,
-        tpl: &TransitionTemplate,
-        aig: &mut Aig,
-        r: AigLit,
-        k: u32,
-        started: Instant,
-        stats: &mut EngineStats,
-    ) -> QueryResult {
+    /// `FrameEncoder`. The static invariant is asserted on every
+    /// frame's current-state literals, A-part on frame 0 and B-part on
+    /// the free frames (mandatory on invariant-refined templates).
+    fn itp_query(&self, q: &ItpQuery<'_>, aig: &mut Aig, stats: &mut EngineStats) -> QueryResult {
+        let ItpQuery {
+            sys,
+            tpl,
+            inv,
+            r,
+            k,
+            started,
+        } = *q;
         let mut solver = Solver::with_proof();
 
         // Shared interface: frame-1 latch variables, created first so
@@ -272,6 +329,9 @@ impl Interpolation {
         }
         let rl = enc_a.encode(aig, &mut solver, r, Part::A);
         solver.add_clause_in(&[rl], Part::A);
+        for clause in inv {
+            solver.add_clause_in(&clause_on(clause, &a0.latch_cur), Part::A);
+        }
         for (i, &nl) in a0.latch_next.iter().enumerate() {
             // nl <-> f1[i]
             solver.add_clause_in(&[!nl, f1[i]], Part::A);
@@ -283,6 +343,9 @@ impl Interpolation {
         let mut cur = f1.clone();
         for _ in 1..=k {
             let inst = tpl.instantiate_bound(&mut solver, Part::B, 0, &cur);
+            for clause in inv {
+                solver.add_clause_in(&clause_on(clause, &inst.latch_cur), Part::B);
+            }
             cur = inst.latch_next.clone();
             frames.push(inst);
         }
@@ -309,8 +372,7 @@ impl Interpolation {
                 let j = bad_lits
                     .iter()
                     .position(|&b| solver.value(b) == Some(true))
-                    .map(|p| p + 1)
-                    .unwrap_or(k as usize);
+                    .map_or(k as usize, |p| p + 1);
                 let mut states = Vec::with_capacity(j + 1);
                 let mut inputs = Vec::with_capacity(j + 1);
                 for f in 0..=j {

@@ -7,6 +7,7 @@
 //! `k`, with simple-path constraints) proves it.
 
 use crate::bmc::FrameChain;
+use crate::certify::LatchClause;
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
 use aig::{AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
@@ -48,14 +49,23 @@ impl KInduction {
 }
 
 impl KInduction {
-    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
+    pub(crate) fn run(
+        &self,
+        sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        inv: &[LatchClause],
+    ) -> CheckOutcome {
         let started = Instant::now();
         let mut stats = EngineStats::default();
 
         // One blast, one template: the base and step chains instantiate
-        // the same compiled clause image into their own solvers.
-        let mut base = FrameChain::new(sys, tpl, true);
-        let mut step = FrameChain::new(sys, tpl, false);
+        // the same compiled clause image into their own solvers. The
+        // certified static invariant rides on every frame of both: it
+        // strengthens the step premise (fewer spurious
+        // counterexamples-to-induction) and is mandatory on the
+        // free-state step chain when the template is invariant-refined.
+        let mut base = FrameChain::new(sys, tpl, inv, true);
+        let mut step = FrameChain::new(sys, tpl, inv, false);
         // Simple-path constraints are incremental: iteration k adds
         // only the new pairs (i, k), in one activation group per
         // iteration (halved xor encoding, difference variables from
@@ -130,10 +140,12 @@ impl KInduction {
                     // The base chain verified depths 0..=k and the
                     // step premise just proved k-inductiveness: the
                     // witness is the (k, simple-path) claim itself,
-                    // re-checked from scratch by `certify`.
+                    // plus the strengthening clauses the step premise
+                    // assumed, re-checked from scratch by `certify`.
                     let cert = crate::certify::Certificate::KInductive {
                         k,
                         simple_path: self.simple_path,
+                        invariant: inv.to_vec(),
                     };
                     return CheckOutcome::finish(Verdict::Safe, stats, started)
                         .with_certificate(cert);
@@ -163,11 +175,13 @@ impl Checker for KInduction {
         // Compile once, simplify once: every frame this run
         // instantiates inherits the preprocessed image.
         let tpl = TransitionTemplate::compile(&sys).preprocess().template;
-        self.run(&sys, &tpl)
+        self.run(&sys, &tpl, &[])
     }
 
     fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
-        self.run(&blasted.sys, &blasted.template)
+        let mut out = self.run(&blasted.sys, &blasted.template, &blasted.invariant.clauses);
+        blasted.stamp(&mut out.stats);
+        out
     }
 }
 
@@ -283,7 +297,7 @@ pub(crate) mod tests {
         let ts = trap_ts();
         let sys = aig::blast_system(&ts);
         let tpl = aig::TransitionTemplate::compile(&sys).preprocess().template;
-        let mut step = crate::bmc::FrameChain::new(&sys, &tpl, false);
+        let mut step = crate::bmc::FrameChain::new(&sys, &tpl, &[], false);
         let mut pool = crate::bmc::ScratchPool::default();
         let _ = step.any_bad(3);
         let mut vars_after: Vec<usize> = Vec::new();
@@ -316,7 +330,7 @@ pub(crate) mod tests {
         let ts = trap_ts();
         let sys = aig::blast_system(&ts);
         let tpl = aig::TransitionTemplate::compile(&sys).preprocess().template;
-        let mut step = crate::bmc::FrameChain::new(&sys, &tpl, false);
+        let mut step = crate::bmc::FrameChain::new(&sys, &tpl, &[], false);
         let mut pool = crate::bmc::ScratchPool::default();
         let nl = sys.latches.len();
         for k in 1..=4usize {

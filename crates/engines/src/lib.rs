@@ -38,6 +38,26 @@
 //! that panics is isolated with `catch_unwind` and surfaced as
 //! [`Unknown::Crashed`] instead of silently vanishing from the race.
 //!
+//! # Static strengthening
+//!
+//! Before any engine runs, [`Blasted::of`] mines a netlist invariant
+//! with [`aig::analyze`] — a ternary-simulation reachability fixpoint
+//! for stuck-at-constant latches plus signature-mined equivalence and
+//! implication clauses, filtered to an inductive subset by a Houdini
+//! loop over one template frame. The surviving clause set is certified
+//! through [`certify::certify_invariant`] against the **raw** template
+//! (initiation + consecution, independent solver; deliberately no
+//! safety obligation) before anything trusts it, and travels with the
+//! blast as [`Blasted::invariant`]. Every engine then asserts the
+//! clauses on each frame it instantiates: BMC and k-induction gain
+//! pruned unrollings, interpolation and PDR gain strengthened frames
+//! (PDR additionally seeds its exported fixpoint with the clauses so
+//! certificates stay closed), and the template itself is refined with
+//! the proven constant latches before CNF preprocessing. A cancelled
+//! analysis degrades to an empty invariant — never a half-filtered
+//! one — so the pipeline is safe under fault injection; the
+//! `invperf` bench binary tracks the end-to-end effect per benchmark.
+//!
 //! # Example
 //!
 //! ```
@@ -64,6 +84,10 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
+#[cfg(test)]
+mod analysis_tests;
 pub mod bmc;
 pub mod certify;
 #[cfg(test)]

@@ -61,6 +61,7 @@
 //! predecessor through each obligation's recorded inputs, which the
 //! ternary guarantee makes valid for every state in each cube.
 
+use crate::certify::{clause_on, LatchClause};
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
 use aig::sim::{Tern, TernarySim};
 use aig::{AigLit, AigSystem, TransitionTemplate};
@@ -159,6 +160,10 @@ impl Pdr {
 
 struct PdrRun<'s> {
     sys: &'s AigSystem,
+    /// Certified static invariant, asserted unguarded on the latch
+    /// current-state literals (valid in every frame context, F∞
+    /// included) and appended to the exported fixpoint certificate.
+    inv: &'s [LatchClause],
     budget: Budget,
     started: Instant,
     /// The run's only solver: one template load, context-selected.
@@ -206,12 +211,25 @@ enum RelQuery {
 }
 
 impl<'s> PdrRun<'s> {
-    fn new(sys: &'s AigSystem, tpl: &TransitionTemplate, budget: Budget) -> PdrRun<'s> {
+    fn new(
+        sys: &'s AigSystem,
+        tpl: &TransitionTemplate,
+        inv: &'s [LatchClause],
+        budget: Budget,
+    ) -> PdrRun<'s> {
         let started = Instant::now();
         let mut solver = Solver::new();
         let vars = tpl.instantiate(&mut solver, Part::A, 0);
+        // The invariant holds in every frame — F_0 = Init satisfies it
+        // by initiation, every F_i may assume it by consecution — so
+        // its clauses are asserted unguarded: they seed F∞ directly
+        // and prune every relative-induction query.
+        for clause in inv {
+            solver.add_clause(&clause_on(clause, &vars.latch_cur));
+        }
         let mut run = PdrRun {
             sys,
+            inv,
             budget,
             started,
             solver,
@@ -256,12 +274,9 @@ impl<'s> PdrRun<'s> {
     /// Whether the cube intersects the initial states (i.e. it contains
     /// no literal that disagrees with a fixed reset value).
     fn cube_intersects_init(&self, cube: &Cube) -> bool {
-        !cube.iter().any(|&(i, v)| {
-            self.sys.latches[i]
-                .init
-                .map(|init| init != v)
-                .unwrap_or(false)
-        })
+        !cube
+            .iter()
+            .any(|&(i, v)| self.sys.latches[i].init.is_some_and(|init| init != v))
     }
 
     /// Stamps the final statistics into an outcome.
@@ -460,12 +475,10 @@ impl<'s> PdrRun<'s> {
                 // states; re-add a disagreeing literal if the core lost
                 // them all.
                 if self.cube_intersects_init(&core) {
-                    if let Some(&lit) = cube.iter().find(|&&(i, v)| {
-                        self.sys.latches[i]
-                            .init
-                            .map(|init| init != v)
-                            .unwrap_or(false)
-                    }) {
+                    if let Some(&lit) = cube
+                        .iter()
+                        .find(|&&(i, v)| self.sys.latches[i].init.is_some_and(|init| init != v))
+                    {
                         core.push(lit);
                         core.sort_unstable();
                     }
@@ -693,7 +706,7 @@ impl<'s> PdrRun<'s> {
                     RelQuery::Stopped(u) => return Err(u),
                 }
             }
-            if self.frames.get(i).map(|f| f.is_empty()).unwrap_or(true) {
+            if self.frames.get(i).is_none_or(Vec::is_empty) {
                 return Ok(Some(i));
             }
         }
@@ -702,15 +715,19 @@ impl<'s> PdrRun<'s> {
 
     /// The fixpoint frame `F_level` as a Safe-verdict witness: every
     /// cube stored at levels `>= level` (the delta encoding's
-    /// `F_level`), negated into a clause over latch variables.
+    /// `F_level`), negated into a clause over latch variables — plus
+    /// the static strengthening clauses, which were asserted unguarded
+    /// in the solver and are therefore part of every frame the
+    /// fixpoint argument ran under.
     fn export_invariant(&self, level: usize) -> crate::certify::Certificate {
-        let clauses = self
+        let mut clauses: Vec<LatchClause> = self
             .frames
             .iter()
             .skip(level)
             .flatten()
             .map(|cube| cube.iter().map(|&(i, v)| (i, !v)).collect())
             .collect();
+        clauses.extend(self.inv.iter().cloned());
         crate::certify::Certificate::Clausal(crate::certify::ClausalInvariant { clauses })
     }
 
@@ -821,17 +838,24 @@ impl Checker for Pdr {
         // Compile once, simplify once: every frame this run
         // instantiates inherits the preprocessed image.
         let tpl = TransitionTemplate::compile(&sys).preprocess().template;
-        self.run(&sys, &tpl)
+        self.run(&sys, &tpl, &[])
     }
 
     fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
-        self.run(&blasted.sys, &blasted.template)
+        let mut out = self.run(&blasted.sys, &blasted.template, &blasted.invariant.clauses);
+        blasted.stamp(&mut out.stats);
+        out
     }
 }
 
 impl Pdr {
-    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
-        PdrRun::new(sys, tpl, self.budget.clone()).solve()
+    pub(crate) fn run(
+        &self,
+        sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        inv: &[LatchClause],
+    ) -> CheckOutcome {
+        PdrRun::new(sys, tpl, inv, self.budget.clone()).solve()
     }
 }
 
@@ -919,7 +943,7 @@ mod tests {
         let sys = aig::blast_system(&ts);
         let tpl = TransitionTemplate::compile(&sys);
         let before = satb::solver_count();
-        let out = Pdr::default().run(&sys, &tpl);
+        let out = Pdr::default().run(&sys, &tpl, &[]);
         assert_eq!(
             satb::solver_count() - before,
             1,
@@ -991,6 +1015,7 @@ mod tests {
             let mut run = PdrRun::new(
                 &sys,
                 &tpl,
+                &[],
                 Budget {
                     timeout: None,
                     ..Budget::default()
@@ -1072,8 +1097,8 @@ mod tests {
                 max_depth: 64,
                 ..Budget::default()
             };
-            let single = Pdr::new(budget.clone()).run(&sys, &tpl);
-            let frames = crate::pdr_baseline::PerFramePdr::new(budget).run(&sys, &tpl);
+            let single = Pdr::new(budget.clone()).run(&sys, &tpl, &[]);
+            let frames = crate::pdr_baseline::PerFramePdr::new(budget).run(&sys, &tpl, &[]);
             match (&single.outcome, &frames.outcome) {
                 (Verdict::Safe, Verdict::Safe) => {}
                 (Verdict::Unsafe(a), Verdict::Unsafe(b)) => {

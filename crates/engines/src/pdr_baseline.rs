@@ -14,6 +14,7 @@
 //! `benchmarks/*.v`, and property tests cross-check their verdicts on
 //! random sequential AIGs; nothing else should use this engine.
 
+use crate::certify::{clause_on, LatchClause};
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
 use aig::{AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
@@ -41,9 +42,20 @@ struct FrameSolver {
 }
 
 impl FrameSolver {
-    fn new(sys: &AigSystem, tpl: &TransitionTemplate, initialized: bool) -> FrameSolver {
+    fn new(
+        sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        inv: &[LatchClause],
+        initialized: bool,
+    ) -> FrameSolver {
         let mut solver = Solver::new();
         let vars = tpl.instantiate(&mut solver, Part::A, 0);
+        // Certified static invariant: valid in every frame (initialized
+        // or free), and required for soundness when the template was
+        // refined under it.
+        for clause in inv {
+            solver.add_clause(&clause_on(clause, &vars.latch_cur));
+        }
         if initialized {
             vars.assert_init(sys, &mut solver);
         }
@@ -79,10 +91,9 @@ impl FrameSolver {
     /// created and must absorb every clause valid at its level).
     fn add_blocking_clauses<'c>(&mut self, cubes: impl IntoIterator<Item = &'c Cube>) {
         let clauses: Vec<Vec<Lit>> = cubes.into_iter().map(|c| self.blocking_clause(c)).collect();
-        let lits: usize = clauses.iter().map(|c| c.len()).sum();
+        let lits: usize = clauses.iter().map(Vec::len).sum();
         self.solver.reserve_clauses(clauses.len(), lits);
-        self.solver
-            .add_clauses(clauses.iter().map(|c| c.as_slice()));
+        self.solver.add_clauses(clauses.iter().map(Vec::as_slice));
     }
 
     fn model_state(&self, n: usize) -> Vec<bool> {
@@ -160,6 +171,7 @@ impl PerFramePdr {
 struct PdrRun<'s> {
     sys: &'s AigSystem,
     tpl: &'s TransitionTemplate,
+    inv: &'s [LatchClause],
     budget: Budget,
     started: Instant,
     solvers: Vec<FrameSolver>,
@@ -194,18 +206,15 @@ impl<'s> PdrRun<'s> {
     /// Whether the cube intersects the initial states (i.e. it contains
     /// no literal that disagrees with a fixed reset value).
     fn cube_intersects_init(&self, cube: &Cube) -> bool {
-        !cube.iter().any(|&(i, v)| {
-            self.sys.latches[i]
-                .init
-                .map(|init| init != v)
-                .unwrap_or(false)
-        })
+        !cube
+            .iter()
+            .any(|&(i, v)| self.sys.latches[i].init.is_some_and(|init| init != v))
     }
 
     fn ensure_solver(&mut self, level: usize) {
         while self.solvers.len() <= level {
             let initialized = self.solvers.is_empty();
-            let mut fs = FrameSolver::new(self.sys, self.tpl, initialized);
+            let mut fs = FrameSolver::new(self.sys, self.tpl, self.inv, initialized);
             // New frame solvers must contain every clause valid at
             // their level: F_i = ∪_{j>=i} frames[j]. The whole reload
             // goes through the solver's bulk-add path.
@@ -290,12 +299,10 @@ impl<'s> PdrRun<'s> {
                 // states; re-add a disagreeing literal if the core lost
                 // them all.
                 if self.cube_intersects_init(&core) {
-                    if let Some(&lit) = cube.iter().find(|&&(i, v)| {
-                        self.sys.latches[i]
-                            .init
-                            .map(|init| init != v)
-                            .unwrap_or(false)
-                    }) {
+                    if let Some(&lit) = cube
+                        .iter()
+                        .find(|&&(i, v)| self.sys.latches[i].init.is_some_and(|init| init != v))
+                    {
                         core.push(lit);
                         core.sort_unstable();
                     }
@@ -516,7 +523,7 @@ impl<'s> PdrRun<'s> {
                     RelQuery::Stopped(u) => return Err(u),
                 }
             }
-            if self.frames.get(i).map(|f| f.is_empty()).unwrap_or(true) {
+            if self.frames.get(i).is_none_or(Vec::is_empty) {
                 return Ok(Some(i));
             }
         }
@@ -526,13 +533,17 @@ impl<'s> PdrRun<'s> {
     /// The fixpoint frame `F_level` as a Safe-verdict witness (same
     /// delta-encoded export as single-solver PDR).
     fn export_invariant(&self, level: usize) -> crate::certify::Certificate {
-        let clauses = self
+        let mut clauses: Vec<LatchClause> = self
             .frames
             .iter()
             .skip(level)
             .flatten()
             .map(|cube| cube.iter().map(|&(i, v)| (i, !v)).collect())
             .collect();
+        // The frame clauses are inductive only relative to the static
+        // invariant asserted in every frame solver; fold it into the
+        // exported witness so the certificate stands on its own.
+        clauses.extend(self.inv.iter().cloned());
         crate::certify::Certificate::Clausal(crate::certify::ClausalInvariant { clauses })
     }
 }
@@ -547,22 +558,30 @@ impl Checker for PerFramePdr {
         // Compile once, simplify once: every frame this run
         // instantiates inherits the preprocessed image.
         let tpl = TransitionTemplate::compile(&sys).preprocess().template;
-        self.run(&sys, &tpl)
+        self.run(&sys, &tpl, &[])
     }
 
     fn check_blasted(&self, _ts: &TransitionSystem, blasted: &Blasted) -> CheckOutcome {
-        self.run(&blasted.sys, &blasted.template)
+        let mut out = self.run(&blasted.sys, &blasted.template, &blasted.invariant.clauses);
+        blasted.stamp(&mut out.stats);
+        out
     }
 }
 
 impl PerFramePdr {
-    pub(crate) fn run(&self, sys: &AigSystem, tpl: &TransitionTemplate) -> CheckOutcome {
+    pub(crate) fn run(
+        &self,
+        sys: &AigSystem,
+        tpl: &TransitionTemplate,
+        inv: &[LatchClause],
+    ) -> CheckOutcome {
         let started = Instant::now();
         let stats = EngineStats::default();
 
         let mut run = PdrRun {
             sys,
             tpl,
+            inv,
             budget: self.budget.clone(),
             started,
             solvers: Vec::new(),
@@ -679,6 +698,7 @@ mod tests {
         let mut run = PdrRun {
             sys: &sys,
             tpl: &tpl,
+            inv: &[],
             budget: Budget {
                 timeout: None,
                 ..Budget::default()

@@ -109,6 +109,20 @@ pub struct PortfolioOutcome {
     /// The winner's checked Safe witness, when there is one (Unsafe
     /// winners carry their witness trace inside the verdict).
     pub certificate: Option<Certificate>,
+    /// CNF preprocessing counters of the shared transition template
+    /// every member solved on (all zeros for a raw, unsimplified
+    /// blast).
+    pub preproc: satb::PreprocStats,
+    /// Mined-and-certified static strengthening clauses handed to the
+    /// members (see [`aig::analysis`]), and how many of them pin a
+    /// latch to a constant.
+    pub invariant_clauses: u32,
+    /// Constant-latch facts among [`invariant_clauses`]
+    /// (singleton clauses; these also refined the shared template's
+    /// cone of influence).
+    ///
+    /// [`invariant_clauses`]: PortfolioOutcome::invariant_clauses
+    pub invariant_constants: u32,
 }
 
 impl PortfolioOutcome {
@@ -132,6 +146,16 @@ impl PortfolioOutcome {
             } else {
                 ""
             }
+        );
+        let _ = writeln!(
+            out,
+            "  shared blast: preproc elim {} subsumed {} strengthened {}, \
+             static invariant {} clauses ({} constants)",
+            self.preproc.elim_vars,
+            self.preproc.subsumed,
+            self.preproc.strengthened,
+            self.invariant_clauses,
+            self.invariant_constants,
         );
         for e in &self.engines {
             let cert = match &e.certify {
@@ -256,6 +280,9 @@ impl Portfolio {
                 disagreement: false,
                 certified: false,
                 certificate: None,
+                preproc: blasted.preproc_stats,
+                invariant_clauses: blasted.invariant.clauses.len() as u32,
+                invariant_constants: blasted.invariant.constants.len() as u32,
             };
         }
 
@@ -409,6 +436,7 @@ impl Portfolio {
             }
         };
         stats.time = started.elapsed();
+        blasted.stamp(&mut stats);
         PortfolioOutcome {
             verdict,
             stats,
@@ -417,6 +445,9 @@ impl Portfolio {
             certificate: winner_idx.and_then(|w| engines[w].outcome.certificate.clone()),
             engines,
             disagreement,
+            preproc: blasted.preproc_stats,
+            invariant_clauses: blasted.invariant.clauses.len() as u32,
+            invariant_constants: blasted.invariant.constants.len() as u32,
         }
     }
 }
@@ -511,11 +542,15 @@ mod tests {
     #[test]
     fn portfolio_proves_trap_where_plain_kind_diverges() {
         // The unreachable-loop design: k-induction *without* the
-        // simple-path strengthening never converges (it hits its bound
-        // with counterexamples-to-induction of every length), while PDR
-        // and interpolation prove it directly. The portfolio must
-        // return Safe and the diverging member must not be the winner.
+        // simple-path strengthening never converges on the bare
+        // template (it hits its bound with counterexamples-to-induction
+        // of every length), while PDR and interpolation prove it
+        // directly. The portfolio must return Safe and the diverging
+        // member must not be the winner. An *unstrengthened* blast pins
+        // the divergence — see the companion test for what the mined
+        // static invariant changes.
         let ts = crate::kind::tests::trap_ts();
+        let blasted = Blasted::of_unstrengthened(&ts);
         let mut p = Portfolio::new(unlimited(4000));
         let b = p.engine_budget();
         p.push(KInduction {
@@ -527,11 +562,39 @@ mod tests {
         });
         p.push(Interpolation::new(b.clone()));
         p.push(Pdr::new(b));
-        let report = p.check_detailed(&ts);
+        let report = p.check_detailed_blasted(&ts, &blasted);
         assert_eq!(report.verdict, Verdict::Safe);
         let w = report.winner.expect("someone wins");
         assert_ne!(w, "abc-kind", "diverging k-induction must not win");
         assert!(!report.disagreement);
+        assert_eq!(report.invariant_clauses, 0, "unstrengthened blast");
+    }
+
+    #[test]
+    fn static_invariant_rescues_plain_kind_on_trap() {
+        // Same design, default (strengthened) blast: the mined
+        // invariant pins the unreachable-loop states away, so even
+        // k-induction without simple-path converges — the portfolio
+        // result stays Safe, certified, with the strengthening counts
+        // surfaced on the outcome.
+        let ts = crate::kind::tests::trap_ts();
+        let blasted = Blasted::of(&ts);
+        assert!(blasted.invariant_certified);
+        assert!(
+            !blasted.invariant.clauses.is_empty(),
+            "trap_ts has minable unreachable-state facts"
+        );
+        let mut p = Portfolio::new(unlimited(4000));
+        let b = p.engine_budget();
+        p.push(KInduction {
+            budget: Budget { max_depth: 30, ..b },
+            simple_path: false,
+        });
+        let report = p.check_detailed_blasted(&ts, &blasted);
+        assert_eq!(report.verdict, Verdict::Safe);
+        assert!(report.certified, "strengthened proof must still certify");
+        assert!(report.invariant_clauses > 0);
+        assert!(report.summary().contains("static invariant"));
     }
 
     /// A checker that never answers until it is interrupted: a

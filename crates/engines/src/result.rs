@@ -176,6 +176,16 @@ pub struct EngineStats {
     pub act_recycled: u64,
     /// Cube literals dropped by ternary-simulation generalization.
     pub ternary_drops: u64,
+    /// Counters of the shared template's CNF preprocessing run (stamped
+    /// from [`Blasted`] by `check_blasted`; all zero when the engine
+    /// blasted for itself or ran on a raw template).
+    pub preproc: satb::PreprocStats,
+    /// Certified static-invariant clauses the run was strengthened with
+    /// (stamped from [`Blasted::invariant`]).
+    pub invariant_clauses: u32,
+    /// Stuck-at-constant latches among those clauses, consumed by the
+    /// template compiler for cone refinement.
+    pub invariant_constants: u32,
     /// Wall-clock time spent in `check`.
     pub time: Duration,
 }
@@ -345,42 +355,119 @@ impl Budget {
 /// A bit-blasted netlist together with its compile-once CNF transition
 /// template, shareable across engines.
 ///
-/// Blasting, template compilation **and SatELite-style preprocessing**
-/// are the up-front encoding cost of every bit-level engine; a
-/// portfolio run pays all three **once** and hands the same `Blasted`
-/// (cheap `Arc` clones) to every member through
-/// [`Checker::check_blasted`], instead of once per member. Every frame
-/// any member instantiates then inherits the simplified image for
-/// free.
+/// Blasting, template compilation, static-invariant mining **and
+/// SatELite-style preprocessing** are the up-front encoding cost of
+/// every bit-level engine; a portfolio run pays all four **once** and
+/// hands the same `Blasted` (cheap `Arc` clones) to every member
+/// through [`Checker::check_blasted`], instead of once per member.
+/// Every frame any member instantiates then inherits the simplified
+/// image for free.
+///
+/// # The static-strengthening contract
+///
+/// [`of`](Blasted::of) runs [`aig::analyze`] on the raw netlist and
+/// keeps the mined invariant **only** after
+/// [`crate::certify::certify_invariant`] re-checked it against the
+/// raw, un-preprocessed template — an uncertified invariant is
+/// discarded, never threaded anywhere. The certified stuck-at-constant
+/// facts are then folded into the template via
+/// [`aig::refine_with_constants`], so the compiled image engines
+/// instantiate is a cone-of-influence refinement that is only
+/// equivalent to `sys` **on invariant states**. The contract for every
+/// consumer of [`template`](Blasted::template): assert
+/// [`invariant`](Blasted::invariant)'s clauses on the current-state
+/// literals of **every** frame instantiated from it. Initialized
+/// frames satisfy them automatically (certified-inductive clauses hold
+/// in every reachable state), but free-state frames — k-induction
+/// steps, interpolation B-frames, PDR frames — are unsound on the
+/// refined image without them. `sys` itself stays the **original**
+/// netlist: traces replay on it and certificates are re-checked
+/// against its raw template.
 #[derive(Clone)]
 pub struct Blasted {
-    /// The bit-level netlist.
+    /// The bit-level netlist (always the original, un-refined system).
     pub sys: Arc<aig::AigSystem>,
     /// The frame-instantiable CNF image of its transition relation
-    /// (preprocessed for [`of`](Blasted::of), raw for
+    /// (invariant-refined and preprocessed for [`of`](Blasted::of),
+    /// preprocessed only for
+    /// [`of_unstrengthened`](Blasted::of_unstrengthened), raw for
     /// [`of_raw`](Blasted::of_raw)).
     pub template: Arc<aig::TransitionTemplate>,
     /// Counters of the preprocessing run (all zero for
     /// [`of_raw`](Blasted::of_raw)).
     pub preproc_stats: satb::PreprocStats,
+    /// The certified static invariant mined from the netlist (empty
+    /// for [`of_unstrengthened`](Blasted::of_unstrengthened) /
+    /// [`of_raw`](Blasted::of_raw), or when mining found nothing,
+    /// was cancelled, or failed certification). Every clause here
+    /// passed `certify_invariant` against the raw template.
+    pub invariant: Arc<aig::StaticInvariant>,
+    /// Whether the mined invariant passed certification (`true` when
+    /// there was nothing to certify). A `false` here means strength
+    /// was discarded — a soundness alarm worth surfacing, since the
+    /// Houdini fixpoint should only ever emit inductive sets.
+    pub invariant_certified: bool,
 }
 
 impl Blasted {
-    /// Blasts `ts`, compiles its transition template and runs CNF
-    /// preprocessing over the clause image.
+    /// Blasts `ts`, mines + certifies a static invariant, folds its
+    /// constant facts into the template and runs CNF preprocessing
+    /// over the refined clause image.
     pub fn of(ts: &TransitionSystem) -> Blasted {
+        let sys = Arc::new(aig::blast_system(ts));
+        let raw = aig::TransitionTemplate::compile(&sys);
+        let mut invariant = aig::analyze(
+            &sys,
+            &raw,
+            &aig::AnalysisConfig::default(),
+            &satb::Limits::default(),
+        );
+        let mut invariant_certified = true;
+        if !invariant.is_empty() {
+            let rep = crate::certify::certify_invariant(&sys, &raw, &invariant.clauses);
+            if !rep.ok {
+                invariant_certified = false;
+                let mut stats = invariant.stats.clone();
+                stats.retained = 0;
+                invariant = aig::StaticInvariant {
+                    stats,
+                    ..aig::StaticInvariant::default()
+                };
+            }
+        }
+        let pre = if invariant.constants.is_empty() {
+            raw.preprocess()
+        } else {
+            let refined = aig::refine_with_constants(&sys, &invariant.constants);
+            aig::TransitionTemplate::compile(&refined).preprocess()
+        };
+        Blasted {
+            sys,
+            template: Arc::new(pre.template),
+            preproc_stats: pre.stats,
+            invariant: Arc::new(invariant),
+            invariant_certified,
+        }
+    }
+
+    /// Like [`of`](Blasted::of) but without the static-analysis pass —
+    /// the A-side of strengthened-vs-unstrengthened comparisons
+    /// (`invperf`) and the pre-ISSUE-7 behaviour.
+    pub fn of_unstrengthened(ts: &TransitionSystem) -> Blasted {
         let sys = Arc::new(aig::blast_system(ts));
         let pre = aig::TransitionTemplate::compile(&sys).preprocess();
         Blasted {
             sys,
             template: Arc::new(pre.template),
             preproc_stats: pre.stats,
+            invariant: Arc::new(aig::StaticInvariant::default()),
+            invariant_certified: true,
         }
     }
 
-    /// Like [`of`](Blasted::of) but without preprocessing — the A-side
-    /// of preprocessed-vs-raw comparisons (`preperf`) and a debugging
-    /// escape hatch.
+    /// Like [`of`](Blasted::of) but without preprocessing or
+    /// strengthening — the A-side of preprocessed-vs-raw comparisons
+    /// (`preperf`) and a debugging escape hatch.
     pub fn of_raw(ts: &TransitionSystem) -> Blasted {
         let sys = Arc::new(aig::blast_system(ts));
         let template = Arc::new(aig::TransitionTemplate::compile(&sys));
@@ -388,7 +475,18 @@ impl Blasted {
             sys,
             template,
             preproc_stats: satb::PreprocStats::default(),
+            invariant: Arc::new(aig::StaticInvariant::default()),
+            invariant_certified: true,
         }
+    }
+
+    /// Stamps the shared encoding facts (preprocessing savings,
+    /// invariant strength) into an engine's statistics, so every perf
+    /// bin and the portfolio summary report them from one place.
+    pub fn stamp(&self, stats: &mut EngineStats) {
+        stats.preproc = self.preproc_stats;
+        stats.invariant_clauses = self.invariant.clauses.len() as u32;
+        stats.invariant_constants = self.invariant.constants.len() as u32;
     }
 }
 

@@ -18,6 +18,8 @@ fn blasted_of(sys: &aig::AigSystem, tpl: aig::TransitionTemplate) -> Blasted {
         sys: Arc::new(sys.clone()),
         template: Arc::new(tpl),
         preproc_stats: Default::default(),
+        invariant: Arc::new(aig::StaticInvariant::default()),
+        invariant_certified: true,
     }
 }
 

@@ -40,6 +40,8 @@
 //! assert!(sim.bad_states()[0]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod eval;
 pub mod expr;
 pub mod pool;

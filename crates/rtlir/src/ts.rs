@@ -267,7 +267,7 @@ impl TransitionSystem {
                     stack.push(*f);
                 }
                 Node::Extract { arg, .. } | Node::Zext { arg, .. } | Node::Sext { arg, .. } => {
-                    stack.push(*arg)
+                    stack.push(*arg);
                 }
                 Node::Read { array, index } => {
                     stack.push(*array);

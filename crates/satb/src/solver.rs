@@ -20,7 +20,7 @@ thread_local! {
 /// "single-solver PDR builds exactly one solver per run") without
 /// racing against solvers created on unrelated test threads.
 pub fn solver_count() -> u64 {
-    SOLVERS.with(|c| c.get())
+    SOLVERS.with(std::cell::Cell::get)
 }
 
 /// Which resource limit ended a solve call without an answer.
@@ -1730,8 +1730,7 @@ impl Solver {
                 let pid = self
                     .proof
                     .as_ref()
-                    .map(|p| ClauseId((p.len() - 1) as u32))
-                    .unwrap_or(ClauseId(0));
+                    .map_or(ClauseId(0), |p| ClauseId((p.len() - 1) as u32));
                 self.backtrack(bt);
                 let asserting = learnt[0];
                 let cref = self.learn(learnt, pid);
@@ -1851,9 +1850,8 @@ impl Solver {
     /// is cheap relative to solving and requires proof logging.
     #[doc(hidden)]
     pub fn debug_verify_proof(&self) -> Result<(), String> {
-        let proof = match &self.proof {
-            Some(p) => p,
-            None => return Ok(()),
+        let Some(proof) = &self.proof else {
+            return Ok(());
         };
         // Resolve chains, computing literal sets per proof clause.
         let mut sets: Vec<HashSet<Lit>> = Vec::with_capacity(proof.clauses.len());
@@ -2481,7 +2479,7 @@ mod tests {
         for c in &cls {
             a.add_clause(c);
         }
-        b.add_clauses(cls.iter().map(|c| c.as_slice()));
+        b.add_clauses(cls.iter().map(Vec::as_slice));
         assert_eq!(a.solve(), b.solve());
         assert_eq!(a.num_clauses(), b.num_clauses());
     }

@@ -6,6 +6,8 @@
 //! wall-clock around batches of iterations; results are printed as
 //! `name: median per-iteration time` lines.
 
+#![forbid(unsafe_code)]
+
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
 

@@ -8,6 +8,8 @@
 //! `prop_assert_eq!` macros. Each `proptest!` test runs a fixed number
 //! of deterministic random cases; there is no shrinking.
 
+#![forbid(unsafe_code)]
+
 /// Test-case RNG and case-count configuration.
 pub mod test_runner {
     use rand::rngs::StdRng;

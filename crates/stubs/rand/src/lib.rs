@@ -7,6 +7,8 @@
 //! splitmix64 / xoshiro256** pair — statistically fine for fuzz tests,
 //! **not** cryptographically secure.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Seedable generators (subset of `rand::SeedableRng`).

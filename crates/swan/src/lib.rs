@@ -25,6 +25,8 @@
 //! [`absint::IntervalAi`] raises false alarms on most safe designs, as
 //! the paper reports for Astrée without manual partitioning.
 
+#![forbid(unsafe_code)]
+
 pub mod absint;
 pub mod cbmc;
 pub mod impact;

@@ -189,22 +189,26 @@ impl Analyzer for PredAbs {
                                         refine_itp(
                                             &mut ts,
                                             &mut preds,
-                                            &path,
-                                            started,
-                                            self.budget.clone(),
                                             &mut stats,
-                                            self.max_predicates,
+                                            &ItpRefine {
+                                                path: &path,
+                                                started,
+                                                budget: self.budget.clone(),
+                                                cap: self.max_predicates,
+                                            },
                                         );
                                     }
                                 }
                                 RefineMode::Interpolant => refine_itp(
                                     &mut ts,
                                     &mut preds,
-                                    &path,
-                                    started,
-                                    self.budget.clone(),
                                     &mut stats,
-                                    self.max_predicates,
+                                    &ItpRefine {
+                                        path: &path,
+                                        started,
+                                        budget: self.budget.clone(),
+                                        cap: self.max_predicates,
+                                    },
                                 ),
                             }
                             if preds.len() == before {
@@ -372,19 +376,33 @@ fn refine_wp(
     }
 }
 
+/// Search-control inputs for one interpolant refinement attempt (the
+/// spurious path plus the resource envelope it may spend).
+struct ItpRefine<'a> {
+    /// The infeasible abstract path being refuted.
+    path: &'a [AbsState],
+    /// Engine start time for budget accounting.
+    started: Instant,
+    budget: Budget,
+    /// Predicate-count ceiling.
+    cap: usize,
+}
+
 /// Interpolant refinement: compute a bit-level Craig interpolant for
 /// the infeasible abstract path at a middle cut and fold it back into
 /// a word-level predicate over individual state bits.
-#[allow(clippy::too_many_arguments)]
 fn refine_itp(
     ts: &mut TransitionSystem,
     preds: &mut Vec<ExprId>,
-    path: &[AbsState],
-    started: Instant,
-    budget: Budget,
     stats: &mut EngineStats,
-    cap: usize,
+    r: &ItpRefine<'_>,
 ) {
+    let ItpRefine {
+        path,
+        started,
+        ref budget,
+        cap,
+    } = *r;
     if preds.len() >= cap {
         return;
     }

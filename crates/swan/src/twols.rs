@@ -142,9 +142,8 @@ impl TwoLs {
             SolveResult::Sat => {
                 let mut model = q.model.expect("model");
                 for (bi, &(si, lo, hi)) in t.bounds.clone().iter().enumerate() {
-                    let e = match frame1[si] {
-                        Some(e) => e,
-                        None => continue,
+                    let Some(e) = frame1[si] else {
+                        continue;
                     };
                     let v = model.eval_word(e);
                     let var = ts.states()[si].var;

@@ -19,8 +19,7 @@ fn have_cc() -> bool {
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .status()
-        .map(|s| s.success())
-        .unwrap_or(false)
+        .is_ok_and(|s| s.success())
 }
 
 /// Compiles `src` both ways and co-simulates `cycles` random cycles.

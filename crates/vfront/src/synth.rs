@@ -492,8 +492,7 @@ impl Synthesizer {
             let is_top_input = self
                 .flat
                 .sig(root)
-                .map(|s| s.top_input && s.width == 1)
-                .unwrap_or(false);
+                .is_some_and(|s| s.top_input && s.width == 1);
             if !is_top_input {
                 return Err(Self::err(format!(
                     "clock '{root}' must be a 1-bit top-level input"
@@ -1336,13 +1335,10 @@ impl Synthesizer {
             LValue::Concat(parts) => {
                 let mut widths = Vec::new();
                 for p in parts {
-                    let n = match p {
-                        LValue::Ident(n) => n,
-                        _ => {
-                            return Err(Self::err(
-                                "nested selects in concatenated assignment targets",
-                            ))
-                        }
+                    let LValue::Ident(n) = p else {
+                        return Err(Self::err(
+                            "nested selects in concatenated assignment targets",
+                        ));
                     };
                     widths.push(self.signal_width(n)?);
                 }

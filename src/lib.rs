@@ -50,6 +50,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use aig;
 pub use bmarks;
 pub use cfront;
