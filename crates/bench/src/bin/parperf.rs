@@ -1,0 +1,116 @@
+//! Parallel-PDR scaling benchmark: the diversified worker pool
+//! ([`engines::parallel::ParallelPdr`]) at 1, 2 and 4 workers over
+//! every bundled design.
+//!
+//! Every `benchmarks/*.v` design is blasted and template-compiled
+//! once, then checked three times under identical budgets — a solo
+//! pool (worker 0 is byte-for-byte the single-solver PDR
+//! configuration) and pools of 2 and 4 diversified workers sharing
+//! one frame store. Emits machine-readable JSON on stdout: per-design
+//! verdicts and wall times for each pool size, the lemma-exchange
+//! counters of the widest pool (cubes published to the shared store,
+//! cubes re-verified and imported from peers, store sync rounds), the
+//! solo-to-4-worker speedup and its geomean — the parallel leg of the
+//! perf trajectory next to `pdrperf` (solver architecture).
+//!
+//! Every definite verdict is independently re-checked:
+//! [`engines::certify::certify`] replays traces and re-discharges
+//! Safe witnesses against the **raw** template, so a worker pool that
+//! races to a wrong answer fails the run rather than shipping it.
+//!
+//! Exits nonzero if any two pool sizes return opposing definite
+//! verdicts on the same design, or if any definite verdict fails
+//! certification.
+//!
+//! Usage: `cargo run --release -p bench --bin parperf [-- --timeout SECS]`
+
+use engines::certify::certify;
+use engines::parallel::ParallelPdr;
+use engines::{Blasted, CheckOutcome, Checker, Verdict};
+use std::time::Instant;
+
+fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Safe => "safe".into(),
+        Verdict::Unsafe(t) => format!("bug@{}", t.length()),
+        Verdict::Unknown(u) => format!("unknown({u})"),
+    }
+}
+
+fn run(
+    workers: usize,
+    timeout: u64,
+    ts: &rtlir::TransitionSystem,
+    blasted: &Blasted,
+) -> (CheckOutcome, f64) {
+    let pool = ParallelPdr::new(bench::budget(timeout), workers);
+    let t0 = Instant::now();
+    let out = pool.check_blasted(ts, blasted);
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Opposing definite verdicts are a disagreement; a timeout on one
+/// pool size while another answers is a budget artifact (same rule
+/// the portfolio and pdrperf use).
+fn opposed(a: &Verdict, b: &Verdict) -> bool {
+    matches!(
+        (a, b),
+        (Verdict::Safe, Verdict::Unsafe(_)) | (Verdict::Unsafe(_), Verdict::Safe)
+    )
+}
+
+fn main() {
+    let (timeout, benchmarks) = bench::parse_args(20);
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut disagreed = false;
+    let mut cert_failed = false;
+    println!("{{");
+    println!("  \"benchmark\": \"parperf\",");
+    println!("  \"timeout_s\": {timeout},");
+    println!("  \"runs\": [");
+    for (i, b) in benchmarks.iter().enumerate() {
+        let ts = b.compile().expect("benchmark compiles");
+        let blasted = Blasted::of(&ts);
+        let (solo, solo_s) = run(1, timeout, &ts, &blasted);
+        let (two, two_s) = run(2, timeout, &ts, &blasted);
+        let (four, four_s) = run(4, timeout, &ts, &blasted);
+        for out in [&solo, &two, &four] {
+            disagreed |=
+                opposed(&solo.outcome, &out.outcome) || opposed(&four.outcome, &out.outcome);
+            if !matches!(out.outcome, Verdict::Unknown(_)) && !certify(&blasted.sys, out).ok {
+                cert_failed = true;
+            }
+        }
+        let speedup = solo_s / four_s.max(1e-9);
+        speedups.push(speedup);
+        print!(
+            "    {{\"design\":\"{}\",\"verdict_w1\":\"{}\",\"verdict_w2\":\"{}\",\
+             \"verdict_w4\":\"{}\",\"w1_s\":{:.4},\"w2_s\":{:.4},\"w4_s\":{:.4},\
+             \"depth\":{},\"lemmas_exported\":{},\"lemmas_imported\":{},\
+             \"sync_rounds\":{},\"lifted_lits\":{},\"speedup\":{:.3}}}",
+            b.name,
+            verdict_label(&solo.outcome),
+            verdict_label(&two.outcome),
+            verdict_label(&four.outcome),
+            solo_s,
+            two_s,
+            four_s,
+            four.stats.depth,
+            four.stats.lemmas_exported,
+            four.stats.lemmas_imported,
+            four.stats.sync_rounds,
+            four.stats.lifted_lits,
+            speedup,
+        );
+        println!("{}", if i + 1 < benchmarks.len() { "," } else { "" });
+    }
+    println!("  ],");
+    let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len().max(1) as f64).exp();
+    println!("  \"geomean_speedup\": {:.3},", geo(&speedups));
+    println!("  \"disagreement\": {disagreed},");
+    println!("  \"certification_failure\": {cert_failed}");
+    println!("}}");
+    if disagreed || cert_failed {
+        std::process::exit(2);
+    }
+}

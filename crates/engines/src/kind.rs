@@ -8,6 +8,7 @@
 
 use crate::bmc::FrameChain;
 use crate::certify::LatchClause;
+use crate::parallel::{LemmaGate, LemmaReceiver};
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
 use aig::{AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
@@ -27,6 +28,9 @@ pub struct KInduction {
     pub budget: Budget,
     /// Add pairwise state-distinctness (simple path) constraints.
     pub simple_path: bool,
+    /// Broadcast lemmas from the portfolio's PDR seat, admitted through
+    /// a [`LemmaGate`] before strengthening the step premise.
+    pub lemmas: Option<LemmaReceiver>,
 }
 
 impl Default for KInduction {
@@ -34,6 +38,7 @@ impl Default for KInduction {
         KInduction {
             budget: Budget::default(),
             simple_path: true,
+            lemmas: None,
         }
     }
 }
@@ -45,6 +50,13 @@ impl KInduction {
             budget,
             ..KInduction::default()
         }
+    }
+
+    /// Subscribes the engine to a cross-seat lemma broadcast.
+    #[must_use]
+    pub fn with_lemmas(mut self, lemmas: LemmaReceiver) -> KInduction {
+        self.lemmas = Some(lemmas);
+        self
     }
 }
 
@@ -77,6 +89,11 @@ impl KInduction {
         // re-encoded and learned clauses persist across iterations.
         let mut pool = crate::bmc::ScratchPool::default();
         let mut sp_acts: Vec<satb::Lit> = Vec::new();
+        // Broadcast lemmas from the PDR seat strengthen the step
+        // premise, but only after passing the admission gate: a frame
+        // clause that is not genuinely inductive relative to what we
+        // already assert would be unsound on the free-state step chain.
+        let mut gate = self.lemmas.as_ref().map(|_| LemmaGate::new(sys, tpl, inv));
 
         for k in 0..=self.budget.max_depth {
             if let Some(u) = self.budget.interruption(started) {
@@ -84,6 +101,20 @@ impl KInduction {
                 return CheckOutcome::finish(Verdict::Unknown(u), stats, started);
             }
             stats.depth = k;
+
+            if let (Some(rx), Some(gate)) = (&self.lemmas, &mut gate) {
+                let pending = rx.drain();
+                if !pending.is_empty() {
+                    stats.sync_rounds += 1;
+                }
+                for clause in pending {
+                    if gate.admit(&clause, self.budget.sat_limits(started)) {
+                        base.add_lemma(&clause);
+                        step.add_lemma(&clause);
+                        stats.lemmas_imported += 1;
+                    }
+                }
+            }
 
             // Base case: counterexample of length exactly k?
             let bad_base = base.any_bad(k as usize);
@@ -141,11 +172,17 @@ impl KInduction {
                     // step premise just proved k-inductiveness: the
                     // witness is the (k, simple-path) claim itself,
                     // plus the strengthening clauses the step premise
-                    // assumed, re-checked from scratch by `certify`.
+                    // assumed — the static invariant and every admitted
+                    // broadcast lemma — re-checked from scratch by
+                    // `certify`.
+                    let mut invariant = inv.to_vec();
+                    if let Some(gate) = &gate {
+                        invariant.extend_from_slice(gate.accepted());
+                    }
                     let cert = crate::certify::Certificate::KInductive {
                         k,
                         simple_path: self.simple_path,
-                        invariant: inv.to_vec(),
+                        invariant,
                     };
                     return CheckOutcome::finish(Verdict::Safe, stats, started)
                         .with_certificate(cert);
@@ -283,6 +320,7 @@ pub(crate) mod tests {
                 ..Budget::default()
             },
             simple_path: false,
+            ..KInduction::default()
         }
         .check(&ts);
         assert_eq!(out2.outcome, Verdict::Unknown(Unknown::BoundReached));

@@ -10,6 +10,7 @@
 //! | EBMC k-induction    | [`word::WordKInduction`] |
 //! | ABC interpolation   | [`itp::Interpolation`] |
 //! | ABC `pdr`           | [`pdr::Pdr`]           |
+//! | (multi-core `pdr`)  | [`parallel::ParallelPdr`] |
 //! | (bug finding base)  | [`bmc::Bmc`]           |
 //! | hybrid (Figure 5)   | [`portfolio::Portfolio`] |
 //!
@@ -94,6 +95,7 @@ pub mod certify;
 mod chaos_tests;
 pub mod itp;
 pub mod kind;
+pub mod parallel;
 pub mod pdr;
 pub mod pdr_baseline;
 pub mod portfolio;
@@ -101,5 +103,6 @@ pub mod result;
 pub mod word;
 
 pub use certify::{Certificate, CertifyReport, ClausalInvariant, FormulaInvariant};
+pub use parallel::{LemmaBus, ParallelPdr, SharedFrames};
 pub use portfolio::{Portfolio, PortfolioOutcome};
 pub use result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};

@@ -62,24 +62,35 @@
 //! ternary guarantee makes valid for every state in each cube.
 
 use crate::certify::{clause_on, LatchClause};
+use crate::parallel::{LemmaPublisher, SharedFrames, SHARDS};
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, Unknown, Verdict};
 use aig::sim::{Tern, TernarySim};
 use aig::{AigLit, AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
 use satb::{Lit, Part, SolveResult, Solver};
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A cube: a partial assignment to latches, as (latch index, value)
 /// pairs sorted by index.
-type Cube = Vec<(usize, bool)>;
+pub(crate) type Cube = Vec<(usize, bool)>;
 
 /// A SAT predecessor: (latch state, input vector) driving into a cube.
 type Predecessor = (Vec<bool>, Vec<bool>);
 
+/// SplitMix64 finalizer: a cheap, stateless per-latch jitter for
+/// seeded shrink-order diversification.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Whether every literal of `small` occurs in `big` (both sorted by
 /// latch index): the blocking clause of `small` implies `big`'s.
-fn subsumes(small: &Cube, big: &Cube) -> bool {
+pub(crate) fn subsumes(small: &Cube, big: &Cube) -> bool {
     if small.len() > big.len() {
         return false;
     }
@@ -149,16 +160,93 @@ impl PartialOrd for QueueEntry {
 pub struct Pdr {
     /// Resource limits (`max_depth` bounds the number of frames).
     pub budget: Budget,
+    /// Optional cross-seat lemma broadcast: frontier blocking clauses
+    /// are published for k-induction / interpolation consumers (see
+    /// [`crate::parallel`]).
+    pub bus: Option<LemmaPublisher>,
 }
 
 impl Pdr {
     /// Creates a PDR engine with the given budget.
     pub fn new(budget: Budget) -> Pdr {
-        Pdr { budget }
+        Pdr { budget, bus: None }
+    }
+
+    /// Attaches a cross-seat lemma publisher.
+    #[must_use]
+    pub fn with_bus(mut self, bus: LemmaPublisher) -> Pdr {
+        self.bus = Some(bus);
+        self
     }
 }
 
-struct PdrRun<'s> {
+/// Per-worker generalization diversification (rIC3-style): parallel
+/// PDR gains from workers that explore *different* generalizations of
+/// the same obligations, so each worker gets a seed (jittering shrink
+/// order) and an on/off profile over the three generalization passes.
+/// The default is the full tuned profile — solo PDR runs with
+/// everything enabled.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Diversity {
+    /// Jitter seed for shrink ordering tie-breaks.
+    pub(crate) seed: u64,
+    /// Ternary-simulation cube widening on SAT answers.
+    pub(crate) ternary: bool,
+    /// Input-based SAT-core predecessor lifting.
+    pub(crate) lift: bool,
+    /// Activity-ordered literal dropping in cube shrink.
+    pub(crate) activity: bool,
+}
+
+impl Default for Diversity {
+    fn default() -> Diversity {
+        Diversity {
+            seed: 0,
+            ternary: true,
+            lift: true,
+            activity: true,
+        }
+    }
+}
+
+impl Diversity {
+    /// The profile of worker `w`: worker 0 is the tuned default (so a
+    /// one-worker pool behaves exactly like solo PDR); each sibling
+    /// disables one generalization dimension, and seeds keep differing
+    /// past four workers.
+    pub(crate) fn for_worker(w: usize) -> Diversity {
+        let base = Diversity {
+            seed: w as u64,
+            ..Diversity::default()
+        };
+        match w % 4 {
+            1 => Diversity {
+                lift: false,
+                ..base
+            },
+            2 => Diversity {
+                ternary: false,
+                ..base
+            },
+            3 => Diversity {
+                activity: false,
+                ..base
+            },
+            _ => base,
+        }
+    }
+}
+
+/// A worker's view of the shared frame store: the store handle, the
+/// worker's identity (its own entries are skipped on sync) and one
+/// read cursor per shard.
+struct SharedCtx {
+    store: Arc<SharedFrames>,
+    worker: usize,
+    cursors: [usize; SHARDS],
+}
+
+pub(crate) struct PdrRun<'s> {
     sys: &'s AigSystem,
     /// Certified static invariant, asserted unguarded on the latch
     /// current-state literals (valid in every frame context, F∞
@@ -192,6 +280,22 @@ struct PdrRun<'s> {
     targets: Vec<(AigLit, bool)>,
     stats: EngineStats,
     seq: u64,
+    /// Generalization profile (diversified per worker in parallel
+    /// runs; the tuned default otherwise).
+    div: Diversity,
+    /// Per-latch activity for shrink ordering: bumped when a latch
+    /// appears in a freshly blocked cube, decayed multiplicatively.
+    activity: Vec<f64>,
+    /// Current activity bump increment (MiniSat-style rescaling).
+    act_inc: f64,
+    /// Shared frame store of a parallel run (`None` when solo).
+    shared: Option<SharedCtx>,
+    /// Cross-seat lemma broadcast (`None` when not wired).
+    bus: Option<LemmaPublisher>,
+    /// The current frontier frame. Clauses stored here survived every
+    /// propagation so far — the best broadcast candidates (consumers
+    /// re-verify inductiveness on their side regardless).
+    max_level: usize,
 }
 
 enum BlockResult {
@@ -211,7 +315,7 @@ enum RelQuery {
 }
 
 impl<'s> PdrRun<'s> {
-    fn new(
+    pub(crate) fn new(
         sys: &'s AigSystem,
         tpl: &TransitionTemplate,
         inv: &'s [LatchClause],
@@ -246,24 +350,55 @@ impl<'s> PdrRun<'s> {
             targets: Vec::new(),
             stats: EngineStats::default(),
             seq: 0,
+            div: Diversity::default(),
+            activity: vec![0.0; sys.latches.len()],
+            act_inc: 1.0,
+            shared: None,
+            bus: None,
+            max_level: 1,
         };
         run.ensure_act(0);
         // Initial-state units, guarded by the frame-0 activation
-        // literal so deeper contexts are free of them.
+        // group so deeper contexts are free of them.
         let act0 = run.acts[0];
         for (i, latch) in sys.latches.iter().enumerate() {
             if let Some(init) = latch.init {
                 let l = run.latch_lits[i];
-                run.solver.add_clause(&[!act0, if init { l } else { !l }]);
+                run.solver
+                    .add_clause_activated(act0, &[if init { l } else { !l }]);
             }
         }
         run
     }
 
-    /// Creates frame activation literals up to `level`.
+    /// Sets the generalization profile (parallel workers diversify).
+    pub(crate) fn set_diversity(&mut self, div: Diversity) {
+        self.div = div;
+    }
+
+    /// Joins a shared frame store as worker `worker`.
+    pub(crate) fn attach_shared(&mut self, store: Arc<SharedFrames>, worker: usize) {
+        self.shared = Some(SharedCtx {
+            store,
+            worker,
+            cursors: [0; SHARDS],
+        });
+    }
+
+    /// Wires the cross-seat lemma broadcast.
+    pub(crate) fn attach_bus(&mut self, bus: LemmaPublisher) {
+        self.bus = Some(bus);
+    }
+
+    /// Creates frame activation groups up to `level`. Frames are
+    /// proper activation groups ([`satb::Solver::new_activation`]) so
+    /// stored clauses — including foreign cubes synced from the shared
+    /// store — ride the same registered-guard machinery as query
+    /// clauses; frame groups are simply never released.
     fn ensure_act(&mut self, level: usize) {
         while self.acts.len() <= level {
-            self.acts.push(Lit::pos(self.solver.new_var()));
+            let act = self.solver.new_activation();
+            self.acts.push(act);
         }
     }
 
@@ -314,28 +449,132 @@ impl<'s> PdrRun<'s> {
         self.assumptions.extend(self.acts[level..].iter().copied());
     }
 
-    /// Stores a blocked cube at `level`: one guarded solver clause,
-    /// plus registry upkeep — any stored cube subsumed by the new one
-    /// (at a level the new clause covers) is pruned so the syntactic
-    /// blocked-check stays small.
+    /// Stores a blocked cube at `level`: one guarded solver clause
+    /// (through the prenormalized cube-import fast path — cube literals
+    /// are sorted over distinct latches by construction), plus registry
+    /// upkeep — any stored cube subsumed by the new one (at a level the
+    /// new clause covers) is pruned so the syntactic blocked-check
+    /// stays small. Publishes the cube to the shared store / lemma bus
+    /// when the run is wired into a parallel pool or portfolio.
     fn add_blocked(&mut self, cube: Cube, level: usize) {
         while self.frames.len() <= level {
             self.frames.push(Vec::new());
         }
-        let mut clause: Vec<Lit> = Vec::with_capacity(cube.len() + 1);
-        clause.push(!self.acts[level]);
-        clause.extend(cube.iter().map(|&(i, v)| {
-            if v {
-                !self.latch_lits[i]
-            } else {
-                self.latch_lits[i]
-            }
-        }));
-        self.solver.add_clause(&clause);
+        let clause: Vec<Lit> = cube
+            .iter()
+            .map(|&(i, v)| {
+                if v {
+                    !self.latch_lits[i]
+                } else {
+                    self.latch_lits[i]
+                }
+            })
+            .collect();
+        self.solver
+            .add_clause_activated_prenormalized(self.acts[level], &clause);
+        if self.div.activity {
+            self.bump_activity(&cube);
+        }
+        self.publish(&cube, level);
         for j in 1..=level {
             self.frames[j].retain(|d| !subsumes(&cube, d));
         }
         self.frames[level].push(cube);
+    }
+
+    /// Shares a freshly blocked cube: into the shared frame store (any
+    /// level; the store subsumption-checks on insert) and, for frontier
+    /// clauses, onto the cross-seat lemma bus. Re-published imports are
+    /// deduplicated by the store's subsumption check, so the counter
+    /// only grows for genuinely new knowledge.
+    fn publish(&mut self, cube: &Cube, level: usize) {
+        let mut exported = false;
+        if let Some(ctx) = &self.shared {
+            if ctx.store.publish(level, cube.clone(), ctx.worker) {
+                exported = true;
+            }
+        }
+        if level >= self.max_level {
+            if let Some(bus) = &self.bus {
+                let clause: LatchClause = cube.iter().map(|&(i, v)| (i, !v)).collect();
+                bus.publish(&clause);
+                exported = true;
+            }
+        }
+        if exported {
+            self.stats.lemmas_exported += 1;
+        }
+    }
+
+    /// Bumps the shrink-ordering activity of every latch in a freshly
+    /// blocked cube (rIC3 `activity.rs` style): the increment grows
+    /// multiplicatively, which decays older bumps, and everything is
+    /// rescaled before the counters overflow.
+    fn bump_activity(&mut self, cube: &Cube) {
+        for &(i, _) in cube {
+            self.activity[i] += self.act_inc;
+        }
+        self.act_inc /= 0.99;
+        if self.act_inc > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.act_inc *= 1e-100;
+        }
+    }
+
+    /// Imports peers' cubes published to the shared store since the
+    /// last sync (called at the solve-loop head and before each
+    /// obligation burst). Every foreign cube is **re-verified** by a
+    /// local relative-induction query before it is stored: the peer
+    /// proved it relative to *its* frames, which this worker may not
+    /// have imported (and the level may be clamped to our frontier), so
+    /// storing unverified would break the per-cube invariant the
+    /// fixpoint certificate rests on. Verified cubes enter through
+    /// [`add_blocked`](Self::add_blocked) — often further generalized by
+    /// the query's failed-assumption core — and non-inductive ones are
+    /// simply skipped (their information returns on a later sync once
+    /// the supporting clauses arrive).
+    fn sync_shared(&mut self) -> Option<Unknown> {
+        let Some(ctx) = &mut self.shared else {
+            return None;
+        };
+        let store = Arc::clone(&ctx.store);
+        let worker = ctx.worker;
+        let mut fresh: Vec<(usize, Cube)> = Vec::new();
+        store.collect_foreign(worker, &mut ctx.cursors, &mut fresh);
+        if fresh.is_empty() {
+            return None;
+        }
+        self.stats.sync_rounds += 1;
+        for (level, cube) in fresh {
+            if let Some(u) = self.budget.interruption(self.started) {
+                return Some(u);
+            }
+            // Clamping to our frontier is sound: a cube valid in frames
+            // `1..=L` is valid in any prefix of them.
+            let level = level.min(self.max_level);
+            if level == 0 || self.cube_intersects_init(&cube) {
+                continue;
+            }
+            if self.cube_is_blocked(&cube, level) {
+                continue;
+            }
+            match self.query_relative(&cube, level) {
+                RelQuery::Blocked(core) => {
+                    let core = if self.cube_intersects_init(&core) {
+                        cube
+                    } else {
+                        core
+                    };
+                    self.add_blocked(core, level);
+                    self.stats.lemmas_imported += 1;
+                }
+                RelQuery::Pred(_) => {}
+                RelQuery::Stopped(u) => return Some(u),
+            }
+        }
+        None
     }
 
     /// Syntactic blocked-check: some stored cube at `>= level` subsumes
@@ -352,6 +591,12 @@ impl<'s> PdrRun<'s> {
     /// value (and the cube disjoint from the initial states). Returns
     /// the widened cube; `self.targets` holds the outputs to preserve.
     fn ternary_generalize(&mut self, state: &[bool], inputs: &[bool]) -> Cube {
+        if !self.div.ternary {
+            // Diversified workers may disable widening; the full model
+            // state is the (trivially sound) cube, and SAT-core lifting
+            // still generalizes it afterwards.
+            return Self::state_to_cube(state);
+        }
         let n = state.len();
         for (i, &b) in state.iter().enumerate() {
             self.state_t[i] = Tern::from_bool(b);
@@ -492,40 +737,179 @@ impl<'s> PdrRun<'s> {
         }
     }
 
-    /// Tries to drop further literals from a relatively-inductive cube
-    /// (the failed-assumption-core shrinking; the UNSAT-side
-    /// counterpart of ternary widening).
-    fn shrink(&mut self, mut cube: Cube, level: usize) -> Result<Cube, Unknown> {
-        let mut i = 0;
-        while i < cube.len() {
-            if cube.len() <= 1 {
-                break;
+    /// Input-based predecessor lifting (gipsat `minimal_predecessor`
+    /// style), stacked after ternary widening: assume the recorded
+    /// input valuation plus the cube's latch literals against the
+    /// negated target — ¬parent′ as an activated temporary clause for
+    /// predecessor obligations, ¬bad for root obligations — and keep
+    /// only the cube literals in the failed-assumption core. The query
+    /// deliberately omits the frame tail: the resulting guarantee
+    /// ("every state of the lifted cube steps into the target under
+    /// these inputs") must rest on the transition relation and the
+    /// certified static invariant alone, because counterexample
+    /// reconstruction replays genuinely reachable states through the
+    /// cube.
+    ///
+    /// When the design has environment constraints, the ternary targets
+    /// include them but the SAT core does not track them, so a single
+    /// ternary re-evaluation guards the lifted cube; any doubt falls
+    /// back to the unlifted cube (sound — merely less general).
+    fn lift_cube(
+        &mut self,
+        cube: Cube,
+        inputs: &[bool],
+        parent: Option<&Cube>,
+        bad_index: usize,
+    ) -> Cube {
+        if !self.div.lift || cube.len() <= 1 {
+            return cube;
+        }
+        self.assumptions.clear();
+        let act = match parent {
+            Some(p) => {
+                let act = self.solver.new_activation();
+                let clause: Vec<Lit> = p
+                    .iter()
+                    .map(|&(i, v)| {
+                        if v {
+                            !self.next_lits[i]
+                        } else {
+                            self.next_lits[i]
+                        }
+                    })
+                    .collect();
+                self.solver.add_clause_activated(act, &clause);
+                self.assumptions.push(act);
+                Some(act)
             }
-            if let Some(u) = self.budget.interruption(self.started) {
-                return Err(u);
+            None => {
+                self.assumptions.push(!self.bad_lits[bad_index]);
+                None
             }
-            let mut candidate = cube.clone();
-            candidate.remove(i);
-            if self.cube_intersects_init(&candidate) {
-                i += 1;
-                continue;
-            }
-            match self.query_relative(&candidate, level) {
-                RelQuery::Blocked(core) => {
-                    cube = if self.cube_intersects_init(&core) {
-                        candidate
-                    } else {
-                        core
-                    };
-                    i = 0;
+        };
+        for (j, &b) in inputs.iter().enumerate() {
+            self.assumptions.push(if b {
+                self.input_lits[j]
+            } else {
+                !self.input_lits[j]
+            });
+        }
+        for &(i, v) in &cube {
+            self.assumptions.push(if v {
+                self.latch_lits[i]
+            } else {
+                !self.latch_lits[i]
+            });
+        }
+        self.stats.sat_queries += 1;
+        let limits = self.budget.sat_limits(self.started);
+        let result = self.solver.solve_limited(&self.assumptions, limits);
+        let mut lifted: Option<Cube> = None;
+        if result == SolveResult::Unsat {
+            let failed = self.solver.failed_assumptions();
+            let latch_lits = &self.latch_lits;
+            let mut out: Cube = cube
+                .iter()
+                .filter(|&&(i, v)| {
+                    let al = if v { latch_lits[i] } else { !latch_lits[i] };
+                    failed.contains(&al)
+                })
+                .copied()
+                .collect();
+            if self.cube_intersects_init(&out) {
+                if let Some(&l) = cube
+                    .iter()
+                    .find(|&&(i, v)| self.sys.latches[i].init.is_some_and(|init| init != v))
+                {
+                    out.push(l);
+                    out.sort_unstable();
                 }
-                RelQuery::Pred(_) => {
-                    i += 1;
-                }
-                RelQuery::Stopped(u) => return Err(u),
+            }
+            if out.len() < cube.len() {
+                lifted = Some(out);
             }
         }
-        Ok(cube)
+        if let Some(a) = act {
+            self.solver.release_activation(a);
+        }
+        let Some(out) = lifted else {
+            return cube;
+        };
+        if !self.sys.constraints.is_empty() {
+            for t in &mut self.state_t {
+                *t = Tern::X;
+            }
+            for &(i, v) in &out {
+                self.state_t[i] = Tern::from_bool(v);
+            }
+            self.sim.eval(self.sys, &self.state_t, inputs);
+            let ok = self
+                .targets
+                .iter()
+                .all(|&(l, want)| self.sim.value(l).known() == Some(want));
+            if !ok {
+                return cube;
+            }
+        }
+        self.stats.lifted_lits += (cube.len() - out.len()) as u64;
+        out
+    }
+
+    /// Tries to drop further literals from a relatively-inductive cube
+    /// (the failed-assumption-core shrinking; the UNSAT-side
+    /// counterpart of ternary widening). Drop candidates are ordered
+    /// least-active first (rIC3 `activity.rs` style): latches that
+    /// rarely appear in blocked cubes are the likeliest to be
+    /// droppable, so trying them first reaches the final cube in fewer
+    /// failed queries; the worker seed jitters ties (and the whole
+    /// order when activity is disabled) for generalization diversity.
+    fn shrink(&mut self, mut cube: Cube, level: usize) -> Result<Cube, Unknown> {
+        loop {
+            if cube.len() <= 1 {
+                return Ok(cube);
+            }
+            let mut order: Vec<usize> = (0..cube.len()).collect();
+            if self.div.activity {
+                let activity = &self.activity;
+                let seed = self.div.seed;
+                order.sort_by(|&a, &b| {
+                    let (la, lb) = (cube[a].0, cube[b].0);
+                    activity[la]
+                        .total_cmp(&activity[lb])
+                        .then_with(|| mix(seed, la as u64).cmp(&mix(seed, lb as u64)))
+                });
+            } else if self.div.seed != 0 {
+                let seed = self.div.seed;
+                order.sort_by_key(|&p| mix(seed, cube[p].0 as u64));
+            }
+            let mut progressed = false;
+            for &pos in &order {
+                if let Some(u) = self.budget.interruption(self.started) {
+                    return Err(u);
+                }
+                let mut candidate = cube.clone();
+                candidate.remove(pos);
+                if self.cube_intersects_init(&candidate) {
+                    continue;
+                }
+                match self.query_relative(&candidate, level) {
+                    RelQuery::Blocked(core) => {
+                        cube = if self.cube_intersects_init(&core) {
+                            candidate
+                        } else {
+                            core
+                        };
+                        progressed = true;
+                        break;
+                    }
+                    RelQuery::Pred(_) => {}
+                    RelQuery::Stopped(u) => return Err(u),
+                }
+            }
+            if !progressed {
+                return Ok(cube);
+            }
+        }
     }
 
     /// Rebuilds a concrete counterexample by simulation: from the
@@ -570,6 +954,9 @@ impl<'s> PdrRun<'s> {
 
     /// Blocks all bad states reachable within `level` frames.
     fn block_obligations(&mut self, root: Obligation, max_level: usize) -> BlockResult {
+        if let Some(u) = self.sync_shared() {
+            return BlockResult::Stopped(u);
+        }
         let mut arena: Vec<Obligation> = vec![root];
         let mut queue: BinaryHeap<QueueEntry> = BinaryHeap::new();
         queue.push(QueueEntry {
@@ -608,9 +995,11 @@ impl<'s> PdrRun<'s> {
                             pred_inputs,
                         ));
                     }
-                    // Widen the predecessor against the parent cube.
+                    // Widen the predecessor against the parent cube,
+                    // then lift it through the SAT core.
                     self.pred_targets(&cube);
                     let pred_cube = self.ternary_generalize(&pred_state, &pred_inputs);
+                    let pred_cube = self.lift_cube(pred_cube, &pred_inputs, Some(&cube), 0);
                     let pred = Obligation {
                         level: level as u32 - 1,
                         cube: pred_cube,
@@ -732,7 +1121,7 @@ impl<'s> PdrRun<'s> {
     }
 
     /// The top-level PDR loop.
-    fn solve(&mut self) -> CheckOutcome {
+    pub(crate) fn solve(&mut self) -> CheckOutcome {
         let started = self.started;
 
         // Level 0: Init ∧ Bad?
@@ -764,7 +1153,11 @@ impl<'s> PdrRun<'s> {
                 return self.outcome(Verdict::Unknown(Unknown::BoundReached), started);
             }
             self.stats.depth = max_level as u32;
+            self.max_level = max_level;
             self.ensure_act(max_level);
+            if let Some(u) = self.sync_shared() {
+                return self.outcome(Verdict::Unknown(u), started);
+            }
 
             // Find a bad state in F_max.
             self.stats.sat_queries += 1;
@@ -789,6 +1182,7 @@ impl<'s> PdrRun<'s> {
                     }
                     self.bad_targets(bad_index);
                     let cube = self.ternary_generalize(&state, &bad_inputs);
+                    let cube = self.lift_cube(cube, &bad_inputs, None, bad_index);
                     let root = Obligation {
                         level: max_level as u32,
                         cube,
@@ -810,6 +1204,7 @@ impl<'s> PdrRun<'s> {
                 SolveResult::Unsat => {
                     // Frame clear: extend and propagate.
                     max_level += 1;
+                    self.max_level = max_level;
                     self.ensure_act(max_level);
                     match self.propagate(max_level) {
                         Ok(Some(level)) => {
@@ -855,7 +1250,11 @@ impl Pdr {
         tpl: &TransitionTemplate,
         inv: &[LatchClause],
     ) -> CheckOutcome {
-        PdrRun::new(sys, tpl, inv, self.budget.clone()).solve()
+        let mut run = PdrRun::new(sys, tpl, inv, self.budget.clone());
+        if let Some(bus) = &self.bus {
+            run.attach_bus(bus.clone());
+        }
+        run.solve()
     }
 }
 
@@ -1183,6 +1582,192 @@ mod tests {
                 assert!(trace.replays_on(&sys), "cex must replay");
             }
             other => panic!("expected a definite verdict, got {other:?}"),
+        }
+    }
+
+    /// Input-based SAT-core lifting must drop cone-unrelated latches
+    /// even with ternary widening disabled (the diversified profile of
+    /// worker 2): the shadow register never feeds the property, so the
+    /// lift query's conflict cannot involve its bits and the failed
+    /// core sheds them.
+    #[test]
+    fn lifting_drops_cone_unrelated_latches() {
+        let mut ts = TransitionSystem::new("counter-with-shadow");
+        let data = ts.add_input("data", Sort::Bv(8));
+        let c = ts.add_state("count", Sort::Bv(8));
+        let shadow = ts.add_state("shadow", Sort::Bv(8));
+        let (dv, cv, sv) = {
+            let p = ts.pool_mut();
+            (p.var(data), p.var(c), p.var(shadow))
+        };
+        let p = ts.pool_mut();
+        let one = p.constv(8, 1);
+        let inc = p.add(cv, one);
+        let zero = p.constv(8, 0);
+        let nine = p.constv(8, 9);
+        let bad = p.eq(cv, nine);
+        let s_next = p.add(sv, dv);
+        ts.set_init(c, zero);
+        ts.set_init(shadow, zero);
+        ts.set_next(c, inc);
+        ts.set_next(shadow, s_next);
+        ts.add_bad(bad, "count is 9");
+        let sys = aig::blast_system(&ts);
+        let tpl = TransitionTemplate::compile(&sys);
+        let mut run = PdrRun::new(
+            &sys,
+            &tpl,
+            &[],
+            Budget {
+                timeout: None,
+                ..Budget::default()
+            },
+        );
+        run.set_diversity(Diversity {
+            ternary: false,
+            ..Diversity::default()
+        });
+        let out = run.solve();
+        match &out.outcome {
+            Verdict::Unsafe(trace) => {
+                assert_eq!(trace.length(), 9);
+                assert!(trace.replays_on(&sys), "lifted-cube trace must replay");
+            }
+            other => panic!("expected Unsafe, got {other:?}"),
+        }
+        assert_eq!(out.stats.ternary_drops, 0, "ternary is off in this profile");
+        assert!(
+            out.stats.lifted_lits > 0,
+            "the SAT core must shed shadow latches: {:?}",
+            out.stats
+        );
+    }
+
+    /// Every diversified worker profile is a complete, sound PDR: all
+    /// four profiles agree with the default on random sequential AIGs,
+    /// and their traces replay.
+    #[test]
+    fn diversity_profiles_agree_on_random_systems() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let budget = Budget {
+            timeout: None,
+            max_depth: 64,
+            ..Budget::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0xD1F7);
+        for round in 0..10 {
+            let sys = random_system(&mut rng);
+            let tpl = TransitionTemplate::compile(&sys);
+            let base = Pdr::new(budget.clone()).run(&sys, &tpl, &[]);
+            for w in 0..4usize {
+                let mut run = PdrRun::new(&sys, &tpl, &[], budget.clone());
+                run.set_diversity(Diversity::for_worker(w));
+                let out = run.solve();
+                match (&base.outcome, &out.outcome) {
+                    (Verdict::Safe, Verdict::Safe) => {}
+                    (Verdict::Unsafe(_), Verdict::Unsafe(t)) => {
+                        assert!(t.replays_on(&sys), "round {round} profile {w}: replay");
+                    }
+                    (Verdict::Unknown(_), Verdict::Unknown(_)) => {}
+                    other => panic!("round {round} profile {w}: diverge: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Foreign-cube import soundness: a second run syncing another
+    /// worker's published cubes re-verifies each one locally, so every
+    /// cube it ends up storing — local or imported — is init-disjoint
+    /// and relatively inductive against an independent solver, exactly
+    /// as for a solo run.
+    #[test]
+    fn imported_foreign_cubes_are_reverified_locally() {
+        let ts = crate::bmc::tests::counter_ts(9, 8);
+        let sys = aig::blast_system(&ts);
+        let tpl = TransitionTemplate::compile(&sys);
+        let budget = Budget {
+            timeout: None,
+            ..Budget::default()
+        };
+        let store = Arc::new(crate::parallel::SharedFrames::new());
+        // Worker 0 fills the store.
+        let mut run_a = PdrRun::new(&sys, &tpl, &[], budget.clone());
+        run_a.attach_shared(Arc::clone(&store), 0);
+        let out_a = run_a.solve();
+        assert!(out_a.outcome.is_unsafe());
+        assert!(
+            out_a.stats.lemmas_exported > 0,
+            "worker 0 must publish cubes: {:?}",
+            out_a.stats
+        );
+        // Worker 1 (a different generalization profile) syncs them in.
+        let mut run_b = PdrRun::new(&sys, &tpl, &[], budget);
+        run_b.set_diversity(Diversity::for_worker(1));
+        run_b.attach_shared(Arc::clone(&store), 1);
+        let out_b = run_b.solve();
+        assert!(out_b.outcome.is_unsafe());
+        assert!(
+            out_b.stats.lemmas_imported > 0 && out_b.stats.sync_rounds > 0,
+            "worker 1 must import foreign cubes: {:?}",
+            out_b.stats
+        );
+        // The solo-run soundness check, verbatim, over the importing
+        // run's final frames.
+        let frames = run_b.frames.clone();
+        for (level, cubes) in frames.iter().enumerate().skip(1) {
+            for cube in cubes {
+                assert!(
+                    !run_b.cube_intersects_init(cube),
+                    "stored cube intersects init: {cube:?}"
+                );
+                let mut s = Solver::new();
+                let vars = tpl.instantiate(&mut s, Part::A, 0);
+                if level == 1 {
+                    vars.assert_init(&sys, &mut s);
+                }
+                for cs in frames.iter().skip(level - 1).filter(|_| level > 1) {
+                    for c in cs {
+                        let cl: Vec<Lit> = c
+                            .iter()
+                            .map(|&(i, v)| {
+                                if v {
+                                    !vars.latch_cur[i]
+                                } else {
+                                    vars.latch_cur[i]
+                                }
+                            })
+                            .collect();
+                        s.add_clause(&cl);
+                    }
+                }
+                let not_cube: Vec<Lit> = cube
+                    .iter()
+                    .map(|&(i, v)| {
+                        if v {
+                            !vars.latch_cur[i]
+                        } else {
+                            vars.latch_cur[i]
+                        }
+                    })
+                    .collect();
+                s.add_clause(&not_cube);
+                let assumptions: Vec<Lit> = cube
+                    .iter()
+                    .map(|&(i, v)| {
+                        if v {
+                            vars.latch_next[i]
+                        } else {
+                            !vars.latch_next[i]
+                        }
+                    })
+                    .collect();
+                assert_eq!(
+                    s.solve_with(&assumptions),
+                    SolveResult::Unsat,
+                    "imported/stored cube at level {level} not relatively inductive: {cube:?}"
+                );
+            }
         }
     }
 }

@@ -56,6 +56,7 @@ use crate::bmc::Bmc;
 use crate::certify::{self, Certificate, CertifyReport};
 use crate::itp::Interpolation;
 use crate::kind::KInduction;
+use crate::parallel::{LemmaBus, ParallelPdr};
 use crate::pdr::Pdr;
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
 use rtlir::TransitionSystem;
@@ -175,6 +176,15 @@ impl PortfolioOutcome {
                 e.outcome.stats.time.as_secs_f64(),
                 cert,
             );
+            let s = &e.outcome.stats;
+            if s.lemmas_exported + s.lemmas_imported + s.sync_rounds > 0 {
+                let _ = writeln!(
+                    out,
+                    "             lemma exchange: exported {} imported {} \
+                     sync rounds {} lifted lits {}",
+                    s.lemmas_exported, s.lemmas_imported, s.sync_rounds, s.lifted_lits,
+                );
+            }
         }
         out
     }
@@ -198,6 +208,13 @@ pub struct Portfolio {
     /// the run and forwarded to the members.
     external: Option<Arc<AtomicBool>>,
     engines: Vec<(&'static str, Box<dyn Checker + Send + Sync>)>,
+    /// The cross-seat lemma broadcast wired by
+    /// [`with_default_engines`](Portfolio::with_default_engines):
+    /// PDR publishes frontier clauses, k-induction and interpolation
+    /// consume them through admission gates. Cleared at the start of
+    /// every run so a reused portfolio never replays stale lemmas
+    /// (the gates re-validate per design regardless).
+    bus: Option<LemmaBus>,
 }
 
 impl Default for Portfolio {
@@ -217,18 +234,39 @@ impl Portfolio {
             external,
             budget,
             engines: Vec::new(),
+            bus: None,
         }
     }
 
     /// The paper's hybrid line-up: BMC, k-induction, interpolation and
-    /// PDR, all under `budget` and the shared cancellation flag.
+    /// PDR, all under `budget` and the shared cancellation flag — plus
+    /// the lemma broadcast: PDR's frontier clauses feed the
+    /// k-induction step premise and interpolation's frames through
+    /// per-consumer admission gates (see [`crate::parallel`]).
     pub fn with_default_engines(budget: Budget) -> Portfolio {
         let mut p = Portfolio::new(budget);
+        let bus = LemmaBus::new();
         let b = p.engine_budget();
         p.push(Bmc::new(b.clone()));
-        p.push(KInduction::new(b.clone()));
-        p.push(Interpolation::new(b.clone()));
-        p.push(Pdr::new(b));
+        p.push(KInduction::new(b.clone()).with_lemmas(bus.subscribe()));
+        p.push(Interpolation::new(b.clone()).with_lemmas(bus.subscribe()));
+        p.push(Pdr::new(b).with_bus(bus.publisher()));
+        p.bus = Some(bus);
+        p
+    }
+
+    /// The hybrid line-up with the PDR seat replaced by a
+    /// [`ParallelPdr`] pool of `workers` diversified workers (worker 0
+    /// publishes to the lemma broadcast).
+    pub fn with_parallel_engines(budget: Budget, workers: usize) -> Portfolio {
+        let mut p = Portfolio::new(budget);
+        let bus = LemmaBus::new();
+        let b = p.engine_budget();
+        p.push(Bmc::new(b.clone()));
+        p.push(KInduction::new(b.clone()).with_lemmas(bus.subscribe()));
+        p.push(Interpolation::new(b.clone()).with_lemmas(bus.subscribe()));
+        p.push(ParallelPdr::new(b, workers).with_bus(bus.publisher()));
+        p.bus = Some(bus);
         p
     }
 
@@ -271,6 +309,9 @@ impl Portfolio {
     ) -> PortfolioOutcome {
         let started = Instant::now();
         self.stop.store(false, Ordering::Relaxed);
+        if let Some(bus) = &self.bus {
+            bus.clear();
+        }
         if self.engines.is_empty() {
             return PortfolioOutcome {
                 verdict: Verdict::Unknown(Unknown::Inconclusive("empty portfolio".into())),
@@ -412,6 +453,10 @@ impl Portfolio {
             stats.arena_peak_bytes += out.stats.arena_peak_bytes;
             stats.act_recycled += out.stats.act_recycled;
             stats.ternary_drops += out.stats.ternary_drops;
+            stats.lifted_lits += out.stats.lifted_lits;
+            stats.lemmas_exported += out.stats.lemmas_exported;
+            stats.lemmas_imported += out.stats.lemmas_imported;
+            stats.sync_rounds += out.stats.sync_rounds;
             engines.push(EngineReport {
                 name,
                 outcome: out,
@@ -559,6 +604,7 @@ mod tests {
                 ..b.clone()
             },
             simple_path: false,
+            ..KInduction::default()
         });
         p.push(Interpolation::new(b.clone()));
         p.push(Pdr::new(b));
@@ -589,6 +635,7 @@ mod tests {
         p.push(KInduction {
             budget: Budget { max_depth: 30, ..b },
             simple_path: false,
+            ..KInduction::default()
         });
         let report = p.check_detailed_blasted(&ts, &blasted);
         assert_eq!(report.verdict, Verdict::Safe);

@@ -176,6 +176,19 @@ pub struct EngineStats {
     pub act_recycled: u64,
     /// Cube literals dropped by ternary-simulation generalization.
     pub ternary_drops: u64,
+    /// Cube literals dropped by input-based predecessor lifting (the
+    /// UNSAT-core pass stacked on top of ternary widening).
+    pub lifted_lits: u64,
+    /// Lemmas this engine published to peers: blocked cubes accepted by
+    /// the parallel-PDR shared frame store, plus frontier clauses put
+    /// on the cross-seat [`crate::parallel::LemmaBus`].
+    pub lemmas_exported: u64,
+    /// Foreign lemmas this engine adopted: peer cubes a PDR worker
+    /// re-verified and stored, or bus clauses a consumer's admission
+    /// gate proved inductive and asserted.
+    pub lemmas_imported: u64,
+    /// Synchronization rounds against the shared store / lemma bus.
+    pub sync_rounds: u64,
     /// Counters of the shared template's CNF preprocessing run (stamped
     /// from [`Blasted`] by `check_blasted`; all zero when the engine
     /// blasted for itself or ran on a raw template).

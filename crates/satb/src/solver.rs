@@ -747,6 +747,32 @@ impl Solver {
         ok
     }
 
+    /// [`add_clause_activated`](Solver::add_clause_activated) for
+    /// clauses the caller guarantees are already normalized (pairwise
+    /// distinct variables, no tautology) — the cheap cube-import path
+    /// for parallel PDR, where foreign blocking clauses arrive sorted
+    /// by latch index and the guard variable is fresh by construction.
+    /// Skips the sort/dedup scan of the general path; the stored clause
+    /// is still `lits ∨ ¬act` and registered under the group.
+    ///
+    /// Returns `false` if the solver is now known inconsistent.
+    pub fn add_clause_activated_prenormalized(&mut self, act: Lit, lits: &[Lit]) -> bool {
+        debug_assert!(
+            self.act_entries.contains_key(&act.var()),
+            "activation literal not obtained from new_activation"
+        );
+        let mut full: Vec<Lit> = Vec::with_capacity(lits.len() + 1);
+        full.extend_from_slice(lits);
+        full.push(!act);
+        let before = self.cdb.originals().len();
+        let ok = self.add_clause_prenormalized(&full, Part::A, 0);
+        let added = self.cdb.originals()[before..].to_vec();
+        if let Some(e) = self.act_entries.get_mut(&act.var()) {
+            e.crefs.extend(added);
+        }
+        ok
+    }
+
     /// Retires an activation group: frees its registered clauses *and*
     /// every learned clause mentioning the activation variable, then
     /// returns the variable to the free-list for reuse.

@@ -93,6 +93,30 @@ fn release_sweeps_contaminated_learned_clauses() {
     assert_eq!(s.value(x), Some(true));
 }
 
+/// The prenormalized fast path behaves exactly like the general one:
+/// the clause constrains only under the guard, is registered under the
+/// group, and the release frees it.
+#[test]
+fn prenormalized_activated_clause_is_grouped_and_released() {
+    let mut s = Solver::new();
+    let a = lit(&mut s, 0, true);
+    let b = lit(&mut s, 1, true);
+    let act = s.new_activation();
+    // (a ∨ b ∨ ¬act): sorted, distinct — eligible for the fast path.
+    assert!(s.add_clause_activated_prenormalized(act, &[a, b]));
+    assert_eq!(s.solve_with(&[act, !a, !b]), SolveResult::Unsat);
+    assert_eq!(s.solve_with(&[!a, !b]), SolveResult::Sat, "guard off");
+    let live_before = s.num_clauses();
+    assert!(live_before >= 1);
+    s.release_activation(act);
+    assert_eq!(s.num_clauses(), 0, "fast-path clause must be registered");
+    assert_eq!(
+        s.solve_with(&[Lit::pos(act.var()), !a, !b]),
+        SolveResult::Sat
+    );
+    s.debug_check_integrity().expect("intact after release");
+}
+
 /// Randomized cross-check: interleaves permanent clauses, activated
 /// groups, releases and recycled reuse, comparing every query against
 /// a fresh solver built from exactly the live clauses. Catches both
