@@ -97,6 +97,25 @@ impl<'s> FrameChain<'s> {
         self.frames[k].any_bad
     }
 
+    /// Extends `dom` with everything frame `k` can constrain — its
+    /// query-scoping base (latches, inputs, constraint cone), its full
+    /// latch next-state cones and its bad cone. Frame `k+1` binds its
+    /// current-state literals onto frame `k`'s next-state gate outputs,
+    /// so a chain query at depth `d` needs frames `0..=d` extended for
+    /// the fanin closure the [`satb::domain`] contract requires; on a
+    /// chain, a query's domain therefore degenerates to nearly the
+    /// whole formula — the API exists so chain engines share the same
+    /// scoped-query path as the frame-local ones.
+    pub(crate) fn extend_domain(&mut self, k: usize, dom: &mut satb::Domain) {
+        self.ensure(k);
+        let f = &self.frames[k];
+        f.extend_domain_base(self.tpl, dom);
+        for i in 0..self.sys.latches.len() {
+            f.extend_domain(dom, self.tpl.latch_next_cone(i));
+        }
+        f.extend_domain(dom, self.tpl.any_bad_cone());
+    }
+
     /// SAT literal of an individual bad output at frame `k`.
     pub(crate) fn bad_at(&mut self, k: usize, bad_index: usize) -> Lit {
         self.ensure(k);

@@ -89,6 +89,13 @@ impl KInduction {
         // re-encoded and learned clauses persist across iterations.
         let mut pool = crate::bmc::ScratchPool::default();
         let mut sp_acts: Vec<satb::Lit> = Vec::new();
+        // Step-solve decision domain, grown monotonically with the
+        // chain: each new frame contributes its base and cones (the
+        // chain binding makes earlier frames' cones part of the fanin
+        // closure — see `FrameChain::extend_domain`), and each
+        // simple-path group its guard and difference variables.
+        let mut step_dom = satb::Domain::new();
+        let mut dom_frames = 0usize;
         // Broadcast lemmas from the PDR seat strengthen the step
         // premise, but only after passing the admission gate: a frame
         // clause that is not genuinely inductive relative to what we
@@ -156,16 +163,23 @@ impl KInduction {
                 for i in 0..k as usize {
                     step.assert_distinct_scoped(i, k as usize, act, &mut pool, &mut used);
                 }
+                step_dom.insert(act.var());
+                step_dom.extend(used.iter().copied());
                 sp_acts.push(act);
             }
             let bad_step = step.any_bad(k as usize);
+            while dom_frames <= k as usize {
+                step.extend_domain(dom_frames, &mut step_dom);
+                dom_frames += 1;
+            }
             let mut assumptions = vec![bad_step];
             assumptions.extend_from_slice(&sp_acts);
             stats.sat_queries += 1;
-            match step
-                .solver
-                .solve_limited(&assumptions, self.budget.sat_limits(started))
-            {
+            match step.solver.solve_with_domain(
+                &assumptions,
+                self.budget.sat_limits(started),
+                &step_dom,
+            ) {
                 SolveResult::Unsat => {
                     stats.set_solver_stats([base.solver.stats(), step.solver.stats()]);
                     // The base chain verified depths 0..=k and the

@@ -59,6 +59,26 @@
 //! one — so the pipeline is safe under fault injection; the
 //! `invperf` bench binary tracks the end-to-end effect per benchmark.
 //!
+//! # Query scoping
+//!
+//! Engines fire thousands of SAT queries that each touch a small cone
+//! of one big incremental formula, so every query is **cone-
+//! restricted**: the [`aig::TransitionTemplate`] precomputes per-latch
+//! next-state, bad and constraint fanin cones at compile time,
+//! [`aig::FrameVars`] maps them onto solver variables, and the engines
+//! hand the union relevant to each query to
+//! [`satb::Solver::solve_with_domain`], which keeps VSIDS decisions
+//! inside the cone (see the [`satb::domain`] soundness contract). PDR
+//! scopes every relative-induction, lifting and bad-state query to the
+//! obligation cube's cones; the [`parallel`] lemma gate scopes its
+//! consecution checks to the candidate clause's cones; k-induction
+//! threads a chain-wide domain through its step solves (frame binding
+//! makes the closure span the whole chain, so the win there is
+//! structural uniformity, not pruning). The query solver pairs the
+//! domains with chronological backtracking
+//! ([`satb::Solver::set_chrono`]), both A/B-able per worker profile
+//! and measured end to end by the `qperf` bench binary.
+//!
 //! # Example
 //!
 //! ```

@@ -74,7 +74,7 @@ use crate::pdr::{subsumes, Cube, Diversity, PdrRun};
 use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Unknown, Verdict};
 use aig::{AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
-use satb::{Limits, Lit, Part, SolveResult, Solver};
+use satb::{Domain, Limits, Lit, Part, SolveResult, Solver, Var};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
@@ -308,6 +308,13 @@ pub(crate) struct LemmaGate {
     /// answered `false` without a query — the consumer already asserted
     /// an accepted clause the first time.
     seen: HashSet<LatchClause>,
+    /// Query scoping (see [`satb::domain`]): the base vocabulary every
+    /// consecution check needs (latches, inputs, constraint cone) …
+    base_dom: Vec<Var>,
+    /// … plus, per candidate, the next-state cones of its latches.
+    next_cones: Vec<Vec<Var>>,
+    /// Reusable per-check decision domain.
+    dom: Domain,
 }
 
 impl LemmaGate {
@@ -319,6 +326,17 @@ impl LemmaGate {
         for clause in inv {
             solver.add_clause(&clause_on(clause, &vars.latch_cur));
         }
+        let mut dom = Domain::new();
+        vars.extend_domain_base(tpl, &mut dom);
+        let base_dom = dom.vars().to_vec();
+        let next_cones: Vec<Vec<Var>> = (0..sys.latches.len())
+            .map(|i| {
+                dom.clear();
+                vars.extend_domain(&mut dom, tpl.latch_next_cone(i));
+                dom.vars().to_vec()
+            })
+            .collect();
+        dom.clear();
         LemmaGate {
             solver,
             latch_cur: vars.latch_cur,
@@ -326,6 +344,9 @@ impl LemmaGate {
             inits: sys.latches.iter().map(|l| l.init).collect(),
             accepted: Vec::new(),
             seen: HashSet::new(),
+            base_dom,
+            next_cones,
+            dom,
         }
     }
 
@@ -356,7 +377,19 @@ impl LemmaGate {
                 self.latch_next[i]
             });
         }
-        let res = self.solver.solve_limited(&assumptions, limits);
+        // Cone-restricted consecution: decisions stay inside the
+        // candidate's cone of influence. The admission only acts on
+        // UNSAT (unconditionally sound); the Sat side rejects, which
+        // costs at most a lemma, never truth.
+        self.dom.clear();
+        self.dom.extend(self.base_dom.iter().copied());
+        self.dom.extend(assumptions.iter().map(|l| l.var()));
+        for &(i, _) in clause {
+            self.dom.extend(self.next_cones[i].iter().copied());
+        }
+        let res = self
+            .solver
+            .solve_with_domain(&assumptions, limits, &self.dom);
         self.solver.release_activation(act);
         if res == SolveResult::Unsat {
             self.solver.add_clause(&cl);
@@ -514,6 +547,12 @@ fn fold_stats(total: &mut EngineStats, s: &EngineStats) {
     total.depth = total.depth.max(s.depth);
     total.sat_queries += s.sat_queries;
     total.conflicts += s.conflicts;
+    total.decisions += s.decisions;
+    total.propagations += s.propagations;
+    total.domain_decisions += s.domain_decisions;
+    total.domain_skipped += s.domain_skipped;
+    total.chrono_backtracks += s.chrono_backtracks;
+    total.inproc_subsumed += s.inproc_subsumed;
     total.reduces += s.reduces;
     total.deleted += s.deleted;
     total.arena_bytes += s.arena_bytes;

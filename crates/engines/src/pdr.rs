@@ -67,7 +67,7 @@ use crate::result::{Blasted, Budget, CheckOutcome, Checker, EngineStats, Trace, 
 use aig::sim::{Tern, TernarySim};
 use aig::{AigLit, AigSystem, TransitionTemplate};
 use rtlir::TransitionSystem;
-use satb::{Lit, Part, SolveResult, Solver};
+use satb::{Domain, Lit, Part, SolveResult, Solver, Var};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -75,6 +75,15 @@ use std::time::Instant;
 /// A cube: a partial assignment to latches, as (latch index, value)
 /// pairs sorted by index.
 pub(crate) type Cube = Vec<(usize, bool)>;
+
+/// Chronological-backtracking threshold (conflicts whose asserting
+/// level is more than this far below the conflict level step back one
+/// level instead of long-jumping; see [`satb::Solver::set_chrono`]).
+const CHRONO_THRESHOLD: u32 = 100;
+
+/// Maximum counterexamples-to-generalization blocked per literal-drop
+/// attempt in [`PdrRun::shrink`] (rIC3 ctg-down, depth 1).
+const MAX_CTGS: usize = 3;
 
 /// A SAT predecessor: (latch state, input vector) driving into a cube.
 type Predecessor = (Vec<bool>, Vec<bool>);
@@ -156,7 +165,7 @@ impl PartialOrd for QueueEntry {
 }
 
 /// IC3/PDR engine.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Pdr {
     /// Resource limits (`max_depth` bounds the number of frames).
     pub budget: Budget,
@@ -164,12 +173,31 @@ pub struct Pdr {
     /// are published for k-induction / interpolation consumers (see
     /// [`crate::parallel`]).
     pub bus: Option<LemmaPublisher>,
+    /// Cone-restricted query decision domains (on by default; the
+    /// `qperf` benchmark A/Bs this switch).
+    pub domains: bool,
+    /// Chronological backtracking in the query solver (on by default).
+    pub chrono: bool,
+}
+
+impl Default for Pdr {
+    fn default() -> Pdr {
+        Pdr {
+            budget: Budget::default(),
+            bus: None,
+            domains: true,
+            chrono: true,
+        }
+    }
 }
 
 impl Pdr {
     /// Creates a PDR engine with the given budget.
     pub fn new(budget: Budget) -> Pdr {
-        Pdr { budget, bus: None }
+        Pdr {
+            budget,
+            ..Pdr::default()
+        }
     }
 
     /// Attaches a cross-seat lemma publisher.
@@ -196,6 +224,12 @@ pub(crate) struct Diversity {
     pub(crate) lift: bool,
     /// Activity-ordered literal dropping in cube shrink.
     pub(crate) activity: bool,
+    /// Cone-restricted decision domains on every SAT query.
+    pub(crate) domain: bool,
+    /// Chronological backtracking in the query solver.
+    pub(crate) chrono: bool,
+    /// Blocking counterexamples-to-generalization during shrink.
+    pub(crate) ctg: bool,
 }
 
 impl Default for Diversity {
@@ -205,6 +239,9 @@ impl Default for Diversity {
             ternary: true,
             lift: true,
             activity: true,
+            domain: true,
+            chrono: true,
+            ctg: true,
         }
     }
 }
@@ -212,8 +249,8 @@ impl Default for Diversity {
 impl Diversity {
     /// The profile of worker `w`: worker 0 is the tuned default (so a
     /// one-worker pool behaves exactly like solo PDR); each sibling
-    /// disables one generalization dimension, and seeds keep differing
-    /// past four workers.
+    /// disables one generalization dimension plus one solver-side
+    /// heuristic, and seeds keep differing past four workers.
     pub(crate) fn for_worker(w: usize) -> Diversity {
         let base = Diversity {
             seed: w as u64,
@@ -222,14 +259,17 @@ impl Diversity {
         match w % 4 {
             1 => Diversity {
                 lift: false,
+                chrono: false,
                 ..base
             },
             2 => Diversity {
                 ternary: false,
+                domain: false,
                 ..base
             },
             3 => Diversity {
                 activity: false,
+                ctg: false,
                 ..base
             },
             _ => base,
@@ -276,6 +316,19 @@ pub(crate) struct PdrRun<'s> {
     state_t: Vec<Tern>,
     /// Scratch assumption vector (frame tail + query literals).
     assumptions: Vec<Lit>,
+    /// Reusable per-query decision domain (cleared and refilled before
+    /// each solve when `div.domain` is on).
+    dom: Domain,
+    /// Solver variables every query domain starts from: latch
+    /// current-state, primary inputs, and the constraint cone — the
+    /// vocabulary of every frame clause, initial-state unit and
+    /// invariant clause this engine ever asserts.
+    base_dom: Vec<Var>,
+    /// Per-latch next-state fanin cone, mapped to solver variables
+    /// ([`TransitionTemplate::latch_next_cone`] through the frame).
+    next_cones: Vec<Vec<Var>>,
+    /// The union bad cone (every bad output plus the any-bad OR).
+    bad_cone: Vec<Var>,
     /// Scratch target-output list for ternary trials.
     targets: Vec<(AigLit, bool)>,
     stats: EngineStats,
@@ -331,6 +384,25 @@ impl<'s> PdrRun<'s> {
         for clause in inv {
             solver.add_clause(&clause_on(clause, &vars.latch_cur));
         }
+        solver.set_chrono(Some(CHRONO_THRESHOLD));
+        // Precompute the query-scoping sets once per run: the base
+        // vocabulary and the per-latch next-state cones, mapped from
+        // template to solver variables through the instantiated frame.
+        // A scratch domain deduplicates each set.
+        let mut dom = Domain::new();
+        vars.extend_domain_base(tpl, &mut dom);
+        let base_dom = dom.vars().to_vec();
+        let next_cones: Vec<Vec<Var>> = (0..sys.latches.len())
+            .map(|i| {
+                dom.clear();
+                vars.extend_domain(&mut dom, tpl.latch_next_cone(i));
+                dom.vars().to_vec()
+            })
+            .collect();
+        dom.clear();
+        vars.extend_domain(&mut dom, tpl.any_bad_cone());
+        let bad_cone = dom.vars().to_vec();
+        dom.clear();
         let mut run = PdrRun {
             sys,
             inv,
@@ -347,6 +419,10 @@ impl<'s> PdrRun<'s> {
             sim: TernarySim::new(sys),
             state_t: vec![Tern::X; sys.latches.len()],
             assumptions: Vec::new(),
+            dom,
+            base_dom,
+            next_cones,
+            bad_cone,
             targets: Vec::new(),
             stats: EngineStats::default(),
             seq: 0,
@@ -374,6 +450,8 @@ impl<'s> PdrRun<'s> {
     /// Sets the generalization profile (parallel workers diversify).
     pub(crate) fn set_diversity(&mut self, div: Diversity) {
         self.div = div;
+        self.solver
+            .set_chrono(div.chrono.then_some(CHRONO_THRESHOLD));
     }
 
     /// Joins a shared frame store as worker `worker`.
@@ -447,6 +525,47 @@ impl<'s> PdrRun<'s> {
     fn push_frame_tail(&mut self, level: usize) {
         self.assumptions.clear();
         self.assumptions.extend(self.acts[level..].iter().copied());
+    }
+
+    /// Rebuilds the reusable decision domain for the current assumption
+    /// vector: the base vocabulary (latch-current, inputs, constraint
+    /// cone), every assumption variable (frame and query activation
+    /// guards, next-state roots) and the next-state fanin cones of
+    /// `cube`'s latches — exactly the fanin-closed set the
+    /// [`satb::domain`] soundness contract asks for. Blocking clauses
+    /// whose frame guard is below the assumed tail keep an unassigned
+    /// out-of-domain guard literal and can never be falsified, so they
+    /// don't constrain the query.
+    fn fill_query_domain(&mut self, cube: &Cube) {
+        self.dom.clear();
+        self.dom.extend(self.base_dom.iter().copied());
+        self.dom.extend(self.assumptions.iter().map(|l| l.var()));
+        for &(i, _) in cube {
+            self.dom.extend(self.next_cones[i].iter().copied());
+        }
+    }
+
+    /// Rebuilds the reusable decision domain for a bad-state query
+    /// (`F_level ∧ bad`): the base vocabulary, the assumed frame tail
+    /// and the union bad cone.
+    fn fill_bad_domain(&mut self) {
+        self.dom.clear();
+        self.dom.extend(self.base_dom.iter().copied());
+        self.dom.extend(self.assumptions.iter().map(|l| l.var()));
+        self.dom.extend(self.bad_cone.iter().copied());
+    }
+
+    /// Runs the prepared query (`self.assumptions`), cone-restricted
+    /// when the profile enables domains — in which case the caller
+    /// must have filled `self.dom` first.
+    fn solve_prepared(&mut self) -> SolveResult {
+        let limits = self.budget.sat_limits(self.started);
+        if self.div.domain {
+            self.solver
+                .solve_with_domain(&self.assumptions, limits, &self.dom)
+        } else {
+            self.solver.solve_limited(&self.assumptions, limits)
+        }
     }
 
     /// Stores a blocked cube at `level`: one guarded solver clause
@@ -692,8 +811,10 @@ impl<'s> PdrRun<'s> {
             });
         }
         self.stats.sat_queries += 1;
-        let limits = self.budget.sat_limits(self.started);
-        let result = self.solver.solve_limited(&self.assumptions, limits);
+        if self.div.domain {
+            self.fill_query_domain(cube);
+        }
+        let result = self.solve_prepared();
         match result {
             SolveResult::Sat => {
                 let state = self.model_state();
@@ -802,8 +923,25 @@ impl<'s> PdrRun<'s> {
             });
         }
         self.stats.sat_queries += 1;
-        let limits = self.budget.sat_limits(self.started);
-        let result = self.solver.solve_limited(&self.assumptions, limits);
+        if self.div.domain {
+            // Lift queries carry no frame tail; the domain is the base
+            // vocabulary, the assumption variables, and the target's
+            // cone (the parent's next-state cones, or the bad cone for
+            // root obligations). Only the UNSAT side is ever used, so a
+            // domain-Sat merely skips the lift — sound either way.
+            self.dom.clear();
+            self.dom.extend(self.base_dom.iter().copied());
+            self.dom.extend(self.assumptions.iter().map(|l| l.var()));
+            match parent {
+                Some(p) => {
+                    for &(i, _) in p {
+                        self.dom.extend(self.next_cones[i].iter().copied());
+                    }
+                }
+                None => self.dom.extend(self.bad_cone.iter().copied()),
+            }
+        }
+        let result = self.solve_prepared();
         let mut lifted: Option<Cube> = None;
         if result == SolveResult::Unsat {
             let failed = self.solver.failed_assumptions();
@@ -883,27 +1021,58 @@ impl<'s> PdrRun<'s> {
                 order.sort_by_key(|&p| mix(seed, cube[p].0 as u64));
             }
             let mut progressed = false;
-            for &pos in &order {
-                if let Some(u) = self.budget.interruption(self.started) {
-                    return Err(u);
-                }
+            'drops: for &pos in &order {
                 let mut candidate = cube.clone();
                 candidate.remove(pos);
                 if self.cube_intersects_init(&candidate) {
                     continue;
                 }
-                match self.query_relative(&candidate, level) {
-                    RelQuery::Blocked(core) => {
-                        cube = if self.cube_intersects_init(&core) {
-                            candidate
-                        } else {
-                            core
-                        };
-                        progressed = true;
-                        break;
+                // A failed drop yields a counterexample-to-
+                // generalization: a state of `F_{level-1}` that steps
+                // into the candidate. ctg-down (rIC3 `mic.rs` style,
+                // depth 1) tries to block up to [`MAX_CTGS`] of them
+                // one frame down — each success strengthens
+                // `F_{level-1}`, so retrying the same drop often turns
+                // it inductive.
+                let mut ctgs = 0;
+                loop {
+                    if let Some(u) = self.budget.interruption(self.started) {
+                        return Err(u);
                     }
-                    RelQuery::Pred(_) => {}
-                    RelQuery::Stopped(u) => return Err(u),
+                    match self.query_relative(&candidate, level) {
+                        RelQuery::Blocked(core) => {
+                            cube = if self.cube_intersects_init(&core) {
+                                candidate
+                            } else {
+                                core
+                            };
+                            progressed = true;
+                            break 'drops;
+                        }
+                        RelQuery::Pred((state, _inputs)) => {
+                            if !self.div.ctg || level <= 1 || ctgs >= MAX_CTGS {
+                                break;
+                            }
+                            ctgs += 1;
+                            let ctg = Self::state_to_cube(&state);
+                            if self.cube_intersects_init(&ctg) {
+                                break;
+                            }
+                            match self.query_relative(&ctg, level - 1) {
+                                RelQuery::Blocked(core) => {
+                                    let core = if self.cube_intersects_init(&core) {
+                                        ctg
+                                    } else {
+                                        core
+                                    };
+                                    self.add_blocked(core, level - 1);
+                                }
+                                RelQuery::Pred(_) => break,
+                                RelQuery::Stopped(u) => return Err(u),
+                            }
+                        }
+                        RelQuery::Stopped(u) => return Err(u),
+                    }
                 }
             }
             if !progressed {
@@ -1128,8 +1297,10 @@ impl<'s> PdrRun<'s> {
         self.stats.sat_queries += 1;
         self.push_frame_tail(0);
         self.assumptions.push(self.bad_lit);
-        let limits = self.budget.sat_limits(started);
-        match self.solver.solve_limited(&self.assumptions, limits) {
+        if self.div.domain {
+            self.fill_bad_domain();
+        }
+        match self.solve_prepared() {
             SolveResult::Sat => {
                 let trace = Trace {
                     states: vec![self.model_state()],
@@ -1163,8 +1334,10 @@ impl<'s> PdrRun<'s> {
             self.stats.sat_queries += 1;
             self.push_frame_tail(max_level);
             self.assumptions.push(self.bad_lit);
-            let limits = self.budget.sat_limits(started);
-            match self.solver.solve_limited(&self.assumptions, limits) {
+            if self.div.domain {
+                self.fill_bad_domain();
+            }
+            match self.solve_prepared() {
                 SolveResult::Sat => {
                     let state = self.model_state();
                     let bad_inputs = self.model_inputs();
@@ -1251,6 +1424,11 @@ impl Pdr {
         inv: &[LatchClause],
     ) -> CheckOutcome {
         let mut run = PdrRun::new(sys, tpl, inv, self.budget.clone());
+        run.set_diversity(Diversity {
+            domain: self.domains,
+            chrono: self.chrono,
+            ..Diversity::default()
+        });
         if let Some(bus) = &self.bus {
             run.attach_bus(bus.clone());
         }

@@ -159,6 +159,21 @@ pub struct EngineStats {
     pub sat_queries: u64,
     /// Total conflicts across all SAT queries.
     pub conflicts: u64,
+    /// Total decisions across all SAT queries.
+    pub decisions: u64,
+    /// Total literal propagations across all SAT queries.
+    pub propagations: u64,
+    /// Decisions taken inside a per-query domain
+    /// ([`satb::Solver::solve_with_domain`]).
+    pub domain_decisions: u64,
+    /// Heap pops skipped because the variable was outside the query
+    /// domain (a direct measure of the branching work scoping avoids).
+    pub domain_skipped: u64,
+    /// Conflicts resolved by a one-level chronological backtrack
+    /// instead of the full jump ([`satb::Solver::set_chrono`]).
+    pub chrono_backtracks: u64,
+    /// Original clauses removed by inprocessing backward subsumption.
+    pub inproc_subsumed: u64,
     /// Learned-clause reduction passes across all SAT solvers used.
     pub reduces: u64,
     /// Learned clauses deleted by reduction across all SAT solvers.
@@ -210,6 +225,12 @@ impl EngineStats {
     /// that live to the end of the run).
     pub fn absorb_solver(&mut self, s: &satb::Stats) {
         self.conflicts += s.conflicts;
+        self.decisions += s.decisions;
+        self.propagations += s.propagations;
+        self.domain_decisions += s.domain_decisions;
+        self.domain_skipped += s.domain_skipped;
+        self.chrono_backtracks += s.chrono_backtracks;
+        self.inproc_subsumed += s.inproc_subsumed;
         self.reduces += s.reduces;
         self.deleted += s.deleted;
         self.arena_bytes += s.arena_bytes;
@@ -223,6 +244,12 @@ impl EngineStats {
     /// queries, ternary drops) are untouched.
     pub fn set_solver_stats<I: IntoIterator<Item = satb::Stats>>(&mut self, solvers: I) {
         self.conflicts = 0;
+        self.decisions = 0;
+        self.propagations = 0;
+        self.domain_decisions = 0;
+        self.domain_skipped = 0;
+        self.chrono_backtracks = 0;
+        self.inproc_subsumed = 0;
         self.reduces = 0;
         self.deleted = 0;
         self.arena_bytes = 0;

@@ -1,0 +1,187 @@
+//! Per-query decision domains ("query scoping").
+//!
+//! A bounded-model-checking or IC3/PDR query touches only the cone of
+//! influence of the cube it assumes, yet an unrestricted CDCL search
+//! happily decides variables the query's constraints cannot see: VSIDS
+//! picks whatever is globally active, and every such decision drags
+//! propagation through clauses that are irrelevant to the answer. A
+//! [`Domain`] is the antidote — the set of variables one
+//! [`solve_with_domain`](crate::Solver::solve_with_domain) call is
+//! allowed to *decide*. Out-of-domain variables may still be assigned
+//! by unit propagation (their clauses stay attached, so no soundness
+//! is lost on the UNSAT side), but the search never branches on them,
+//! and the call answers `Sat` as soon as every in-domain variable is
+//! assigned, leaving the rest unassigned in the model.
+//!
+//! # Soundness contract
+//!
+//! The caller picks the domain, and `Sat` answers are only meaningful
+//! when the partial assignment is guaranteed extendable to a full
+//! model. The structural conditions engines rely on (see the `aig`
+//! crate's cone maps):
+//!
+//! * the domain is **fanin-closed** over the gate structure: every
+//!   in-domain Tseitin output has its fanin variables in the domain,
+//!   so in-domain gate values are functionally consistent and the
+//!   out-of-domain remainder can be evaluated topologically;
+//! * every clause the solver holds that is *not* part of the gate
+//!   structure (blocked-cube lemmas, initial-state units, constraint
+//!   units) has all its variables in the domain;
+//! * every assumption variable is in the domain (guard/activation
+//!   variables of assumed groups included).
+//!
+//! `Unsat` answers need no conditions: restricting decisions can only
+//! prune models, never invent refutations.
+//!
+//! # Representation
+//!
+//! Membership is a generation-stamped array — [`clear`](Domain::clear)
+//! is O(1), so one `Domain` can be refilled for every query of a dense
+//! query sequence (PDR issues thousands) without touching the stamp
+//! vector. The insertion-ordered variable list is kept alongside for
+//! iteration and sizing.
+
+use crate::lit::Var;
+
+/// The set of variables one solve call may branch on.
+///
+/// See the [module docs](self) for semantics and the soundness
+/// contract. Build once, [`clear`](Domain::clear) and refill per
+/// query:
+///
+/// ```
+/// use satb::{Domain, Limits, Lit, SolveResult, Solver};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+///
+/// let mut dom = Domain::new();
+/// dom.insert(a);
+/// dom.insert(b);
+/// assert_eq!(
+///     s.solve_with_domain(&[Lit::neg(a)], Limits::default(), &dom),
+///     SolveResult::Sat
+/// );
+/// assert_eq!(s.value(Lit::pos(b)), Some(true));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Domain {
+    /// Generation stamp per variable index: `v` is a member iff
+    /// `stamp[v] == gen`.
+    stamp: Vec<u32>,
+    gen: u32,
+    /// Members in insertion order.
+    vars: Vec<Var>,
+}
+
+impl Default for Domain {
+    fn default() -> Domain {
+        Domain::new()
+    }
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Domain {
+        Domain {
+            stamp: Vec::new(),
+            gen: 1,
+            vars: Vec::new(),
+        }
+    }
+
+    /// Empties the domain in O(1) (bumps the generation; the stamp
+    /// array is reused, so refilling per query never reallocates).
+    pub fn clear(&mut self) {
+        self.vars.clear();
+        if self.gen == u32::MAX {
+            // One full wrap every 2^32 - 1 clears: reset the stamps so
+            // stale generations can never read as current again.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+    }
+
+    /// Adds a variable (idempotent).
+    pub fn insert(&mut self, v: Var) {
+        let i = v.index();
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+        }
+        if self.stamp[i] != self.gen {
+            self.stamp[i] = self.gen;
+            self.vars.push(v);
+        }
+    }
+
+    /// Adds every variable of an iterator.
+    pub fn extend(&mut self, vars: impl IntoIterator<Item = Var>) {
+        for v in vars {
+            self.insert(v);
+        }
+    }
+
+    /// Whether `v` is in the domain. Variables beyond the largest ever
+    /// inserted are simply absent, so a domain built for a prefix of
+    /// the solver's variables keeps working as the solver grows.
+    #[inline]
+    pub fn contains(&self, v: Var) -> bool {
+        self.stamp.get(v.index()).copied() == Some(self.gen)
+    }
+
+    /// Number of member variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// The member variables, in insertion order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_clear() {
+        let mut d = Domain::new();
+        assert!(d.is_empty());
+        let v3 = Var::from_index(3);
+        let v7 = Var::from_index(7);
+        d.insert(v3);
+        d.insert(v7);
+        d.insert(v3); // idempotent
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(v3) && d.contains(v7));
+        assert!(!d.contains(Var::from_index(0)));
+        assert!(!d.contains(Var::from_index(100))); // beyond stamp
+        assert_eq!(d.vars(), &[v3, v7]);
+        d.clear();
+        assert!(d.is_empty());
+        assert!(!d.contains(v3) && !d.contains(v7));
+        d.insert(v7);
+        assert!(d.contains(v7) && !d.contains(v3));
+    }
+
+    #[test]
+    fn generation_wrap_resets_stamps() {
+        let mut d = Domain::new();
+        d.insert(Var::from_index(1));
+        d.gen = u32::MAX; // simulate 2^32 clears
+        d.clear();
+        assert_eq!(d.gen, 1);
+        assert!(!d.contains(Var::from_index(1)));
+        d.insert(Var::from_index(2));
+        assert!(d.contains(Var::from_index(2)));
+    }
+}

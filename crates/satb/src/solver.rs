@@ -1,6 +1,7 @@
 //! The CDCL solver.
 
 use crate::cdb::{CRef, ClauseDb};
+use crate::domain::Domain;
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::{ClauseId, Part, Proof, ProofClause, ResStep};
 use std::collections::{HashMap, HashSet};
@@ -158,6 +159,22 @@ pub struct Stats {
     /// Faults injected by [`Limits::chaos`] (each one surfaced as an
     /// [`Interrupt::Cancelled`] answer).
     pub chaos_injected: u64,
+    /// Conflicts resolved by a one-level chronological backtrack
+    /// instead of the full non-chronological jump (see
+    /// [`Solver::set_chrono`]).
+    pub chrono_backtracks: u64,
+    /// Decisions made on in-domain variables during
+    /// [`Solver::solve_with_domain`] calls.
+    pub domain_decisions: u64,
+    /// Out-of-domain variables the decision heuristic popped and
+    /// parked during [`Solver::solve_with_domain`] calls (each is
+    /// parked at most once per call — the work a plain solve would
+    /// have spent branching outside the cone).
+    pub domain_skipped: u64,
+    /// Original clauses deleted by inprocessing because a learned
+    /// clause subsumed them (the learned clause is promoted in their
+    /// place).
+    pub inproc_subsumed: u64,
 }
 
 /// Learned-clause reduction policy.
@@ -294,6 +311,23 @@ impl VarHeap {
         self.pos[self.heap[i].index()] = i as i32;
         self.pos[self.heap[j].index()] = j as i32;
     }
+    /// Replaces the heap contents with exactly the given variables in
+    /// one O(n) bottom-up heapify — cheaper than n sift-up inserts
+    /// (O(n log n)) when rebuilding the whole decision pool, e.g.
+    /// after preprocessing renumbers the live variable set.
+    fn rebuild(&mut self, vars: impl IntoIterator<Item = Var>, act: &[f64]) {
+        self.heap.clear();
+        for p in &mut self.pos {
+            *p = -1;
+        }
+        for v in vars {
+            self.pos[v.index()] = self.heap.len() as i32;
+            self.heap.push(v);
+        }
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i, act);
+        }
+    }
 }
 
 /// A CDCL SAT solver (see the [crate docs](crate) for an overview).
@@ -373,6 +407,16 @@ pub struct Solver {
     /// [`Chaos`] threshold so injected faults vary across calls but
     /// replay deterministically.
     chaos_epoch: u64,
+    /// Chronological-backtracking threshold (see
+    /// [`set_chrono`](Solver::set_chrono)); `None` disables it.
+    chrono: Option<u32>,
+    /// Out-of-domain variables popped off the decision heap during a
+    /// domain-restricted solve; restored to the heap when the call
+    /// returns. Parking them (instead of re-inserting immediately)
+    /// means each is popped at most once per call.
+    dom_stash: Vec<Var>,
+    /// Learned-clause count that triggers the next inprocessing pass.
+    next_inproc: u64,
 }
 
 /// Clauses of one abandoned activation release, kept until the sweep
@@ -440,6 +484,9 @@ impl Solver {
             elim_mask: Vec::new(),
             recon_scratch: Vec::new(),
             chaos_epoch: 0,
+            chrono: None,
+            dom_stash: Vec::new(),
+            next_inproc: Self::INPROC_INTERVAL,
         }
     }
 
@@ -491,6 +538,27 @@ impl Solver {
         let mut cfg = self.reduce;
         cfg.enabled = enabled;
         self.set_reduce_config(cfg);
+    }
+
+    /// Additional learned clauses between inprocessing passes.
+    const INPROC_INTERVAL: u64 = 500;
+
+    /// Sets the chronological-backtracking threshold: on a conflict
+    /// whose asserting level is more than `threshold` levels below the
+    /// conflict level, backtrack a single level instead of jumping all
+    /// the way down — the intervening assignments are usually still
+    /// consistent, and dense incremental query sequences (IC3/PDR)
+    /// re-derive them constantly otherwise. `None` (the default)
+    /// restores classic non-chronological backjumping. Unit learned
+    /// clauses always jump to level 0 regardless (they must be
+    /// asserted at the root). Counted in [`Stats::chrono_backtracks`].
+    pub fn set_chrono(&mut self, threshold: Option<u32>) {
+        self.chrono = threshold;
+    }
+
+    /// The current chronological-backtracking threshold.
+    pub fn chrono(&self) -> Option<u32> {
+        self.chrono
     }
 
     /// Creates `n` fresh variables and returns the first one. The
@@ -667,14 +735,13 @@ impl Solver {
         self.model.clear();
         self.failed.clear();
         // Eliminated variables leave the decision pool; everyone else
-        // re-enters the heap.
-        self.heap = VarHeap::default();
+        // re-enters the heap via one O(n) bottom-up rebuild (not n
+        // sift-up inserts over a worst-case ordered activity array).
         self.heap.ensure(self.assigns.len());
-        for i in 0..self.assigns.len() {
-            if !res.eliminated[i] {
-                self.heap.insert(Var::from_index(i), &self.activity);
-            }
-        }
+        let live = (0..self.assigns.len())
+            .filter(|&i| !res.eliminated[i])
+            .map(Var::from_index);
+        self.heap.rebuild(live, &self.activity);
         self.recon = if res.recon.is_empty() {
             None
         } else {
@@ -1507,6 +1574,113 @@ impl Solver {
         })
     }
 
+    /// Lightweight inprocessing, run between solve calls at level 0:
+    /// backward subsumption of the *original* image by learned
+    /// clauses. A learned clause whose literals are a subset of an
+    /// original's makes that original redundant — common in
+    /// incremental model checking, where the search keeps re-deriving
+    /// sharper versions of the transition-relation clauses it actually
+    /// uses. The subsumed original is deleted and the learned clause
+    /// is **promoted to original status** in its place, so a later
+    /// reduction pass can never drop the only remaining copy of the
+    /// constraint. Counted in [`Stats::inproc_subsumed`].
+    ///
+    /// Skipped whenever the bookkeeping could be invalidated: proof
+    /// logging (original clauses anchor resolution chains), live or
+    /// leaked activation groups (their registries hold `CRef`s into
+    /// the original registry), or an inconsistent solver. Clauses
+    /// serving as level-0 reasons are never removed.
+    fn inprocess(&mut self) {
+        debug_assert!(self.trail_lim.is_empty(), "inprocessing above level 0");
+        if self.proof.is_some()
+            || !self.ok
+            || !self.act_entries.is_empty()
+            || !self.leaked.is_empty()
+        {
+            return;
+        }
+        let learnts: Vec<CRef> = self.cdb.learnts().to_vec();
+        if learnts.is_empty() {
+            return;
+        }
+        // Signature: a 64-bit Bloom word over variable indices; L can
+        // only subsume O when sig(L) & !sig(O) == 0.
+        let sig = |db: &ClauseDb, c: CRef| {
+            db.lits(c)
+                .iter()
+                .fold(0u64, |s, l| s | 1u64 << (l.var().index() % 64))
+        };
+        // Occurrence lists over the original image, each entry
+        // carrying the clause's signature and size so most candidates
+        // are rejected without touching its literals.
+        let mut occ: Vec<Vec<(CRef, u64, u32)>> = vec![Vec::new(); 2 * self.num_vars()];
+        for &c in self.cdb.originals() {
+            let s = sig(&self.cdb, c);
+            let n = self.cdb.size(c) as u32;
+            if n < 2 {
+                continue; // a unit original is subsumable only by its twin
+            }
+            for &l in self.cdb.lits(c) {
+                occ[l.code()].push((c, s, n));
+            }
+        }
+        // Mark-based subset test over unsorted literal arrays.
+        let mut mark = vec![0u32; 2 * self.num_vars()];
+        let mut gen = 0u32;
+        let mut doomed: Vec<CRef> = Vec::new();
+        for &lc in &learnts {
+            if self.cdb.is_deleted(lc) || !self.cdb.is_learnt(lc) {
+                continue; // deleted earlier, or already promoted
+            }
+            let lsig = sig(&self.cdb, lc);
+            let lsize = self.cdb.size(lc) as u32;
+            // Probe the shortest occurrence list among L's literals.
+            let Some(&probe) = self.cdb.lits(lc).iter().min_by_key(|l| occ[l.code()].len()) else {
+                continue;
+            };
+            gen += 1;
+            for &l in self.cdb.lits(lc) {
+                mark[l.code()] = gen;
+            }
+            let mut promoted = false;
+            for i in 0..occ[probe.code()].len() {
+                let (oc, osig, osize) = occ[probe.code()][i];
+                if osize < lsize || lsig & !osig != 0 || self.cdb.is_deleted(oc) {
+                    continue;
+                }
+                // L ⊆ O iff every one of O's marked literals accounts
+                // for one of L's (both are duplicate-free).
+                let hits = self
+                    .cdb
+                    .lits(oc)
+                    .iter()
+                    .filter(|l| mark[l.code()] == gen)
+                    .count() as u32;
+                if hits < lsize {
+                    continue;
+                }
+                if self.is_reason_clause(oc) {
+                    continue; // deleting it would dangle the trail
+                }
+                self.detach(oc);
+                self.cdb.free(oc);
+                doomed.push(oc);
+                self.stats.inproc_subsumed += 1;
+                if !promoted {
+                    self.cdb.promote_to_original(lc);
+                    promoted = true;
+                }
+            }
+        }
+        if !doomed.is_empty() {
+            doomed.sort_unstable();
+            self.cdb.remove_from_registry(false, &doomed);
+            if self.cdb.should_collect() {
+                self.collect_garbage();
+            }
+        }
+    }
+
     /// Learned-clause reduction: deletes the worse half of the
     /// deletable learned clauses (high LBD, low activity), keeping
     /// binary, glue and locked clauses, then compacts the arena when
@@ -1606,6 +1780,15 @@ impl Solver {
         self.collect_garbage();
     }
 
+    /// Runs an inprocessing pass immediately (test hook; normal
+    /// operation triggers it from the learned-clause count at solve
+    /// entry).
+    #[doc(hidden)]
+    pub fn debug_force_inprocess(&mut self) {
+        self.backtrack(0);
+        self.inprocess();
+    }
+
     /// Replays every live clause against the current watch lists and
     /// reasons, checking referential integrity (test hook).
     #[doc(hidden)]
@@ -1645,11 +1828,26 @@ impl Solver {
         }
     }
 
-    fn pick_branch(&mut self) -> Option<Lit> {
+    /// Picks the next decision literal. Under a domain, out-of-domain
+    /// variables popped off the heap are parked in `dom_stash` (not
+    /// re-inserted, so each is popped at most once per call) and the
+    /// search is over once the heap holds no in-domain variable —
+    /// every unassigned variable is always in the heap or the stash,
+    /// so an empty pop means the domain is fully assigned.
+    fn pick_branch(&mut self, domain: Option<&Domain>) -> Option<Lit> {
         while let Some(v) = self.heap.pop(&self.activity) {
-            if self.assigns[v.index()] == LBool::Undef {
-                return Some(Lit::new(v, self.phase[v.index()]));
+            if self.assigns[v.index()] != LBool::Undef {
+                continue;
             }
+            if let Some(d) = domain {
+                if !d.contains(v) {
+                    self.dom_stash.push(v);
+                    self.stats.domain_skipped += 1;
+                    continue;
+                }
+                self.stats.domain_decisions += 1;
+            }
+            return Some(Lit::new(v, self.phase[v.index()]));
         }
         None
     }
@@ -1703,6 +1901,47 @@ impl Solver {
 
     /// Solves under assumptions with resource limits.
     pub fn solve_limited(&mut self, assumptions: &[Lit], limits: Limits) -> SolveResult {
+        self.solve_core(assumptions, limits, None)
+    }
+
+    /// Solves under assumptions and limits, restricting decisions to
+    /// `domain` (see the crate docs' "Query scoping" section and the
+    /// [`crate::domain`] module for the soundness contract). The call
+    /// answers `Sat` as soon as every in-domain variable is assigned;
+    /// out-of-domain variables may be left unassigned, in which case
+    /// [`value`](Solver::value) returns `None` for them. Every
+    /// assumption variable must be in the domain. `Unsat` answers and
+    /// failed-assumption cores carry no extra conditions.
+    pub fn solve_with_domain(
+        &mut self,
+        assumptions: &[Lit],
+        limits: Limits,
+        domain: &Domain,
+    ) -> SolveResult {
+        debug_assert!(
+            assumptions.iter().all(|l| domain.contains(l.var())),
+            "assumption variable outside the query domain"
+        );
+        let r = self.solve_core(assumptions, limits, Some(domain));
+        // Single restore point covering every exit path of the core
+        // (Sat, Unsat, limits, cancellation, injected faults): parked
+        // variables re-enter the decision heap so later calls — with
+        // another domain or none — see the full pool again. `insert`
+        // is idempotent, so a parked variable that was propagated and
+        // then re-inserted by the final backtrack is not duplicated.
+        while let Some(v) = self.dom_stash.pop() {
+            self.heap.insert(v, &self.activity);
+        }
+        r
+    }
+
+    fn solve_core(
+        &mut self,
+        assumptions: &[Lit],
+        limits: Limits,
+        domain: Option<&Domain>,
+    ) -> SolveResult {
+        debug_assert!(self.dom_stash.is_empty(), "stale domain stash");
         self.backtrack(0);
         self.sweep_leaked();
         self.model.clear();
@@ -1722,6 +1961,10 @@ impl Solver {
             self.derive_empty_from(confl);
             self.ok = false;
             return SolveResult::Unsat;
+        }
+        if self.stats.learned >= self.next_inproc {
+            self.next_inproc = self.stats.learned + Self::INPROC_INTERVAL;
+            self.inprocess();
         }
 
         let limit_base = self.stats.conflicts;
@@ -1757,7 +2000,22 @@ impl Solver {
                     .proof
                     .as_ref()
                     .map_or(ClauseId(0), |p| ClauseId((p.len() - 1) as u32));
-                self.backtrack(bt);
+                // Chronological backtracking: when the asserting level
+                // is far below the conflict level, the intervening
+                // levels are usually still consistent with the learnt
+                // clause — step back one level and keep them instead
+                // of re-deriving the whole prefix. Unit learnt clauses
+                // are exempt: they carry no second watch and must be
+                // asserted at level 0, or the constraint would be
+                // silently lost on the next backtrack.
+                let jump = match self.chrono {
+                    Some(t) if learnt.len() > 1 && self.decision_level() - bt > t => {
+                        self.stats.chrono_backtracks += 1;
+                        self.decision_level() - 1
+                    }
+                    _ => bt,
+                };
+                self.backtrack(jump);
                 let asserting = learnt[0];
                 let cref = self.learn(learnt, pid);
                 debug_assert_eq!(self.lit_value(asserting), LBool::Undef);
@@ -1817,7 +2075,7 @@ impl Solver {
                     Some(a) => Some(a),
                     None => {
                         self.stats.decisions += 1;
-                        self.pick_branch()
+                        self.pick_branch(domain)
                     }
                 };
                 match decision {
@@ -2626,5 +2884,331 @@ mod tests {
                 assert_eq!(got, want, "cnf {cnf:?} assumptions {assumptions:?}");
             }
         }
+    }
+
+    /// Random AND-gate circuits: a solve restricted to the fanin cone
+    /// of a probed signal must agree with the unrestricted solve on
+    /// every verdict, keep failed-assumption cores inside the domain,
+    /// and leave a partial model that extends functionally over the
+    /// out-of-cone remainder.
+    #[test]
+    fn domain_restricted_agrees_on_random_circuits() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD0_2016);
+        for round in 0..300 {
+            let nleaves = rng.gen_range(2..=5usize);
+            let ngates = rng.gen_range(1..=12usize);
+            let mut s = Solver::new();
+            let mut twin = Solver::new();
+            for _ in 0..(nleaves + ngates) {
+                s.new_var();
+                twin.new_var();
+            }
+            // Gate g (variable nleaves + g) is the AND of two earlier
+            // signals with random polarities, Tseitin-encoded.
+            let mut fanins: Vec<(Lit, Lit)> = Vec::new();
+            for g in 0..ngates {
+                let mut pick = || {
+                    let v = rng.gen_range(0..nleaves + g);
+                    Lit::new(Var::from_index(v), rng.gen_bool(0.5))
+                };
+                let (a, b) = (pick(), pick());
+                let o = Lit::pos(Var::from_index(nleaves + g));
+                for solver in [&mut s, &mut twin] {
+                    solver.add_clause(&[!o, a]);
+                    solver.add_clause(&[!o, b]);
+                    solver.add_clause(&[!a, !b, o]);
+                }
+                fanins.push((a, b));
+            }
+            // The domain is the fanin-closed cone of a random root.
+            let root = rng.gen_range(0..nleaves + ngates);
+            let mut dom = Domain::new();
+            let mut stack = vec![root];
+            while let Some(v) = stack.pop() {
+                if dom.contains(Var::from_index(v)) {
+                    continue;
+                }
+                dom.insert(Var::from_index(v));
+                if v >= nleaves {
+                    let (a, b) = fanins[v - nleaves];
+                    stack.push(a.var().index());
+                    stack.push(b.var().index());
+                }
+            }
+            let cone: Vec<Var> = dom.vars().to_vec();
+            let assumptions: Vec<Lit> = (0..rng.gen_range(1..=3usize))
+                .map(|_| {
+                    let v = cone[rng.gen_range(0..cone.len())];
+                    Lit::new(v, rng.gen_bool(0.5))
+                })
+                .collect();
+            let rd = s.solve_with_domain(&assumptions, Limits::default(), &dom);
+            let ru = twin.solve_with(&assumptions);
+            assert_eq!(rd, ru, "round {round}");
+            match rd {
+                SolveResult::Sat => {
+                    // Extend the partial model functionally (unassigned
+                    // leaves default to false) and check it against the
+                    // in-domain assignment and the assumptions.
+                    let mut vals = vec![false; nleaves + ngates];
+                    for (i, val) in vals.iter_mut().enumerate().take(nleaves) {
+                        *val = s.value(Lit::pos(Var::from_index(i))) == Some(true);
+                    }
+                    for g in 0..ngates {
+                        let (a, b) = fanins[g];
+                        let hold = |l: Lit| vals[l.var().index()] == l.is_positive();
+                        let f = hold(a) && hold(b);
+                        let gv = Var::from_index(nleaves + g);
+                        if dom.contains(gv) {
+                            // In-domain gates are fanin-closed, so the
+                            // partial model must already agree with the
+                            // functional evaluation.
+                            assert_eq!(s.value(Lit::pos(gv)), Some(f), "round {round} gate {g}");
+                        }
+                        vals[nleaves + g] = f;
+                    }
+                    for &a in &assumptions {
+                        assert_eq!(vals[a.var().index()], a.is_positive(), "round {round}");
+                    }
+                    for &v in &cone {
+                        assert!(s.value(Lit::pos(v)).is_some(), "in-domain var unassigned");
+                    }
+                }
+                SolveResult::Unsat => {
+                    let core = s.failed_assumptions();
+                    assert!(
+                        core.iter().all(|l| dom.contains(l.var())),
+                        "round {round}: core escapes the domain"
+                    );
+                }
+                SolveResult::Unknown(_) => unreachable!(),
+            }
+            // The solver stays usable unrestricted afterwards.
+            assert_eq!(s.solve(), twin.solve(), "round {round} post-solve");
+        }
+    }
+
+    #[test]
+    fn chrono_backtracking_agrees_with_nonchrono() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC4040);
+        let mut fired = 0u64;
+        for round in 0..200 {
+            let nvars = rng.gen_range(6..=12usize);
+            let nclauses = rng.gen_range(15..=50usize);
+            let mut a = if round % 2 == 0 {
+                Solver::new()
+            } else {
+                Solver::with_proof()
+            };
+            // Threshold 0: every non-unit conflict backtracks one level.
+            a.set_chrono(Some(0));
+            let mut b = Solver::new();
+            for _ in 0..nvars {
+                a.new_var();
+                b.new_var();
+            }
+            let mut cnf: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..nclauses {
+                let len = rng.gen_range(2..=4usize);
+                let cl: Vec<Lit> = (0..len)
+                    .map(|_| Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5)))
+                    .collect();
+                a.add_clause(&cl);
+                b.add_clause(&cl);
+                cnf.push(cl);
+            }
+            for _ in 0..3 {
+                let assumptions: Vec<Lit> = (0..rng.gen_range(0..=2usize))
+                    .map(|_| Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5)))
+                    .collect();
+                let ra = a.solve_with(&assumptions);
+                assert_eq!(ra, b.solve_with(&assumptions), "round {round}");
+                if ra == SolveResult::Sat {
+                    for cl in &cnf {
+                        assert!(
+                            cl.iter().any(|&l| a.value(l) == Some(true)),
+                            "chrono model violates clause {cl:?}"
+                        );
+                    }
+                }
+            }
+            if a.proof_logging() {
+                a.debug_verify_proof().expect("valid proof under chrono");
+            }
+            fired += a.stats().chrono_backtracks;
+        }
+        assert!(fired > 0, "chronological backtracking never exercised");
+
+        // A hard refutation with a moderate threshold: same verdict,
+        // and the short backtracks actually happen.
+        let mut s = Solver::with_proof();
+        s.set_chrono(Some(2));
+        pigeonhole(&mut s, 7);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().chrono_backtracks > 0);
+        s.debug_verify_proof()
+            .expect("pigeonhole proof under chrono");
+    }
+
+    #[test]
+    fn chaos_mid_domain_solve_leaves_solver_clean() {
+        // Phase A: pigeonhole PHP(9,8) (UNSAT, needs far more than
+        // `period` conflicts) under a domain covering the pigeonhole
+        // block, with out-of-domain ballast variables alongside. Every
+        // injected cancellation must leave the stash drained and the
+        // clause structures intact, and the retries must still refute.
+        let chaos = Chaos { seed: 7, period: 4 };
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8);
+        s.set_chrono(Some(4));
+        let mut dom = Domain::new();
+        dom.extend((0..s.num_vars()).map(Var::from_index));
+        for _ in 0..16 {
+            s.new_var(); // ballast the domain excludes
+        }
+        let limits = Limits {
+            chaos: Some(chaos),
+            ..Limits::default()
+        };
+        let mut injected = 0;
+        loop {
+            match s.solve_with_domain(&[], limits.clone(), &dom) {
+                SolveResult::Unknown(Interrupt::Cancelled) => {
+                    injected += 1;
+                    assert!(s.dom_stash.is_empty(), "stash must drain on every exit");
+                    s.debug_check_integrity()
+                        .expect("intact after injected fault");
+                }
+                SolveResult::Unsat if injected > 0 => break,
+                r => panic!("unexpected chaos-run answer {r:?} after {injected} faults"),
+            }
+            if injected > 10_000 {
+                assert_eq!(
+                    s.solve_with_domain(&[], Limits::default(), &dom),
+                    SolveResult::Unsat
+                );
+                break;
+            }
+        }
+        assert!(injected >= 1, "chaos never fired");
+        assert!(s.dom_stash.is_empty());
+
+        // Phase B: a satisfiable instance checks the Sat-side domain
+        // semantics — in-domain variables assigned, unconstrained
+        // ballast left unassigned but returned to the decision pool.
+        let mut t = Solver::new();
+        let x: Vec<Lit> = (0..3).map(|i| lit(&mut t, i, true)).collect();
+        t.add_clause(&[x[0], x[1], x[2]]);
+        t.add_clause(&[x[0], !x[1], !x[2]]);
+        t.add_clause(&[!x[0], x[1], !x[2]]);
+        t.add_clause(&[!x[0], !x[1], x[2]]);
+        let mut tdom = Domain::new();
+        tdom.extend((0..3).map(Var::from_index));
+        let ballast: Vec<Var> = (0..16).map(|_| t.new_var()).collect();
+        assert_eq!(
+            t.solve_with_domain(&[], Limits::default(), &tdom),
+            SolveResult::Sat
+        );
+        for v in tdom.vars() {
+            assert!(t.value(Lit::pos(*v)).is_some());
+        }
+        for &v in &ballast {
+            assert_eq!(t.value(Lit::pos(v)), None, "ballast must stay unassigned");
+        }
+        assert_eq!(t.solve(), SolveResult::Sat);
+        for &v in &ballast {
+            assert!(t.value(Lit::pos(v)).is_some(), "ballast lost from heap");
+        }
+        t.debug_check_integrity().expect("intact at the end");
+    }
+
+    #[test]
+    fn inprocessing_promotes_subsuming_learnt() {
+        let mut s = Solver::new();
+        let a = lit(&mut s, 0, true);
+        let b = lit(&mut s, 1, true);
+        let c = lit(&mut s, 2, true);
+        s.add_clause(&[a, b, c]);
+        s.add_clause(&[!c, a, b]);
+        // Assuming !a, !b propagates c from the first clause and
+        // conflicts on the second; first-UIP learns (a | b), which
+        // subsumes both originals.
+        assert_eq!(s.solve_with(&[!a, !b]), SolveResult::Unsat);
+        assert_eq!(s.stats().learned, 1);
+        let before = s.num_clauses();
+        s.debug_force_inprocess();
+        assert_eq!(s.stats().inproc_subsumed, 2, "both originals subsumed");
+        assert_eq!(s.num_clauses(), before - 2);
+        s.debug_check_integrity()
+            .expect("intact after inprocessing");
+        // The subsuming learnt was promoted to original status, so
+        // clause reduction may not delete it and verdicts hold.
+        s.debug_force_reduce();
+        assert_eq!(s.solve_with(&[!a]), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(s.solve_with(&[!a, !b]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn inprocessing_preserves_verdicts_on_random_cnf() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x1217);
+        let mut subsumed = 0u64;
+        for _ in 0..80 {
+            let nvars = rng.gen_range(2..=7usize);
+            let mut s = Solver::new();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            let mut cnf: Vec<Vec<Lit>> = Vec::new();
+            for _round in 0..4 {
+                for _ in 0..rng.gen_range(1..=6usize) {
+                    let len = rng.gen_range(1..=3usize);
+                    let cl: Vec<Lit> = (0..len)
+                        .map(|_| {
+                            Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5))
+                        })
+                        .collect();
+                    cnf.push(cl.clone());
+                    s.add_clause(&cl);
+                }
+                let assumptions: Vec<Lit> = (0..rng.gen_range(0..=2usize))
+                    .map(|_| Lit::new(Var::from_index(rng.gen_range(0..nvars)), rng.gen_bool(0.5)))
+                    .collect();
+                let mut brute_sat = false;
+                'outer: for m in 0u32..(1 << nvars) {
+                    let holds = |l: &Lit| ((m >> l.var().index()) & 1 == 1) == l.is_positive();
+                    if !assumptions.iter().all(holds) {
+                        continue;
+                    }
+                    for cl in &cnf {
+                        if !cl.iter().any(holds) {
+                            continue 'outer;
+                        }
+                    }
+                    brute_sat = true;
+                    break;
+                }
+                let got = s.solve_with(&assumptions);
+                let want = if brute_sat {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                };
+                assert_eq!(got, want, "cnf {cnf:?} assumptions {assumptions:?}");
+                // Inprocess between batches; verdicts must be stable.
+                s.debug_force_inprocess();
+                s.debug_check_integrity()
+                    .expect("intact after inprocessing");
+                assert_eq!(s.solve_with(&assumptions), want, "after inprocessing");
+            }
+            subsumed += s.stats().inproc_subsumed;
+        }
+        assert!(subsumed > 0, "inprocessing never subsumed anything");
     }
 }
