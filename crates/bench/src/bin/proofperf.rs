@@ -1,0 +1,211 @@
+//! Proof-logging microbenchmark: the cost and coverage of the
+//! independent resolution-proof checker ([`satb::proofcheck`]) across
+//! every `benchmarks/*.v` design.
+//!
+//! Three legs per design:
+//!
+//! 1. **Interpolation, raw vs. preprocessed template** — the engine
+//!    runs once on an un-preprocessed blast ([`Blasted::of_raw`]) and
+//!    once on the SatELite-preprocessed clause image
+//!    ([`Blasted::of_unstrengthened`]). Opposing definite verdicts are
+//!    a soundness alarm; every definite verdict is re-checked in
+//!    **paranoid** mode ([`engines::certify::certify_with_mode`]), so
+//!    each certification obligation is itself backed by a replayed
+//!    resolution proof.
+//! 2. **Proof-logged in-solver preprocessing** — a fresh proof-logging
+//!    solver unrolls three template frames BMC-style, runs
+//!    [`satb::Solver::preprocess`] (proof-aware as of this change:
+//!    strengthenings and resolvents become derived chains, removals
+//!    become deletions), solves, and replays the whole proof with
+//!    [`satb::Solver::check_proof`]. On UNSAT the McMillan interpolant
+//!    is extracted and its vocabulary side-conditions are checked too.
+//! 3. **Accounting** — proof arena bytes, chains recorded, chains
+//!    replayed, check time, and the checker-overhead ratio
+//!    (check time / solve time) with its geomean.
+//!
+//! Emits machine-readable JSON on stdout. Exits 2 if any proof fails
+//! its replay, an interpolant leaves the shared vocabulary, a paranoid
+//! certification is rejected, or the raw and preprocessed
+//! interpolation legs disagree on a definite verdict.
+//!
+//! Usage: `cargo run --release -p bench --bin proofperf [-- --timeout SECS]`
+
+use engines::certify::certify_with_mode;
+use engines::itp::Interpolation;
+use engines::{Blasted, CheckOutcome, Checker, Verdict};
+use satb::{Part, SolveResult, Solver};
+use std::time::Instant;
+
+fn verdict_label(v: &Verdict) -> String {
+    match v {
+        Verdict::Safe => "safe".into(),
+        Verdict::Unsafe(t) => format!("bug@{}", t.length()),
+        Verdict::Unknown(u) => format!("unknown({u})"),
+    }
+}
+
+fn run(checker: &Interpolation, ts: &rtlir::TransitionSystem, b: &Blasted) -> (CheckOutcome, f64) {
+    let t0 = Instant::now();
+    let out = checker.check_blasted(ts, b);
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Outcome of the proof-logged BMC + in-solver preprocessing leg.
+struct ProofLeg {
+    verdict: &'static str,
+    preprocessed: bool,
+    solve_s: f64,
+    check_s: f64,
+    proof_bytes: u64,
+    proof_chains: u64,
+    chains_checked: u64,
+    steps_checked: u64,
+    max_depth: usize,
+    proof_ok: bool,
+    itp_ok: bool,
+    failure: Option<String>,
+}
+
+/// Unrolls `k` template frames (frame 0 initialized, `Part::A`; the
+/// rest and the bad clause `Part::B`), preprocesses in-solver under
+/// proof logging, solves, and replays the proof with the independent
+/// checker.
+fn proof_leg(sys: &aig::AigSystem, tpl: &aig::TransitionTemplate, k: usize) -> ProofLeg {
+    let mut s = Solver::with_proof();
+    let mut frames = vec![tpl.instantiate(&mut s, Part::A, 0)];
+    frames[0].assert_init(sys, &mut s);
+    for d in 1..=k {
+        let cur = frames[d - 1].latch_next.clone();
+        frames.push(tpl.instantiate_bound(&mut s, Part::B, d as u32, &cur));
+    }
+    s.add_clause_in(&[frames[k].any_bad], Part::B);
+    let preprocessed = s.preprocess(&[]);
+
+    let t0 = Instant::now();
+    let verdict = s.solve();
+    let solve_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let report = s.check_proof().expect("proof logging is on");
+    let mut itp_ok = true;
+    let mut failure = report.first_failure();
+    if verdict == SolveResult::Unsat {
+        let itp = s.interpolant().expect("UNSAT records a refutation");
+        let irep =
+            satb::proofcheck::check_with_interpolant(s.proof().expect("proof logging"), &itp);
+        if !irep.ok() {
+            itp_ok = false;
+            failure = failure.or_else(|| irep.first_failure());
+        }
+    }
+    let check_s = t1.elapsed().as_secs_f64();
+
+    let stats = s.stats();
+    ProofLeg {
+        verdict: match verdict {
+            SolveResult::Sat => "sat",
+            SolveResult::Unsat => "unsat",
+            SolveResult::Unknown(_) => "unknown",
+        },
+        preprocessed,
+        solve_s,
+        check_s,
+        proof_bytes: stats.proof_bytes,
+        proof_chains: stats.proof_chains,
+        chains_checked: report.chains_checked,
+        steps_checked: report.steps_checked,
+        max_depth: report.max_depth,
+        proof_ok: report.ok(),
+        itp_ok,
+        failure,
+    }
+}
+
+fn main() {
+    let (timeout, benchmarks) = bench::parse_args(20);
+    let mut overheads: Vec<f64> = Vec::new();
+    let mut disagreed = false;
+    let mut uncertified = false;
+    let mut proof_failed = false;
+    println!("{{");
+    println!("  \"benchmark\": \"proofperf\",");
+    println!("  \"timeout_s\": {timeout},");
+    println!("  \"runs\": [");
+    for (i, b) in benchmarks.iter().enumerate() {
+        let ts = b.compile().expect("benchmark compiles");
+        let raw = Blasted::of_raw(&ts);
+        let pre = Blasted::of_unstrengthened(&ts);
+        let budget = bench::budget(timeout);
+        let (out_raw, raw_s) = run(&Interpolation::new(budget.clone()), &ts, &raw);
+        let (out_pre, pre_s) = run(&Interpolation::new(budget), &ts, &pre);
+        // Opposing *definite* verdicts between the raw and the
+        // preprocessed clause image indict the proof-logged
+        // preprocessing; a timeout on one side is a budget artifact.
+        let agree = !matches!(
+            (&out_raw.outcome, &out_pre.outcome),
+            (Verdict::Safe, Verdict::Unsafe(_)) | (Verdict::Unsafe(_), Verdict::Safe)
+        );
+        disagreed |= !agree;
+        // Paranoid certification: every definite verdict re-checked
+        // with proof-replaying obligation solvers.
+        let tpl = aig::TransitionTemplate::compile(&raw.sys);
+        let mut certified = true;
+        let mut replayed_chains = 0u64;
+        for out in [&out_raw, &out_pre] {
+            if !matches!(out.outcome, Verdict::Unknown(_)) {
+                let rep = certify_with_mode(&raw.sys, &tpl, out, true);
+                replayed_chains += rep.proof_chains;
+                if !rep.ok {
+                    certified = false;
+                }
+            }
+        }
+        uncertified |= !certified;
+        let leg = proof_leg(&raw.sys, &tpl, 3);
+        proof_failed |= !(leg.proof_ok && leg.itp_ok);
+        let overhead = leg.check_s / leg.solve_s.max(1e-9);
+        overheads.push(overhead);
+        print!(
+            "    {{\"design\":\"{}\",\"verdict_raw\":\"{}\",\"verdict_pre\":\"{}\",\
+             \"certified_paranoid\":{},\"certify_chains\":{},\
+             \"raw_s\":{:.4},\"pre_s\":{:.4},\
+             \"bmc3\":{{\"verdict\":\"{}\",\"preprocessed\":{},\
+             \"proof_bytes\":{},\"proof_chains\":{},\"chains_checked\":{},\
+             \"steps_checked\":{},\"max_depth\":{},\"proof_ok\":{},\"itp_ok\":{},\
+             \"solve_s\":{:.4},\"check_s\":{:.4},\"check_overhead\":{:.3}}}}}",
+            b.name,
+            verdict_label(&out_raw.outcome),
+            verdict_label(&out_pre.outcome),
+            certified,
+            replayed_chains,
+            raw_s,
+            pre_s,
+            leg.verdict,
+            leg.preprocessed,
+            leg.proof_bytes,
+            leg.proof_chains,
+            leg.chains_checked,
+            leg.steps_checked,
+            leg.max_depth,
+            leg.proof_ok,
+            leg.itp_ok,
+            leg.solve_s,
+            leg.check_s,
+            overhead,
+        );
+        println!("{}", if i + 1 < benchmarks.len() { "," } else { "" });
+        if let Some(why) = &leg.failure {
+            eprintln!("proofperf: {}: {}", b.name, why);
+        }
+    }
+    println!("  ],");
+    let geo = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len().max(1) as f64).exp();
+    println!("  \"geomean_check_overhead\": {:.3},", geo(&overheads));
+    println!("  \"disagreement\": {disagreed},");
+    println!("  \"certificate_failure\": {uncertified},");
+    println!("  \"proof_check_failure\": {proof_failed}");
+    println!("}}");
+    if disagreed || uncertified || proof_failed {
+        std::process::exit(2);
+    }
+}

@@ -79,6 +79,19 @@
 //! why the portfolio demotes a failed certificate to
 //! [`Unknown::CertificateFailed`](crate::Unknown::CertificateFailed)
 //! instead of flipping the verdict.
+//!
+//! # Paranoid mode
+//!
+//! The obligations above still trust the *checker's own* solver to
+//! answer UNSAT correctly. [`certify_with_mode`] with `paranoid =
+//! true` removes that last trust step: every obligation solver runs
+//! with resolution-proof logging, and after its obligations are
+//! discharged the recorded proof is replayed from scratch by the
+//! independent static analyzer in [`satb::proofcheck`] (antecedent
+//! existence, pivot polarity, learnt-clause cross-check against the
+//! live clause database). A refutation that fails the replay fails
+//! the certificate — [`CertifyReport::proof_chains`] counts the
+//! machine-checked chains backing a paranoid pass.
 
 use crate::result::{CheckOutcome, Verdict};
 use aig::{Aig, AigLit, AigSystem, FrameEncoder, TransitionTemplate};
@@ -175,6 +188,9 @@ pub struct CertifyReport {
     pub obligations: usize,
     /// Why the check failed, when it did.
     pub failure: Option<String>,
+    /// Resolution chains replayed by the independent proof checker
+    /// (non-zero only under [`certify_with_mode`]'s paranoid mode).
+    pub proof_chains: u64,
     /// Wall-clock time spent checking.
     pub time: Duration,
 }
@@ -186,6 +202,7 @@ impl CertifyReport {
             witnessed,
             obligations,
             failure: None,
+            proof_chains: 0,
             time: started.elapsed(),
         }
     }
@@ -196,6 +213,7 @@ impl CertifyReport {
             witnessed: true,
             obligations,
             failure: Some(why),
+            proof_chains: 0,
             time: started.elapsed(),
         }
     }
@@ -219,8 +237,24 @@ pub fn certify_with(
     raw_tpl: &TransitionTemplate,
     outcome: &CheckOutcome,
 ) -> CertifyReport {
+    certify_with_mode(sys, raw_tpl, outcome, false)
+}
+
+/// Like [`certify_with`], with an explicit trust level. With `paranoid
+/// = false` this is exactly [`certify_with`]. With `paranoid = true`
+/// every obligation solver logs a resolution proof, and after its
+/// obligations are discharged the proof is replayed from scratch by
+/// [`satb::proofcheck`]; a rejected replay fails the certificate. See
+/// the [module docs](self#paranoid-mode).
+pub fn certify_with_mode(
+    sys: &AigSystem,
+    raw_tpl: &TransitionTemplate,
+    outcome: &CheckOutcome,
+    paranoid: bool,
+) -> CertifyReport {
     let started = Instant::now();
-    match &outcome.outcome {
+    let mut par = Paranoia::new(paranoid);
+    let mut rep = match &outcome.outcome {
         Verdict::Unknown(_) => CertifyReport::passed(false, 0, started),
         Verdict::Unsafe(trace) => {
             if trace.replays_on(sys) {
@@ -231,11 +265,11 @@ pub fn certify_with(
         }
         Verdict::Safe => match &outcome.certificate {
             None => CertifyReport::passed(false, 0, started),
-            Some(Certificate::Clausal(inv)) => match check_clausal(sys, raw_tpl, inv) {
+            Some(Certificate::Clausal(inv)) => match check_clausal(sys, raw_tpl, inv, &mut par) {
                 Ok(n) => CertifyReport::passed(true, n, started),
                 Err((n, why)) => CertifyReport::failed(n, why, started),
             },
-            Some(Certificate::Formula(inv)) => match check_formula(sys, raw_tpl, inv) {
+            Some(Certificate::Formula(inv)) => match check_formula(sys, raw_tpl, inv, &mut par) {
                 Ok(n) => CertifyReport::passed(true, n, started),
                 Err((n, why)) => CertifyReport::failed(n, why, started),
             },
@@ -243,12 +277,14 @@ pub fn certify_with(
                 k,
                 simple_path,
                 invariant,
-            }) => match check_kinductive(sys, raw_tpl, *k, *simple_path, invariant) {
+            }) => match check_kinductive(sys, raw_tpl, *k, *simple_path, invariant, &mut par) {
                 Ok(n) => CertifyReport::passed(true, n, started),
                 Err((n, why)) => CertifyReport::failed(n, why, started),
             },
         },
-    }
+    };
+    rep.proof_chains = par.chains;
+    rep
 }
 
 /// Certifies a mined strengthening invariant (e.g. the output of
@@ -264,10 +300,63 @@ pub fn certify_invariant(
     raw_tpl: &TransitionTemplate,
     clauses: &[LatchClause],
 ) -> CertifyReport {
+    certify_invariant_with_mode(sys, raw_tpl, clauses, false)
+}
+
+/// Like [`certify_invariant`], with an explicit trust level (see
+/// [`certify_with_mode`] for what `paranoid` adds).
+pub fn certify_invariant_with_mode(
+    sys: &AigSystem,
+    raw_tpl: &TransitionTemplate,
+    clauses: &[LatchClause],
+    paranoid: bool,
+) -> CertifyReport {
     let started = Instant::now();
-    match check_invariant_clauses(sys, raw_tpl, clauses) {
+    let mut par = Paranoia::new(paranoid);
+    let mut rep = match check_invariant_clauses(sys, raw_tpl, clauses, &mut par) {
         Ok(n) => CertifyReport::passed(!clauses.is_empty(), n, started),
         Err((n, why)) => CertifyReport::failed(n, why, started),
+    };
+    rep.proof_chains = par.chains;
+    rep
+}
+
+/// Paranoid-mode state threaded through the obligation checkers: when
+/// `on`, every obligation solver logs a resolution proof and is
+/// audited by [`satb::proofcheck`] before retirement.
+struct Paranoia {
+    on: bool,
+    chains: u64,
+}
+
+impl Paranoia {
+    fn new(on: bool) -> Paranoia {
+        Paranoia { on, chains: 0 }
+    }
+
+    /// A fresh obligation solver, proof-logging when paranoid.
+    fn solver(&self) -> Solver {
+        if self.on {
+            Solver::with_proof()
+        } else {
+            Solver::new()
+        }
+    }
+
+    /// Replays the solver's recorded proof with the independent
+    /// checker; rejects the certificate when the replay finds a bad
+    /// chain or a live clause that does not match its derivation.
+    fn audit(&mut self, s: &Solver) -> Result<(), String> {
+        if let Some(rep) = s.check_proof() {
+            self.chains += rep.chains_checked;
+            if !rep.ok() {
+                return Err(format!(
+                    "paranoid proof replay rejected: {}",
+                    rep.first_failure().unwrap_or_else(|| "unknown".into())
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -291,7 +380,12 @@ fn negated_clause_on(clause: &LatchClause, latch_lits: &[Lit]) -> Vec<Lit> {
 
 type CheckResult = Result<usize, (usize, String)>;
 
-fn check_clausal(sys: &AigSystem, tpl: &TransitionTemplate, inv: &ClausalInvariant) -> CheckResult {
+fn check_clausal(
+    sys: &AigSystem,
+    tpl: &TransitionTemplate,
+    inv: &ClausalInvariant,
+    par: &mut Paranoia,
+) -> CheckResult {
     let n = sys.latches.len();
     let mut done = 0usize;
     for (ci, clause) in inv.clauses.iter().enumerate() {
@@ -303,7 +397,7 @@ fn check_clausal(sys: &AigSystem, tpl: &TransitionTemplate, inv: &ClausalInvaria
     // Initiation, on a solver holding nothing but the reset values:
     // each clause must be checked without the others, or a clause the
     // initial states escape could hide behind one they satisfy.
-    let mut init = Solver::new();
+    let mut init = par.solver();
     let vars: Vec<Lit> = (0..n).map(|_| Lit::pos(init.new_var())).collect();
     for (latch, &l) in sys.latches.iter().zip(&vars) {
         if let Some(iv) = latch.init {
@@ -316,10 +410,11 @@ fn check_clausal(sys: &AigSystem, tpl: &TransitionTemplate, inv: &ClausalInvaria
             _ => return Err((done, format!("initiation fails: init ⊄ clause #{ci}"))),
         }
     }
+    par.audit(&init).map_err(|why| (done, why))?;
 
     // Consecution and safety share one raw frame with the whole
     // invariant asserted on the current-state side.
-    let mut s = Solver::new();
+    let mut s = par.solver();
     let frame = tpl.instantiate(&mut s, Part::A, 0);
     for clause in &inv.clauses {
         s.add_clause(&clause_on(clause, &frame.latch_cur));
@@ -334,11 +429,17 @@ fn check_clausal(sys: &AigSystem, tpl: &TransitionTemplate, inv: &ClausalInvaria
         SolveResult::Unsat => done += 1,
         _ => return Err((done, "safety fails: Inv admits a bad state".into())),
     }
+    par.audit(&s).map_err(|why| (done, why))?;
     Ok(done)
 }
 
-fn check_formula(sys: &AigSystem, tpl: &TransitionTemplate, inv: &FormulaInvariant) -> CheckResult {
-    let mut s = Solver::new();
+fn check_formula(
+    sys: &AigSystem,
+    tpl: &TransitionTemplate,
+    inv: &FormulaInvariant,
+    par: &mut Paranoia,
+) -> CheckResult {
+    let mut s = par.solver();
     let frame = tpl.instantiate(&mut s, Part::A, 0);
     // Two encoders over the certificate's private AIG: one maps the
     // latch-output CIs onto the frame's current-state literals, the
@@ -379,6 +480,7 @@ fn check_formula(sys: &AigSystem, tpl: &TransitionTemplate, inv: &FormulaInvaria
         SolveResult::Unsat => done += 1,
         _ => return Err((done, "safety fails: Inv admits a bad state".into())),
     }
+    par.audit(&s).map_err(|why| (done, why))?;
     Ok(done)
 }
 
@@ -388,6 +490,7 @@ fn check_invariant_clauses(
     sys: &AigSystem,
     tpl: &TransitionTemplate,
     clauses: &[LatchClause],
+    par: &mut Paranoia,
 ) -> CheckResult {
     let n = sys.latches.len();
     let mut done = 0usize;
@@ -404,7 +507,7 @@ fn check_invariant_clauses(
     }
 
     // Initiation, each clause on its own (reset units only).
-    let mut init = Solver::new();
+    let mut init = par.solver();
     let vars: Vec<Lit> = (0..n).map(|_| Lit::pos(init.new_var())).collect();
     for (latch, &l) in sys.latches.iter().zip(&vars) {
         if let Some(iv) = latch.init {
@@ -422,10 +525,11 @@ fn check_invariant_clauses(
             }
         }
     }
+    par.audit(&init).map_err(|why| (done, why))?;
 
     // Consecution: the whole set asserted on the current-state side of
     // one raw frame, every clause refuted on the next-state side.
-    let mut s = Solver::new();
+    let mut s = par.solver();
     let frame = tpl.instantiate(&mut s, Part::A, 0);
     for clause in clauses {
         s.add_clause(&clause_on(clause, &frame.latch_cur));
@@ -441,6 +545,7 @@ fn check_invariant_clauses(
             }
         }
     }
+    par.audit(&s).map_err(|why| (done, why))?;
     Ok(done)
 }
 
@@ -450,18 +555,19 @@ fn check_kinductive(
     k: u32,
     simple_path: bool,
     inv: &[LatchClause],
+    par: &mut Paranoia,
 ) -> CheckResult {
     let k = k as usize;
 
     // The strengthening clauses must themselves be inductive before
     // they may constrain any frame below.
-    let mut done = check_invariant_clauses(sys, tpl, inv)?;
+    let mut done = check_invariant_clauses(sys, tpl, inv, par)?;
 
     // Base: no counterexample of length 0..=k from the initial states.
     // The invariant holds in every reachable state (just certified),
     // so asserting it on initialized frames cannot hide a real bug.
     {
-        let mut s = Solver::new();
+        let mut s = par.solver();
         let mut prev = tpl.instantiate(&mut s, Part::A, 0);
         prev.assert_init(sys, &mut s);
         for depth in 0..=k {
@@ -480,13 +586,14 @@ fn check_kinductive(
                 _ => return Err((done, format!("base fails: bad reachable at depth {depth}"))),
             }
         }
+        par.audit(&s).map_err(|why| (done, why))?;
     }
 
     // Step: no free path of k+1 states with the first k good and the
     // last bad (pairwise distinct when the engine relied on it, inside
     // the invariant when the engine assumed it — sound because every
     // state of a shortest counterexample's suffix is reachable).
-    let mut s = Solver::new();
+    let mut s = par.solver();
     let mut frames = vec![tpl.instantiate(&mut s, Part::A, 0)];
     for j in 1..=k {
         let cur = frames[j - 1].latch_next.clone();
@@ -531,6 +638,7 @@ fn check_kinductive(
             ))
         }
     }
+    par.audit(&s).map_err(|why| (done, why))?;
     Ok(done)
 }
 

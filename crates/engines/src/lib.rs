@@ -39,6 +39,24 @@
 //! that panics is isolated with `catch_unwind` and surfaced as
 //! [`Unknown::Crashed`] instead of silently vanishing from the race.
 //!
+//! One trust step remains after that: the checker's *own* solver
+//! answering UNSAT on each obligation. **Paranoid mode** removes it —
+//! [`certify::certify_with_mode`] (and
+//! [`Portfolio::with_paranoid`](portfolio::Portfolio::with_paranoid))
+//! runs every obligation solver with resolution-proof logging and
+//! replays the recorded proof from scratch through the independent
+//! static checker in [`satb::proofcheck`]: antecedent existence,
+//! pivot polarity, a cross-check of every live clause against its
+//! recorded derivation. A refutation whose proof fails the replay
+//! demotes the member exactly like a bad witness, and
+//! [`CertifyReport::proof_chains`] counts the machine-checked chains
+//! backing a paranoid pass. The `proofperf` bench binary tracks proof
+//! size and check time per design and additionally exercises
+//! proof-logged **in-solver preprocessing** (subsumption,
+//! strengthening and variable elimination now record derived chains
+//! and deletions, so interpolation and proof checking survive
+//! [`satb::Solver::preprocess`]).
+//!
 //! # Static strengthening
 //!
 //! Before any engine runs, [`Blasted::of`] mines a netlist invariant
@@ -119,6 +137,8 @@ pub mod parallel;
 pub mod pdr;
 pub mod pdr_baseline;
 pub mod portfolio;
+#[cfg(test)]
+mod proof_tests;
 pub mod result;
 pub mod word;
 

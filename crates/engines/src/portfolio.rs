@@ -124,6 +124,11 @@ pub struct PortfolioOutcome {
     ///
     /// [`invariant_clauses`]: PortfolioOutcome::invariant_clauses
     pub invariant_constants: u32,
+    /// Whether witness re-checks ran in paranoid mode (see
+    /// [`Portfolio::with_paranoid`]); the summary always prints the
+    /// proof-replay line when set, even for conflict-free runs that
+    /// produced zero chains.
+    pub paranoid: bool,
 }
 
 impl PortfolioOutcome {
@@ -158,6 +163,20 @@ impl PortfolioOutcome {
             self.invariant_clauses,
             self.invariant_constants,
         );
+        let replayed: u64 = self
+            .engines
+            .iter()
+            .filter_map(|e| e.certify.as_ref())
+            .map(|c| c.proof_chains)
+            .sum();
+        if self.paranoid || replayed > 0 || self.stats.proof_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  proof: {} chains replayed by the paranoid checker, \
+                 engines logged {} chains ({} B)",
+                replayed, self.stats.proof_chains, self.stats.proof_bytes,
+            );
+        }
         for e in &self.engines {
             let cert = match &e.certify {
                 Some(r) if r.ok && r.witnessed => " cert✓",
@@ -215,6 +234,11 @@ pub struct Portfolio {
     /// every run so a reused portfolio never replays stale lemmas
     /// (the gates re-validate per design regardless).
     bus: Option<LemmaBus>,
+    /// Witness re-checks run in paranoid mode: every certification
+    /// obligation solver logs a resolution proof that is replayed by
+    /// the independent checker in [`satb::proofcheck`] before the
+    /// verdict is trusted (see [`certify::certify_with_mode`]).
+    paranoid: bool,
 }
 
 impl Default for Portfolio {
@@ -235,7 +259,23 @@ impl Portfolio {
             budget,
             engines: Vec::new(),
             bus: None,
+            paranoid: false,
         }
+    }
+
+    /// Turns the witness re-checks paranoid: certification obligation
+    /// solvers log resolution proofs and [`satb::proofcheck`] replays
+    /// every chain before a verdict may win. A refutation whose proof
+    /// fails the replay demotes the member to
+    /// [`Unknown::CertificateFailed`] exactly like a bad witness.
+    pub fn with_paranoid(mut self, on: bool) -> Portfolio {
+        self.paranoid = on;
+        self
+    }
+
+    /// Whether witness re-checks run in paranoid mode.
+    pub fn paranoid(&self) -> bool {
+        self.paranoid
     }
 
     /// The paper's hybrid line-up: BMC, k-induction, interpolation and
@@ -324,6 +364,7 @@ impl Portfolio {
                 preproc: blasted.preproc_stats,
                 invariant_clauses: blasted.invariant.clauses.len() as u32,
                 invariant_constants: blasted.invariant.constants.len() as u32,
+                paranoid: self.paranoid,
             };
         }
 
@@ -394,7 +435,7 @@ impl Portfolio {
                     // witness are accepted uncertified).
                     let tpl = raw_tpl
                         .get_or_insert_with(|| aig::TransitionTemplate::compile(&blasted.sys));
-                    let report = certify::certify_with(&blasted.sys, tpl, &out);
+                    let report = certify::certify_with_mode(&blasted.sys, tpl, &out, self.paranoid);
                     if !report.ok {
                         // Demote: withdraw the verdict, keep racing on
                         // the remaining seats.
@@ -452,6 +493,8 @@ impl Portfolio {
             stats.arena_bytes += out.stats.arena_bytes;
             stats.arena_peak_bytes += out.stats.arena_peak_bytes;
             stats.act_recycled += out.stats.act_recycled;
+            stats.proof_bytes += out.stats.proof_bytes;
+            stats.proof_chains += out.stats.proof_chains;
             stats.ternary_drops += out.stats.ternary_drops;
             stats.lifted_lits += out.stats.lifted_lits;
             stats.lemmas_exported += out.stats.lemmas_exported;
@@ -493,6 +536,7 @@ impl Portfolio {
             preproc: blasted.preproc_stats,
             invariant_clauses: blasted.invariant.clauses.len() as u32,
             invariant_constants: blasted.invariant.constants.len() as u32,
+            paranoid: self.paranoid,
         }
     }
 }
@@ -993,6 +1037,28 @@ mod tests {
         assert!(
             liar.certify.as_ref().is_some_and(|c| !c.ok),
             "failed check must be recorded on the seat"
+        );
+    }
+
+    #[test]
+    fn paranoid_portfolio_certifies_with_replayed_proofs() {
+        // Same safe design as the plain certification test, but with
+        // the paranoid knob on: the winner must still certify, the
+        // obligation solvers' resolution proofs must have been
+        // replayed, and the summary must surface the proof line.
+        let ts = crate::kind::tests::trap_ts();
+        let report = Portfolio::with_default_engines(Budget::default())
+            .with_paranoid(true)
+            .check_detailed(&ts);
+        assert_eq!(report.verdict, Verdict::Safe);
+        assert!(report.certified, "paranoid pass must still certify");
+        let w = report.engines.iter().find(|e| e.winner).expect("winner");
+        let cert = w.certify.as_ref().expect("winner was certified");
+        assert!(cert.ok && cert.witnessed);
+        assert!(
+            report.summary().contains("paranoid"),
+            "summary must report the proof replay:\n{}",
+            report.summary()
         );
     }
 

@@ -56,6 +56,7 @@ impl From<satb::Interrupt> for Unknown {
             satb::Interrupt::ConflictLimit => Unknown::ConflictLimit,
             satb::Interrupt::Timeout => Unknown::Timeout,
             satb::Interrupt::Cancelled => Unknown::Cancelled,
+            satb::Interrupt::ProofLimit => Unknown::Inconclusive("proof memory cap".to_string()),
         }
     }
 }
@@ -189,6 +190,13 @@ pub struct EngineStats {
     /// Activation variables reused from the solver free-list instead
     /// of being leaked (single-solver PDR's per-query guards).
     pub act_recycled: u64,
+    /// Approximate heap bytes of the recorded resolution proofs, summed
+    /// over all proof-logging solvers used ([`satb::Stats::proof_bytes`];
+    /// zero when proof logging was off).
+    pub proof_bytes: u64,
+    /// Derivation chains recorded across all proof-logging solvers
+    /// ([`satb::Stats::proof_chains`]).
+    pub proof_chains: u64,
     /// Cube literals dropped by ternary-simulation generalization.
     pub ternary_drops: u64,
     /// Cube literals dropped by input-based predecessor lifting (the
@@ -236,6 +244,8 @@ impl EngineStats {
         self.arena_bytes += s.arena_bytes;
         self.arena_peak_bytes += s.arena_peak_bytes;
         self.act_recycled += s.act_recycled;
+        self.proof_bytes += s.proof_bytes;
+        self.proof_chains += s.proof_chains;
     }
 
     /// Replaces the solver-side totals with the (cumulative) statistics
@@ -255,6 +265,8 @@ impl EngineStats {
         self.arena_bytes = 0;
         self.arena_peak_bytes = 0;
         self.act_recycled = 0;
+        self.proof_bytes = 0;
+        self.proof_chains = 0;
         for s in solvers {
             self.absorb_solver(&s);
         }

@@ -29,6 +29,18 @@
 //!   in-solver via [`Solver::preprocess`], plus **lightweight
 //!   inprocessing** between solve calls (backward subsumption of the
 //!   original image by learned clauses, [`Stats::inproc_subsumed`]).
+//!   Preprocessing is **proof-aware**: under proof logging every
+//!   strengthening step and kept resolvent is recorded as a derived
+//!   chain and every removal as a deletion, so interpolation works on
+//!   the simplified formula;
+//! * an independent **resolution-proof checker** ([`proofcheck`]):
+//!   replays every recorded chain from scratch (antecedent existence,
+//!   pivot polarity, learnt-clause cross-check, the final
+//!   empty-clause derivation, interpolation side-conditions) and
+//!   returns a structured [`ProofReport`] — the `paranoid` trust
+//!   layer behind [`Solver::check_proof`]. Proof memory is accounted
+//!   ([`Stats::proof_bytes`]) and can be capped
+//!   ([`Solver::set_proof_limit`], [`Interrupt::ProofLimit`]).
 //!
 //! # Query scoping
 //!
@@ -68,20 +80,26 @@
 //! assert_eq!(s.solve(), SolveResult::Unsat);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cdb;
 pub mod domain;
 pub mod interp;
 pub mod lit;
 pub mod preproc;
 pub mod proof;
+pub mod proofcheck;
 pub mod solver;
 
 pub use cdb::{CRef, ClauseDb};
 pub use domain::Domain;
 pub use interp::Interpolant;
 pub use lit::{Lit, Var};
-pub use preproc::{PreprocConfig, PreprocResult, PreprocStats, Preprocessor, ReconStack};
-pub use proof::{ClauseId, Part};
+pub use preproc::{
+    PreprocConfig, PreprocProof, PreprocResult, PreprocStats, Preprocessor, ReconStack,
+};
+pub use proof::{ClauseId, Part, Proof};
+pub use proofcheck::{FailureKind, ProofChecker, ProofFailure, ProofReport};
 pub use solver::{
     solver_count, Chaos, Interrupt, Limits, ReduceConfig, SolveResult, Solver, Stats,
 };

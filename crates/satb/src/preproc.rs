@@ -58,9 +58,26 @@
 //!
 //! The empty clause may be derived (`[PreprocResult::unsat]`), in which
 //! case the clause set is unsatisfiable outright.
+//!
+//! # Proof logging
+//!
+//! Preprocessing is resolution: every strengthening step and every
+//! BVE resolvent is one (chain of) resolution(s) over input clauses,
+//! and subsumption/elimination only *delete* clauses. When the caller
+//! identifies each input clause with its proof [`ClauseId`]
+//! ([`Preprocessor::add_clause_logged`]), the run records a
+//! [`PreprocProof`] journal — a `Derive` event per strengthening step
+//! and kept resolvent, a `Delete` event per removed clause — which
+//! [`PreprocProof::replay`] appends to a [`Proof`] as ordinary
+//! [`ProofClause::Derived`](crate::proof::ProofClause::Derived)
+//! chains. This is what lets [`Solver::preprocess`](crate::Solver::preprocess)
+//! run under proof logging: the simplified image's clauses all carry
+//! derivations rooted in the original clauses, so interpolation and
+//! the independent checker ([`crate::proofcheck`]) work across
+//! preprocessing unchanged.
 
 use crate::lit::{Lit, Var};
-use crate::proof::Part;
+use crate::proof::{ClauseId, Part, Proof, ResStep};
 
 /// A clause of the simplified output, with its partition labels.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -176,6 +193,111 @@ pub struct PreprocResult {
     pub eliminated: Vec<bool>,
     /// The empty clause was derived: the input set is unsatisfiable.
     pub unsat: bool,
+    /// Derivation journal (only when the clauses were added with
+    /// [`Preprocessor::add_clause_logged`]); replay it into a
+    /// [`Proof`] with [`PreprocProof::replay`].
+    pub provenance: Option<PreprocProof>,
+}
+
+/// Provenance of one clause during preprocessing: an input clause
+/// (identified by the proof id the caller supplied) or the result of
+/// the `k`-th derivation the run performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PRef {
+    /// An input clause, by its id in the caller's [`Proof`].
+    Input(ClauseId),
+    /// The `k`-th clause derived during this run.
+    Derived(usize),
+}
+
+/// One entry of the preprocessing derivation journal.
+#[derive(Clone, Debug)]
+enum ProofEvent {
+    /// A resolution chain producing the next derived clause: `start`
+    /// resolved against each `(pivot, other)` in order. Produced by
+    /// self-subsuming resolution (one step) and by BVE resolvents
+    /// (one step each).
+    Derive {
+        start: PRef,
+        steps: Vec<(Var, PRef)>,
+    },
+    /// A clause was removed from the set (subsumed, replaced by its
+    /// strengthened form, or eliminated with its variable).
+    Delete(PRef),
+}
+
+/// The derivation journal of one logged preprocessing run.
+///
+/// Events are chronological; replaying them into the [`Proof`] that
+/// contains the input clauses yields one
+/// [`ProofClause::Derived`](crate::proof::ProofClause::Derived) entry
+/// per derivation and one deletion record per removed clause.
+#[derive(Clone, Debug, Default)]
+pub struct PreprocProof {
+    journal: Vec<ProofEvent>,
+    /// Provenance of each output clause, parallel to
+    /// [`PreprocResult::clauses`].
+    clause_refs: Vec<PRef>,
+    /// Provenance of the empty clause when the run derived UNSAT.
+    unsat: Option<PRef>,
+}
+
+/// Proof ids assigned by [`PreprocProof::replay`].
+#[derive(Clone, Debug)]
+pub struct ReplayedIds {
+    /// Proof id of each output clause, parallel to
+    /// [`PreprocResult::clauses`].
+    pub clause_ids: Vec<ClauseId>,
+    /// Proof id of the derived empty clause, when the run proved the
+    /// set unsatisfiable.
+    pub unsat: Option<ClauseId>,
+}
+
+impl PreprocProof {
+    /// Appends the journal to `proof` — every derivation becomes a
+    /// `Derived` chain, every removal a deletion record — and returns
+    /// the proof id of each output clause (and of the empty clause on
+    /// UNSAT). `proof` must be the one holding the input clauses the
+    /// run was fed (ids are resolved against it).
+    pub fn replay(&self, proof: &mut Proof) -> ReplayedIds {
+        let mut derived: Vec<ClauseId> = Vec::new();
+        let resolve_ref = |derived: &[ClauseId], r: PRef| match r {
+            PRef::Input(id) => id,
+            PRef::Derived(k) => derived[k],
+        };
+        for ev in &self.journal {
+            match ev {
+                ProofEvent::Derive { start, steps } => {
+                    let s = resolve_ref(&derived, *start);
+                    let chain: Vec<ResStep> = steps
+                        .iter()
+                        .map(|&(pivot, other)| ResStep {
+                            pivot,
+                            other: resolve_ref(&derived, other),
+                        })
+                        .collect();
+                    let id = proof.add_derived(s, chain);
+                    derived.push(id);
+                }
+                ProofEvent::Delete(r) => {
+                    let id = resolve_ref(&derived, *r);
+                    proof.record_deletion(id);
+                }
+            }
+        }
+        ReplayedIds {
+            clause_ids: self
+                .clause_refs
+                .iter()
+                .map(|&r| resolve_ref(&derived, r))
+                .collect(),
+            unsat: self.unsat.map(|r| {
+                let id = resolve_ref(&derived, r);
+                proof.set_empty(id, Vec::new());
+                id
+            }),
+        }
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -260,6 +382,18 @@ pub struct Preprocessor {
     recon: ReconStack,
     stats: PreprocStats,
     unsat: bool,
+    /// Provenance per clause, parallel to `clauses` (meaningful only
+    /// when `logging`).
+    prov: Vec<PRef>,
+    /// Chronological derivation journal (only when `logging`).
+    journal: Vec<ProofEvent>,
+    /// Number of `Derive` events recorded so far (next derived index).
+    n_derived: usize,
+    /// Whether derivations are being journalled (set by the first
+    /// [`add_clause_logged`](Preprocessor::add_clause_logged)).
+    logging: bool,
+    /// Provenance of the derived empty clause, when `unsat`.
+    unsat_ref: Option<PRef>,
 }
 
 impl Preprocessor {
@@ -276,6 +410,11 @@ impl Preprocessor {
             recon: ReconStack::default(),
             stats: PreprocStats::default(),
             unsat: false,
+            prov: Vec::new(),
+            journal: Vec::new(),
+            n_derived: 0,
+            logging: false,
+            unsat_ref: None,
         }
     }
 
@@ -295,6 +434,20 @@ impl Preprocessor {
     /// tautologies are dropped; an empty clause marks the set
     /// unsatisfiable.
     pub fn add_clause(&mut self, lits: &[Lit], part: Part, tag: u32) {
+        self.add_with_prov(lits, part, tag, PRef::Input(ClauseId(u32::MAX)));
+    }
+
+    /// Like [`add_clause`](Preprocessor::add_clause), identifying the
+    /// clause with its id in the caller's [`Proof`] and turning on
+    /// derivation journalling for the run
+    /// ([`PreprocResult::provenance`]). All clauses of a logged run
+    /// must go through this method.
+    pub fn add_clause_logged(&mut self, lits: &[Lit], part: Part, tag: u32, id: ClauseId) {
+        self.logging = true;
+        self.add_with_prov(lits, part, tag, PRef::Input(id));
+    }
+
+    fn add_with_prov(&mut self, lits: &[Lit], part: Part, tag: u32, prov: PRef) {
         let mut ls: Vec<Lit> = lits.to_vec();
         ls.sort_unstable();
         ls.dedup();
@@ -305,12 +458,15 @@ impl Preprocessor {
         }
         if ls.is_empty() {
             self.unsat = true;
+            if self.unsat_ref.is_none() {
+                self.unsat_ref = Some(prov);
+            }
             return;
         }
-        self.push_clause(ls, part, tag);
+        self.push_clause(ls, part, tag, prov);
     }
 
-    fn push_clause(&mut self, lits: Vec<Lit>, part: Part, tag: u32) -> u32 {
+    fn push_clause(&mut self, lits: Vec<Lit>, part: Part, tag: u32, prov: PRef) -> u32 {
         let idx = self.clauses.len() as u32;
         let sig = sig_of(&lits);
         for &l in &lits {
@@ -325,7 +481,26 @@ impl Preprocessor {
             sig,
             deleted: false,
         });
+        self.prov.push(prov);
         idx
+    }
+
+    /// Journals a derivation and returns the new clause's provenance.
+    fn log_derive(&mut self, start: PRef, steps: Vec<(Var, PRef)>) -> PRef {
+        debug_assert!(self.logging);
+        self.journal.push(ProofEvent::Derive { start, steps });
+        let r = PRef::Derived(self.n_derived);
+        self.n_derived += 1;
+        r
+    }
+
+    /// Journals the removal of clause `ci` (after any derivation that
+    /// replaces it, so replay order stays chronological).
+    fn log_delete(&mut self, ci: u32) {
+        if self.logging {
+            let r = self.prov[ci as usize];
+            self.journal.push(ProofEvent::Delete(r));
+        }
     }
 
     fn delete_clause(&mut self, ci: u32) {
@@ -389,6 +564,7 @@ impl Preprocessor {
                     SubsumeKind::Exact => {
                         // Deleting a subsumed clause is sound across
                         // parts (see module docs).
+                        self.log_delete(di);
                         self.delete_clause(di);
                         self.stats.subsumed += 1;
                     }
@@ -398,6 +574,17 @@ impl Preprocessor {
                         let d = &self.clauses[di as usize];
                         if d.part != part || d.tag != tag {
                             continue;
+                        }
+                        if self.logging {
+                            // D′ = resolve(D, C) on rem: C ∖ {¬rem} ⊆
+                            // D ∖ {rem} makes the resolvent exactly
+                            // the strengthened clause. The old D is
+                            // replaced, so journal its deletion.
+                            let d_ref = self.prov[di as usize];
+                            let c_ref = self.prov[ci as usize];
+                            let nr = self.log_derive(d_ref, vec![(rem.var(), c_ref)]);
+                            self.journal.push(ProofEvent::Delete(d_ref));
+                            self.prov[di as usize] = nr;
                         }
                         let d = &mut self.clauses[di as usize];
                         let p = d.lits.iter().position(|&l| l == rem).expect("present");
@@ -415,6 +602,9 @@ impl Preprocessor {
                         }
                         if self.clauses[di as usize].lits.is_empty() {
                             self.unsat = true;
+                            if self.unsat_ref.is_none() {
+                                self.unsat_ref = Some(self.prov[di as usize]);
+                            }
                             return;
                         }
                         queue.push(di);
@@ -448,10 +638,11 @@ impl Preprocessor {
         }) {
             return false;
         }
-        // Build all non-tautological resolvents, bailing out when the
-        // bound is exceeded.
+        // Build all non-tautological resolvents (remembering which
+        // positive/negative clause pair produced each, for the proof
+        // journal), bailing out when the bound is exceeded.
         let budget = pos.len() as isize + neg.len() as isize + cfg.max_growth;
-        let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+        let mut resolvents: Vec<(Vec<Lit>, u32, u32)> = Vec::new();
         for &pi in &pos {
             for &ni in &neg {
                 let r = resolve(
@@ -463,7 +654,7 @@ impl Preprocessor {
                     if r.len() > cfg.max_resolvent_len {
                         return false;
                     }
-                    resolvents.push(r);
+                    resolvents.push((r, pi, ni));
                     if resolvents.len() as isize > budget {
                         return false;
                     }
@@ -471,21 +662,34 @@ impl Preprocessor {
             }
         }
         // Commit: save originals for reconstruction, delete them, add
-        // the resolvents.
+        // the resolvents. Each kept resolvent is journalled as a
+        // one-step chain `pos ⊗_v neg`; the replaced clauses stay
+        // valid antecedents, so deleting them first is harmless.
         let mut saved: Vec<Vec<Lit>> = Vec::with_capacity(pos.len() + neg.len());
         for &ci in pos.iter().chain(&neg) {
             saved.push(self.clauses[ci as usize].lits.clone());
+            self.log_delete(ci);
             self.delete_clause(ci);
         }
         self.recon.entries.push((v, saved));
         self.eliminated[v.index()] = true;
         self.stats.elim_vars += 1;
-        for r in resolvents {
+        for (r, pi, ni) in resolvents {
+            let prov = if self.logging {
+                let p_ref = self.prov[pi as usize];
+                let n_ref = self.prov[ni as usize];
+                self.log_derive(p_ref, vec![(v, n_ref)])
+            } else {
+                PRef::Input(ClauseId(u32::MAX))
+            };
             if r.is_empty() {
                 self.unsat = true;
+                if self.unsat_ref.is_none() {
+                    self.unsat_ref = Some(prov);
+                }
                 return true;
             }
-            let idx = self.push_clause(r, part, tag);
+            let idx = self.push_clause(r, part, tag, prov);
             queue.push(idx);
         }
         true
@@ -534,22 +738,31 @@ impl Preprocessor {
                 }
             }
         }
-        let clauses = self
-            .clauses
-            .into_iter()
-            .filter(|c| !c.deleted)
-            .map(|c| PreprocClause {
+        let mut clauses = Vec::new();
+        let mut clause_refs = Vec::new();
+        for (i, c) in self.clauses.into_iter().enumerate() {
+            if c.deleted {
+                continue;
+            }
+            clauses.push(PreprocClause {
                 lits: c.lits,
                 part: c.part,
                 tag: c.tag,
-            })
-            .collect();
+            });
+            clause_refs.push(self.prov[i]);
+        }
+        let provenance = self.logging.then_some(PreprocProof {
+            journal: self.journal,
+            clause_refs,
+            unsat: self.unsat_ref,
+        });
         PreprocResult {
             clauses,
             stats: self.stats,
             recon: self.recon,
             eliminated: self.eliminated,
             unsat: self.unsat,
+            provenance,
         }
     }
 }
@@ -801,6 +1014,49 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Logged runs journal every derivation and deletion; replaying
+    /// the journal into the proof that holds the inputs yields chains
+    /// the independent checker accepts, with output-clause ids whose
+    /// replayed literal sets match the output clauses.
+    #[test]
+    fn logged_provenance_replays_into_checkable_proof() {
+        let mut rng = StdRng::seed_from_u64(0x10C4ED);
+        for round in 0..200 {
+            let nvars = rng.gen_range(2..=9usize);
+            let nclauses = rng.gen_range(1..=24usize);
+            let nfrozen = rng.gen_range(1..=nvars);
+            let mut proof = Proof::default();
+            let mut p = Preprocessor::new(nvars);
+            for v in 0..nfrozen {
+                p.freeze(Var::from_index(v));
+            }
+            for _ in 0..nclauses {
+                let len = rng.gen_range(1..=4usize);
+                let cl: Vec<Lit> = (0..len)
+                    .map(|_| lit(rng.gen_range(0..nvars), rng.gen_bool(0.5)))
+                    .collect();
+                let part = if rng.gen_bool(0.5) { Part::A } else { Part::B };
+                let id = proof.add_original(part, cl.clone(), 0);
+                p.add_clause_logged(&cl, part, 0, id);
+            }
+            let r = p.run(&PreprocConfig::default());
+            let prov = r.provenance.as_ref().expect("logged run");
+            let ids = prov.replay(&mut proof);
+            let mut checker = crate::proofcheck::ProofChecker::new(&proof);
+            for (c, &id) in r.clauses.iter().zip(&ids.clause_ids) {
+                checker.check_learnt(id, &c.lits);
+            }
+            let report = checker.finish();
+            assert!(
+                report.ok(),
+                "round {round}: {}",
+                report.first_failure().unwrap()
+            );
+            assert_eq!(r.unsat, ids.unsat.is_some());
+            assert_eq!(r.unsat, proof.empty_clause().is_some());
         }
     }
 

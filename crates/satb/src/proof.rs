@@ -6,7 +6,20 @@
 //! order, plus the extra resolutions performed during clause
 //! minimization). After an UNSAT answer, a final chain deriving the
 //! empty clause is recorded. The interpolation module replays these
-//! chains with McMillan's labelling.
+//! chains with McMillan's labelling, and [`crate::proofcheck`] replays
+//! them as an independent validity check.
+//!
+//! The proof also records **deletions**: when preprocessing or clause
+//! management removes a clause from the solver, the clause's id is
+//! appended to a deletion list. Deleted clauses stay in the arena (ids
+//! are never reused, so every recorded chain stays replayable); the
+//! list exists so a checker can verify that no *deleted* clause is the
+//! start of the final empty-clause derivation.
+//!
+//! Memory is accounted incrementally: [`Proof::bytes`] approximates the
+//! heap footprint of the recorded derivations and the solver can cap it
+//! ([`crate::Solver::set_proof_limit`]) through the typed-interrupt
+//! path.
 
 use crate::lit::Var;
 
@@ -74,6 +87,15 @@ pub struct Proof {
     pub(crate) tags: Vec<u32>,
     /// Chain deriving the empty clause (set on UNSAT).
     pub(crate) empty: Option<(ClauseId, Vec<ResStep>)>,
+    /// Ids of clauses deleted by preprocessing / clause management, in
+    /// deletion order. Deleted clauses remain replayable antecedents.
+    pub(crate) deleted: Vec<ClauseId>,
+    /// Approximate heap bytes held by the recorded derivations,
+    /// maintained incrementally on every add.
+    pub(crate) bytes: u64,
+    /// Number of derivation chains recorded (derived clauses plus the
+    /// final empty-clause chain if present).
+    pub(crate) chains: u64,
 }
 
 impl Proof {
@@ -92,6 +114,34 @@ impl Proof {
         self.empty.as_ref().map(|(s, v)| (*s, v.as_slice()))
     }
 
+    /// All recorded proof clauses, in derivation order. Index `i`
+    /// holds the clause with [`ClauseId`] `i`.
+    pub fn clauses(&self) -> &[ProofClause] {
+        &self.clauses
+    }
+
+    /// The caller-supplied tag of a clause (`u32::MAX` for derived
+    /// clauses).
+    pub fn tag_of(&self, id: ClauseId) -> u32 {
+        self.tags[id.index()]
+    }
+
+    /// Ids of clauses deleted from the solver, in deletion order.
+    pub fn deletions(&self) -> &[ClauseId] {
+        &self.deleted
+    }
+
+    /// Approximate heap bytes held by the recorded derivations.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of derivation chains recorded (derived clauses plus the
+    /// final empty-clause chain if present).
+    pub fn chains(&self) -> u64 {
+        self.chains
+    }
+
     pub(crate) fn add_original(
         &mut self,
         part: Part,
@@ -99,6 +149,8 @@ impl Proof {
         tag: u32,
     ) -> ClauseId {
         let id = ClauseId(self.clauses.len() as u32);
+        self.bytes +=
+            Self::clause_overhead() + (lits.len() * std::mem::size_of::<crate::lit::Lit>()) as u64;
         self.clauses.push(ProofClause::Original { part, lits });
         self.tags.push(tag);
         id
@@ -106,9 +158,33 @@ impl Proof {
 
     pub(crate) fn add_derived(&mut self, start: ClauseId, steps: Vec<ResStep>) -> ClauseId {
         let id = ClauseId(self.clauses.len() as u32);
+        self.bytes +=
+            Self::clause_overhead() + (steps.len() * std::mem::size_of::<ResStep>()) as u64;
+        self.chains += 1;
         self.clauses.push(ProofClause::Derived { start, steps });
         self.tags.push(u32::MAX);
         id
+    }
+
+    /// Record the final empty-clause derivation. Counts as one chain.
+    pub(crate) fn set_empty(&mut self, start: ClauseId, steps: Vec<ResStep>) {
+        if self.empty.is_none() {
+            self.bytes += (steps.len() * std::mem::size_of::<ResStep>()) as u64;
+            self.chains += 1;
+        }
+        self.empty = Some((start, steps));
+    }
+
+    /// Record that a clause was deleted from the solver (subsumption,
+    /// strengthening-replacement, or variable elimination).
+    pub(crate) fn record_deletion(&mut self, id: ClauseId) {
+        self.bytes += std::mem::size_of::<ClauseId>() as u64;
+        self.deleted.push(id);
+    }
+
+    /// Fixed per-clause bookkeeping cost (enum + tag slot).
+    fn clause_overhead() -> u64 {
+        (std::mem::size_of::<ProofClause>() + std::mem::size_of::<u32>()) as u64
     }
 }
 
@@ -128,9 +204,31 @@ mod tests {
             pivot: v,
             other: c1,
         }];
-        p.empty = Some((c0, steps));
+        p.set_empty(c0, steps);
         let (start, chain) = p.empty_clause().expect("empty clause set");
         assert_eq!(start, c0);
         assert_eq!(chain.len(), 1);
+        assert_eq!(p.chains(), 1);
+        assert!(p.bytes() > 0);
+    }
+
+    #[test]
+    fn deletion_and_byte_accounting() {
+        let mut p = Proof::default();
+        let v = Var::from_index(0);
+        let c0 = p.add_original(Part::A, vec![Lit::pos(v), Lit::neg(v)], 0);
+        let before = p.bytes();
+        let c1 = p.add_derived(
+            c0,
+            vec![ResStep {
+                pivot: v,
+                other: c0,
+            }],
+        );
+        assert!(p.bytes() > before);
+        assert_eq!(p.chains(), 1);
+        p.record_deletion(c0);
+        assert_eq!(p.deletions(), &[c0]);
+        assert_eq!(p.tag_of(c1), u32::MAX);
     }
 }

@@ -34,6 +34,10 @@ pub enum Interrupt {
     /// The shared stop flag ([`Limits::stop`]) was raised by another
     /// thread (cooperative cancellation, e.g. a portfolio winner).
     Cancelled,
+    /// The proof arena grew past the configured byte cap
+    /// ([`Solver::set_proof_limit`]); the recorded derivations stay
+    /// intact and checkable, but no answer was derived.
+    ProofLimit,
 }
 
 /// Result of a [`Solver::solve`] call.
@@ -175,6 +179,12 @@ pub struct Stats {
     /// clause subsumed them (the learned clause is promoted in their
     /// place).
     pub inproc_subsumed: u64,
+    /// Approximate bytes held by the recorded resolution proof (zero
+    /// when proof logging is off). See [`crate::proof::Proof::bytes`].
+    pub proof_bytes: u64,
+    /// Derivation chains recorded in the proof (derived clauses plus
+    /// the final empty-clause chain).
+    pub proof_chains: u64,
 }
 
 /// Learned-clause reduction policy.
@@ -417,6 +427,9 @@ pub struct Solver {
     dom_stash: Vec<Var>,
     /// Learned-clause count that triggers the next inprocessing pass.
     next_inproc: u64,
+    /// Byte cap on the recorded proof; a solve that pushes the proof
+    /// past it returns [`Interrupt::ProofLimit`].
+    proof_limit: Option<u64>,
 }
 
 /// Clauses of one abandoned activation release, kept until the sweep
@@ -487,6 +500,7 @@ impl Solver {
             chrono: None,
             dom_stash: Vec::new(),
             next_inproc: Self::INPROC_INTERVAL,
+            proof_limit: None,
         }
     }
 
@@ -513,7 +527,27 @@ impl Solver {
         let mut s = self.stats;
         s.arena_bytes = self.cdb.bytes() as u64;
         s.arena_peak_bytes = self.cdb.peak_bytes() as u64;
+        if let Some(p) = &self.proof {
+            s.proof_bytes = p.bytes();
+            s.proof_chains = p.chains();
+        }
         s
+    }
+
+    /// Caps the recorded proof at approximately `bytes` heap bytes
+    /// (`None` = unbounded, the default). A solve call that pushes the
+    /// proof past the cap stops and returns
+    /// [`Interrupt::ProofLimit`] through the usual typed-interrupt
+    /// path; everything recorded so far stays intact and checkable,
+    /// and the solver remains usable (raise the cap or accept the
+    /// partial proof). No effect when proof logging is off.
+    pub fn set_proof_limit(&mut self, bytes: Option<u64>) {
+        self.proof_limit = bytes;
+    }
+
+    /// The configured proof byte cap, if any.
+    pub fn proof_limit(&self) -> Option<u64> {
+        self.proof_limit
     }
 
     /// The current learned-clause reduction policy.
@@ -683,9 +717,14 @@ impl Solver {
     /// transparently.
     ///
     /// Returns `false` (a no-op) when the solver state does not admit
-    /// preprocessing: proof logging is on (resolution chains would
-    /// need rewriting), a search has already learned clauses, an
-    /// activation group is live, or preprocessing already ran.
+    /// preprocessing: a search has already learned clauses, an
+    /// activation group is live, or preprocessing already ran. Proof
+    /// logging is supported: every strengthening step and kept BVE
+    /// resolvent is recorded as a derived resolution chain and every
+    /// removed clause as a deletion, so interpolation
+    /// ([`interpolant`](Solver::interpolant)) and the independent
+    /// checker ([`check_proof`](Solver::check_proof)) keep working on
+    /// the simplified formula.
     pub fn preprocess(&mut self, frozen: &[Var]) -> bool {
         self.preprocess_with(frozen, &crate::preproc::PreprocConfig::default())
     }
@@ -693,8 +732,7 @@ impl Solver {
     /// [`preprocess`](Solver::preprocess) with an explicit
     /// configuration.
     pub fn preprocess_with(&mut self, frozen: &[Var], cfg: &crate::preproc::PreprocConfig) -> bool {
-        if self.proof.is_some()
-            || !self.ok
+        if !self.ok
             || !self.trail_lim.is_empty()
             || !self.cdb.learnts().is_empty()
             || !self.act_entries.is_empty()
@@ -703,15 +741,47 @@ impl Solver {
         {
             return false;
         }
+        // Under proof logging every clause keeps its recorded identity:
+        // originals are fed with their proof id, part and tag, so the
+        // run's derivation journal can be replayed into the proof. A
+        // clause whose proof entry is already `Derived` (a resolvent
+        // kept by an earlier logged run) has no stored part/tag to
+        // restrict resolution with, so a repeat run is declined.
+        if let Some(p) = &self.proof {
+            for &c in self.cdb.originals() {
+                let pid = self.cdb.proof_id(c);
+                if !matches!(
+                    p.clauses.get(pid.index()),
+                    Some(ProofClause::Original { .. })
+                ) {
+                    return false;
+                }
+            }
+        }
         let mut pre = crate::preproc::Preprocessor::new(self.num_vars());
         for &v in frozen {
             pre.freeze(v);
         }
         for &c in self.cdb.originals() {
             let lits = self.cdb.lits(c).to_vec();
-            pre.add_clause(&lits, Part::A, 0);
+            match &self.proof {
+                Some(p) => {
+                    let pid = self.cdb.proof_id(c);
+                    let ProofClause::Original { part, .. } = &p.clauses[pid.index()] else {
+                        unreachable!("checked above");
+                    };
+                    pre.add_clause_logged(&lits, *part, p.tags[pid.index()], pid);
+                }
+                None => pre.add_clause(&lits, Part::A, 0),
+            }
         }
         let res = pre.run(cfg);
+        // Replay the derivation journal into the proof before the
+        // rebuild, so re-installed clauses can reference their ids.
+        let replayed = match (&mut self.proof, &res.provenance) {
+            (Some(p), Some(prov)) => Some(prov.replay(p)),
+            _ => None,
+        };
         self.stats.elim_vars += res.stats.elim_vars;
         self.stats.subsumed += res.stats.subsumed;
         self.stats.strengthened += res.stats.strengthened;
@@ -752,9 +822,23 @@ impl Solver {
             self.ok = false;
             return true;
         }
-        for c in &res.clauses {
-            if !self.add_clause(&c.lits) {
-                break;
+        match replayed {
+            Some(ids) => {
+                // Re-install each surviving clause under the proof id
+                // its derivation (or original registration) carries —
+                // no duplicate `Original` entries are created.
+                for (c, &pid) in res.clauses.iter().zip(&ids.clause_ids) {
+                    if !self.install_normalized(c.lits.clone(), pid) {
+                        break;
+                    }
+                }
+            }
+            None => {
+                for c in &res.clauses {
+                    if !self.add_clause(&c.lits) {
+                        break;
+                    }
+                }
             }
         }
         true
@@ -1071,11 +1155,19 @@ impl Solver {
             Some(p) => p.add_original(part, ls.clone(), tag),
             None => ClauseId(0),
         };
+        self.install_normalized(ls, pid)
+    }
 
+    /// Installs a normalized clause that already has a proof identity
+    /// (a fresh `Original` from [`add_normalized`](Solver::add_normalized),
+    /// or a kept/derived clause re-installed after proof-logged
+    /// preprocessing): level-0 handling, watch selection, propagation
+    /// of top-level implications.
+    fn install_normalized(&mut self, mut ls: Vec<Lit>, pid: ClauseId) -> bool {
         if ls.is_empty() {
             self.ok = false;
             if let Some(p) = &mut self.proof {
-                p.empty = Some((pid, Vec::new()));
+                p.set_empty(pid, Vec::new());
             }
             return false;
         }
@@ -1541,7 +1633,7 @@ impl Solver {
             })
             .collect();
         if let Some(p) = &mut self.proof {
-            p.empty = Some((start, steps));
+            p.set_empty(start, steps);
         }
     }
 
@@ -2041,6 +2133,12 @@ impl Solver {
                         return SolveResult::Unknown(Interrupt::ConflictLimit);
                     }
                 }
+                if let (Some(cap), Some(p)) = (self.proof_limit, &self.proof) {
+                    if p.bytes() > cap {
+                        self.backtrack(0);
+                        return SolveResult::Unknown(Interrupt::ProofLimit);
+                    }
+                }
                 if self.stats.conflicts.is_multiple_of(64) {
                     if let Some(d) = limits.deadline {
                         if Instant::now() >= d {
@@ -2067,9 +2165,8 @@ impl Solver {
                             }
                             LBool::Undef => break Some(a),
                         }
-                    } else {
-                        break None;
                     }
+                    break None;
                 };
                 let decision = match next {
                     Some(a) => Some(a),
@@ -2123,94 +2220,46 @@ impl Solver {
         Some(crate::interp::Interpolant::from_proof_with(proof, &is_a))
     }
 
-    /// Replays all recorded resolution chains and checks that each
-    /// surviving learned clause matches its recorded derivation, and
-    /// that the empty-clause chain actually derives the empty clause.
-    /// Learned clauses deleted by reduction keep their derivations in
-    /// the proof (the chains may be referenced by later derivations),
-    /// so deletion never invalidates this check.
+    /// Independently re-checks the recorded proof with
+    /// [`crate::proofcheck`]: replays every derivation chain
+    /// (antecedent existence, resolution validity, tag consistency,
+    /// deletion sanity, the final empty-clause chain if one was
+    /// derived) and cross-checks every clause currently live in the
+    /// clause database against the literal set its recorded derivation
+    /// yields. Returns `None` when proof logging is off.
     ///
-    /// This is an internal consistency check used by the test suite; it
-    /// is cheap relative to solving and requires proof logging.
+    /// This is the `paranoid`-mode entry point: a clean
+    /// [`ProofReport`](crate::proofcheck::ProofReport) means the
+    /// solver's UNSAT reasoning is backed by a machine-checked
+    /// resolution proof, not just trusted.
+    pub fn check_proof(&self) -> Option<crate::proofcheck::ProofReport> {
+        let proof = self.proof.as_ref()?;
+        let mut checker = crate::proofcheck::ProofChecker::new(proof);
+        for &c in self.cdb.originals().iter().chain(self.cdb.learnts()) {
+            checker.check_learnt(self.cdb.proof_id(c), self.cdb.lits(c));
+        }
+        Some(checker.finish())
+    }
+
+    /// Replays all recorded resolution chains and checks that each
+    /// live clause matches its recorded derivation, and that the
+    /// empty-clause chain actually derives the empty clause. Learned
+    /// clauses deleted by reduction keep their derivations in the
+    /// proof (the chains may be referenced by later derivations), so
+    /// deletion never invalidates this check.
+    ///
+    /// Test-suite convenience over [`check_proof`](Solver::check_proof),
+    /// reporting the first failure as an `Err`.
     #[doc(hidden)]
     pub fn debug_verify_proof(&self) -> Result<(), String> {
-        let Some(proof) = &self.proof else {
-            return Ok(());
-        };
-        // Resolve chains, computing literal sets per proof clause.
-        let mut sets: Vec<HashSet<Lit>> = Vec::with_capacity(proof.clauses.len());
-        for (i, pc) in proof.clauses.iter().enumerate() {
-            let set = match pc {
-                ProofClause::Original { lits, .. } => lits.iter().copied().collect(),
-                ProofClause::Derived { start, steps } => {
-                    if start.index() >= i {
-                        return Err(format!("derived clause {i} references future start"));
-                    }
-                    let mut cur: HashSet<Lit> = sets[start.index()].clone();
-                    for st in steps {
-                        if st.other.index() >= i {
-                            return Err(format!("derived clause {i} references future step"));
-                        }
-                        resolve_into(&mut cur, &sets[st.other.index()], st.pivot)?;
-                    }
-                    cur
-                }
-            };
-            sets.push(set);
-        }
-        // Each live learned clause carries the id of its derivation.
-        for &c in self.cdb.learnts() {
-            let pid = self.cdb.proof_id(c);
-            if !matches!(
-                proof.clauses.get(pid.index()),
-                Some(ProofClause::Derived { .. })
-            ) {
-                return Err(format!(
-                    "learned clause {c:?} does not point at a derivation"
-                ));
-            }
-            let want: HashSet<Lit> = self.cdb.lits(c).iter().copied().collect();
-            if sets[pid.index()] != want {
-                return Err(format!(
-                    "derivation {} produced {:?}, learned clause is {:?}",
-                    pid.index(),
-                    sets[pid.index()],
-                    self.cdb.lits(c)
-                ));
-            }
-        }
-        if let Some((start, steps)) = proof.empty_clause() {
-            let mut cur = sets[start.index()].clone();
-            for st in steps {
-                resolve_into(&mut cur, &sets[st.other.index()], st.pivot)?;
-            }
-            if !cur.is_empty() {
-                return Err(format!("empty-clause chain left literals {cur:?}"));
-            }
-        }
-        Ok(())
-    }
-}
-
-fn resolve_into(cur: &mut HashSet<Lit>, other: &HashSet<Lit>, pivot: Var) -> Result<(), String> {
-    let pos = Lit::pos(pivot);
-    let neg = Lit::neg(pivot);
-    let in_cur = (cur.contains(&pos), cur.contains(&neg));
-    let in_other = (other.contains(&pos), other.contains(&neg));
-    let ok = (in_cur.0 && in_other.1) || (in_cur.1 && in_other.0);
-    if !ok {
-        return Err(format!(
-            "invalid resolution on {pivot}: cur={in_cur:?} other={in_other:?}"
-        ));
-    }
-    cur.remove(&pos);
-    cur.remove(&neg);
-    for &l in other {
-        if l.var() != pivot {
-            cur.insert(l);
+        match self.check_proof() {
+            None => Ok(()),
+            Some(r) => match r.first_failure() {
+                None => Ok(()),
+                Some(f) => Err(f),
+            },
         }
     }
-    Ok(())
 }
 
 /// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
@@ -2233,7 +2282,7 @@ fn luby(i: u64) -> u64 {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     fn lit(s: &mut Solver, i: usize, pos: bool) -> Lit {
@@ -2680,9 +2729,6 @@ mod tests {
 
     #[test]
     fn preprocess_rejects_unsupported_states() {
-        let mut s = Solver::with_proof();
-        s.new_var();
-        assert!(!s.preprocess(&[]), "proof logging blocks preprocessing");
         let mut s = Solver::new();
         pigeonhole(&mut s, 5);
         let _ = s.solve_limited(
@@ -2698,6 +2744,133 @@ mod tests {
         pigeonhole(&mut s, 5);
         assert!(s.preprocess(&[]));
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn preprocess_under_proof_logging_keeps_checkable_proofs() {
+        // Proof logging no longer blocks preprocessing: the journal is
+        // replayed into the proof and the refutation (found after
+        // preprocessing) passes the independent checker.
+        let mut s = Solver::with_proof();
+        pigeonhole(&mut s, 5);
+        assert!(s.preprocess(&[]), "proof-logged preprocessing declined");
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let report = s.check_proof().expect("proof logging on");
+        assert!(report.ok(), "{}", report.first_failure().unwrap());
+        assert!(report.has_refutation);
+        // A second logged run is declined (derived clauses have no
+        // stored part/tag), not mis-handled.
+        let mut s2 = Solver::with_proof();
+        pigeonhole(&mut s2, 4);
+        assert!(s2.preprocess(&[]));
+        if s2.stats().elim_vars > 0 || s2.stats().strengthened > 0 {
+            assert!(!s2.preprocess(&[]), "repeat logged run must decline");
+        }
+    }
+
+    #[test]
+    fn preprocess_preserves_interpolants() {
+        // A/B-partitioned UNSAT instance: preprocessing must keep the
+        // interpolant contract (vars ⊆ shared, A ⇒ I, I ∧ B unsat).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBEEF5);
+        let mut tested = 0;
+        for _round in 0..300 {
+            let nvars = rng.gen_range(2..=7usize);
+            let gen_cnf = |rng: &mut StdRng, n: usize| {
+                let m = rng.gen_range(1..=8usize);
+                (0..m)
+                    .map(|_| {
+                        let len = rng.gen_range(1..=3usize);
+                        (0..len)
+                            .map(|_| {
+                                Lit::new(Var::from_index(rng.gen_range(0..n)), rng.gen_bool(0.5))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+            };
+            let a_cnf = gen_cnf(&mut rng, nvars);
+            let b_cnf = gen_cnf(&mut rng, nvars);
+            let holds = |cnf: &[Vec<Lit>], m: u32| {
+                cnf.iter().all(|cl| {
+                    cl.iter()
+                        .any(|l| ((m >> l.var().index()) & 1 == 1) == l.is_positive())
+                })
+            };
+            let joint_sat = (0u32..(1 << nvars)).any(|m| holds(&a_cnf, m) && holds(&b_cnf, m));
+            if joint_sat {
+                continue;
+            }
+            tested += 1;
+            let mut s = Solver::with_proof();
+            for _ in 0..nvars {
+                s.new_var();
+            }
+            for cl in &a_cnf {
+                s.add_clause_in(cl, Part::A);
+            }
+            for cl in &b_cnf {
+                s.add_clause_in(cl, Part::B);
+            }
+            // Declines only when clause addition already derived the
+            // empty clause at level 0 (the instance is decided).
+            let pre_ok = s.preprocess(&[]);
+            assert!(pre_ok || !s.ok, "proof-logged preprocessing declined");
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            let report = s.check_proof().expect("proof");
+            assert!(report.ok(), "{}", report.first_failure().unwrap());
+            let itp = s.interpolant().expect("interpolant");
+            // Shared vocabulary from the *original* partitions.
+            let mut in_a = std::collections::HashSet::new();
+            let mut in_b = std::collections::HashSet::new();
+            for cl in &a_cnf {
+                for l in cl {
+                    in_a.insert(l.var());
+                }
+            }
+            for cl in &b_cnf {
+                for l in cl {
+                    in_b.insert(l.var());
+                }
+            }
+            for v in itp.vars() {
+                assert!(
+                    in_a.contains(&v) && in_b.contains(&v),
+                    "interpolant mentions non-shared {v} after preprocessing"
+                );
+            }
+            for m in 0u32..(1 << nvars) {
+                let iv = itp.eval(|v| (m >> v.index()) & 1 == 1);
+                if holds(&a_cnf, m) {
+                    assert!(iv, "A holds but interpolant is false under {m:b}");
+                }
+                if iv {
+                    assert!(!holds(&b_cnf, m), "I ∧ B satisfiable under {m:b}");
+                }
+            }
+        }
+        assert!(tested > 20, "want enough unsat pairs, got {tested}");
+    }
+
+    #[test]
+    fn proof_limit_interrupts_and_leaves_checkable_proof() {
+        let mut s = Solver::with_proof();
+        pigeonhole(&mut s, 7);
+        s.set_proof_limit(Some(20_000));
+        let r = s.solve_limited(&[], Limits::default());
+        assert_eq!(r, SolveResult::Unknown(Interrupt::ProofLimit));
+        let st = s.stats();
+        assert!(st.proof_bytes > 20_000, "cap tripped: {st:?}");
+        assert!(st.proof_chains > 0);
+        // Everything recorded so far is still a valid derivation set.
+        let report = s.check_proof().expect("proof logging on");
+        assert!(report.ok(), "{}", report.first_failure().unwrap());
+        // Raising the cap lets the solve finish.
+        s.set_proof_limit(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.check_proof().expect("proof").ok());
     }
 
     #[test]
